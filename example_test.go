@@ -1,0 +1,75 @@
+package hyper_test
+
+import (
+	"fmt"
+
+	"hyper"
+	"hyper/internal/dataset"
+)
+
+// ExampleSession_WhatIf runs the paper's Figure 4 query on the Figure 1
+// database: the effect of a 10% Asus price increase on average ratings.
+func ExampleSession_WhatIf() {
+	db, model := dataset.Toy()
+	s := hyper.NewSession(db, model)
+	res, err := s.WhatIf(`
+USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
+            AVG(T2.Rating) AS Rtng
+     FROM Product AS T1, Review AS T2
+     WHERE T1.PID = T2.PID
+     GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
+WHEN Brand = 'Asus'
+UPDATE(Price) = 1.1 * PRE(Price)
+OUTPUT AVG(POST(Rtng))
+FOR PRE(Category) = 'Laptop'`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("view rows: %d, updated: %d, blocks: %d\n", res.ViewRows, res.UpdatedRows, res.Blocks)
+	fmt.Printf("rating in range: %v\n", res.Value >= 1 && res.Value <= 5)
+	// Output:
+	// view rows: 4, updated: 1, blocks: 3
+	// rating in range: true
+}
+
+// ExampleSession_HowTo answers a constrained how-to query with the integer
+// program of Section 4.3.
+func ExampleSession_HowTo() {
+	g := dataset.GermanSyn(5000, 7)
+	s := hyper.NewSession(g.DB, g.Model)
+	s.SetOptions(hyper.Options{Seed: 7})
+	res, err := s.HowTo(`
+USE German
+HOWTOUPDATE Status, Savings
+LIMIT UPDATES <= 1
+TOMAXIMIZE COUNT(Credit = 1)`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	updated := 0
+	for _, c := range res.Choices {
+		if c.Update != nil {
+			updated++
+			fmt.Printf("update %s\n", c.Attr)
+		}
+	}
+	fmt.Printf("updates used: %d, improved: %v\n", updated, res.Objective > res.Base)
+	// Output:
+	// update Status
+	// updates used: 1, improved: true
+}
+
+// ExampleParse validates and canonicalizes a HypeRQL query without
+// evaluating it.
+func ExampleParse() {
+	canon, err := hyper.Parse(`use T update(P) = 1.5 * pre(P) output count(*)`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(canon)
+	// Output:
+	// USE T UPDATE(P) = 1.5 * PRE(P) OUTPUT COUNT(*)
+}

@@ -1,0 +1,127 @@
+// Quickstart: build the paper's running-example database (Figure 1), attach
+// the causal model of Figure 2, and run the what-if query of Figure 4 and
+// the how-to query of Figure 5 through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyper"
+)
+
+func main() {
+	// Product table: PID is the key; Price, Color and Quality are mutable
+	// (hypothetical updates may change them directly or collaterally).
+	product := hyper.NewRelation("Product", hyper.MustSchema(
+		hyper.Column{Name: "PID", Kind: hyper.KindInt, Key: true},
+		hyper.Column{Name: "Category", Kind: hyper.KindString},
+		hyper.Column{Name: "Price", Kind: hyper.KindFloat, Mutable: true},
+		hyper.Column{Name: "Brand", Kind: hyper.KindString},
+		hyper.Column{Name: "Color", Kind: hyper.KindString, Mutable: true},
+		hyper.Column{Name: "Quality", Kind: hyper.KindFloat, Mutable: true},
+	))
+	type p struct {
+		pid     int64
+		cat     string
+		price   float64
+		brand   string
+		color   string
+		quality float64
+	}
+	for _, r := range []p{
+		{1, "Laptop", 999, "Vaio", "Silver", 0.7},
+		{2, "Laptop", 529, "Asus", "Black", 0.65},
+		{3, "Laptop", 599, "HP", "Silver", 0.5},
+		{4, "DSLR Camera", 549, "Canon", "Black", 0.75},
+		{5, "Sci Fi eBooks", 15.99, "Fantasy Press", "Blue", 0.4},
+	} {
+		product.MustInsert(hyper.Int(r.pid), hyper.String(r.cat), hyper.Float(r.price),
+			hyper.String(r.brand), hyper.String(r.color), hyper.Float(r.quality))
+	}
+
+	review := hyper.NewRelation("Review", hyper.MustSchema(
+		hyper.Column{Name: "PID", Kind: hyper.KindInt, Key: true},
+		hyper.Column{Name: "ReviewID", Kind: hyper.KindInt, Key: true},
+		hyper.Column{Name: "Sentiment", Kind: hyper.KindFloat, Mutable: true},
+		hyper.Column{Name: "Rating", Kind: hyper.KindInt, Mutable: true},
+	))
+	type rv struct {
+		pid, rid int64
+		senti    float64
+		rating   int64
+	}
+	for _, r := range []rv{
+		{1, 1, -0.95, 2}, {2, 2, 0.7, 4}, {2, 3, -0.2, 1},
+		{3, 3, 0.23, 3}, {3, 5, 0.95, 5}, {4, 5, 0.7, 4},
+	} {
+		review.MustInsert(hyper.Int(r.pid), hyper.Int(r.rid), hyper.Float(r.senti), hyper.Int(r.rating))
+	}
+
+	db := hyper.NewDatabase()
+	db.MustAdd(product)
+	db.MustAdd(review)
+	if err := db.AddForeignKey(hyper.ForeignKey{
+		Child: "Review", ChildCol: "PID", Parent: "Product", ParentCol: "PID"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The causal diagram of Figure 2: Quality and Category drive Price;
+	// Quality and Price drive Ratings and Sentiments; one product's price
+	// affects other products of the same category (cross-tuple edge).
+	model := hyper.NewCausalModel()
+	model.AddEdge("Product.Brand", "Product.Quality")
+	model.AddEdge("Product.Category", "Product.Price")
+	model.AddEdge("Product.Quality", "Product.Price")
+	model.AddEdge("Product.Quality", "Review.Rating")
+	model.AddEdge("Product.Quality", "Review.Sentiment")
+	model.AddEdge("Product.Price", "Review.Rating")
+	model.AddEdge("Product.Price", "Review.Sentiment")
+	model.AddCross(hyper.CrossEdge{FromRel: "Product", FromAttr: "Price",
+		ToRel: "Product", ToAttr: "Price", GroupBy: "Product.Category"})
+
+	s := hyper.NewSession(db, model)
+	if err := s.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 4: "if Asus prices rise 10%, what is the average rating of Asus
+	// laptops whose post-update average sentiment stays above 0.5?"
+	whatIf := `
+USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
+            AVG(Sentiment) AS Senti, AVG(T2.Rating) AS Rtng
+     FROM Product AS T1, Review AS T2
+     WHERE T1.PID = T2.PID
+     GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
+WHEN Brand = 'Asus'
+UPDATE(Price) = 1.1 * PRE(Price)
+OUTPUT AVG(POST(Rtng))
+FOR PRE(Category) = 'Laptop' AND PRE(Brand) = 'Asus' AND POST(Senti) > 0.5`
+	res, err := s.WhatIf(whatIf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 4 what-if: expected avg rating = %.3f\n", res.Value)
+	fmt.Printf("  view rows=%d updated=%d blocks=%d backdoor=%v\n",
+		res.ViewRows, res.UpdatedRows, res.Blocks, res.Backdoor)
+
+	// Figure 5: "how to maximize the average rating of Asus laptops and
+	// cameras by changing price (within [500, 800], at most 400 away) and/or
+	// color?"
+	howTo := `
+USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand, T1.Color,
+            AVG(Sentiment) AS Senti, AVG(T2.Rating) AS Rtng
+     FROM Product AS T1, Review AS T2
+     WHERE T1.PID = T2.PID
+     GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand, T1.Color)
+WHEN Brand = 'Asus' AND Category = 'Laptop'
+HOWTOUPDATE Price, Color
+LIMIT 500 <= POST(Price) <= 800 AND L1(PRE(Price), POST(Price)) <= 400
+TOMAXIMIZE AVG(POST(Rtng))
+FOR (PRE(Category) = 'Laptop' OR PRE(Category) = 'DSLR Camera') AND Brand = 'Asus'`
+	ht, err := s.HowTo(howTo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 5 how-to: %s\n", ht)
+}

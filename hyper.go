@@ -1,0 +1,289 @@
+// Package hyper is a Go implementation of HypeR, the probabilistic
+// hypothetical-reasoning framework of Galhotra, Gilad, Roy and Salimi
+// (SIGMOD 2022): what-if queries ("what happens to average ratings if Asus
+// laptop prices rise 10%?") and how-to queries ("how should price and color
+// change to maximize ratings?") over relational databases, with the
+// collateral effects of updates propagated through a probabilistic
+// relational causal model.
+//
+// A Session binds a database and a causal model; queries are written in
+// HypeRQL, the extended SQL of the paper:
+//
+//	db, model := dataset.Toy()
+//	s := hyper.NewSession(db, model)
+//	res, err := s.WhatIf(`
+//	    USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
+//	                AVG(T2.Rating) AS Rtng
+//	         FROM Product AS T1, Review AS T2
+//	         WHERE T1.PID = T2.PID
+//	         GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
+//	    WHEN Brand = 'Asus'
+//	    UPDATE(Price) = 1.1 * PRE(Price)
+//	    OUTPUT AVG(POST(Rtng))
+//	    FOR PRE(Category) = 'Laptop'`)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package hyper
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hyper/internal/causal"
+	"hyper/internal/engine"
+	"hyper/internal/howto"
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+)
+
+// Re-exported relational building blocks.
+type (
+	// Value is a typed database value.
+	Value = relation.Value
+	// Column describes one attribute of a schema.
+	Column = relation.Column
+	// Schema is an ordered list of columns.
+	Schema = relation.Schema
+	// Relation is a named table.
+	Relation = relation.Relation
+	// Database is a collection of relations with foreign keys.
+	Database = relation.Database
+	// ForeignKey links a child column to a parent column.
+	ForeignKey = relation.ForeignKey
+	// CausalModel is the attribute-level causal DAG plus cross-tuple edges.
+	CausalModel = causal.Model
+	// CrossEdge declares a cross-tuple causal dependency.
+	CrossEdge = causal.CrossEdge
+	// WhatIfResult is the result of a what-if query.
+	WhatIfResult = engine.Result
+	// HowToResult is the result of a how-to query.
+	HowToResult = howto.Result
+	// Mode selects the estimation variant (HypeR, HypeR-NB, Indep).
+	Mode = engine.Mode
+	// Kind is the dynamic type of a Value.
+	Kind = relation.Kind
+)
+
+// Value kinds, re-exported for schema declarations.
+const (
+	KindNull   = relation.KindNull
+	KindBool   = relation.KindBool
+	KindInt    = relation.KindInt
+	KindFloat  = relation.KindFloat
+	KindString = relation.KindString
+)
+
+// Value constructors and modes, re-exported for convenience.
+var (
+	Int    = relation.Int
+	Float  = relation.Float
+	String = relation.String
+	Bool   = relation.Bool
+	Null   = relation.Null
+)
+
+// Engine modes (Section 5 variants).
+const (
+	ModeFull  = engine.ModeFull
+	ModeNB    = engine.ModeNB
+	ModeIndep = engine.ModeIndep
+)
+
+// Constructors re-exported from the relation package.
+var (
+	NewDatabase = relation.NewDatabase
+	NewRelation = relation.NewRelation
+	NewSchema   = relation.NewSchema
+	MustSchema  = relation.MustSchema
+	LoadCSV     = relation.LoadCSV
+)
+
+// NewCausalModel returns an empty causal model; add edges with AddEdge
+// ("Rel.Attr" qualified names) and cross-tuple edges with AddCross.
+func NewCausalModel() *CausalModel { return causal.NewModel() }
+
+// Options configures query evaluation for a Session.
+type Options struct {
+	// Mode selects HypeR (ModeFull), HypeR-NB (ModeNB) or the Indep
+	// baseline (ModeIndep).
+	Mode Mode
+	// SampleSize > 0 enables the HypeR-sampled variant with the given
+	// training-sample size.
+	SampleSize int
+	// Seed makes evaluation reproducible.
+	Seed int64
+	// Buckets controls discretization of continuous attributes in how-to
+	// candidate enumeration (default 8).
+	Buckets int
+}
+
+// Session binds a database and causal model for query evaluation.
+type Session struct {
+	db    *Database
+	model *CausalModel
+	opts  Options
+}
+
+// NewSession creates a session. model may be nil, in which case queries run
+// in no-background mode (all attributes are treated as potential
+// confounders).
+func NewSession(db *Database, model *CausalModel) *Session {
+	return &Session{db: db, model: model}
+}
+
+// SetOptions replaces the session's evaluation options.
+func (s *Session) SetOptions(o Options) { s.opts = o }
+
+// Options returns the session's evaluation options.
+func (s *Session) Options() Options { return s.opts }
+
+// DB returns the session database.
+func (s *Session) DB() *Database { return s.db }
+
+// Model returns the session's causal model (may be nil).
+func (s *Session) Model() *CausalModel { return s.model }
+
+// Validate checks the causal model against the database schema.
+func (s *Session) Validate() error {
+	if s.model == nil {
+		return nil
+	}
+	return s.model.Validate(s.db)
+}
+
+func (s *Session) engineOpts() engine.Options {
+	return engine.Options{
+		Mode:       s.opts.Mode,
+		SampleSize: s.opts.SampleSize,
+		Seed:       s.opts.Seed,
+	}
+}
+
+// WhatIf parses and evaluates a what-if query.
+func (s *Session) WhatIf(src string) (*WhatIfResult, error) {
+	q, err := hyperql.ParseWhatIf(src)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Evaluate(s.db, s.model, q, s.engineOpts())
+}
+
+// HowTo parses and evaluates a how-to query via the integer-program
+// formulation.
+func (s *Session) HowTo(src string) (*HowToResult, error) {
+	q, err := hyperql.ParseHowTo(src)
+	if err != nil {
+		return nil, err
+	}
+	return howto.Evaluate(s.db, s.model, q, howto.Options{
+		Engine:  s.engineOpts(),
+		Buckets: s.opts.Buckets,
+	})
+}
+
+// HowToBruteForce evaluates a how-to query with the exhaustive Opt-HowTo
+// baseline (exponential in the number of update attributes; for comparison
+// and testing).
+func (s *Session) HowToBruteForce(src string) (*HowToResult, error) {
+	q, err := hyperql.ParseHowTo(src)
+	if err != nil {
+		return nil, err
+	}
+	return howto.BruteForce(s.db, s.model, q, howto.Options{
+		Engine:  s.engineOpts(),
+		Buckets: s.opts.Buckets,
+	})
+}
+
+// HowToMinimizeCost solves the alternate how-to formulation (Section 4.3,
+// footnote 3): minimize the total normalized L1 update cost subject to the
+// query's TOMAXIMIZE aggregate reaching at least target.
+func (s *Session) HowToMinimizeCost(src string, target float64) (*HowToResult, error) {
+	q, err := hyperql.ParseHowTo(src)
+	if err != nil {
+		return nil, err
+	}
+	return howto.MinimizeCost(s.db, s.model, q, target, howto.Options{
+		Engine:  s.engineOpts(),
+		Buckets: s.opts.Buckets,
+	})
+}
+
+// HowToLexicographic evaluates a preferential multi-objective how-to query:
+// sources are complete how-to queries sharing USE/WHEN/HOWTOUPDATE/LIMIT
+// whose objectives are optimized in the given priority order.
+func (s *Session) HowToLexicographic(srcs ...string) (*HowToResult, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("hyper: no objectives")
+	}
+	qs := make([]*hyperql.HowTo, len(srcs))
+	for i, src := range srcs {
+		q, err := hyperql.ParseHowTo(src)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	return howto.Lexicographic(s.db, s.model, qs, howto.Options{
+		Engine:  s.engineOpts(),
+		Buckets: s.opts.Buckets,
+	})
+}
+
+// Explain plans a what-if query without evaluating it, returning a
+// human-readable description of the relevant view, the block decomposition,
+// the FOR normalization, the conditioning (backdoor) set, and the chosen
+// estimator.
+func (s *Session) Explain(src string) (string, error) {
+	q, err := hyperql.ParseWhatIf(src)
+	if err != nil {
+		return "", err
+	}
+	opts := s.engineOpts()
+	opts.DryRun = true
+	res, err := engine.Evaluate(s.db, s.model, q, opts)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "what-if plan (%s mode)\n", res.Mode)
+	fmt.Fprintf(&b, "  relevant view: %d rows (built in %s)\n", res.ViewRows, res.ViewTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  update set S:  %d rows selected by WHEN\n", res.UpdatedRows)
+	fmt.Fprintf(&b, "  blocks:        %d independent blocks\n", res.Blocks)
+	fmt.Fprintf(&b, "  FOR disjuncts: %d\n", res.Disjuncts)
+	fmt.Fprintf(&b, "  backdoor set:  %v\n", res.Backdoor)
+	fmt.Fprintf(&b, "  estimator:     %s over %d training rows\n", res.EstimatorUsed, res.SampledRows)
+	return b.String(), nil
+}
+
+// Query parses src and dispatches to WhatIf or HowTo; the result is either a
+// *WhatIfResult or a *HowToResult.
+func (s *Session) Query(src string) (any, error) {
+	q, err := hyperql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch qq := q.(type) {
+	case *hyperql.WhatIf:
+		return engine.Evaluate(s.db, s.model, qq, s.engineOpts())
+	case *hyperql.HowTo:
+		return howto.Evaluate(s.db, s.model, qq, howto.Options{
+			Engine:  s.engineOpts(),
+			Buckets: s.opts.Buckets,
+		})
+	default:
+		return nil, fmt.Errorf("hyper: unknown query type %T", q)
+	}
+}
+
+// Parse parses a HypeRQL query without evaluating it, returning its
+// canonical string form; useful for validation and tooling.
+func Parse(src string) (string, error) {
+	q, err := hyperql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return q.String(), nil
+}

@@ -1,0 +1,167 @@
+package causal
+
+import "sort"
+
+// DSeparated reports whether every path between any x in xs and any y in ys
+// is blocked by the conditioning set z, using the reachability ("Bayes
+// ball") formulation of d-separation.
+func (g *Graph) DSeparated(xs, ys, z []string) bool {
+	zset := make([]bool, len(g.nodes))
+	for _, n := range z {
+		if i, ok := g.index[n]; ok {
+			zset[i] = true
+		}
+	}
+	// ancestors of z (inclusive), needed for collider openings
+	anc := make([]bool, len(g.nodes))
+	var stack []int
+	for i, in := range zset {
+		if in {
+			anc[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.in[n] {
+			if !anc[p] {
+				anc[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+
+	yset := make([]bool, len(g.nodes))
+	for _, n := range ys {
+		if i, ok := g.index[n]; ok {
+			yset[i] = true
+		}
+	}
+
+	// State: (node, direction) where direction is whether we arrived via an
+	// edge pointing INTO the node (true) or OUT of it (false).
+	type state struct {
+		node int
+		into bool
+	}
+	visited := make(map[state]bool)
+	var frontier []state
+	for _, n := range xs {
+		if i, ok := g.index[n]; ok {
+			// Leaving the source: treat as arriving from a virtual parent
+			// (into=false lets us traverse both directions initially).
+			frontier = append(frontier, state{i, false})
+		}
+	}
+	for len(frontier) > 0 {
+		s := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		n := s.node
+		if yset[n] {
+			return false // reached y: not d-separated
+		}
+		if !s.into {
+			// Arrived via an outgoing edge (i.e., from a child) or source.
+			if !zset[n] {
+				for _, p := range g.in[n] {
+					frontier = append(frontier, state{p, false})
+				}
+				for _, c := range g.out[n] {
+					frontier = append(frontier, state{c, true})
+				}
+			}
+		} else {
+			// Arrived via an incoming edge (from a parent): n is a potential
+			// collider on the path.
+			if !zset[n] {
+				for _, c := range g.out[n] {
+					frontier = append(frontier, state{c, true})
+				}
+			}
+			if anc[n] {
+				// Collider open when n or a descendant is conditioned on.
+				for _, p := range g.in[n] {
+					frontier = append(frontier, state{p, false})
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsBackdoorSet reports whether c satisfies Pearl's backdoor criterion with
+// respect to treatment b and outcomes ys: no node of c is a descendant of b,
+// and c d-separates b from every y in the graph with b's outgoing edges
+// removed (blocking exactly the backdoor paths).
+func (g *Graph) IsBackdoorSet(b string, ys []string, c []string) bool {
+	desc := g.Descendants(b)
+	descSet := make(map[string]bool, len(desc))
+	for _, d := range desc {
+		descSet[d] = true
+	}
+	for _, n := range c {
+		if descSet[n] || n == b {
+			return false
+		}
+		found := false
+		for _, y := range ys {
+			if n == y {
+				found = true
+			}
+		}
+		if found {
+			return false
+		}
+	}
+	gb := g.RemoveOutEdges(b)
+	return gb.DSeparated([]string{b}, ys, c)
+}
+
+// BackdoorSet returns a minimal (not necessarily minimum) set of attributes
+// satisfying the backdoor criterion for treatment b and outcomes ys,
+// restricted to the candidate attributes cand (pass g.Nodes() for no
+// restriction). It follows the paper's greedy procedure (A.2 step B): start
+// from all candidate non-descendants of {b} ∪ ys and drop one node at a time
+// while the set remains a valid backdoor set. ok is false when no valid
+// backdoor set exists within the candidates.
+func (g *Graph) BackdoorSet(b string, ys []string, cand []string) (set []string, ok bool) {
+	bad := make(map[string]bool)
+	for _, d := range g.Descendants(append([]string{b}, ys...)...) {
+		bad[d] = true
+	}
+	bad[b] = true
+	for _, y := range ys {
+		bad[y] = true
+	}
+	var c []string
+	for _, n := range cand {
+		if !bad[n] && g.Has(n) {
+			c = append(c, n)
+		}
+	}
+	sort.Strings(c)
+	if !g.IsBackdoorSet(b, ys, c) {
+		return nil, false
+	}
+	// Greedy minimization; iterate until no single removal keeps validity.
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(c); i++ {
+			trial := make([]string, 0, len(c)-1)
+			trial = append(trial, c[:i]...)
+			trial = append(trial, c[i+1:]...)
+			if g.IsBackdoorSet(b, ys, trial) {
+				c = trial
+				changed = true
+				break
+			}
+		}
+	}
+	return c, true
+}

@@ -1,0 +1,165 @@
+package causal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UnfoldChainGraph implements the cyclic-dependency extension sketched in
+// Section 7 of the paper: a cyclic attribute graph (e.g. Price <-> Demand)
+// is "unfolded" over a time horizon into an acyclic chain graph whose nodes
+// are time-stamped attributes A@0, A@1, ..., A@T. Every edge A -> B of the
+// original graph becomes A@t -> B@t' edges: contemporaneous (t' = t) when
+// the edge is not on a cycle, and lagged (t' = t+1) when it is, so cycles
+// become forward-in-time chains. Within-attribute persistence edges
+// A@t -> A@t+1 are added for every attribute on a cycle.
+//
+// The result can be registered as an ordinary acyclic Model over a database
+// whose relations carry one column per time-stamped attribute.
+func UnfoldChainGraph(g *Graph, horizon int) (*Graph, error) {
+	if horizon < 1 {
+		return nil, fmt.Errorf("causal: unfold horizon must be >= 1, got %d", horizon)
+	}
+	onCycle := cyclicEdges(g)
+	out := NewGraph()
+	stamp := func(name string, t int) string { return fmt.Sprintf("%s@%d", name, t) }
+	for _, n := range g.Nodes() {
+		for t := 0; t <= horizon; t++ {
+			out.AddNode(stamp(n, t))
+		}
+	}
+	for _, e := range g.Edges() {
+		lagged := onCycle[e]
+		for t := 0; t <= horizon; t++ {
+			if lagged {
+				if t < horizon {
+					out.AddEdge(stamp(e[0], t), stamp(e[1], t+1))
+				}
+			} else {
+				out.AddEdge(stamp(e[0], t), stamp(e[1], t))
+			}
+		}
+	}
+	// Persistence for cyclic attributes.
+	needPersist := map[string]bool{}
+	for e := range onCycle {
+		needPersist[e[0]] = true
+		needPersist[e[1]] = true
+	}
+	var names []string
+	for n := range needPersist {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for t := 0; t < horizon; t++ {
+			out.AddEdge(stamp(n, t), stamp(n, t+1))
+		}
+	}
+	if !out.IsAcyclic() {
+		// Cannot happen: all lagged edges strictly advance time and the
+		// contemporaneous subgraph is acyclic by construction.
+		return nil, fmt.Errorf("causal: internal error: unfolded graph is cyclic")
+	}
+	return out, nil
+}
+
+// cyclicEdges returns the set of edges participating in some directed cycle
+// (edges within a strongly connected component of size > 1, or self-loops).
+func cyclicEdges(g *Graph) map[[2]string]bool {
+	comp := tarjanSCC(g)
+	out := map[[2]string]bool{}
+	for _, e := range g.Edges() {
+		fi, _ := g.ID(e[0])
+		ti, _ := g.ID(e[1])
+		if fi == ti || comp[fi] == comp[ti] && sccSize(comp, comp[fi]) > 1 {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+func sccSize(comp []int, c int) int {
+	n := 0
+	for _, x := range comp {
+		if x == c {
+			n++
+		}
+	}
+	return n
+}
+
+// tarjanSCC computes strongly connected components, returning the component
+// id of each node.
+func tarjanSCC(g *Graph) []int {
+	n := g.Len()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	counter, comps := 0, 0
+
+	type frame struct {
+		node, child int
+	}
+	var visit func(v int)
+	visit = func(v int) {
+		// Iterative Tarjan to avoid deep recursion on long chains.
+		frames := []frame{{v, 0}}
+		index[v], low[v] = counter, counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			node := f.node
+			children := g.out[node]
+			if f.child < len(children) {
+				w := children[f.child]
+				f.child++
+				if index[w] == -1 {
+					index[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[node] {
+						low[node] = index[w]
+					}
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[node] < low[parent] {
+					low[parent] = low[node]
+				}
+			}
+			if low[node] == index[node] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = comps
+					if w == node {
+						break
+					}
+				}
+				comps++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			visit(v)
+		}
+	}
+	return comp
+}

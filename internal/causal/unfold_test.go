@@ -1,0 +1,119 @@
+package causal
+
+import (
+	"strings"
+	"testing"
+)
+
+// cyclicGraph: Price <-> Demand with an exogenous Cost -> Price.
+func cyclicGraph() *Graph {
+	g := NewGraph()
+	g.AddEdge("Price", "Demand")
+	g.AddEdge("Demand", "Price")
+	g.AddEdge("Cost", "Price")
+	return g
+}
+
+func TestUnfoldChainGraphAcyclic(t *testing.T) {
+	g := cyclicGraph()
+	if g.IsAcyclic() {
+		t.Fatal("fixture should be cyclic")
+	}
+	u, err := UnfoldChainGraph(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.IsAcyclic() {
+		t.Fatal("unfolded graph must be acyclic")
+	}
+	// 3 attributes x 4 time steps.
+	if u.Len() != 12 {
+		t.Errorf("nodes = %d, want 12", u.Len())
+	}
+	// Cyclic edges become lagged: Price@0 -> Demand@1, Demand@0 -> Price@1.
+	has := func(a, b string) bool {
+		for _, e := range u.Edges() {
+			if e[0] == a && e[1] == b {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("Price@0", "Demand@1") || !has("Demand@0", "Price@1") {
+		t.Error("cycle edges should be lagged by one step")
+	}
+	if has("Price@0", "Demand@0") {
+		t.Error("cyclic edge must not stay contemporaneous")
+	}
+	// The acyclic edge Cost -> Price stays contemporaneous.
+	if !has("Cost@0", "Price@0") || !has("Cost@3", "Price@3") {
+		t.Error("acyclic edges should remain contemporaneous at every step")
+	}
+	// Persistence: Price@t -> Price@t+1.
+	if !has("Price@0", "Price@1") || !has("Demand@2", "Demand@3") {
+		t.Error("cyclic attributes should persist across steps")
+	}
+}
+
+func TestUnfoldSelfLoop(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("A", "A")
+	u, err := UnfoldChainGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.IsAcyclic() {
+		t.Fatal("self-loop unfolds to a chain")
+	}
+	found := false
+	for _, e := range u.Edges() {
+		if e[0] == "A@0" && e[1] == "A@1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("self-loop should become A@t -> A@t+1")
+	}
+}
+
+func TestUnfoldAcyclicGraphIsReplicated(t *testing.T) {
+	g := chain("A", "B", "C")
+	u, err := UnfoldChainGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No lagged or persistence edges for an already-acyclic graph.
+	for _, e := range u.Edges() {
+		ta := e[0][strings.IndexByte(e[0], '@')+1:]
+		tb := e[1][strings.IndexByte(e[1], '@')+1:]
+		if ta != tb {
+			t.Errorf("acyclic input should unfold without lagged edges, got %v", e)
+		}
+	}
+	if len(u.Edges()) != 2*3 {
+		t.Errorf("edges = %d, want 6", len(u.Edges()))
+	}
+}
+
+func TestUnfoldBadHorizon(t *testing.T) {
+	if _, err := UnfoldChainGraph(cyclicGraph(), 0); err == nil {
+		t.Error("horizon 0 should fail")
+	}
+}
+
+func TestUnfoldBackdoorOnLaggedGraph(t *testing.T) {
+	// After unfolding, standard backdoor analysis applies: the effect of
+	// Price@1 on Demand@2 is confounded by Demand@0 -> Price@1 (lagged) and
+	// Demand@0 -> Demand@1 -> Demand@2 (persistence).
+	u, err := UnfoldChainGraph(cyclicGraph(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, ok := u.BackdoorSet("Price@1", []string{"Demand@2"}, u.Nodes())
+	if !ok {
+		t.Fatal("a backdoor set must exist on the unfolded DAG")
+	}
+	if !u.IsBackdoorSet("Price@1", []string{"Demand@2"}, set) {
+		t.Errorf("returned set %v is not a valid backdoor set", set)
+	}
+}

@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"math"
+
+	"hyper/internal/prcm"
+	"hyper/internal/stats"
+)
+
+// AdultSyn is the stand-in for the UCI Adult income dataset (32k rows, 15
+// attributes in Table 1). The causal structure follows the fairness
+// literature the paper cites: demographic roots (Age, Sex, Race, Country)
+// drive Education, MaritalStatus, Occupation and HoursPerWeek, which drive
+// the binary Income (>50K). MaritalStatus carries the strongest direct
+// effect — the paper's headline observation (38% high income when everyone
+// is married vs <9% unmarried) — followed by Occupation and Education, while
+// Workclass has a small effect (Figure 8b).
+func AdultSyn(n int, seed int64) *Single {
+	logit := func(s float64) float64 { return 1 / (1 + math.Exp(-s)) }
+	attrs := []prcm.Attr{
+		{Name: "Age", Card: 5, Noise: stats.Uniform{Lo: 0, Hi: 5},
+			Fn: func(_ map[string]float64, nz float64) float64 { return math.Floor(nz) }},
+		{Name: "Sex", Card: 2, Noise: stats.Bernoulli{P: 0.67},
+			Fn: func(_ map[string]float64, nz float64) float64 { return nz }},
+		{Name: "Race", Card: 5, Noise: stats.Uniform{Lo: 0, Hi: 5},
+			Fn: func(_ map[string]float64, nz float64) float64 { return math.Floor(math.Min(nz*nz/5, 4)) }},
+		{Name: "Country", Card: 8, Noise: stats.Uniform{Lo: 0, Hi: 8},
+			Fn: func(_ map[string]float64, nz float64) float64 { return math.Floor(math.Min(nz*nz/8, 7)) }},
+		{Name: "Education", Card: 5, Mutable: true, Parents: []string{"Age", "Race", "Country"},
+			Noise: stats.Normal{Sigma: 1.0},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				return math.Round(1.1 + 0.25*p["Age"] - 0.12*p["Race"] - 0.06*p["Country"] + nz)
+			}},
+		{Name: "MaritalStatus", Card: 3, Mutable: true, Parents: []string{"Age", "Sex"},
+			Noise: stats.Normal{Sigma: 0.8},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				// 0 = never married, 1 = married, 2 = divorced.
+				return math.Round(0.25*p["Age"] + 0.3*p["Sex"] + nz*nz*0.35)
+			}},
+		{Name: "Occupation", Card: 6, Mutable: true, Parents: []string{"Education", "Sex"},
+			Noise: stats.Normal{Sigma: 1.2},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				return math.Round(0.8*p["Education"] + 0.4*p["Sex"] + nz)
+			}},
+		{Name: "Workclass", Card: 4, Mutable: true, Parents: []string{"Education"},
+			Noise: stats.Normal{Sigma: 1.1},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				return math.Round(0.3*p["Education"] + 0.8 + nz)
+			}},
+		{Name: "HoursPerWeek", Card: 4, Mutable: true, Parents: []string{"Occupation", "MaritalStatus"},
+			Noise: stats.Normal{Sigma: 0.9},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				return math.Round(0.8 + 0.25*p["Occupation"] + 0.2*(2-math.Abs(p["MaritalStatus"]-1)) + nz)
+			}},
+		{Name: "Relationship", Card: 4, Mutable: true, Parents: []string{"MaritalStatus", "Sex"},
+			Noise: stats.Normal{Sigma: 0.7},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				return math.Round(1.2*p["MaritalStatus"] + 0.3*p["Sex"] + nz)
+			}},
+		{Name: "CapitalGain", Card: 3, Mutable: true, Parents: []string{"Education", "Age"},
+			Noise: stats.Normal{Sigma: 0.8},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				return math.Round(-0.7 + 0.25*p["Education"] + 0.15*p["Age"] + nz*nz*0.3)
+			}},
+		{Name: "CapitalLoss", Card: 3, Mutable: true, Parents: []string{"Age"},
+			Noise: stats.Normal{Sigma: 0.7},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				return math.Round(-0.5 + 0.1*p["Age"] + nz*nz*0.3)
+			}},
+		{Name: "EducationNum", Card: 5, Mutable: true, Parents: []string{"Education"},
+			Noise: stats.Normal{Sigma: 0.3},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				return math.Round(p["Education"] + nz)
+			}},
+		{Name: "Fnlwgt", Card: 4, Mutable: true, Parents: []string{"Country"},
+			Noise: stats.Normal{Sigma: 1.2},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				return math.Round(1.5 + 0.1*p["Country"] + nz)
+			}},
+		{Name: "Income", Card: 2, Mutable: true,
+			Parents: []string{"Age", "Sex", "Education", "MaritalStatus", "Occupation", "Workclass", "HoursPerWeek", "CapitalGain"},
+			Noise:   stats.Uniform{Lo: 0, Hi: 1},
+			Fn: func(p map[string]float64, nz float64) float64 {
+				married := 0.0
+				if p["MaritalStatus"] == 1 {
+					married = 1
+				}
+				s := -4.6 + 2.6*married + 0.5*p["Occupation"] + 0.45*p["Education"] +
+					0.3*p["HoursPerWeek"] + 0.28*p["CapitalGain"] + 0.12*p["Workclass"] +
+					0.3*p["Age"] + 0.25*p["Sex"]
+				if nz < logit(s) {
+					return 1
+				}
+				return 0
+			}},
+	}
+	return fromSEM(prcm.MustSEM("Adult", attrs), n, seed)
+}

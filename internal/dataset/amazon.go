@@ -1,0 +1,242 @@
+package dataset
+
+import (
+	"math"
+
+	"hyper/internal/causal"
+	"hyper/internal/relation"
+	"hyper/internal/stats"
+)
+
+// Amazon is the two-table product/review dataset of Figure 1 at evaluation
+// scale (3k products, ~55k reviews in Table 1). Brand and Category drive
+// Quality and Price; a review's Sentiment and Rating depend on the product's
+// Quality and on its price relative to the mean price of its Category — the
+// cross-tuple dependency of Figure 2 (one laptop's price affects other
+// laptops' ratings through competition). That relative-price channel is
+// declared as a cross-tuple edge in the causal model and exercised by the
+// engine's ψ summary features.
+type Amazon struct {
+	DB    *relation.Database
+	Model *causal.Model
+
+	brands     []string
+	categories []string
+	// Stored state for counterfactual ground truth.
+	prod    [][3]float64 // cat code, quality, price
+	revProd []int        // review -> product index
+	revNz   [][2]float64 // sentiment, rating noises
+}
+
+var amazonBrands = []string{"Apple", "Dell", "Toshiba", "Acer", "Asus", "HP", "Canon", "Sony", "Vaio", "Samsung"}
+var amazonCategories = []string{"Laptop", "DSLR Camera", "Phone", "Tablet", "eBook"}
+
+// brandQuality encodes the paper's qualitative ordering (Apple highest).
+var brandQuality = []float64{0.95, 0.75, 0.7, 0.6, 0.62, 0.68, 0.72, 0.78, 0.58, 0.74}
+
+var categoryBasePrice = []float64{900, 650, 700, 450, 20}
+
+// AmazonSyn generates nProducts products with reviewsPer reviews on average.
+func AmazonSyn(nProducts, reviewsPer int, seed int64) *Amazon {
+	rng := stats.NewRNG(seed)
+	a := &Amazon{brands: amazonBrands, categories: amazonCategories}
+
+	prodRel := relation.NewRelation("Product", relation.MustSchema(
+		relation.Column{Name: "PID", Kind: relation.KindInt, Key: true},
+		relation.Column{Name: "Category", Kind: relation.KindString},
+		relation.Column{Name: "Brand", Kind: relation.KindString},
+		relation.Column{Name: "Color", Kind: relation.KindString, Mutable: true},
+		relation.Column{Name: "Quality", Kind: relation.KindFloat, Mutable: true},
+		relation.Column{Name: "Price", Kind: relation.KindFloat, Mutable: true},
+	))
+	revRel := relation.NewRelation("Review", relation.MustSchema(
+		relation.Column{Name: "PID", Kind: relation.KindInt, Key: true},
+		relation.Column{Name: "ReviewID", Kind: relation.KindInt, Key: true},
+		relation.Column{Name: "Sentiment", Kind: relation.KindFloat, Mutable: true},
+		relation.Column{Name: "Rating", Kind: relation.KindInt, Mutable: true},
+	))
+
+	colors := []string{"Silver", "Black", "Blue", "Red", "White"}
+	catMeanSum := make([]float64, len(amazonCategories))
+	catCount := make([]int, len(amazonCategories))
+	for i := 0; i < nProducts; i++ {
+		cat := rng.Intn(len(amazonCategories))
+		brand := rng.Intn(len(amazonBrands))
+		quality := clampF(brandQuality[brand]+0.12*rng.NormFloat64(), 0.05, 1)
+		price := categoryBasePrice[cat] * (0.55 + 0.9*quality) * math.Exp(0.18*rng.NormFloat64())
+		a.prod = append(a.prod, [3]float64{float64(cat), quality, price})
+		catMeanSum[cat] += price
+		catCount[cat]++
+		prodRel.MustInsert(relation.Int(int64(i)), relation.String(amazonCategories[cat]),
+			relation.String(amazonBrands[brand]), relation.String(colors[rng.Intn(len(colors))]),
+			relation.Float(quality), relation.Float(price))
+	}
+	catMean := make([]float64, len(amazonCategories))
+	for c := range catMean {
+		if catCount[c] > 0 {
+			catMean[c] = catMeanSum[c] / float64(catCount[c])
+		} else {
+			catMean[c] = 1
+		}
+	}
+	rid := 0
+	for i := 0; i < nProducts; i++ {
+		cat := int(a.prod[i][0])
+		nrev := 1 + rng.Intn(2*reviewsPer-1) // mean ≈ reviewsPer
+		for r := 0; r < nrev; r++ {
+			nz := [2]float64{rng.NormFloat64() * 0.25, rng.NormFloat64() * 0.8}
+			a.revProd = append(a.revProd, i)
+			a.revNz = append(a.revNz, nz)
+			sent, rating := reviewEq(a.prod[i][1], a.prod[i][2], catMean[cat], categoryBasePrice[cat], nz)
+			revRel.MustInsert(relation.Int(int64(i)), relation.Int(int64(rid)),
+				relation.Float(sent), relation.Int(int64(rating)))
+			rid++
+		}
+	}
+	db := relation.NewDatabase()
+	db.MustAdd(prodRel)
+	db.MustAdd(revRel)
+	if err := db.AddForeignKey(relation.ForeignKey{
+		Child: "Review", ChildCol: "PID", Parent: "Product", ParentCol: "PID"}); err != nil {
+		panic(err)
+	}
+	a.DB = db
+	a.Model = amazonModel()
+	return a
+}
+
+// reviewEq computes a review's sentiment and rating from product quality,
+// the price level relative to the category's base price (value for money),
+// and the price relative to the category's current mean (competition, the
+// cross-tuple channel).
+func reviewEq(quality, price, catMean, catBase float64, nz [2]float64) (sent float64, rating int) {
+	rel := (price - catMean) / catMean
+	lvl := price/catBase - 1
+	sent = clampF(2.1*quality-1+nz[0]-0.25*rel-0.2*lvl, -1, 1)
+	rating = int(clampF(math.Round(2.6+2.4*quality-0.8*rel-0.7*lvl+nz[1]), 1, 5))
+	return sent, rating
+}
+
+func amazonModel() *causal.Model {
+	m := causal.NewModel()
+	add := m.AddEdge
+	add("Product.Brand", "Product.Quality")
+	add("Product.Category", "Product.Price")
+	add("Product.Quality", "Product.Price")
+	add("Product.Quality", "Review.Rating")
+	add("Product.Quality", "Review.Sentiment")
+	add("Product.Price", "Review.Rating")
+	add("Product.Price", "Review.Sentiment")
+	add("Product.Color", "Review.Sentiment")
+	// Cross-tuple: a product's price affects other products' ratings within
+	// the same category (the dashed edges of Figure 2).
+	m.AddCross(causal.CrossEdge{FromRel: "Product", FromAttr: "Price",
+		ToRel: "Product", ToAttr: "Price", GroupBy: "Product.Category"})
+	return m
+}
+
+// CounterfactualAvgRating recomputes every review with the recorded noise
+// after applying priceFn to the prices of products selected by sel (nil
+// selects all) and returns (a) the average rating over all products and (b)
+// the fraction of reviews with rating >= 4. Category mean prices are
+// recomputed, so the competitive cross-tuple channel is part of the ground
+// truth.
+func (a *Amazon) CounterfactualAvgRating(sel func(prodIdx int) bool, priceFn func(pre float64) float64) (avg float64, fracGE4 float64) {
+	n := len(a.prod)
+	newPrice := make([]float64, n)
+	catSum := map[int]float64{}
+	catN := map[int]int{}
+	for i := 0; i < n; i++ {
+		p := a.prod[i][2]
+		if sel == nil || sel(i) {
+			p = priceFn(p)
+		}
+		newPrice[i] = p
+		c := int(a.prod[i][0])
+		catSum[c] += p
+		catN[c]++
+	}
+	total, ge4 := 0.0, 0
+	for r, pi := range a.revProd {
+		c := int(a.prod[pi][0])
+		mean := catSum[c] / float64(catN[c])
+		_, rating := reviewEq(a.prod[pi][1], newPrice[pi], mean, categoryBasePrice[c], a.revNz[r])
+		total += float64(rating)
+		if rating >= 4 {
+			ge4++
+		}
+	}
+	m := float64(len(a.revProd))
+	return total / m, float64(ge4) / m
+}
+
+// CategoryIndex returns the code of a category name, or -1.
+func (a *Amazon) CategoryIndex(name string) int {
+	for i, c := range a.categories {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ProductCategory returns the category code of product i.
+func (a *Amazon) ProductCategory(i int) int { return int(a.prod[i][0]) }
+
+// CounterfactualCategoryAvgRating is CounterfactualAvgRating restricted to
+// the reviews of one category's products: it returns the average per-product
+// mean rating within the category after applying priceFn to the selected
+// products (nil sel selects all). Used to validate cross-tuple (ψ) effects:
+// cutting ONE product's price changes its competitors' ratings through the
+// category mean.
+func (a *Amazon) CounterfactualCategoryAvgRating(category string, sel func(prodIdx int) bool, priceFn func(pre float64) float64) float64 {
+	want := a.CategoryIndex(category)
+	n := len(a.prod)
+	newPrice := make([]float64, n)
+	catSum := map[int]float64{}
+	catN := map[int]int{}
+	for i := 0; i < n; i++ {
+		p := a.prod[i][2]
+		if sel == nil || sel(i) {
+			p = priceFn(p)
+		}
+		newPrice[i] = p
+		c := int(a.prod[i][0])
+		catSum[c] += p
+		catN[c]++
+	}
+	// Per-product mean rating, then mean over the category's products —
+	// matching the engine's AVG over the per-product AVG(Rating) view.
+	prodSum := make([]float64, n)
+	prodN := make([]int, n)
+	for r, pi := range a.revProd {
+		c := int(a.prod[pi][0])
+		if c != want {
+			continue
+		}
+		mean := catSum[c] / float64(catN[c])
+		_, rating := reviewEq(a.prod[pi][1], newPrice[pi], mean, categoryBasePrice[c], a.revNz[r])
+		prodSum[pi] += float64(rating)
+		prodN[pi]++
+	}
+	total, m := 0.0, 0
+	for i := 0; i < n; i++ {
+		if prodN[i] > 0 {
+			total += prodSum[i] / float64(prodN[i])
+			m++
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	return total / float64(m)
+}
+
+// PricePercentile returns the q-quantile of product prices.
+func (a *Amazon) PricePercentile(q float64) float64 {
+	prices := make([]float64, len(a.prod))
+	for i := range a.prod {
+		prices[i] = a.prod[i][2]
+	}
+	return stats.Quantile(prices, q)
+}

@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"hyper/internal/causal"
+	"hyper/internal/relation"
+)
+
+// Toy reproduces the exact Amazon product database of Figure 1 together with
+// the causal diagram of Figure 2. It is used throughout the tests and the
+// quickstart example.
+func Toy() (*relation.Database, *causal.Model) {
+	prod := relation.NewRelation("Product", relation.MustSchema(
+		relation.Column{Name: "PID", Kind: relation.KindInt, Key: true},
+		relation.Column{Name: "Category", Kind: relation.KindString},
+		relation.Column{Name: "Price", Kind: relation.KindFloat, Mutable: true},
+		relation.Column{Name: "Brand", Kind: relation.KindString},
+		relation.Column{Name: "Color", Kind: relation.KindString, Mutable: true},
+		relation.Column{Name: "Quality", Kind: relation.KindFloat, Mutable: true},
+	))
+	prod.MustInsert(relation.Int(1), relation.String("Laptop"), relation.Float(999), relation.String("Vaio"), relation.String("Silver"), relation.Float(0.7))
+	prod.MustInsert(relation.Int(2), relation.String("Laptop"), relation.Float(529), relation.String("Asus"), relation.String("Black"), relation.Float(0.65))
+	prod.MustInsert(relation.Int(3), relation.String("Laptop"), relation.Float(599), relation.String("HP"), relation.String("Silver"), relation.Float(0.5))
+	prod.MustInsert(relation.Int(4), relation.String("DSLR Camera"), relation.Float(549), relation.String("Canon"), relation.String("Black"), relation.Float(0.75))
+	prod.MustInsert(relation.Int(5), relation.String("Sci Fi eBooks"), relation.Float(15.99), relation.String("Fantasy Press"), relation.String("Blue"), relation.Float(0.4))
+
+	rev := relation.NewRelation("Review", relation.MustSchema(
+		relation.Column{Name: "PID", Kind: relation.KindInt, Key: true},
+		relation.Column{Name: "ReviewID", Kind: relation.KindInt, Key: true},
+		relation.Column{Name: "Sentiment", Kind: relation.KindFloat, Mutable: true},
+		relation.Column{Name: "Rating", Kind: relation.KindInt, Mutable: true},
+	))
+	rev.MustInsert(relation.Int(1), relation.Int(1), relation.Float(-0.95), relation.Int(2))
+	rev.MustInsert(relation.Int(2), relation.Int(2), relation.Float(0.7), relation.Int(4))
+	rev.MustInsert(relation.Int(2), relation.Int(3), relation.Float(-0.2), relation.Int(1))
+	rev.MustInsert(relation.Int(3), relation.Int(3), relation.Float(0.23), relation.Int(3))
+	rev.MustInsert(relation.Int(3), relation.Int(5), relation.Float(0.95), relation.Int(5))
+	rev.MustInsert(relation.Int(4), relation.Int(5), relation.Float(0.7), relation.Int(4))
+
+	db := relation.NewDatabase()
+	db.MustAdd(prod)
+	db.MustAdd(rev)
+	if err := db.AddForeignKey(relation.ForeignKey{
+		Child: "Review", ChildCol: "PID", Parent: "Product", ParentCol: "PID"}); err != nil {
+		panic(err)
+	}
+
+	m := causal.NewModel()
+	m.AddEdge("Product.Brand", "Product.Quality")
+	m.AddEdge("Product.Category", "Product.Price")
+	m.AddEdge("Product.Quality", "Product.Price")
+	m.AddEdge("Product.Quality", "Review.Rating")
+	m.AddEdge("Product.Quality", "Review.Sentiment")
+	m.AddEdge("Product.Price", "Review.Rating")
+	m.AddEdge("Product.Price", "Review.Sentiment")
+	m.AddEdge("Product.Color", "Review.Sentiment")
+	m.AddCross(causal.CrossEdge{FromRel: "Product", FromAttr: "Price",
+		ToRel: "Product", ToAttr: "Price", GroupBy: "Product.Category"})
+	return db, m
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+)
+
+// Cache memoizes the expensive, update-constant-independent artifacts of
+// what-if evaluation across related queries: the materialized relevant view,
+// the block decomposition, and the trained estimator set. The how-to engine
+// evaluates one candidate what-if query per permissible update (Definition
+// 7); all candidates for the same attribute set share the USE/WHEN/FOR
+// clauses and therefore the same view, blocks, features, and training
+// labels — only the prediction point changes. Sharing a Cache makes the
+// how-to IP construction train each regressor once, matching the paper's
+// "training a regression function over the dataset" description of the IP
+// objective (Section 4.3).
+//
+// A Cache must only be reused across queries against the same database and
+// causal model.
+type Cache struct {
+	mu     sync.Mutex
+	views  map[string]*view
+	blocks map[string]blockInfo
+	ests   map[string]*estimatorSet
+}
+
+type blockInfo struct {
+	blockOf []int
+	nBlocks int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		views:  make(map[string]*view),
+		blocks: make(map[string]blockInfo),
+		ests:   make(map[string]*estimatorSet),
+	}
+}
+
+func (c *Cache) getView(key string) (*view, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.views[key]
+	return v, ok
+}
+
+func (c *Cache) putView(key string, v *view) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.views[key] = v
+}
+
+func (c *Cache) getBlocks(key string) (blockInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.blocks[key]
+	return b, ok
+}
+
+func (c *Cache) putBlocks(key string, b blockInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blocks[key] = b
+}
+
+func (c *Cache) getEst(key string) (*estimatorSet, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.ests[key]
+	return e, ok
+}
+
+func (c *Cache) putEst(key string, e *estimatorSet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ests[key] = e
+}
+
+// estKey builds the identity of an estimator set: everything that affects
+// training except the update constants.
+func estKey(useKey, whenKey, forKey string, featCols []string, o Options) string {
+	var b strings.Builder
+	b.WriteString(useKey)
+	b.WriteByte('\x00')
+	b.WriteString(whenKey)
+	b.WriteByte('\x00')
+	b.WriteString(forKey)
+	b.WriteByte('\x00')
+	for _, f := range featCols {
+		b.WriteString(f)
+		b.WriteByte(',')
+	}
+	b.WriteByte('\x00')
+	b.WriteString(string(rune('0' + int(o.Mode))))
+	b.WriteString("|")
+	b.WriteString(string(rune('a' + o.Estimator)))
+	if o.SampleSize > 0 {
+		b.WriteString("|s")
+		for n := o.SampleSize; n > 0; n /= 10 {
+			b.WriteByte(byte('0' + n%10))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+)
+
+func smallView(t *testing.T) *relation.Relation {
+	t.Helper()
+	rel := relation.NewRelation("V", relation.MustSchema(
+		relation.Column{Name: "ID", Kind: relation.KindInt, Key: true},
+		relation.Column{Name: "A", Kind: relation.KindInt, Mutable: true},
+		relation.Column{Name: "B", Kind: relation.KindInt, Mutable: true},
+	))
+	for i := 0; i < 4; i++ {
+		rel.MustInsert(relation.Int(int64(i)), relation.Int(int64(i%3)), relation.Int(int64(i%2)))
+	}
+	return rel
+}
+
+func norm(t *testing.T, src string) []disjunct {
+	t.Helper()
+	var e hyperql.Expr
+	if src != "" {
+		var err error
+		e, err = hyperql.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+	}
+	ds, err := normalizeFor(e, smallView(t), 64, 64)
+	if err != nil {
+		t.Fatalf("normalize %q: %v", src, err)
+	}
+	return ds
+}
+
+func TestNormalizeNilIsTrue(t *testing.T) {
+	ds := norm(t, "")
+	if len(ds) != 1 || len(ds[0].pre) != 0 || len(ds[0].post) != 0 {
+		t.Errorf("nil FOR should be one empty disjunct, got %v", ds)
+	}
+}
+
+func TestNormalizePreOnly(t *testing.T) {
+	ds := norm(t, `PRE(A) = 1 AND PRE(B) = 0`)
+	if len(ds) != 1 || len(ds[0].pre) != 2 || len(ds[0].post) != 0 {
+		t.Errorf("got %v", ds)
+	}
+}
+
+func TestNormalizeSplitsPrePost(t *testing.T) {
+	ds := norm(t, `PRE(A) = 1 AND POST(B) = 0`)
+	if len(ds) != 1 {
+		t.Fatalf("disjuncts = %d", len(ds))
+	}
+	if len(ds[0].pre) != 1 || len(ds[0].post) != 1 {
+		t.Errorf("split = pre %v post %v", ds[0].pre, ds[0].post)
+	}
+}
+
+func TestNormalizeDisjunction(t *testing.T) {
+	ds := norm(t, `PRE(A) = 1 OR POST(B) = 0`)
+	if len(ds) != 2 {
+		t.Fatalf("disjuncts = %d", len(ds))
+	}
+}
+
+func TestNormalizeDistribution(t *testing.T) {
+	// (a OR b) AND (c OR d) -> 4 disjuncts.
+	ds := norm(t, `(PRE(A) = 1 OR PRE(A) = 2) AND (POST(B) = 0 OR POST(B) = 1)`)
+	if len(ds) != 4 {
+		t.Errorf("disjuncts = %d, want 4", len(ds))
+	}
+}
+
+func TestNormalizeNegationPushdown(t *testing.T) {
+	ds := norm(t, `NOT (PRE(A) = 1 OR POST(B) < 1)`)
+	if len(ds) != 1 {
+		t.Fatalf("disjuncts = %d", len(ds))
+	}
+	preStr := ds[0].pre[0].String()
+	if !strings.Contains(preStr, "!=") {
+		t.Errorf("negated equality should flip to !=, got %s", preStr)
+	}
+	postStr := ds[0].post[0].String()
+	if !strings.Contains(postStr, ">=") {
+		t.Errorf("negated < should flip to >=, got %s", postStr)
+	}
+}
+
+func TestNormalizeNotIn(t *testing.T) {
+	ds := norm(t, `NOT (PRE(A) IN (1, 2))`)
+	if len(ds) != 1 {
+		t.Fatal("one disjunct expected")
+	}
+	if !strings.Contains(ds[0].pre[0].String(), "NOT IN") {
+		t.Errorf("got %s", ds[0].pre[0])
+	}
+}
+
+func TestNormalizeMixedLiteralExpandsDomain(t *testing.T) {
+	// POST(A) >= PRE(A): mixed literal expands over A's observed domain
+	// {0, 1, 2} (A.2.4).
+	ds := norm(t, `POST(A) >= PRE(A)`)
+	if len(ds) != 3 {
+		t.Fatalf("disjuncts = %d, want 3 (domain size)", len(ds))
+	}
+	for _, d := range ds {
+		if len(d.pre) != 1 || len(d.post) != 1 {
+			t.Errorf("expanded disjunct = %v", d)
+		}
+		if hyperql.HasPost(d.pre[0]) {
+			t.Error("pre literal contains POST")
+		}
+		if !hyperql.HasPost(d.post[0]) {
+			t.Error("post literal lost POST")
+		}
+	}
+}
+
+func TestNormalizeMixedTwoPreAttrsRejected(t *testing.T) {
+	e, err := hyperql.ParseExpr(`POST(A) >= PRE(A) + PRE(B)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := normalizeFor(e, smallView(t), 64, 64); err == nil {
+		t.Error("two PRE attributes in one mixed literal should be rejected")
+	}
+}
+
+func TestNormalizeDomainLimit(t *testing.T) {
+	e, err := hyperql.ParseExpr(`POST(A) >= PRE(A)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := normalizeFor(e, smallView(t), 64, 2); err == nil {
+		t.Error("domain expansion beyond the limit should be rejected")
+	}
+}
+
+func TestNormalizeDisjunctLimit(t *testing.T) {
+	// Build a predicate with a big DNF expansion.
+	src := `(PRE(A) = 0 OR PRE(A) = 1) AND (PRE(B) = 0 OR PRE(B) = 1) AND (POST(A) = 0 OR POST(A) = 1)`
+	e, err := hyperql.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := normalizeFor(e, smallView(t), 4, 64); err == nil {
+		t.Error("DNF expansion beyond the limit should be rejected")
+	}
+}
+
+func TestEventKeyCanonical(t *testing.T) {
+	a, _ := hyperql.ParseExpr(`POST(A) = 1`)
+	b, _ := hyperql.ParseExpr(`POST(B) = 0`)
+	k1 := eventKey([]hyperql.Expr{a, b})
+	k2 := eventKey([]hyperql.Expr{b, a})
+	if k1 != k2 {
+		t.Error("eventKey must be order-independent")
+	}
+	if eventKey(nil) == k1 {
+		t.Error("empty event must differ")
+	}
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hyper/internal/ml"
+	"hyper/internal/relation"
+	"hyper/internal/stats"
+)
+
+// estimatorSet trains and caches the conditional-expectation regressors
+// E[label | B, C] used by the backdoor plug-in estimate (Eq. 35-40). One
+// regressor is trained per distinct post-event (or per Y-weighted event);
+// all share the same encoded feature matrix, built once over the (sampled)
+// relevant view.
+type estimatorSet struct {
+	view      *relation.Relation
+	featCols  []string
+	keepFirst int // number of leading update-attribute features
+	enc       *ml.Encoder
+	trainRows []int
+	x         [][]float64
+	keys      map[string]bool // exact feature combinations seen (freq only)
+	kind      string
+	opts      Options
+	mu        sync.Mutex
+	cache     map[string]ml.Regressor
+}
+
+// newEstimatorSet prepares the shared feature matrix. featCols is the
+// concatenation of update attributes, the backdoor set, and any summary
+// columns; sampling (HypeR-sampled) draws SampleSize rows without
+// replacement.
+func newEstimatorSet(view *relation.Relation, featCols []string, keepFirst int, opts Options) *estimatorSet {
+	s := &estimatorSet{
+		view:      view,
+		featCols:  append([]string(nil), featCols...),
+		keepFirst: keepFirst,
+		enc:       ml.NewEncoder(view, featCols),
+		opts:      opts,
+		cache:     make(map[string]ml.Regressor),
+	}
+	n := view.Len()
+	if opts.SampleSize > 0 && opts.SampleSize < n {
+		rng := stats.NewRNG(opts.Seed ^ 0x5ab0)
+		s.trainRows = rng.SampleIndexes(n, opts.SampleSize)
+	} else {
+		s.trainRows = make([]int, n)
+		for i := range s.trainRows {
+			s.trainRows[i] = i
+		}
+	}
+	s.x = make([][]float64, len(s.trainRows))
+	flat := make([]float64, len(s.trainRows)*len(featCols))
+	for i, r := range s.trainRows {
+		vec := flat[i*len(featCols) : (i+1)*len(featCols)]
+		s.enc.EncodeInto(view, view.Row(r), vec)
+		s.x[i] = vec
+	}
+	s.kind = s.chooseKind()
+	if s.kind == "freq" {
+		s.keys = make(map[string]bool, len(s.x))
+		for _, x := range s.x {
+			s.keys[featKeyOf(x)] = true
+		}
+	}
+	return s
+}
+
+// hasSupport reports whether the exact feature combination x occurs in the
+// training data (only meaningful for the frequency estimator).
+func (s *estimatorSet) hasSupport(x []float64) bool {
+	return s.keys[featKeyOf(x)]
+}
+
+func featKeyOf(x []float64) string {
+	var b strings.Builder
+	for _, v := range x {
+		b.WriteString(strconv.FormatFloat(v, 'g', 12, 64))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// chooseKind applies the auto rule: the exact frequency estimator when every
+// feature is discrete (the support-index optimization of A.4), a random
+// forest otherwise.
+func (s *estimatorSet) chooseKind() string {
+	switch s.opts.Estimator {
+	case EstimatorFreq:
+		return "freq"
+	case EstimatorForest:
+		return "forest"
+	}
+	continuous := false
+	for _, col := range s.featCols {
+		k := s.view.Schema().Col(s.view.Schema().MustIndex(col)).Kind
+		if k == relation.KindFloat {
+			continuous = true
+			break
+		}
+	}
+	if !continuous {
+		return "freq"
+	}
+	if s.opts.Estimator == EstimatorLinear {
+		return "linear"
+	}
+	return "forest"
+}
+
+// model returns (training on demand) the regressor for the labeled target.
+// key must uniquely identify the labeling function. Safe for concurrent use;
+// forest seeds derive from the key so results are independent of training
+// order.
+func (s *estimatorSet) model(key string, label func(viewRow int) float64) ml.Regressor {
+	s.mu.Lock()
+	if m, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return m
+	}
+	s.mu.Unlock()
+	y := make([]float64, len(s.trainRows))
+	for i, r := range s.trainRows {
+		y[i] = label(r)
+	}
+	var m ml.Regressor
+	switch s.kind {
+	case "freq":
+		m = ml.FitFreqKeep(s.x, y, s.keepFirst)
+	case "linear":
+		m = ml.FitLinear(s.x, y, 1e-6)
+	default:
+		p := s.opts.Forest
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		p.Seed = s.opts.Seed ^ int64(h.Sum64())
+		// Forest over linear residuals: the forest captures nonlinearity
+		// in-distribution while the linear trend extrapolates at the edges
+		// of the observed support, where hypothetical updates often land.
+		m = ml.FitBoosted(s.x, y, p)
+	}
+	s.mu.Lock()
+	// Another goroutine may have trained the same model concurrently; keep
+	// the first so all callers agree.
+	if prior, ok := s.cache[key]; ok {
+		m = prior
+	} else {
+		s.cache[key] = m
+	}
+	s.mu.Unlock()
+	return m
+}
+
+// trainedModels returns the number of regressors fitted so far.
+func (s *estimatorSet) trainedModels() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// featureVector encodes the observed features of a view row.
+func (s *estimatorSet) featureVector(row int) []float64 {
+	return s.enc.Encode(s.view, s.view.Row(row))
+}
+
+// featureIndex returns the position of a feature column, or -1.
+func (s *estimatorSet) featureIndex(col string) int {
+	for i, c := range s.featCols {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// encodeAt encodes a raw value for feature position i.
+func (s *estimatorSet) encodeAt(i int, v relation.Value) float64 {
+	return s.enc.EncodeValue(i, v)
+}

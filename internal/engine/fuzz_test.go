@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyper/internal/dataset"
+	"hyper/internal/hyperql"
+	"hyper/internal/stats"
+)
+
+// randomQuery builds a random but well-formed what-if query over the
+// German-Syn schema.
+func randomQuery(rng *stats.RNG) string {
+	updAttrs := []string{"Status", "Savings", "Housing", "CreditAmount"}
+	attr := updAttrs[rng.Intn(len(updAttrs))]
+	maxCode := map[string]int{"Status": 3, "Savings": 3, "Housing": 2, "CreditAmount": 3}[attr]
+	src := "USE German "
+	if rng.Intn(2) == 0 {
+		src += fmt.Sprintf("WHEN Age = %d ", rng.Intn(4))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		src += fmt.Sprintf("UPDATE(%s) = %d ", attr, rng.Intn(maxCode+1))
+	case 1:
+		src += fmt.Sprintf("UPDATE(%s) = 1 + PRE(%s) ", attr, attr)
+	default:
+		src += fmt.Sprintf("UPDATE(%s) = 2 * PRE(%s) ", attr, attr)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		src += "OUTPUT COUNT(Credit = 1)"
+	case 1:
+		src += "OUTPUT AVG(POST(Credit))"
+	default:
+		src += "OUTPUT SUM(POST(Credit))"
+	}
+	switch rng.Intn(4) {
+	case 0:
+		src += fmt.Sprintf(" FOR PRE(Sex) = %d", rng.Intn(2))
+	case 1:
+		src += " FOR POST(Credit) = 1 OR PRE(Age) = 0"
+	case 2:
+		src += fmt.Sprintf(" FOR PRE(Age) IN (0, %d)", 1+rng.Intn(3))
+	}
+	return src
+}
+
+// TestRandomQueryInvariants checks, over random well-formed queries, the
+// invariants that must hold regardless of the data: results are finite and
+// bounded, COUNT lies in [0, n], AVG of a 0/1 attribute lies in [0, 1],
+// evaluation is deterministic, and block decomposition never changes the
+// answer (Proposition 1).
+func TestRandomQueryInvariants(t *testing.T) {
+	g := dataset.GermanSyn(3000, 211)
+	n := float64(g.Rel().Len())
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		src := randomQuery(rng)
+		q, err := hyperql.ParseWhatIf(src)
+		if err != nil {
+			t.Logf("generated query failed to parse: %q: %v", src, err)
+			return false
+		}
+		res, err := Evaluate(g.DB, g.Model, q, Options{Seed: 1})
+		if err != nil {
+			t.Logf("%q: %v", src, err)
+			return false
+		}
+		if math.IsNaN(res.Value) || math.IsInf(res.Value, 0) {
+			t.Logf("%q: non-finite value %v", src, res.Value)
+			return false
+		}
+		if res.Count < -1e-9 || res.Count > n+1e-9 {
+			t.Logf("%q: count %v out of [0, %v]", src, res.Count, n)
+			return false
+		}
+		switch q.Output.Func {
+		case hyperql.AggCount:
+			if res.Value < -1e-9 || res.Value > n+1e-9 {
+				t.Logf("%q: COUNT %v out of range", src, res.Value)
+				return false
+			}
+		case hyperql.AggAvg:
+			// Credit is 0/1.
+			if res.Value < -1e-9 || res.Value > 1+1e-9 {
+				t.Logf("%q: AVG %v out of [0,1]", src, res.Value)
+				return false
+			}
+		case hyperql.AggSum:
+			if res.Value < -1e-9 || res.Value > n+1e-9 {
+				t.Logf("%q: SUM %v out of range", src, res.Value)
+				return false
+			}
+		}
+		// Determinism.
+		res2, err := Evaluate(g.DB, g.Model, q, Options{Seed: 1})
+		if err != nil || res2.Value != res.Value {
+			t.Logf("%q: nondeterministic (%v vs %v, err %v)", src, res.Value, res2.Value, err)
+			return false
+		}
+		// Proposition 1: blocks are an optimization only.
+		noBlocks, err := Evaluate(g.DB, g.Model, q, Options{Seed: 1, DisableBlocks: true})
+		if err != nil || math.Abs(noBlocks.Value-res.Value) > 1e-9 {
+			t.Logf("%q: block decomposition changed the result (%v vs %v)", src, res.Value, noBlocks.Value)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomQueryModesOrdered checks a softer cross-mode invariant on random
+// queries: all three modes produce in-range results and the sampled variant
+// stays close to the full one.
+func TestRandomQuerySampledConsistency(t *testing.T) {
+	g := dataset.GermanSyn(4000, 223)
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		src := randomQuery(rng)
+		q, err := hyperql.ParseWhatIf(src)
+		if err != nil {
+			return false
+		}
+		full, err := Evaluate(g.DB, g.Model, q, Options{Seed: 2})
+		if err != nil {
+			return false
+		}
+		sampled, err := Evaluate(g.DB, g.Model, q, Options{Seed: 2, SampleSize: 2000})
+		if err != nil {
+			t.Logf("%q: sampled failed: %v", src, err)
+			return false
+		}
+		// Normalize by the scale of the full answer.
+		scale := math.Max(math.Abs(full.Value), 1)
+		if math.Abs(full.Value-sampled.Value)/scale > 0.25 {
+			t.Logf("%q: sampled %v far from full %v", src, sampled.Value, full.Value)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package engine implements HypeR's core contribution: evaluation of
+// probabilistic what-if queries (Sections 3.2-3.3 and Appendix A of the
+// paper). Given a database, a probabilistic relational causal model, and a
+// parsed what-if query, it constructs the relevant view, decomposes the
+// database into independent blocks, normalizes the FOR predicate into
+// disjoint Pre/Post disjuncts, estimates the post-update conditional
+// distributions by backdoor adjustment with a trained regressor, and
+// combines per-block results with the decomposable aggregate.
+package engine
+
+import "hyper/internal/ml"
+
+// Mode selects how the engine conditions its estimates.
+type Mode int
+
+// Engine modes, matching the variants evaluated in Section 5.
+const (
+	// ModeFull is HypeR with background knowledge: the backdoor set is
+	// derived from the causal graph.
+	ModeFull Mode = iota
+	// ModeNB is HypeR-NB ("no background"): the causal graph is ignored and
+	// all attributes are used as the conditioning set, guaranteeing the true
+	// backdoor set is included (canonical model, Section 2.2).
+	ModeNB
+	// ModeIndep is the provenance-style baseline: it ignores causal
+	// dependencies entirely and conditions on nothing, so it answers from
+	// raw correlation (Section 5.1).
+	ModeIndep
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "HypeR"
+	case ModeNB:
+		return "HypeR-NB"
+	case ModeIndep:
+		return "Indep"
+	default:
+		return "mode(?)"
+	}
+}
+
+// EstimatorKind selects the conditional-probability estimator.
+type EstimatorKind int
+
+// Estimator choices.
+const (
+	// EstimatorAuto uses the exact frequency estimator when every feature is
+	// discrete and its support is small, otherwise a random forest. This
+	// mirrors the paper's index optimization (A.4).
+	EstimatorAuto EstimatorKind = iota
+	// EstimatorFreq forces the exact conditional-frequency estimator.
+	EstimatorFreq
+	// EstimatorForest forces the random-forest regressor.
+	EstimatorForest
+	// EstimatorLinear uses a ridge linear regressor when any feature is
+	// continuous (falling back to the exact frequency estimator when all
+	// features are discrete). The how-to engine defaults to it: Section 4.3
+	// expresses the IP objective through a linear regression function φ.
+	EstimatorLinear
+)
+
+// Options configures a what-if evaluation.
+type Options struct {
+	Mode Mode
+	// SampleSize > 0 trains estimators on a random sample of at most this
+	// many view rows (the HypeR-sampled variant, Section 5.2). 0 uses all.
+	SampleSize int
+	// Seed drives sampling and forest training for reproducibility.
+	Seed int64
+	// Estimator selects the conditional estimator.
+	Estimator EstimatorKind
+	// Forest overrides forest hyperparameters; zero value uses defaults.
+	Forest ml.ForestParams
+	// MaxDisjuncts caps the DNF expansion of the FOR clause (A.2.3 notes the
+	// 2^t blowup is in query complexity, not data). Defaults to 64.
+	MaxDisjuncts int
+	// MaxDomainExpand caps the domain expansion of mixed Pre/Post literals
+	// (A.2.4). Defaults to 64 distinct values.
+	MaxDomainExpand int
+	// DisableBlocks turns off block-independent decomposition (used by the
+	// ablation benchmarks; results must not change).
+	DisableBlocks bool
+	// DryRun stops after planning (view, blocks, backdoor set, FOR
+	// normalization, estimator selection) without evaluating any tuple;
+	// Result.Value is zero and the diagnostics describe the plan. Used by
+	// Explain.
+	DryRun bool
+	// Cache, when non-nil, memoizes views, block decompositions and trained
+	// estimators across queries that share USE/WHEN/FOR clauses (the how-to
+	// engine passes one cache across all candidate what-if queries). The
+	// cache must only be shared across queries on the same database and
+	// causal model.
+	Cache *Cache
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxDisjuncts <= 0 {
+		out.MaxDisjuncts = 64
+	}
+	if out.MaxDomainExpand <= 0 {
+		out.MaxDomainExpand = 64
+	}
+	if out.Forest.NumTrees <= 0 {
+		out.Forest = ml.DefaultForestParams()
+		out.Forest.Seed = out.Seed
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Result is the outcome of evaluating a what-if query: the expected value of
+// the OUTPUT aggregate over the post-update possible-world distribution
+// (Definition 5), plus diagnostics.
+type Result struct {
+	// Value is valwhatif(Q, D).
+	Value float64
+	// Count is the expected number of tuples satisfying the FOR condition
+	// post-update (the denominator of AVG; equals Value for COUNT).
+	Count float64
+	// Sum is the expected SUM component (the numerator of AVG).
+	Sum float64
+
+	// Mode that produced the result.
+	Mode Mode
+	// Backdoor is the conditioning set used (view column names).
+	Backdoor []string
+	// Blocks is the number of independent blocks the evaluation decomposed
+	// into (1 when decomposition is disabled or no model is given).
+	Blocks int
+	// Disjuncts is the number of disjoint FOR disjuncts after normalization.
+	Disjuncts int
+	// EstimatorUsed names the conditional estimator ("freq" or "forest").
+	EstimatorUsed string
+	// TrainedModels is the number of regressors fitted.
+	TrainedModels int
+	// SampledRows is the training-set size actually used.
+	SampledRows int
+	// ViewRows is the size of the relevant view.
+	ViewRows int
+	// UpdatedRows is |S|, the number of tuples the update applies to.
+	UpdatedRows int
+
+	// Timing breakdown.
+	ViewTime  time.Duration
+	BlockTime time.Duration
+	TrainTime time.Duration
+	EvalTime  time.Duration
+	Total     time.Duration
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "value=%.6g (sum=%.6g count=%.6g) mode=%s", r.Value, r.Sum, r.Count, r.Mode)
+	if len(r.Backdoor) > 0 {
+		fmt.Fprintf(&b, " backdoor={%s}", strings.Join(r.Backdoor, ","))
+	}
+	fmt.Fprintf(&b, " blocks=%d est=%s trained=%d rows=%d/%d total=%s",
+		r.Blocks, r.EstimatorUsed, r.TrainedModels, r.SampledRows, r.ViewRows, r.Total)
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"fmt"
+
+	"hyper/internal/causal"
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+	"hyper/internal/sqlmini"
+)
+
+// view is the materialized relevant view V_rel plus the metadata linking its
+// columns back to the base database: which base relation the update
+// attribute lives in and the qualified source attribute of each view column
+// (aggregated columns map to the attribute inside the aggregate).
+type view struct {
+	rel       *relation.Relation
+	updateRel *relation.Relation // base relation R containing the update attribute
+	qualified map[string]string  // view column -> "Rel.Attr" source
+}
+
+// buildView materializes the USE clause (step 1 of Section 3.2). The view
+// always has one row per tuple of the update relation R, keyed by R's key,
+// which the USE contract guarantees (the sub-select groups by R's key).
+func buildView(db *relation.Database, use *hyperql.UseClause, updateAttr string) (*view, error) {
+	v := &view{qualified: make(map[string]string)}
+	if use.Table != "" {
+		r := db.Relation(use.Table)
+		if r == nil {
+			return nil, fmt.Errorf("engine: USE references unknown table %q", use.Table)
+		}
+		v.rel = r
+		for _, c := range r.Schema().Columns() {
+			v.qualified[c.Name] = causal.Qualify(r.Name(), c.Name)
+		}
+	} else {
+		rel, err := sqlmini.RunSelect(db, use.Select, "RelevantView")
+		if err != nil {
+			return nil, err
+		}
+		v.rel = rel
+		// Map each view column to its qualified source attribute.
+		for _, item := range use.Select.Items {
+			var src *hyperql.ColRef
+			switch x := item.Expr.(type) {
+			case *hyperql.ColRef:
+				src = x
+			case *hyperql.Aggregate:
+				if c, ok := x.Expr.(*hyperql.ColRef); ok {
+					src = c
+				}
+			}
+			if src == nil {
+				continue
+			}
+			name := item.Alias
+			if name == "" {
+				name = src.Name
+			}
+			q, err := qualifyRef(db, use.Select, src)
+			if err != nil {
+				return nil, err
+			}
+			v.qualified[name] = q
+		}
+	}
+	if !v.rel.Schema().Has(updateAttr) {
+		return nil, fmt.Errorf("engine: update attribute %q is not a column of the relevant view", updateAttr)
+	}
+	// Locate the base relation of the update attribute.
+	q, ok := v.qualified[updateAttr]
+	if !ok {
+		return nil, fmt.Errorf("engine: update attribute %q has no source mapping", updateAttr)
+	}
+	relName, attr := causal.SplitQualified(q)
+	base := db.Relation(relName)
+	if base == nil {
+		return nil, fmt.Errorf("engine: update attribute %q maps to unknown relation %q", updateAttr, relName)
+	}
+	if !base.Schema().Has(attr) {
+		return nil, fmt.Errorf("engine: update attribute %q maps to missing column %s.%s", updateAttr, relName, attr)
+	}
+	col := base.Schema().Col(base.Schema().MustIndex(attr))
+	if !col.Mutable {
+		return nil, fmt.Errorf("engine: update attribute %s.%s is immutable", relName, attr)
+	}
+	v.updateRel = base
+	return v, nil
+}
+
+// qualifyRef resolves a column reference of the USE sub-select to its
+// qualified source attribute.
+func qualifyRef(db *relation.Database, sel *hyperql.SelectStmt, c *hyperql.ColRef) (string, error) {
+	if c.Table != "" {
+		for _, tr := range sel.From {
+			alias := tr.Alias
+			if alias == "" {
+				alias = tr.Name
+			}
+			if alias == c.Table || tr.Name == c.Table {
+				return causal.Qualify(tr.Name, c.Name), nil
+			}
+		}
+		return "", fmt.Errorf("engine: unknown table %q in USE select", c.Table)
+	}
+	found := ""
+	for _, tr := range sel.From {
+		r := db.Relation(tr.Name)
+		if r != nil && r.Schema().Has(c.Name) {
+			if found != "" {
+				return "", fmt.Errorf("engine: ambiguous column %q in USE select", c.Name)
+			}
+			found = causal.Qualify(tr.Name, c.Name)
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("engine: unknown column %q in USE select", c.Name)
+	}
+	return found, nil
+}
+
+// keyOfViewRow returns the key encoding of a view row with respect to the
+// update relation's key columns (present in the view by the USE contract).
+func (v *view) keyOfViewRow(row relation.Tuple) (string, error) {
+	keyIdx := v.updateRel.Schema().KeyIndexes()
+	key := ""
+	for _, ki := range keyIdx {
+		name := v.updateRel.Schema().Col(ki).Name
+		vi, ok := v.rel.Schema().Index(name)
+		if !ok {
+			return "", fmt.Errorf("engine: relevant view is missing key column %q of relation %s", name, v.updateRel.Name())
+		}
+		key += row[vi].Key() + "|"
+	}
+	return key, nil
+}
+
+// blockIDs assigns each view row the id of its block in dec (blocks are
+// defined over base-relation tuples; view rows map to update-relation tuples
+// by key). Rows whose key is missing from the base relation map to block 0.
+func (v *view) blockIDs(dec *causal.Decomposition) ([]int, error) {
+	// Index base rows by key encoding.
+	keyIdx := v.updateRel.Schema().KeyIndexes()
+	baseKey := make(map[string]int, v.updateRel.Len())
+	for i, row := range v.updateRel.Rows() {
+		k := ""
+		for _, ki := range keyIdx {
+			k += row[ki].Key() + "|"
+		}
+		baseKey[k] = i
+	}
+	// Map base row -> block id.
+	rowBlock := make([]int, v.updateRel.Len())
+	for bi, b := range dec.Blocks {
+		for _, r := range b.Rows[v.updateRel.Name()] {
+			rowBlock[r] = bi
+		}
+	}
+	out := make([]int, v.rel.Len())
+	for i, row := range v.rel.Rows() {
+		k, err := v.keyOfViewRow(row)
+		if err != nil {
+			return nil, err
+		}
+		if br, ok := baseKey[k]; ok {
+			out[i] = rowBlock[br]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,867 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"hyper/internal/causal"
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+	"hyper/internal/sqlmini"
+)
+
+// Evaluate computes the result of a what-if query q on db under the causal
+// model (nil model falls back to the canonical no-background behaviour of
+// ModeNB). It implements the computation of Section 3.3: relevant view →
+// WHEN set → block decomposition → FOR normalization → backdoor adjustment →
+// per-block aggregation.
+func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if model == nil && o.Mode == ModeFull {
+		o.Mode = ModeNB
+	}
+	start := time.Now()
+	res := &Result{Mode: o.Mode}
+
+	if len(q.Updates) == 0 {
+		return nil, fmt.Errorf("engine: what-if query has no UPDATE clause")
+	}
+	if q.Output == nil || !q.Output.Func.Valid() {
+		return nil, fmt.Errorf("engine: what-if query has no valid OUTPUT aggregate")
+	}
+	updateAttrs := make([]string, 0, len(q.Updates))
+	seen := map[string]bool{}
+	for _, u := range q.Updates {
+		if seen[u.Attr] {
+			return nil, fmt.Errorf("engine: attribute %q updated twice", u.Attr)
+		}
+		seen[u.Attr] = true
+		updateAttrs = append(updateAttrs, u.Attr)
+	}
+
+	// Step 1: relevant view (USE), memoized across candidate queries when a
+	// cache is provided.
+	tv := time.Now()
+	viewKey := q.Use.String() + "\x00" + q.Updates[0].Attr
+	var v *view
+	if o.Cache != nil {
+		if cached, ok := o.Cache.getView(viewKey); ok {
+			v = cached
+		}
+	}
+	if v == nil {
+		var err error
+		v, err = buildView(db, q.Use, q.Updates[0].Attr)
+		if err != nil {
+			return nil, err
+		}
+		if o.Cache != nil {
+			o.Cache.putView(viewKey, v)
+		}
+	}
+	for _, a := range updateAttrs[1:] {
+		if !v.rel.Schema().Has(a) {
+			return nil, fmt.Errorf("engine: update attribute %q is not a column of the relevant view", a)
+		}
+	}
+	res.ViewTime = time.Since(tv)
+	res.ViewRows = v.rel.Len()
+
+	// Step 2: block-independent decomposition (memoized likewise).
+	tb := time.Now()
+	var blockOf []int
+	res.Blocks = 1
+	if model != nil && !o.DisableBlocks {
+		var bi blockInfo
+		cached := false
+		if o.Cache != nil {
+			bi, cached = o.Cache.getBlocks(viewKey)
+		}
+		if !cached {
+			dec, err := causal.Decompose(db, model)
+			if err != nil {
+				return nil, err
+			}
+			ids, err := v.blockIDs(dec)
+			if err != nil {
+				return nil, err
+			}
+			bi = blockInfo{blockOf: ids, nBlocks: dec.NumBlocks()}
+			if o.Cache != nil {
+				o.Cache.putBlocks(viewKey, bi)
+			}
+		}
+		blockOf = bi.blockOf
+		res.Blocks = bi.nBlocks
+	} else {
+		blockOf = make([]int, v.rel.Len())
+	}
+	res.BlockTime = time.Since(tb)
+
+	// Step 3: WHEN defines the update set S (pre-update values only).
+	inS := make([]bool, v.rel.Len())
+	for i := range inS {
+		if q.When == nil {
+			inS[i] = true
+			continue
+		}
+		ok, err := sqlmini.EvalBool(q.When, sqlmini.RowEnv{Rel: v.rel, Row: v.rel.Row(i)})
+		if err != nil {
+			return nil, fmt.Errorf("engine: WHEN: %w", err)
+		}
+		inS[i] = ok
+	}
+	for _, s := range inS {
+		if s {
+			res.UpdatedRows++
+		}
+	}
+
+	// Step 4: post-update values of the update attributes for rows in S.
+	postVals := make(map[string][]relation.Value, len(updateAttrs))
+	for _, u := range q.Updates {
+		ci := v.rel.Schema().MustIndex(u.Attr)
+		vals := make([]relation.Value, v.rel.Len())
+		for i := 0; i < v.rel.Len(); i++ {
+			pre := v.rel.Row(i)[ci]
+			if inS[i] {
+				vals[i] = u.Apply(pre)
+			} else {
+				vals[i] = pre
+			}
+		}
+		postVals[u.Attr] = vals
+	}
+
+	// Step 5: cross-tuple summary features (the ψ functions of Section 2.2):
+	// when the model declares a cross-tuple edge out of an update attribute,
+	// the group mean of that attribute becomes a feature, and its post-update
+	// shift propagates the update to non-updated tuples in the same group.
+	summaries, err := buildSummaries(v, model, updateAttrs, postVals)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 6: parse the OUTPUT aggregate.
+	outAgg := q.Output.Func
+	var yCol string
+	var outCond hyperql.Expr
+	switch outAgg {
+	case hyperql.AggAvg, hyperql.AggSum:
+		c, ok := q.Output.Expr.(*hyperql.ColRef)
+		if !ok {
+			return nil, fmt.Errorf("engine: %s requires a column argument, got %v", outAgg, q.Output.Expr)
+		}
+		if c.Time == hyperql.TimePre {
+			return nil, fmt.Errorf("engine: OUTPUT reads post-update values; PRE(%s) is not allowed", c.Name)
+		}
+		yCol = c.Name
+		if !v.rel.Schema().Has(yCol) {
+			return nil, fmt.Errorf("engine: output attribute %q is not a column of the relevant view", yCol)
+		}
+	case hyperql.AggCount:
+		if q.Output.Expr != nil {
+			outCond = q.Output.Expr
+			if _, hasPre := prePresent(outCond); hasPre {
+				return nil, fmt.Errorf("engine: OUTPUT condition reads post-update values; PRE() is not allowed")
+			}
+		}
+	}
+
+	// Step 7: normalize FOR into disjoint pre/post disjuncts.
+	disjuncts, err := normalizeFor(q.For, v.rel, o.MaxDisjuncts, o.MaxDomainExpand)
+	if err != nil {
+		return nil, err
+	}
+	res.Disjuncts = len(disjuncts)
+
+	// Step 8: backdoor set.
+	backdoor, err := backdoorColumns(v, model, updateAttrs, yCol, outCond, disjuncts, o.Mode)
+	if err != nil {
+		return nil, err
+	}
+	res.Backdoor = backdoor
+
+	// Step 9: build the (possibly summary-augmented) view and the estimator.
+	// Proposition 2 conditions the post-update probabilities on μ_When and
+	// μ_For,Pre, so the attributes those predicates reference join the
+	// conditioning features (this is what makes runtime grow with the number
+	// of FOR attributes, Figure 11a).
+	tt := time.Now()
+	augView, sumCols := augmentView(v.rel, summaries)
+	featCols := append(append(append([]string{}, updateAttrs...), backdoor...), sumCols...)
+	if o.Mode != ModeIndep {
+		featCols = appendPredicateAttrs(featCols, v.rel, q.When, disjuncts, updateAttrs)
+	}
+	makeEst := func(eo Options) *estimatorSet {
+		if eo.Cache == nil {
+			return newEstimatorSet(augView, featCols, len(updateAttrs), eo)
+		}
+		whenKey, forKey := "", ""
+		if q.When != nil {
+			whenKey = q.When.String()
+		}
+		if q.For != nil {
+			forKey = q.For.String()
+		}
+		forKey += "\x00" + q.Output.String()
+		key := estKey(viewKey, whenKey, forKey, featCols, eo)
+		if cached, ok := eo.Cache.getEst(key); ok {
+			return cached
+		}
+		e := newEstimatorSet(augView, featCols, len(updateAttrs), eo)
+		eo.Cache.putEst(key, e)
+		return e
+	}
+	est := makeEst(o)
+	if o.DryRun {
+		res.EstimatorUsed = est.kind
+		res.SampledRows = len(est.trainRows)
+		res.TrainTime = time.Since(tt)
+		res.Total = time.Since(start)
+		return res, nil
+	}
+	if est.kind == "freq" && o.Estimator != EstimatorFreq {
+		// The exact frequency estimator cannot extrapolate to update values
+		// with no support in the data; when most prediction points are
+		// unsupported, fall back to the generalizing forest (the paper's
+		// default estimator).
+		if frac := supportedFraction(est, v, updateAttrs, postVals, summaries, inS); frac < 0.8 {
+			o2 := o
+			o2.Estimator = EstimatorForest
+			est = makeEst(o2)
+		}
+	}
+	res.EstimatorUsed = est.kind
+	res.SampledRows = len(est.trainRows)
+	res.TrainTime = time.Since(tt)
+
+	// Step 10: per-tuple evaluation, accumulated per block and combined with
+	// the decomposable aggregate g = Sum (Proposition 1).
+	te := time.Now()
+	ev := &evaluator{
+		v: v, est: est, q: q, opts: o,
+		updateAttrs: updateAttrs, postVals: postVals,
+		summaries: summaries, yCol: yCol, outCond: outCond,
+		disjuncts: disjuncts, inS: inS,
+	}
+	if err := ev.prepare(); err != nil {
+		return nil, err
+	}
+	nBlocks := res.Blocks
+	sumByBlock := make([]float64, nBlocks)
+	cntByBlock := make([]float64, nBlocks)
+	// Tuple contributions are independent, so the loop parallelizes across
+	// workers; each worker owns an evaluator copy (scratch buffers) and a
+	// private per-block accumulator, merged afterwards so block sums (and
+	// the final result) are exactly reproducible.
+	workers := runtime.GOMAXPROCS(0)
+	if v.rel.Len() < 4096 || workers < 2 {
+		workers = 1
+	}
+	type shard struct {
+		sum, cnt []float64
+		err      error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	chunk := (v.rel.Len() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > v.rel.Len() {
+			hi = v.rel.Len()
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := *ev
+			local.activeBuf = nil
+			sh := shard{sum: make([]float64, nBlocks), cnt: make([]float64, nBlocks)}
+			for i := lo; i < hi; i++ {
+				s, c, err := local.tuple(i)
+				if err != nil {
+					sh.err = err
+					break
+				}
+				b := blockOf[i]
+				if b >= nBlocks { // defensive: rows outside decomposition map to 0
+					b = 0
+				}
+				sh.sum[b] += s
+				sh.cnt[b] += c
+			}
+			shards[w] = sh
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, sh := range shards {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		for b := 0; b < nBlocks; b++ {
+			if sh.sum != nil {
+				sumByBlock[b] += sh.sum[b]
+				cntByBlock[b] += sh.cnt[b]
+			}
+		}
+	}
+	for b := 0; b < nBlocks; b++ {
+		res.Sum += sumByBlock[b]
+		res.Count += cntByBlock[b]
+	}
+	switch outAgg {
+	case hyperql.AggCount:
+		res.Value = res.Count
+	case hyperql.AggSum:
+		res.Value = res.Sum
+	case hyperql.AggAvg:
+		if res.Count > 0 {
+			res.Value = res.Sum / res.Count
+		}
+	}
+	res.EvalTime = time.Since(te)
+	res.TrainedModels = est.trainedModels()
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+func prePresent(e hyperql.Expr) (hasPost, hasPre bool) {
+	for _, c := range hyperql.ColRefs(e) {
+		switch c.Time {
+		case hyperql.TimePre:
+			hasPre = true
+		case hyperql.TimePost:
+			hasPost = true
+		}
+	}
+	return
+}
+
+// evaluator holds the per-query state for tuple-level evaluation.
+type evaluator struct {
+	v           *view
+	est         *estimatorSet
+	q           *hyperql.WhatIf
+	opts        Options
+	updateAttrs []string
+	postVals    map[string][]relation.Value
+	summaries   []summaryFeature
+	yCol        string
+	outCond     hyperql.Expr
+	disjuncts   []disjunct
+	inS         []bool
+
+	yIdx      int   // view column index of Y (-1 when COUNT)
+	updIdx    []int // view column indexes of update attrs
+	featUpd   []int // feature positions of update attrs
+	featSum   []int // feature positions of summary features
+	affected  []bool
+	activeBuf []int
+}
+
+func (e *evaluator) prepare() error {
+	e.yIdx = -1
+	if e.yCol != "" {
+		e.yIdx = e.v.rel.Schema().MustIndex(e.yCol)
+	}
+	for _, a := range e.updateAttrs {
+		e.updIdx = append(e.updIdx, e.v.rel.Schema().MustIndex(a))
+		fi := e.est.featureIndex(a)
+		if fi < 0 {
+			return fmt.Errorf("engine: update attribute %q missing from features", a)
+		}
+		e.featUpd = append(e.featUpd, fi)
+	}
+	for _, s := range e.summaries {
+		fi := e.est.featureIndex(s.name)
+		if fi < 0 {
+			return fmt.Errorf("engine: summary feature %q missing from features", s.name)
+		}
+		e.featSum = append(e.featSum, fi)
+	}
+	// A tuple is affected when its own update attribute changes or a summary
+	// feature (group mean) shifts; unaffected tuples are evaluated exactly.
+	e.affected = make([]bool, e.v.rel.Len())
+	for i := range e.affected {
+		if e.inS[i] {
+			for ai, a := range e.updateAttrs {
+				if !e.postVals[a][i].Equal(e.v.rel.Row(i)[e.updIdx[ai]]) {
+					e.affected[i] = true
+				}
+			}
+		}
+		if !e.affected[i] {
+			for _, s := range e.summaries {
+				if math.Abs(s.post[i]-s.pre[i]) > 1e-12 {
+					e.affected[i] = true
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// tuple returns the (expected-sum, expected-count) contribution of view row
+// i: count is Pr(FOR-post ∧ OUTPUT-cond | do(U), pre-state), sum is
+// E[Y · 1{...}] under the same distribution (Propositions 4 and 5).
+func (e *evaluator) tuple(i int) (sum, count float64, err error) {
+	row := e.v.rel.Row(i)
+	env := sqlmini.RowEnv{Rel: e.v.rel, Row: row}
+	// Active disjuncts: pre conditions are deterministic on D.
+	e.activeBuf = e.activeBuf[:0]
+	for k, d := range e.disjuncts {
+		ok := true
+		for _, lit := range d.pre {
+			pass, err := sqlmini.EvalBool(lit, env)
+			if err != nil {
+				return 0, 0, fmt.Errorf("engine: FOR: %w", err)
+			}
+			if !pass {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.activeBuf = append(e.activeBuf, k)
+		}
+	}
+	if len(e.activeBuf) == 0 {
+		return 0, 0, nil
+	}
+
+	if !e.affected[i] {
+		// Exact evaluation: the post-update state equals the pre-update
+		// state for this tuple, so the indicator is observed.
+		p, err := e.observedEvent(i, e.activeBuf)
+		if err != nil {
+			return 0, 0, err
+		}
+		if p == 0 {
+			return 0, 0, nil
+		}
+		y := 1.0
+		if e.yIdx >= 0 {
+			y = row[e.yIdx].AsFloat()
+		}
+		return y, 1, nil
+	}
+
+	// Affected tuple: estimate by backdoor adjustment. Build the prediction
+	// features: observed backdoor values, post-update B, post-update ψ.
+	x := e.est.featureVector(i)
+	for ai, a := range e.updateAttrs {
+		x[e.featUpd[ai]] = e.est.encodeAt(e.featUpd[ai], e.postVals[a][i])
+	}
+	for si, s := range e.summaries {
+		x[e.featSum[si]] = s.post[i]
+	}
+
+	count, err = e.inclusionExclusion(i, e.activeBuf, x, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	count = clamp01(count)
+	if e.yIdx >= 0 {
+		sum, err = e.inclusionExclusion(i, e.activeBuf, x, true)
+		if err != nil {
+			return 0, 0, err
+		}
+	} else {
+		sum = count
+	}
+	return sum, count, nil
+}
+
+// observedEvent evaluates (∨_active post-conj) ∧ outCond on the observed
+// tuple, returning 0 or 1.
+func (e *evaluator) observedEvent(i int, active []int) (float64, error) {
+	env := sqlmini.RowEnv{Rel: e.v.rel, Row: e.v.rel.Row(i)}
+	if e.outCond != nil {
+		ok, err := sqlmini.EvalBool(e.outCond, env)
+		if err != nil {
+			return 0, fmt.Errorf("engine: OUTPUT condition: %w", err)
+		}
+		if !ok {
+			return 0, nil
+		}
+	}
+	for _, k := range active {
+		all := true
+		for _, lit := range e.disjuncts[k].post {
+			ok, err := sqlmini.EvalBool(lit, env)
+			if err != nil {
+				return 0, fmt.Errorf("engine: FOR: %w", err)
+			}
+			if !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// inclusionExclusion estimates Pr(∨_k E_k ∧ G) (weighted=false) or
+// E[Y · 1{∨_k E_k ∧ G}] (weighted=true) for the active disjuncts' post
+// events E_k and the output condition G, by inclusion-exclusion over event
+// subsets with one cached regressor per subset (A.2.1). Duplicate events are
+// deduplicated first; an empty event list degenerates to Pr(G) or E[Y·1{G}].
+func (e *evaluator) inclusionExclusion(i int, active []int, x []float64, weighted bool) (float64, error) {
+	// Collect distinct post events among active disjuncts. An empty post
+	// list is the sure event: the disjunction is then TRUE.
+	var events [][]hyperql.Expr
+	keys := map[string]bool{}
+	sure := false
+	for _, k := range active {
+		d := e.disjuncts[k]
+		if len(d.post) == 0 {
+			sure = true
+			continue
+		}
+		key := eventKey(d.post)
+		if !keys[key] {
+			keys[key] = true
+			events = append(events, d.post)
+		}
+	}
+	if sure {
+		// Pr(TRUE ∧ G) = Pr(G).
+		return e.predictEvent(nil, x, weighted)
+	}
+	if len(events) > 12 {
+		return 0, fmt.Errorf("engine: FOR predicate has %d distinct post events per tuple; limit is 12", len(events))
+	}
+	total := 0.0
+	for mask := 1; mask < 1<<len(events); mask++ {
+		var lits []hyperql.Expr
+		bits := 0
+		for b := 0; b < len(events); b++ {
+			if mask&(1<<b) != 0 {
+				lits = append(lits, events[b]...)
+				bits++
+			}
+		}
+		p, err := e.predictEvent(lits, x, weighted)
+		if err != nil {
+			return 0, err
+		}
+		if bits%2 == 1 {
+			total += p
+		} else {
+			total -= p
+		}
+	}
+	return total, nil
+}
+
+// predictEvent trains/fetches the regressor for the event (post literals ∧
+// outCond) — Y-weighted when weighted — and predicts at features x.
+func (e *evaluator) predictEvent(lits []hyperql.Expr, x []float64, weighted bool) (float64, error) {
+	all := lits
+	if e.outCond != nil {
+		all = append(append([]hyperql.Expr(nil), lits...), e.outCond)
+	}
+	key := eventKey(all)
+	if weighted {
+		key = "Y*" + key
+	}
+	var labelErr error
+	m := e.est.model(key, func(r int) float64 {
+		env := sqlmini.RowEnv{Rel: e.v.rel, Row: e.v.rel.Row(r)}
+		for _, lit := range all {
+			ok, err := sqlmini.EvalBool(lit, env)
+			if err != nil && labelErr == nil {
+				labelErr = err
+			}
+			if !ok {
+				return 0
+			}
+		}
+		if weighted {
+			return e.v.rel.Row(r)[e.yIdx].AsFloat()
+		}
+		return 1
+	})
+	if labelErr != nil {
+		return 0, fmt.Errorf("engine: labeling post event: %w", labelErr)
+	}
+	return m.Predict(x), nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// backdoorColumns derives the conditioning set as view column names.
+func backdoorColumns(v *view, model *causal.Model, updateAttrs []string, yCol string, outCond hyperql.Expr, disjuncts []disjunct, mode Mode) ([]string, error) {
+	if mode == ModeIndep {
+		return nil, nil
+	}
+	// Outcome attributes: Y, the OUTPUT condition's columns, and every
+	// column referenced by a post literal.
+	outcomeCols := map[string]bool{}
+	if yCol != "" {
+		outcomeCols[yCol] = true
+	}
+	for _, c := range hyperql.ColRefs(outCond) {
+		outcomeCols[c.Name] = true
+	}
+	for _, d := range disjuncts {
+		for _, lit := range d.post {
+			for _, c := range hyperql.ColRefs(lit) {
+				outcomeCols[c.Name] = true
+			}
+		}
+	}
+	isUpdate := map[string]bool{}
+	for _, a := range updateAttrs {
+		isUpdate[a] = true
+	}
+	keyCols := map[string]bool{}
+	for _, ki := range v.updateRel.Schema().KeyIndexes() {
+		keyCols[v.updateRel.Schema().Col(ki).Name] = true
+	}
+
+	if mode == ModeNB || model == nil {
+		// All attributes except updates, outcomes, and keys (Section 2.2).
+		var out []string
+		for _, c := range v.rel.Schema().Columns() {
+			if isUpdate[c.Name] || outcomeCols[c.Name] || keyCols[c.Name] {
+				continue
+			}
+			out = append(out, c.Name)
+		}
+		return out, nil
+	}
+
+	// ModeFull: minimal backdoor set on the attribute-level causal graph,
+	// restricted to attributes representable in the view.
+	qualToView := map[string]string{}
+	var candidates []string
+	for col, q := range v.qualified {
+		qualToView[q] = col
+		if !isUpdate[col] && !outcomeCols[col] && !keyCols[col] {
+			candidates = append(candidates, q)
+		}
+	}
+	var qualOutcomes []string
+	for col := range outcomeCols {
+		if q, ok := v.qualified[col]; ok {
+			qualOutcomes = append(qualOutcomes, q)
+		}
+	}
+	// Union of minimal backdoor sets per update attribute.
+	chosen := map[string]bool{}
+	for _, a := range updateAttrs {
+		qa, ok := v.qualified[a]
+		if !ok {
+			return nil, fmt.Errorf("engine: update attribute %q has no qualified source", a)
+		}
+		set, ok := model.Attr.BackdoorSet(qa, qualOutcomes, candidates)
+		if !ok {
+			// No valid backdoor within view attributes: fall back to all
+			// candidate non-descendants (the conservative superset).
+			bad := map[string]bool{}
+			for _, d := range model.Attr.Descendants(qa) {
+				bad[d] = true
+			}
+			for _, c := range candidates {
+				if !bad[c] {
+					set = append(set, c)
+				}
+			}
+		}
+		for _, q := range set {
+			chosen[q] = true
+		}
+	}
+	var out []string
+	for _, c := range v.rel.Schema().Columns() {
+		if q, ok := v.qualified[c.Name]; ok && chosen[q] {
+			out = append(out, c.Name)
+		}
+	}
+	return out, nil
+}
+
+// supportedFraction samples up to 200 updated rows and reports the fraction
+// whose post-update feature combination occurs exactly in the training data.
+func supportedFraction(est *estimatorSet, v *view, updateAttrs []string, postVals map[string][]relation.Value, summaries []summaryFeature, inS []bool) float64 {
+	n := v.rel.Len()
+	if n == 0 {
+		return 1
+	}
+	step := n / 200
+	if step < 1 {
+		step = 1
+	}
+	checked, supported := 0, 0
+	for i := 0; i < n; i += step {
+		if !inS[i] {
+			continue
+		}
+		x := est.featureVector(i)
+		for ai, a := range updateAttrs {
+			fi := est.featureIndex(a)
+			_ = ai
+			x[fi] = est.encodeAt(fi, postVals[a][i])
+		}
+		for _, s := range summaries {
+			fi := est.featureIndex(s.name)
+			if fi >= 0 {
+				x[fi] = s.post[i]
+			}
+		}
+		checked++
+		if est.hasSupport(x) {
+			supported++
+		}
+	}
+	if checked == 0 {
+		return 1
+	}
+	return float64(supported) / float64(checked)
+}
+
+// appendPredicateAttrs extends the feature set with the view attributes
+// referenced by WHEN and by the pre parts of the normalized FOR predicate,
+// skipping duplicates, update attributes and columns absent from the view.
+func appendPredicateAttrs(featCols []string, rel *relation.Relation, when hyperql.Expr, disjuncts []disjunct, updateAttrs []string) []string {
+	have := map[string]bool{}
+	for _, c := range featCols {
+		have[c] = true
+	}
+	for _, a := range updateAttrs {
+		have[a] = true
+	}
+	add := func(e hyperql.Expr) {
+		for _, c := range hyperql.ColRefs(e) {
+			if c.Time == hyperql.TimePost {
+				continue
+			}
+			if !have[c.Name] && rel.Schema().Has(c.Name) {
+				have[c.Name] = true
+				featCols = append(featCols, c.Name)
+			}
+		}
+	}
+	add(when)
+	for _, d := range disjuncts {
+		for _, lit := range d.pre {
+			add(lit)
+		}
+	}
+	return featCols
+}
+
+// summaryFeature is a ψ summary column: the group mean of an update
+// attribute over the tuples sharing a GroupBy value, before and after the
+// update.
+type summaryFeature struct {
+	name string
+	pre  []float64
+	post []float64
+}
+
+// buildSummaries derives ψ features from the model's cross-tuple edges whose
+// source is an update attribute.
+func buildSummaries(v *view, model *causal.Model, updateAttrs []string, postVals map[string][]relation.Value) ([]summaryFeature, error) {
+	if model == nil {
+		return nil, nil
+	}
+	var out []summaryFeature
+	for _, ce := range model.Cross {
+		src := causal.Qualify(ce.FromRel, ce.FromAttr)
+		var attr string
+		for _, a := range updateAttrs {
+			if v.qualified[a] == src {
+				attr = a
+			}
+		}
+		if attr == "" {
+			continue
+		}
+		_, gAttr := causal.SplitQualified(ce.GroupBy)
+		gi, ok := v.rel.Schema().Index(gAttr)
+		if !ok {
+			return nil, fmt.Errorf("engine: cross-edge group attribute %q is not in the relevant view", gAttr)
+		}
+		ai := v.rel.Schema().MustIndex(attr)
+		n := v.rel.Len()
+		type acc struct {
+			preSum, postSum float64
+			n               int
+		}
+		groups := map[string]*acc{}
+		keys := make([]string, n)
+		for i := 0; i < n; i++ {
+			k := v.rel.Row(i)[gi].Key()
+			keys[i] = k
+			a := groups[k]
+			if a == nil {
+				a = &acc{}
+				groups[k] = a
+			}
+			a.preSum += v.rel.Row(i)[ai].AsFloat()
+			a.postSum += postVals[attr][i].AsFloat()
+			a.n++
+		}
+		sf := summaryFeature{
+			name: "psi_" + attr + "_by_" + gAttr,
+			pre:  make([]float64, n),
+			post: make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			a := groups[keys[i]]
+			sf.pre[i] = a.preSum / float64(a.n)
+			sf.post[i] = a.postSum / float64(a.n)
+		}
+		out = append(out, sf)
+	}
+	return out, nil
+}
+
+// augmentView appends summary feature columns (pre-update values) to a copy
+// of the view; returns the augmented relation and the new column names.
+// Without summaries the original view is returned as is.
+func augmentView(rel *relation.Relation, summaries []summaryFeature) (*relation.Relation, []string) {
+	if len(summaries) == 0 {
+		return rel, nil
+	}
+	cols := rel.Schema().Columns()
+	var names []string
+	for _, s := range summaries {
+		cols = append(cols, relation.Column{Name: s.name, Kind: relation.KindFloat, Mutable: true})
+		names = append(names, s.name)
+	}
+	schema := relation.MustSchema(cols...)
+	out := relation.NewRelation(rel.Name(), schema)
+	for i, row := range rel.Rows() {
+		t := make(relation.Tuple, len(cols))
+		copy(t, row)
+		for si, s := range summaries {
+			t[rel.Schema().Len()+si] = relation.Float(s.pre[i])
+		}
+		if err := out.Insert(t); err != nil {
+			// Keys are copied unchanged; duplicates cannot occur.
+			panic(err)
+		}
+	}
+	return out, names
+}

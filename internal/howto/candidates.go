@@ -1,0 +1,157 @@
+package howto
+
+import (
+	"fmt"
+	"math"
+
+	"hyper/internal/hyperql"
+	"hyper/internal/ml"
+	"hyper/internal/relation"
+	"hyper/internal/sqlmini"
+)
+
+// Candidates enumerates the permissible update set S_B for every attribute
+// of the HOWTOUPDATE clause (Section 4.3). Categorical attributes yield one
+// "set to v" candidate per domain value; continuous attributes are
+// discretized into o.Buckets equi-width buckets over the LIMIT range (or the
+// observed data range) and yield one candidate per bucket midpoint. LIMIT
+// constraints filter the set: range bounds, IN lists, and the normalized L1
+// distance over the WHEN tuples.
+func Candidates(db *relation.Database, q *hyperql.HowTo, o Options) (map[string][]hyperql.UpdateSpec, error) {
+	o = o.withDefaults()
+	out := make(map[string][]hyperql.UpdateSpec, len(q.Attrs))
+	for _, attr := range q.Attrs {
+		rel, err := db.FindRelationOf(attr)
+		if err != nil {
+			return nil, fmt.Errorf("howto: %w", err)
+		}
+		ci := rel.Schema().MustIndex(attr)
+		if !rel.Schema().Col(ci).Mutable {
+			return nil, fmt.Errorf("howto: attribute %q is immutable", attr)
+		}
+		specs, err := candidatesFor(rel, attr, q, o)
+		if err != nil {
+			return nil, err
+		}
+		if len(specs) > o.MaxCandidatesPerAttr {
+			specs = specs[:o.MaxCandidatesPerAttr]
+		}
+		out[attr] = specs
+	}
+	return out, nil
+}
+
+func candidatesFor(rel *relation.Relation, attr string, q *hyperql.HowTo, o Options) ([]hyperql.UpdateSpec, error) {
+	rangeLo, rangeHi := math.Inf(-1), math.Inf(1)
+	var inVals []relation.Value
+	theta := math.Inf(1)
+	for _, l := range q.Limits {
+		if l.Attr != attr {
+			continue
+		}
+		switch l.Kind {
+		case hyperql.LimitRange:
+			if !l.Lo.IsNull() {
+				rangeLo = math.Max(rangeLo, l.Lo.AsFloat())
+			}
+			if !l.Hi.IsNull() {
+				rangeHi = math.Min(rangeHi, l.Hi.AsFloat())
+			}
+		case hyperql.LimitIn:
+			inVals = append(inVals, l.Vals...)
+		case hyperql.LimitL1:
+			theta = math.Min(theta, l.Theta)
+		}
+	}
+
+	// Pre-update values of the WHEN tuples, for the L1 feasibility check.
+	pres, err := whenValues(rel, attr, q.When)
+	if err != nil {
+		return nil, err
+	}
+	feasible := func(v relation.Value) bool {
+		f := v.AsFloat()
+		if v.Kind().Numeric() && (f < rangeLo || f > rangeHi) {
+			return false
+		}
+		if !math.IsInf(theta, 1) && len(pres) > 0 {
+			// Normalized L1 distance between the original value vector and
+			// the update vector (Section 4.1).
+			d := 0.0
+			for _, p := range pres {
+				d += math.Abs(v.AsFloat() - p)
+			}
+			if d/float64(len(pres)) > theta {
+				return false
+			}
+		}
+		return true
+	}
+
+	var specs []hyperql.UpdateSpec
+	add := func(v relation.Value) {
+		if feasible(v) {
+			specs = append(specs, hyperql.UpdateSpec{Attr: attr, Form: hyperql.UpdateSet, Const: v})
+		}
+	}
+
+	if len(inVals) > 0 {
+		for _, v := range inVals {
+			add(v)
+		}
+		return specs, nil
+	}
+
+	ci := rel.Schema().MustIndex(attr)
+	kind := rel.Schema().Col(ci).Kind
+	if kind == relation.KindFloat {
+		lo, hi, ok := rel.MinMax(attr)
+		if !ok {
+			return nil, fmt.Errorf("howto: attribute %q has no numeric values", attr)
+		}
+		if !math.IsInf(rangeLo, -1) {
+			lo = rangeLo
+		}
+		if !math.IsInf(rangeHi, 1) {
+			hi = rangeHi
+		}
+		d := ml.NewDiscretizer(lo, hi, o.Buckets)
+		for _, mid := range d.Midpoints() {
+			add(relation.Float(mid))
+		}
+		return specs, nil
+	}
+
+	// Discrete attribute: one candidate per observed domain value.
+	for _, v := range rel.Domain(attr) {
+		if v.IsNull() {
+			continue
+		}
+		add(v)
+	}
+	return specs, nil
+}
+
+// whenValues returns the pre-update float values of attr for the rows
+// satisfying the WHEN predicate (all rows when nil). The predicate is
+// evaluated over the base relation, which the how-to syntax guarantees
+// contains the update attribute.
+func whenValues(rel *relation.Relation, attr string, when hyperql.Expr) ([]float64, error) {
+	ci := rel.Schema().MustIndex(attr)
+	var out []float64
+	for _, row := range rel.Rows() {
+		if when != nil {
+			ok, err := sqlmini.EvalBool(when, sqlmini.RowEnv{Rel: rel, Row: row})
+			if err != nil {
+				// WHEN may reference view columns absent from the base
+				// relation (aggregates); fall back to all rows.
+				return nil, nil
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, row[ci].AsFloat())
+	}
+	return out, nil
+}

@@ -1,0 +1,364 @@
+// Package howto implements HypeR's how-to queries (Section 4): reverse data
+// management questions of the form "how should these attributes be updated
+// to maximize this aggregate, subject to constraints". Each how-to query is
+// compiled to a 0/1 integer program over candidate hypothetical updates
+// (Equations 7-9): candidates are enumerated per attribute from the LIMIT
+// constraints (continuous domains are bucketized, Figure 9), each
+// candidate's marginal effect is a what-if evaluation (Definition 7), and
+// the IP selects at most one update per attribute. The exhaustive Opt-HowTo
+// baseline of Section 5.1 is provided for comparison.
+package howto
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hyper/internal/causal"
+	"hyper/internal/engine"
+	"hyper/internal/hyperql"
+	"hyper/internal/ip"
+	"hyper/internal/relation"
+)
+
+// Options configures how-to evaluation.
+type Options struct {
+	// Engine configures the underlying what-if evaluations.
+	Engine engine.Options
+	// Buckets is the equi-width bucket count used to discretize continuous
+	// update attributes (default 8; Figure 9 sweeps this).
+	Buckets int
+	// MaxCandidatesPerAttr caps the candidate set per attribute (default 64).
+	MaxCandidatesPerAttr int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Buckets <= 0 {
+		out.Buckets = 8
+	}
+	if out.MaxCandidatesPerAttr <= 0 {
+		out.MaxCandidatesPerAttr = 64
+	}
+	if out.Engine.Estimator == engine.EstimatorAuto {
+		// The IP objective is a linear function of the updates (Section
+		// 4.3); estimate candidate effects with the linear regressor when
+		// continuous attributes are involved.
+		out.Engine.Estimator = engine.EstimatorLinear
+	}
+	if out.Engine.Cache == nil {
+		// All candidate what-if queries of one how-to share USE/WHEN/FOR, so
+		// views, blocks, and regressors are trained once (Section 4.3).
+		out.Engine.Cache = engine.NewCache()
+	}
+	return out
+}
+
+// Choice is the decision for one HOWTOUPDATE attribute.
+type Choice struct {
+	Attr string
+	// Update is the chosen hypothetical update, or nil for "no change".
+	Update *hyperql.UpdateSpec
+	// Delta is the estimated marginal effect of the update on the objective.
+	Delta float64
+}
+
+// String renders the choice in the paper's output style ("Price: 1.1x",
+// "Color: no change").
+func (c Choice) String() string {
+	if c.Update == nil {
+		return c.Attr + ": no change"
+	}
+	switch c.Update.Form {
+	case hyperql.UpdateScale:
+		return fmt.Sprintf("%s: %gx", c.Attr, c.Update.Const.AsFloat())
+	case hyperql.UpdateShift:
+		return fmt.Sprintf("%s: %+g", c.Attr, c.Update.Const.AsFloat())
+	default:
+		return fmt.Sprintf("%s: = %s", c.Attr, c.Update.Const)
+	}
+}
+
+// Result is the outcome of a how-to query.
+type Result struct {
+	Choices []Choice
+	// Objective is the estimated post-update objective value.
+	Objective float64
+	// Base is the objective value with no update.
+	Base float64
+	// Candidates is the total number of candidate updates enumerated.
+	Candidates int
+	// WhatIfEvals counts the candidate what-if evaluations performed.
+	WhatIfEvals int
+	// IPNodes is the number of branch-and-bound nodes explored (0 for the
+	// brute-force baseline).
+	IPNodes int
+	Total   time.Duration
+}
+
+// Updates returns the non-nil chosen updates.
+func (r *Result) Updates() []hyperql.UpdateSpec {
+	var out []hyperql.UpdateSpec
+	for _, c := range r.Choices {
+		if c.Update != nil {
+			out = append(out, *c.Update)
+		}
+	}
+	return out
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	s := "{"
+	for i, c := range r.Choices {
+		if i > 0 {
+			s += ", "
+		}
+		s += c.String()
+	}
+	return fmt.Sprintf("%s} objective=%.6g (base=%.6g)", s, r.Objective, r.Base)
+}
+
+// Evaluate answers a how-to query with the IP formulation of Section 4.3.
+func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	start := time.Now()
+	cands, err := Candidates(db, q, o)
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseObjective(db, model, q, o)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Base: base}
+
+	// Marginal effect of each candidate: a candidate what-if query
+	// (Definition 7) evaluated by the engine.
+	type cvar struct {
+		attr  string
+		spec  hyperql.UpdateSpec
+		delta float64
+	}
+	var vars []cvar
+	byAttr := map[string][]int{}
+	for _, attr := range q.Attrs {
+		for _, spec := range cands[attr] {
+			val, err := evalCandidate(db, model, q, []hyperql.UpdateSpec{spec}, o)
+			if err != nil {
+				return nil, err
+			}
+			res.WhatIfEvals++
+			vars = append(vars, cvar{attr: attr, spec: spec, delta: val - base})
+			byAttr[attr] = append(byAttr[attr], len(vars)-1)
+		}
+	}
+	res.Candidates = len(vars)
+
+	// Build and solve the IP: maximize Σ delta·δ (negated for TOMINIMIZE)
+	// subject to SOS-1 per attribute and the optional update budget.
+	m := ip.NewModel()
+	for i, v := range vars {
+		obj := v.delta
+		if !q.Maximize {
+			obj = -obj
+		}
+		m.AddVar(fmt.Sprintf("%s=%d", v.attr, i), obj)
+	}
+	for _, attr := range q.Attrs {
+		if len(byAttr[attr]) > 0 {
+			if err := m.AddAtMostOne(byAttr[attr]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if k, ok := budget(q); ok {
+		all := make([]int, len(vars))
+		coef := make([]float64, len(vars))
+		for i := range vars {
+			all[i] = i
+			coef[i] = 1
+		}
+		if err := m.AddLE(all, coef, float64(k)); err != nil {
+			return nil, err
+		}
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	res.IPNodes = sol.Nodes
+
+	chosen := map[string]*cvar{}
+	for _, vi := range sol.Selected() {
+		// Only keep selections that improve the objective; the IP may pick a
+		// zero-delta variable when ties exist.
+		v := vars[vi]
+		gain := v.delta
+		if !q.Maximize {
+			gain = -gain
+		}
+		if gain > 1e-12 {
+			vv := v
+			chosen[v.attr] = &vv
+		}
+	}
+	res.Objective = base
+	for _, attr := range q.Attrs {
+		c := Choice{Attr: attr}
+		if v := chosen[attr]; v != nil {
+			c.Update = &v.spec
+			c.Delta = v.delta
+			res.Objective += v.delta
+		}
+		res.Choices = append(res.Choices, c)
+	}
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// BruteForce is the Opt-HowTo baseline: it enumerates every combination of
+// candidate updates (including "no change" per attribute), evaluates the
+// combined what-if query for each, and returns the best. Exponential in the
+// number of attributes (Figure 11b / 12b).
+func BruteForce(db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	start := time.Now()
+	cands, err := Candidates(db, q, o)
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseObjective(db, model, q, o)
+	if err != nil {
+		return nil, err
+	}
+	evalFn := func(updates []hyperql.UpdateSpec) (float64, error) {
+		if len(updates) == 0 {
+			return base, nil
+		}
+		return evalCandidate(db, model, q, updates, o)
+	}
+	res, err := bruteForceOver(q, cands, evalFn)
+	if err != nil {
+		return nil, err
+	}
+	res.Base = base
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// BruteForceWith runs the exhaustive search with a caller-provided objective
+// evaluator — the experiment harness passes the structural-equation ground
+// truth here to compute the paper's OptHowTo reference values (Section 5.4).
+func BruteForceWith(q *hyperql.HowTo, cands map[string][]hyperql.UpdateSpec,
+	evalFn func(updates []hyperql.UpdateSpec) (float64, error)) (*Result, error) {
+	start := time.Now()
+	res, err := bruteForceOver(q, cands, evalFn)
+	if err != nil {
+		return nil, err
+	}
+	base, err := evalFn(nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Base = base
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+func bruteForceOver(q *hyperql.HowTo, cands map[string][]hyperql.UpdateSpec,
+	evalFn func(updates []hyperql.UpdateSpec) (float64, error)) (*Result, error) {
+	res := &Result{}
+	bk, hasBudget := budget(q)
+	best := math.Inf(-1)
+	var bestCombo []*hyperql.UpdateSpec
+	combo := make([]*hyperql.UpdateSpec, len(q.Attrs))
+	var rec func(i, used int) error
+	rec = func(i, used int) error {
+		if i == len(q.Attrs) {
+			var updates []hyperql.UpdateSpec
+			for _, u := range combo {
+				if u != nil {
+					updates = append(updates, *u)
+				}
+			}
+			val, err := evalFn(updates)
+			if err != nil {
+				return err
+			}
+			res.WhatIfEvals++
+			score := val
+			if !q.Maximize {
+				score = -score
+			}
+			if score > best {
+				best = score
+				bestCombo = append([]*hyperql.UpdateSpec(nil), combo...)
+			}
+			return nil
+		}
+		combo[i] = nil
+		if err := rec(i+1, used); err != nil {
+			return err
+		}
+		if hasBudget && used >= bk {
+			return nil
+		}
+		for ci := range cands[q.Attrs[i]] {
+			combo[i] = &cands[q.Attrs[i]][ci]
+			if err := rec(i+1, used+1); err != nil {
+				return err
+			}
+		}
+		combo[i] = nil
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return nil, err
+	}
+	for ai, attr := range q.Attrs {
+		res.Candidates += len(cands[attr])
+		c := Choice{Attr: attr, Update: bestCombo[ai]}
+		res.Choices = append(res.Choices, c)
+	}
+	if q.Maximize {
+		res.Objective = best
+	} else {
+		res.Objective = -best
+	}
+	return res, nil
+}
+
+// evalCandidate evaluates the candidate what-if query of Definition 7.
+func evalCandidate(db *relation.Database, model *causal.Model, q *hyperql.HowTo,
+	updates []hyperql.UpdateSpec, o Options) (float64, error) {
+	wi := &hyperql.WhatIf{
+		Use:     q.Use,
+		When:    q.When,
+		Updates: updates,
+		Output:  q.Obj,
+		For:     q.For,
+	}
+	res, err := engine.Evaluate(db, model, wi, o.Engine)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// baseObjective evaluates the objective with an identity update (scale by
+// 1), which the engine computes exactly since no tuple is affected.
+func baseObjective(db *relation.Database, model *causal.Model, q *hyperql.HowTo, o Options) (float64, error) {
+	id := hyperql.UpdateSpec{Attr: q.Attrs[0], Form: hyperql.UpdateScale, Const: relation.Int(1)}
+	return evalCandidate(db, model, q, []hyperql.UpdateSpec{id}, o)
+}
+
+// budget returns the UPDATES <= k constraint if present.
+func budget(q *hyperql.HowTo) (int, bool) {
+	for _, l := range q.Limits {
+		if l.Kind == hyperql.LimitBudget {
+			return l.K, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,150 @@
+package howto
+
+import (
+	"fmt"
+	"time"
+
+	"hyper/internal/causal"
+	"hyper/internal/hyperql"
+	"hyper/internal/ip"
+	"hyper/internal/relation"
+)
+
+// Lexicographic solves a preferential multi-objective how-to query (the
+// extension of Section 4.3): the queries share USE/WHEN/HOWTOUPDATE/LIMIT
+// but carry objectives in decreasing priority. The IP is re-solved per
+// objective with the previously achieved objective values added as equality
+// constraints (Example 11).
+func Lexicographic(db *relation.Database, model *causal.Model, qs []*hyperql.HowTo, opts Options) (*Result, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("howto: no objectives")
+	}
+	o := opts.withDefaults()
+	start := time.Now()
+	q0 := qs[0]
+	cands, err := Candidates(db, q0, o)
+	if err != nil {
+		return nil, err
+	}
+
+	// Evaluate each candidate's delta under every objective.
+	type cvar struct {
+		attr   string
+		spec   hyperql.UpdateSpec
+		deltas []float64 // per objective
+	}
+	var vars []cvar
+	byAttr := map[string][]int{}
+	bases := make([]float64, len(qs))
+	whatIfEvals := 0
+	for oi, q := range qs {
+		bases[oi], err = baseObjective(db, model, q, o)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, attr := range q0.Attrs {
+		for _, spec := range cands[attr] {
+			cv := cvar{attr: attr, spec: spec, deltas: make([]float64, len(qs))}
+			for oi, q := range qs {
+				val, err := evalCandidate(db, model, q, []hyperql.UpdateSpec{spec}, o)
+				if err != nil {
+					return nil, err
+				}
+				whatIfEvals++
+				cv.deltas[oi] = val - bases[oi]
+			}
+			vars = append(vars, cv)
+			byAttr[attr] = append(byAttr[attr], len(vars)-1)
+		}
+	}
+
+	buildModel := func(objIdx int, pinned []float64) (*ip.Model, error) {
+		m := ip.NewModel()
+		for i, v := range vars {
+			obj := v.deltas[objIdx]
+			if !qs[objIdx].Maximize {
+				obj = -obj
+			}
+			m.AddVar(fmt.Sprintf("%s=%d", v.attr, i), obj)
+		}
+		for _, attr := range q0.Attrs {
+			if len(byAttr[attr]) > 0 {
+				if err := m.AddAtMostOne(byAttr[attr]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if k, ok := budget(q0); ok {
+			all := make([]int, len(vars))
+			coef := make([]float64, len(vars))
+			for i := range vars {
+				all[i] = i
+				coef[i] = 1
+			}
+			if err := m.AddLE(all, coef, float64(k)); err != nil {
+				return nil, err
+			}
+		}
+		// Pin previously optimized objectives (within a small tolerance, as
+		// a <= / >= pair).
+		for pi, target := range pinned {
+			idx := make([]int, len(vars))
+			coef := make([]float64, len(vars))
+			for i, v := range vars {
+				idx[i] = i
+				coef[i] = v.deltas[pi]
+			}
+			const tol = 1e-6
+			if err := m.AddLE(idx, coef, target+tol); err != nil {
+				return nil, err
+			}
+			if err := m.AddGE(idx, coef, target-tol); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+
+	var pinned []float64
+	var lastSol *ip.Solution
+	totalNodes := 0
+	for oi := range qs {
+		m, err := buildModel(oi, pinned)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := m.Solve()
+		if err != nil {
+			return nil, err
+		}
+		totalNodes += sol.Nodes
+		lastSol = sol
+		// The achieved delta-sum for this objective becomes a constraint for
+		// the next one.
+		achieved := 0.0
+		for _, vi := range sol.Selected() {
+			achieved += vars[vi].deltas[oi]
+		}
+		pinned = append(pinned, achieved)
+	}
+
+	res := &Result{Base: bases[0], WhatIfEvals: whatIfEvals, Candidates: len(vars), IPNodes: totalNodes}
+	chosen := map[string]*cvar{}
+	for _, vi := range lastSol.Selected() {
+		v := vars[vi]
+		chosen[v.attr] = &v
+	}
+	res.Objective = bases[0]
+	for _, attr := range q0.Attrs {
+		c := Choice{Attr: attr}
+		if v := chosen[attr]; v != nil {
+			c.Update = &v.spec
+			c.Delta = v.deltas[0]
+			res.Objective += v.deltas[0]
+		}
+		res.Choices = append(res.Choices, c)
+	}
+	res.Total = time.Since(start)
+	return res, nil
+}

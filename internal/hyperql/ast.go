@@ -1,0 +1,452 @@
+package hyperql
+
+import (
+	"fmt"
+	"strings"
+
+	"hyper/internal/relation"
+)
+
+// Temporal marks whether a column reference reads the pre-update value (the
+// database instance D) or the post-update value (the possible world I). The
+// default resolves per clause: WHEN and USE read Pre; OUTPUT and the
+// objective read Post; FOR defaults to Pre per the paper.
+type Temporal int
+
+// Temporal markers.
+const (
+	TimeDefault Temporal = iota
+	TimePre
+	TimePost
+)
+
+func (t Temporal) String() string {
+	switch t {
+	case TimePre:
+		return "PRE"
+	case TimePost:
+		return "POST"
+	default:
+		return ""
+	}
+}
+
+// Expr is any expression node.
+type Expr interface {
+	String() string
+}
+
+// ColRef references a column, optionally qualified by a table alias and
+// wrapped in PRE()/POST().
+type ColRef struct {
+	Table string
+	Name  string
+	Time  Temporal
+}
+
+func (c *ColRef) String() string {
+	n := c.Name
+	if c.Table != "" {
+		n = c.Table + "." + n
+	}
+	if c.Time != TimeDefault {
+		return fmt.Sprintf("%s(%s)", c.Time, n)
+	}
+	return n
+}
+
+// Literal holds a constant value.
+type Literal struct{ Val relation.Value }
+
+func (l *Literal) String() string {
+	if l.Val.Kind() == relation.KindString {
+		return "'" + strings.ReplaceAll(l.Val.AsString(), "'", "''") + "'"
+	}
+	return l.Val.String()
+}
+
+// Binary is a binary operation. Op is one of: OR AND = != < <= > >= + - * /.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", u.X)
+	}
+	return fmt.Sprintf("(%s%s)", u.Op, u.X)
+}
+
+// InList is x IN (v1, v2, ...) or x NOT IN (...).
+type InList struct {
+	X    Expr
+	Vals []Expr
+	Neg  bool
+}
+
+func (i *InList) String() string {
+	parts := make([]string, len(i.Vals))
+	for k, v := range i.Vals {
+		parts[k] = v.String()
+	}
+	op := "IN"
+	if i.Neg {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", i.X, op, strings.Join(parts, ", "))
+}
+
+// L1Dist is the L1(PRE(A), POST(A)) distance operator of the LIMIT clause.
+type L1Dist struct {
+	Attr string
+}
+
+func (l *L1Dist) String() string {
+	return fmt.Sprintf("L1(PRE(%s), POST(%s))", l.Attr, l.Attr)
+}
+
+// AggFunc names an aggregate.
+type AggFunc string
+
+// Supported aggregates (the decomposable functions of Definition 6).
+const (
+	AggAvg   AggFunc = "AVG"
+	AggSum   AggFunc = "SUM"
+	AggCount AggFunc = "COUNT"
+)
+
+// Valid reports whether the aggregate is supported.
+func (a AggFunc) Valid() bool { return a == AggAvg || a == AggSum || a == AggCount }
+
+// Aggregate is AGG(expr) in a SELECT item or OUTPUT/objective clause. For
+// COUNT, Expr may be nil (COUNT(*)) or a Boolean condition
+// (COUNT(Credit = 'Good') counts tuples satisfying the condition, the form
+// used by the paper's Figure 7 queries).
+type Aggregate struct {
+	Func AggFunc
+	Expr Expr // nil means *
+}
+
+func (a *Aggregate) String() string {
+	if a.Expr == nil {
+		return string(a.Func) + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Expr)
+}
+
+// SelectItem is one projection of the USE sub-select.
+type SelectItem struct {
+	Expr  Expr // ColRef or *Aggregate
+	Alias string
+}
+
+func (s SelectItem) String() string {
+	if s.Alias != "" {
+		return fmt.Sprintf("%s AS %s", s.Expr, s.Alias)
+	}
+	return s.Expr.String()
+}
+
+// TableRef is FROM table [AS alias].
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+// SelectStmt is the SQL query allowed inside USE: select with optional
+// joins (via WHERE equality), filtering, and group-by with aggregates.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr
+	GroupBy []*ColRef
+}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	return b.String()
+}
+
+// UseClause is either a bare table name or a sub-select defining the
+// relevant view.
+type UseClause struct {
+	Table  string      // non-empty for USE <table>
+	Select *SelectStmt // non-nil for USE ( SELECT ... )
+}
+
+func (u *UseClause) String() string {
+	if u.Select != nil {
+		return "USE (" + u.Select.String() + ")"
+	}
+	return "USE " + u.Table
+}
+
+// UpdateForm classifies the hypothetical update function f of Definition 2.
+type UpdateForm int
+
+// The three forms the paper supports: f(b)=const, f(b)=const*b, f(b)=const+b.
+const (
+	UpdateSet UpdateForm = iota
+	UpdateScale
+	UpdateShift
+)
+
+func (f UpdateForm) String() string {
+	switch f {
+	case UpdateScale:
+		return "scale"
+	case UpdateShift:
+		return "shift"
+	default:
+		return "set"
+	}
+}
+
+// UpdateSpec is one UPDATE(B) = f(PRE(B)) assignment.
+type UpdateSpec struct {
+	Attr  string
+	Form  UpdateForm
+	Const relation.Value
+}
+
+func (u UpdateSpec) String() string {
+	switch u.Form {
+	case UpdateScale:
+		return fmt.Sprintf("UPDATE(%s) = %s * PRE(%s)", u.Attr, u.Const, u.Attr)
+	case UpdateShift:
+		return fmt.Sprintf("UPDATE(%s) = %s + PRE(%s)", u.Attr, u.Const, u.Attr)
+	default:
+		lit := &Literal{Val: u.Const}
+		return fmt.Sprintf("UPDATE(%s) = %s", u.Attr, lit)
+	}
+}
+
+// Apply computes f(v) for the update.
+func (u UpdateSpec) Apply(v relation.Value) relation.Value {
+	switch u.Form {
+	case UpdateScale:
+		return v.Mul(u.Const)
+	case UpdateShift:
+		return v.Add(u.Const)
+	default:
+		return u.Const
+	}
+}
+
+// WhatIf is a parsed what-if query (Section 3.1).
+type WhatIf struct {
+	Use     *UseClause
+	When    Expr // nil means S = R
+	Updates []UpdateSpec
+	Output  *Aggregate
+	For     Expr // nil means all tuples
+}
+
+func (q *WhatIf) String() string {
+	var b strings.Builder
+	b.WriteString(q.Use.String())
+	if q.When != nil {
+		b.WriteString(" WHEN ")
+		b.WriteString(q.When.String())
+	}
+	for i, u := range q.Updates {
+		if i == 0 {
+			b.WriteString(" ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(u.String())
+	}
+	b.WriteString(" OUTPUT ")
+	b.WriteString(q.Output.String())
+	if q.For != nil {
+		b.WriteString(" FOR ")
+		b.WriteString(q.For.String())
+	}
+	return b.String()
+}
+
+// LimitKind classifies one LIMIT constraint.
+type LimitKind int
+
+// Constraint kinds of the LIMIT operator (Section 4.1).
+const (
+	LimitRange  LimitKind = iota // lo <= POST(A) <= hi (either side optional)
+	LimitL1                      // L1(PRE(A), POST(A)) <= theta
+	LimitIn                      // POST(A) IN (v1, ...)
+	LimitBudget                  // UPDATES <= k (at most k attributes change)
+)
+
+// LimitSpec is one constraint of the LIMIT clause.
+type LimitSpec struct {
+	Kind   LimitKind
+	Attr   string           // for Range/L1/In
+	Lo, Hi relation.Value   // for Range (Null means unbounded)
+	Theta  float64          // for L1
+	Vals   []relation.Value // for In
+	K      int              // for Budget
+}
+
+func (l LimitSpec) String() string {
+	switch l.Kind {
+	case LimitL1:
+		return fmt.Sprintf("L1(PRE(%s), POST(%s)) <= %g", l.Attr, l.Attr, l.Theta)
+	case LimitIn:
+		parts := make([]string, len(l.Vals))
+		for i, v := range l.Vals {
+			parts[i] = (&Literal{Val: v}).String()
+		}
+		return fmt.Sprintf("POST(%s) IN (%s)", l.Attr, strings.Join(parts, ", "))
+	case LimitBudget:
+		return fmt.Sprintf("UPDATES <= %d", l.K)
+	default:
+		switch {
+		case l.Lo.IsNull():
+			return fmt.Sprintf("POST(%s) <= %s", l.Attr, l.Hi)
+		case l.Hi.IsNull():
+			return fmt.Sprintf("%s <= POST(%s)", l.Lo, l.Attr)
+		default:
+			return fmt.Sprintf("%s <= POST(%s) <= %s", l.Lo, l.Attr, l.Hi)
+		}
+	}
+}
+
+// HowTo is a parsed how-to query (Section 4.1).
+type HowTo struct {
+	Use      *UseClause
+	When     Expr
+	Attrs    []string // HOWTOUPDATE attributes
+	Limits   []LimitSpec
+	Maximize bool
+	Obj      *Aggregate
+	For      Expr
+}
+
+func (q *HowTo) String() string {
+	var b strings.Builder
+	b.WriteString(q.Use.String())
+	if q.When != nil {
+		b.WriteString(" WHEN ")
+		b.WriteString(q.When.String())
+	}
+	b.WriteString(" HOWTOUPDATE ")
+	b.WriteString(strings.Join(q.Attrs, ", "))
+	if len(q.Limits) > 0 {
+		b.WriteString(" LIMIT ")
+		for i, l := range q.Limits {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(l.String())
+		}
+	}
+	if q.Maximize {
+		b.WriteString(" TOMAXIMIZE ")
+	} else {
+		b.WriteString(" TOMINIMIZE ")
+	}
+	b.WriteString(q.Obj.String())
+	if q.For != nil {
+		b.WriteString(" FOR ")
+		b.WriteString(q.For.String())
+	}
+	return b.String()
+}
+
+// Query is either a *WhatIf or a *HowTo.
+type Query interface {
+	String() string
+	isQuery()
+}
+
+func (*WhatIf) isQuery() {}
+func (*HowTo) isQuery()  {}
+
+// Walk visits e and all sub-expressions in depth-first order. The visitor
+// returns false to stop descending.
+func Walk(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Binary:
+		Walk(x.L, visit)
+		Walk(x.R, visit)
+	case *Unary:
+		Walk(x.X, visit)
+	case *InList:
+		Walk(x.X, visit)
+		for _, v := range x.Vals {
+			Walk(v, visit)
+		}
+	case *Aggregate:
+		Walk(x.Expr, visit)
+	}
+}
+
+// ColRefs returns every column reference in e.
+func ColRefs(e Expr) []*ColRef {
+	var out []*ColRef
+	Walk(e, func(x Expr) bool {
+		if c, ok := x.(*ColRef); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// HasPost reports whether e references any POST() value.
+func HasPost(e Expr) bool {
+	for _, c := range ColRefs(e) {
+		if c.Time == TimePost {
+			return true
+		}
+	}
+	return false
+}

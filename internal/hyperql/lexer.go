@@ -1,0 +1,177 @@
+package hyperql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenizes HypeRQL source text. Identifiers may be quoted with double
+// quotes; string literals use single quotes with ” as the escape.
+type Lexer struct {
+	src []rune
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: []rune(src)} }
+
+// Tokens lexes the whole input and returns an error on the first invalid
+// token.
+func (l *Lexer) Tokens() ([]Token, error) {
+	var out []Token
+	for {
+		t := l.Next()
+		if t.Kind == TokError {
+			return nil, fmt.Errorf("hyperql: lex error at offset %d: %s", t.Pos, t.Text)
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		return l.lexWord(start)
+	case unicode.IsDigit(c):
+		return l.lexNumber(start)
+	case c == '\'':
+		return l.lexString(start)
+	case c == '"':
+		return l.lexQuotedIdent(start)
+	}
+	// Operators.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = string(l.src[l.pos : l.pos+2])
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.pos += 2
+		if two == "<>" {
+			two = "!="
+		}
+		return Token{Kind: TokOp, Text: two, Pos: start}
+	}
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', '.', ';':
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c), Pos: start}
+	}
+	return Token{Kind: TokError, Text: fmt.Sprintf("unexpected character %q", string(c)), Pos: start}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsSpace(c) {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		// /* block comments */
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *Lexer) lexWord(start int) Token {
+	for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	word := string(l.src[start:l.pos])
+	if IsKeyword(strings.ToUpper(word)) {
+		return Token{Kind: TokKeyword, Text: strings.ToUpper(word), Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: word, Pos: start}
+}
+
+func (l *Lexer) lexNumber(start int) Token {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1]) {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			nxt := l.src[l.pos+1]
+			if unicode.IsDigit(nxt) {
+				l.pos += 2
+				continue
+			}
+			if (nxt == '+' || nxt == '-') && l.pos+2 < len(l.src) && unicode.IsDigit(l.src[l.pos+2]) {
+				l.pos += 3
+				continue
+			}
+		}
+		break
+	}
+	return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Pos: start}
+}
+
+func (l *Lexer) lexString(start int) Token {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteRune('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}
+		}
+		b.WriteRune(c)
+		l.pos++
+	}
+	return Token{Kind: TokError, Text: "unterminated string literal", Pos: start}
+}
+
+func (l *Lexer) lexQuotedIdent(start int) Token {
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			return Token{Kind: TokIdent, Text: b.String(), Pos: start}
+		}
+		b.WriteRune(c)
+		l.pos++
+	}
+	return Token{Kind: TokError, Text: "unterminated quoted identifier", Pos: start}
+}

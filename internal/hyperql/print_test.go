@@ -1,0 +1,102 @@
+package hyperql
+
+import (
+	"strings"
+	"testing"
+
+	"hyper/internal/relation"
+)
+
+func TestLimitSpecString(t *testing.T) {
+	cases := []struct {
+		spec LimitSpec
+		want string
+	}{
+		{LimitSpec{Kind: LimitRange, Attr: "P", Lo: relation.Int(1), Hi: relation.Int(9)}, "1 <= POST(P) <= 9"},
+		{LimitSpec{Kind: LimitRange, Attr: "P", Lo: relation.Null, Hi: relation.Int(9)}, "POST(P) <= 9"},
+		{LimitSpec{Kind: LimitRange, Attr: "P", Lo: relation.Int(1), Hi: relation.Null}, "1 <= POST(P)"},
+		{LimitSpec{Kind: LimitL1, Attr: "P", Theta: 40}, "L1(PRE(P), POST(P)) <= 40"},
+		{LimitSpec{Kind: LimitIn, Attr: "C", Vals: []relation.Value{relation.String("a"), relation.Int(2)}}, "POST(C) IN ('a', 2)"},
+		{LimitSpec{Kind: LimitBudget, K: 3}, "UPDATES <= 3"},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.want {
+			t.Errorf("LimitSpec.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTemporalAndFormStrings(t *testing.T) {
+	if TimePre.String() != "PRE" || TimePost.String() != "POST" || TimeDefault.String() != "" {
+		t.Error("Temporal strings")
+	}
+	if UpdateSet.String() != "set" || UpdateScale.String() != "scale" || UpdateShift.String() != "shift" {
+		t.Error("UpdateForm strings")
+	}
+	if !AggAvg.Valid() || AggFunc("MEDIAN").Valid() {
+		t.Error("AggFunc.Valid")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`NOT a`, "(NOT a)"},
+		{`-a`, "(-a)"},
+		{`a NOT IN (1)`, "(a NOT IN (1))"},
+		{`'it''s'`, "'it''s'"},
+		{`T.Col`, "T.Col"},
+		{`PRE(a)`, "PRE(a)"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if e.String() != c.want {
+			t.Errorf("String(%q) = %q, want %q", c.src, e.String(), c.want)
+		}
+	}
+}
+
+func TestHowToStringContainsAllClauses(t *testing.T) {
+	q, err := ParseHowTo(`
+USE (SELECT K, AVG(V) AS M FROM T GROUP BY K)
+WHEN K = 1
+HOWTOUPDATE A, B
+LIMIT 0 <= POST(A) <= 5 AND UPDATES <= 1
+TOMINIMIZE SUM(POST(M))
+FOR PRE(K) > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"USE (SELECT", "WHEN", "HOWTOUPDATE A, B", "LIMIT", "UPDATES <= 1", "TOMINIMIZE", "FOR"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("HowTo.String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestSelectItemAndTableRefStrings(t *testing.T) {
+	item := SelectItem{Expr: &Aggregate{Func: AggCount}, Alias: "N"}
+	if item.String() != "COUNT(*) AS N" {
+		t.Errorf("SelectItem = %q", item.String())
+	}
+	tr := TableRef{Name: "T", Alias: "X"}
+	if tr.String() != "T AS X" {
+		t.Errorf("TableRef = %q", tr.String())
+	}
+	if (TableRef{Name: "T"}).String() != "T" {
+		t.Error("bare TableRef")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (Token{Kind: TokEOF}).String() != "<eof>" {
+		t.Error("EOF token string")
+	}
+	if (Token{Kind: TokString, Text: "x"}).String() != `"x"` {
+		t.Error("string token string")
+	}
+}

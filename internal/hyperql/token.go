@@ -1,0 +1,57 @@
+// Package hyperql implements the declarative query language of HypeR: the
+// extended SQL syntax of Sections 3.1 and 4.1 with the USE / WHEN / UPDATE /
+// OUTPUT / FOR operators for what-if queries and HOWTOUPDATE / LIMIT /
+// TOMAXIMIZE / TOMINIMIZE for how-to queries, plus the PRE()/POST() temporal
+// value accessors and the L1() distance operator. It provides a lexer, an
+// AST, a recursive-descent parser, and a pretty-printer.
+package hyperql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp // operators: = != < <= > >= + - * / ( ) , .
+	TokError
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords of the language, stored upper-case; the lexer upper-cases
+// identifier candidates to check membership, so keywords are
+// case-insensitive while identifiers preserve their case.
+var keywords = map[string]bool{
+	"USE": true, "AS": true, "SELECT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "AVG": true, "SUM": true, "COUNT": true,
+	"WHEN": true, "UPDATE": true, "OUTPUT": true, "FOR": true,
+	"PRE": true, "POST": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "HOWTOUPDATE": true, "LIMIT": true, "TOMAXIMIZE": true,
+	"TOMINIMIZE": true, "L1": true, "TRUE": true, "FALSE": true,
+	"NULL": true, "UPDATES": true,
+}
+
+// IsKeyword reports whether the upper-cased word is a language keyword.
+func IsKeyword(word string) bool { return keywords[word] }

@@ -1,0 +1,281 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize c·x  subject to  A·x <= b,  x >= 0.
+//
+// It is the relaxation engine behind HypeR's integer-program solver
+// (internal/ip), standing in for the external IP solver the paper uses
+// (Section 4.3). Bland's rule guarantees termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program: maximize C·x subject to A·x <= B, x >= 0.
+type Problem struct {
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("lp: %d constraint rows but %d rhs entries", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != len(p.C) {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), len(p.C))
+		}
+	}
+	return nil
+}
+
+// Solution holds the result of a solve.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+const eps = 1e-9
+
+// Solve runs the two-phase simplex method on p.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+	if n == 0 {
+		return &Solution{Status: Optimal, X: nil, Obj: 0}, nil
+	}
+
+	// Build tableau with slack variables; rows with negative rhs get an
+	// artificial variable after negation so the initial basis is feasible.
+	// Columns: [x(0..n-1) | slack(0..m-1) | artificials...], then rhs.
+	numArt := 0
+	neg := make([]bool, m)
+	for i, b := range p.B {
+		if b < -eps {
+			neg[i] = true
+			numArt++
+		}
+	}
+	cols := n + m + numArt
+	t := newTableau(m, cols)
+	basis := make([]int, m)
+	art := 0
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if neg[i] {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			t.a[i][j] = sign * p.A[i][j]
+		}
+		t.a[i][n+i] = sign // slack
+		t.b[i] = sign * p.B[i]
+		if neg[i] {
+			t.a[i][n+m+art] = 1
+			basis[i] = n + m + art
+			art++
+		} else {
+			basis[i] = n + i
+		}
+	}
+
+	if numArt > 0 {
+		// Phase 1: minimize sum of artificials == maximize -(sum art).
+		obj := make([]float64, cols)
+		for j := n + m; j < cols; j++ {
+			obj[j] = -1
+		}
+		if err := t.run(obj, basis); err != nil {
+			return nil, err
+		}
+		// Check artificials are zero.
+		sum := 0.0
+		for i, bi := range basis {
+			if bi >= n+m {
+				sum += t.b[i]
+			}
+		}
+		if sum > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any remaining artificial out of the basis if possible.
+		for i, bi := range basis {
+			if bi < n+m {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					basis[i] = j
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is redundant; zero it out (keep artificial at 0).
+				for j := range t.a[i] {
+					t.a[i][j] = 0
+				}
+				t.b[i] = 0
+			}
+		}
+		// Remove artificial columns.
+		t.truncate(n + m)
+	}
+
+	// Phase 2: maximize the real objective.
+	obj := make([]float64, n+m)
+	copy(obj, p.C)
+	if err := t.run(obj, basis); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = t.b[i]
+		}
+	}
+	objv := 0.0
+	for j, c := range p.C {
+		objv += c * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: objv}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+type tableau struct {
+	a [][]float64
+	b []float64
+}
+
+func newTableau(m, cols int) *tableau {
+	t := &tableau{a: make([][]float64, m), b: make([]float64, m)}
+	flat := make([]float64, m*cols)
+	for i := range t.a {
+		t.a[i] = flat[i*cols : (i+1)*cols]
+	}
+	return t
+}
+
+func (t *tableau) truncate(cols int) {
+	for i := range t.a {
+		t.a[i] = t.a[i][:cols]
+	}
+}
+
+// run optimizes maximize obj·x over the current tableau, updating basis in
+// place. It uses reduced costs computed from the basis each iteration
+// (revised-style but dense) with Bland's rule for anti-cycling.
+func (t *tableau) run(obj []float64, basis []int) error {
+	m := len(t.a)
+	cols := len(t.a[0])
+	for iter := 0; ; iter++ {
+		if iter > 10000*(cols+m+1) {
+			return errors.New("lp: iteration limit exceeded")
+		}
+		// Compute simplex multipliers implicitly: reduced cost of column j
+		// is obj[j] - sum_i objB[i]*a[i][j] where objB is obj at basis vars.
+		objB := make([]float64, m)
+		for i, bi := range basis {
+			if bi < len(obj) {
+				objB[i] = obj[bi]
+			}
+		}
+		enter := -1
+		for j := 0; j < cols; j++ {
+			c := 0.0
+			if j < len(obj) {
+				c = obj[j]
+			}
+			for i := 0; i < m; i++ {
+				c -= objB[i] * t.a[i][j]
+			}
+			if c > eps { // Bland: first improving column
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test with Bland tie-break (smallest basis index).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t.a[i][enter] > eps {
+				r := t.b[i] / t.a[i][enter]
+				if r < best-eps || (r < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+		basis[leave] = enter
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on element (r, c).
+func (t *tableau) pivot(r, c int) {
+	pv := t.a[r][c]
+	row := t.a[r]
+	for j := range row {
+		row[j] /= pv
+	}
+	t.b[r] /= pv
+	for i := range t.a {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * row[j]
+		}
+		t.b[i] -= f * t.b[r]
+	}
+}

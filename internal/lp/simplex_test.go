@@ -1,0 +1,180 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyper/internal/stats"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return s
+}
+
+func TestSimplexTextbook(t *testing.T) {
+	// maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), 36.
+	p := &Problem{
+		C: []float64{3, 5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Obj-36) > 1e-9 || math.Abs(s.X[0]-2) > 1e-9 || math.Abs(s.X[1]-6) > 1e-9 {
+		t.Errorf("got obj=%g x=%v", s.Obj, s.X)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := &Problem{C: []float64{1}, A: [][]float64{{-1}}, B: []float64{0}}
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 (as -x <= -2).
+	p := &Problem{C: []float64{1}, A: [][]float64{{1}, {-1}}, B: []float64{1, -2}}
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSimplexNegativeRHSFeasible(t *testing.T) {
+	// x >= 1 (as -x <= -1), x <= 3, maximize -x -> x = 1, obj -1.
+	p := &Problem{C: []float64{-1}, A: [][]float64{{-1}, {1}}, B: []float64{-1, 3}}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.X[0]-1) > 1e-9 {
+		t.Errorf("got %v x=%v", s.Status, s.X)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Degenerate vertex: redundant constraints through the optimum.
+	p := &Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B: []float64{1, 1, 2},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Obj-2) > 1e-9 {
+		t.Errorf("degenerate: %v obj=%g", s.Status, s.Obj)
+	}
+}
+
+func TestSimplexZeroVariables(t *testing.T) {
+	s := solveOK(t, &Problem{})
+	if s.Status != Optimal || s.Obj != 0 {
+		t.Errorf("empty problem: %v", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := &Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}
+	if _, err := Solve(p); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	p2 := &Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}
+	if _, err := Solve(p2); err == nil {
+		t.Error("rhs mismatch should fail")
+	}
+}
+
+// Property: on random box-constrained problems (0 <= x_i <= u_i) with
+// non-negative objective, the simplex optimum equals sum(c_i * u_i) —
+// verified analytically.
+func TestSimplexBoxProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(6)
+		p := &Problem{C: make([]float64, n)}
+		want := 0.0
+		for i := 0; i < n; i++ {
+			c := rng.Float64() * 5
+			u := rng.Float64()*9 + 1
+			p.C[i] = c
+			row := make([]float64, n)
+			row[i] = 1
+			p.A = append(p.A, row)
+			p.B = append(p.B, u)
+			want += c * u
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		return math.Abs(s.Obj-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the returned solution is always primal-feasible and its objective
+// matches C·X.
+func TestSimplexFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		p := &Problem{C: make([]float64, n)}
+		for i := range p.C {
+			p.C[i] = rng.Float64()*4 - 2
+		}
+		for r := 0; r < m; r++ {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = rng.Float64()*4 - 1
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, rng.Float64()*10-2)
+		}
+		// Add a box so the problem is never unbounded.
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			row[i] = 1
+			p.A = append(p.A, row)
+			p.B = append(p.B, 10)
+		}
+		s, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if s.Status != Optimal {
+			return true // infeasible is legitimate for random constraints
+		}
+		obj := 0.0
+		for i, c := range p.C {
+			if s.X[i] < -1e-7 {
+				return false
+			}
+			obj += c * s.X[i]
+		}
+		if math.Abs(obj-s.Obj) > 1e-6 {
+			return false
+		}
+		for r, row := range p.A {
+			lhs := 0.0
+			for i, a := range row {
+				lhs += a * s.X[i]
+			}
+			if lhs > p.B[r]+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,28 @@
+package ml
+
+// Boosted is a two-stage regressor: a ridge linear model fit first, then a
+// random forest fit on its residuals; predictions are the sum. In-sample it
+// is at least as expressive as the forest alone, and outside the training
+// support the linear trend keeps extrapolating where a bare forest would
+// saturate at the nearest leaf — exactly the failure mode of hypothetical
+// updates that push attributes to the edge of their observed range (e.g.
+// "set every assignment score to 100").
+type Boosted struct {
+	lin    *Linear
+	forest *Forest
+}
+
+// FitBoosted trains the linear stage, then the forest stage on residuals.
+func FitBoosted(X [][]float64, y []float64, p ForestParams) *Boosted {
+	lin := FitLinear(X, y, 1e-6)
+	resid := make([]float64, len(y))
+	for i, x := range X {
+		resid[i] = y[i] - lin.Predict(x)
+	}
+	return &Boosted{lin: lin, forest: FitForest(X, resid, p)}
+}
+
+// Predict returns the linear prediction plus the forest residual correction.
+func (b *Boosted) Predict(x []float64) float64 {
+	return b.lin.Predict(x) + b.forest.Predict(x)
+}

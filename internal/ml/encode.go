@@ -1,0 +1,121 @@
+// Package ml is HypeR's from-scratch machine-learning substrate. The paper's
+// implementation estimates conditional probabilities with an sklearn random
+// forest regressor (Section 5, A.4); this package provides an equivalent
+// CART regression tree and random forest, an exact conditional-frequency
+// estimator with a non-zero-support index (the optimization of A.4), feature
+// encoding from relational values, and equi-width discretization used by the
+// how-to engine.
+package ml
+
+import (
+	"sort"
+
+	"hyper/internal/relation"
+)
+
+// Regressor is a fitted model mapping an encoded feature vector to a real
+// prediction. Implementations must be safe for concurrent Predict calls.
+type Regressor interface {
+	Predict(x []float64) float64
+}
+
+// Encoder maps relational values of a fixed list of feature columns into
+// dense float vectors. Numeric values pass through; strings and booleans get
+// stable ordinal codes learned from the data (sorted order, so codes are
+// deterministic). Unseen categories map to -1.
+type Encoder struct {
+	cols  []string
+	codes []map[string]float64 // nil for numeric columns
+}
+
+// NewEncoder learns an encoding for the given columns from all rows of rel.
+func NewEncoder(rel *relation.Relation, cols []string) *Encoder {
+	e := &Encoder{cols: append([]string(nil), cols...), codes: make([]map[string]float64, len(cols))}
+	for ci, col := range cols {
+		idx := rel.Schema().MustIndex(col)
+		numeric := true
+		distinct := make(map[string]relation.Value)
+		for _, row := range rel.Rows() {
+			v := row[idx]
+			if v.IsNull() {
+				continue
+			}
+			if !v.Kind().Numeric() {
+				numeric = false
+			}
+			distinct[v.Key()] = v
+		}
+		if numeric {
+			continue
+		}
+		keys := make([]string, 0, len(distinct))
+		for k := range distinct {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		m := make(map[string]float64, len(keys))
+		for i, k := range keys {
+			m[k] = float64(i)
+		}
+		e.codes[ci] = m
+	}
+	return e
+}
+
+// Columns returns the encoded feature column names in order.
+func (e *Encoder) Columns() []string { return append([]string(nil), e.cols...) }
+
+// Dim returns the number of features.
+func (e *Encoder) Dim() int { return len(e.cols) }
+
+// EncodeValue encodes the value of feature i.
+func (e *Encoder) EncodeValue(i int, v relation.Value) float64 {
+	if e.codes[i] == nil {
+		if v.IsNull() {
+			return 0
+		}
+		if v.Kind() == relation.KindBool {
+			if v.AsBool() {
+				return 1
+			}
+			return 0
+		}
+		return v.AsFloat()
+	}
+	if c, ok := e.codes[i][v.Key()]; ok {
+		return c
+	}
+	return -1
+}
+
+// Encode encodes one tuple of rel into a feature vector (allocating).
+func (e *Encoder) Encode(rel *relation.Relation, row relation.Tuple) []float64 {
+	out := make([]float64, len(e.cols))
+	e.EncodeInto(rel, row, out)
+	return out
+}
+
+// EncodeInto encodes one tuple into dst, which must have length Dim().
+func (e *Encoder) EncodeInto(rel *relation.Relation, row relation.Tuple, dst []float64) {
+	for i, col := range e.cols {
+		dst[i] = e.EncodeValue(i, row[rel.Schema().MustIndex(col)])
+	}
+}
+
+// Matrix encodes every row of rel into a feature matrix.
+func (e *Encoder) Matrix(rel *relation.Relation) [][]float64 {
+	idxs := make([]int, len(e.cols))
+	for i, col := range e.cols {
+		idxs[i] = rel.Schema().MustIndex(col)
+	}
+	out := make([][]float64, rel.Len())
+	flat := make([]float64, rel.Len()*len(e.cols))
+	for r, row := range rel.Rows() {
+		vec := flat[r*len(e.cols) : (r+1)*len(e.cols)]
+		for i, idx := range idxs {
+			vec[i] = e.EncodeValue(i, row[idx])
+		}
+		out[r] = vec
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+
+	"hyper/internal/stats"
+)
+
+// ForestParams configures random-forest training.
+type ForestParams struct {
+	NumTrees int // number of trees (default 20)
+	Tree     TreeParams
+	Seed     int64
+}
+
+// DefaultForestParams mirrors the paper's random-forest regressor setup at a
+// size tuned for interactive use.
+func DefaultForestParams() ForestParams {
+	return ForestParams{NumTrees: 20, Tree: DefaultTreeParams()}
+}
+
+// Forest is a fitted random-forest regressor: bagged CART trees with
+// per-split feature subsampling, predictions averaged.
+type Forest struct {
+	trees []*Tree
+}
+
+// FitForest trains a random forest on (X, y). When p.Tree.MaxFeatures is 0
+// it defaults to ceil(dim/3), the standard regression-forest heuristic.
+// Trees are trained in parallel; determinism is preserved by deriving one
+// RNG per tree from the seed.
+func FitForest(X [][]float64, y []float64, p ForestParams) *Forest {
+	if p.NumTrees <= 0 {
+		p.NumTrees = 20
+	}
+	dim := 0
+	if len(X) > 0 {
+		dim = len(X[0])
+	}
+	if p.Tree.MaxFeatures <= 0 && dim > 3 {
+		p.Tree.MaxFeatures = (dim + 2) / 3
+	}
+	f := &Forest{trees: make([]*Tree, p.NumTrees)}
+	root := stats.NewRNG(p.Seed)
+	rngs := make([]*stats.RNG, p.NumTrees)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.NumTrees {
+		workers = p.NumTrees
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := rngs[i]
+				rows := rng.Bootstrap(len(X))
+				f.trees[i] = FitTree(X, y, rows, p.Tree, rng)
+			}
+		}()
+	}
+	for i := 0; i < p.NumTrees; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return f
+}
+
+// Predict averages the tree predictions for x.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

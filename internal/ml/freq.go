@@ -1,0 +1,155 @@
+package ml
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// FreqEstimator is the exact conditional-frequency estimator of Appendix
+// A.4: it indexes the feature combinations that actually occur in the data
+// ("non-zero support") and predicts the empirical conditional mean
+// E[y | X=x]. Feature combinations never seen fall back first to partial
+// matches via per-feature backoff, then to the global mean. It is preferred
+// by the engine when the conditioning domain is small and discrete, and it
+// is the reason runtime stays linear in the database size rather than
+// exponential in |Dom(C)|.
+type FreqEstimator struct {
+	dim       int
+	keepFirst int // the first keepFirst features are never wildcarded
+	exact     map[string]*cell
+	backoff   []map[string]*cell // backoff[i]: key with feature i wildcarded
+	firstOnly map[string]*cell   // key over the first keepFirst features only
+	global    cell
+}
+
+type cell struct {
+	sum float64
+	n   int
+}
+
+func (c *cell) mean() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return c.sum / float64(c.n)
+}
+
+// FitFreq builds the support index from (X, y).
+func FitFreq(X [][]float64, y []float64) *FreqEstimator {
+	return FitFreqKeep(X, y, 0)
+}
+
+// FitFreqKeep is FitFreq with the first keepFirst features protected from
+// backoff. The engine places the update attributes first in the feature
+// vector, and predictions are made at hypothetical values of exactly those
+// features — a backoff that wildcards them would erase the update and
+// silently return a no-effect answer for zero-support combinations. With
+// keepFirst set, backoff generalizes only over the conditioning features.
+func FitFreqKeep(X [][]float64, y []float64, keepFirst int) *FreqEstimator {
+	dim := 0
+	if len(X) > 0 {
+		dim = len(X[0])
+	}
+	if keepFirst > dim {
+		keepFirst = dim
+	}
+	f := &FreqEstimator{
+		dim:       dim,
+		keepFirst: keepFirst,
+		exact:     make(map[string]*cell, len(X)),
+		backoff:   make([]map[string]*cell, dim),
+		firstOnly: make(map[string]*cell),
+	}
+	for i := keepFirst; i < dim; i++ {
+		f.backoff[i] = make(map[string]*cell)
+	}
+	kb := make([]string, dim)
+	for r, x := range X {
+		for i, v := range x {
+			kb[i] = fkey(v)
+		}
+		k := strings.Join(kb, ",")
+		f.add(f.exact, k, y[r])
+		for i := keepFirst; i < dim; i++ {
+			save := kb[i]
+			kb[i] = "*"
+			f.add(f.backoff[i], strings.Join(kb, ","), y[r])
+			kb[i] = save
+		}
+		if keepFirst > 0 {
+			f.add(f.firstOnly, strings.Join(kb[:keepFirst], ","), y[r])
+		}
+		f.global.sum += y[r]
+		f.global.n++
+	}
+	return f
+}
+
+func (f *FreqEstimator) add(m map[string]*cell, k string, y float64) {
+	c := m[k]
+	if c == nil {
+		c = &cell{}
+		m[k] = c
+	}
+	c.sum += y
+	c.n++
+}
+
+func fkey(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 12, 64)
+}
+
+// Predict returns the empirical conditional mean for x, backing off in
+// order: exact match, single-feature wildcards over the non-protected
+// features, the protected-features-only marginal, and finally the global
+// mean.
+func (f *FreqEstimator) Predict(x []float64) float64 {
+	kb := make([]string, f.dim)
+	for i, v := range x {
+		kb[i] = fkey(v)
+	}
+	k := strings.Join(kb, ",")
+	if c, ok := f.exact[k]; ok {
+		return c.mean()
+	}
+	var sum float64
+	var n int
+	for i := f.keepFirst; i < f.dim; i++ {
+		save := kb[i]
+		kb[i] = "*"
+		if c, ok := f.backoff[i][strings.Join(kb, ",")]; ok {
+			sum += c.mean()
+			n++
+		}
+		kb[i] = save
+	}
+	if n > 0 {
+		return sum / float64(n)
+	}
+	if f.keepFirst > 0 {
+		if c, ok := f.firstOnly[strings.Join(kb[:f.keepFirst], ",")]; ok {
+			return c.mean()
+		}
+	}
+	return f.global.mean()
+}
+
+// Support returns the number of distinct feature combinations observed; the
+// engine uses it to decide between the frequency estimator and a forest.
+func (f *FreqEstimator) Support() int { return len(f.exact) }
+
+// SupportOf returns the number of training rows exactly matching x.
+func (f *FreqEstimator) SupportOf(x []float64) int {
+	kb := make([]string, f.dim)
+	for i, v := range x {
+		kb[i] = fkey(v)
+	}
+	if c, ok := f.exact[strings.Join(kb, ",")]; ok {
+		return c.n
+	}
+	return 0
+}

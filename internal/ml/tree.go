@@ -1,0 +1,236 @@
+package ml
+
+import (
+	"math"
+	"sort"
+
+	"hyper/internal/stats"
+)
+
+// TreeParams configures CART regression-tree induction.
+type TreeParams struct {
+	MaxDepth      int // maximum tree depth (root is depth 0)
+	MinLeaf       int // minimum samples per leaf
+	MaxFeatures   int // features tried per split; 0 means all
+	MaxThresholds int // candidate thresholds per feature; 0 means 32
+}
+
+// DefaultTreeParams mirrors common regression-tree defaults.
+func DefaultTreeParams() TreeParams {
+	return TreeParams{MaxDepth: 12, MinLeaf: 5, MaxThresholds: 32}
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64
+	leaf      bool
+}
+
+// Tree is a fitted CART regression tree (variance-reduction splits).
+type Tree struct {
+	root *treeNode
+	dim  int
+}
+
+// FitTree trains a regression tree on (X, y). rows selects the training rows
+// (with repetition allowed, enabling bootstrap); pass nil for all rows. rng
+// drives feature subsampling and may be nil when MaxFeatures is 0.
+func FitTree(X [][]float64, y []float64, rows []int, p TreeParams, rng *stats.RNG) *Tree {
+	if rows == nil {
+		rows = make([]int, len(X))
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	if p.MaxThresholds <= 0 {
+		p.MaxThresholds = 32
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 1
+	}
+	dim := 0
+	if len(X) > 0 {
+		dim = len(X[0])
+	}
+	t := &Tree{dim: dim}
+	b := &treeBuilder{X: X, y: y, p: p, rng: rng, dim: dim}
+	t.root = b.build(rows, 0)
+	return t
+}
+
+type treeBuilder struct {
+	X   [][]float64
+	y   []float64
+	p   TreeParams
+	rng *stats.RNG
+	dim int
+}
+
+func (b *treeBuilder) build(rows []int, depth int) *treeNode {
+	mean, sse := meanSSE(b.y, rows)
+	if len(rows) < 2*b.p.MinLeaf || (b.p.MaxDepth > 0 && depth >= b.p.MaxDepth) || sse <= 1e-12 {
+		return &treeNode{leaf: true, value: mean}
+	}
+	feat, thr, gain := b.bestSplit(rows, sse)
+	if gain <= 1e-12 {
+		return &treeNode{leaf: true, value: mean}
+	}
+	var left, right []int
+	for _, r := range rows {
+		if b.X[r][feat] <= thr {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < b.p.MinLeaf || len(right) < b.p.MinLeaf {
+		return &treeNode{leaf: true, value: mean}
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      b.build(left, depth+1),
+		right:     b.build(right, depth+1),
+	}
+}
+
+// bestSplit scans candidate features/thresholds and returns the split with
+// the largest SSE reduction.
+func (b *treeBuilder) bestSplit(rows []int, parentSSE float64) (feat int, thr, gain float64) {
+	feats := b.candidateFeatures()
+	bestGain := 0.0
+	bestFeat, bestThr := -1, 0.0
+	vals := make([]float64, 0, len(rows))
+	for _, f := range feats {
+		vals = vals[:0]
+		for _, r := range rows {
+			vals = append(vals, b.X[r][f])
+		}
+		thresholds := candidateThresholds(vals, b.p.MaxThresholds)
+		for _, t := range thresholds {
+			g := b.splitGain(rows, f, t, parentSSE)
+			if g > bestGain {
+				bestGain, bestFeat, bestThr = g, f, t
+			}
+		}
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+func (b *treeBuilder) candidateFeatures() []int {
+	if b.p.MaxFeatures <= 0 || b.p.MaxFeatures >= b.dim || b.rng == nil {
+		all := make([]int, b.dim)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return b.rng.SampleIndexes(b.dim, b.p.MaxFeatures)
+}
+
+// splitGain computes the SSE reduction of splitting rows on X[f] <= t using
+// a single streaming pass.
+func (b *treeBuilder) splitGain(rows []int, f int, t, parentSSE float64) float64 {
+	var nL, nR int
+	var meanL, meanR, m2L, m2R float64
+	for _, r := range rows {
+		v := b.y[r]
+		if b.X[r][f] <= t {
+			nL++
+			d := v - meanL
+			meanL += d / float64(nL)
+			m2L += d * (v - meanL)
+		} else {
+			nR++
+			d := v - meanR
+			meanR += d / float64(nR)
+			m2R += d * (v - meanR)
+		}
+	}
+	if nL < b.p.MinLeaf || nR < b.p.MinLeaf {
+		return 0
+	}
+	return parentSSE - m2L - m2R
+}
+
+// candidateThresholds picks up to maxT midpoints between distinct sorted
+// values (all midpoints when few distinct values, quantile-spaced otherwise).
+func candidateThresholds(vals []float64, maxT int) []float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	distinct := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != distinct[len(distinct)-1] {
+			distinct = append(distinct, v)
+		}
+	}
+	if len(distinct) < 2 {
+		return nil
+	}
+	mids := make([]float64, 0, len(distinct)-1)
+	for i := 0; i+1 < len(distinct); i++ {
+		mids = append(mids, (distinct[i]+distinct[i+1])/2)
+	}
+	if len(mids) <= maxT {
+		return mids
+	}
+	out := make([]float64, 0, maxT)
+	for i := 0; i < maxT; i++ {
+		out = append(out, mids[i*len(mids)/maxT])
+	}
+	return out
+}
+
+func meanSSE(y []float64, rows []int) (mean, sse float64) {
+	var s stats.Summary
+	for _, r := range rows {
+		s.Add(y[r])
+	}
+	if s.N() < 2 {
+		return s.Mean(), 0
+	}
+	return s.Mean(), s.Var() * float64(s.N()-1)
+}
+
+// Predict returns the tree's prediction for x.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the maximum depth of the fitted tree.
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return leaves(t.root) }
+
+func leaves(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	return leaves(n.left) + leaves(n.right)
+}

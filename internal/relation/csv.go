@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteCSV writes the relation as CSV with a header row.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, r.schema.Len())
+	for _, row := range r.rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the relation to the named file.
+func (r *Relation) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV reads a relation from CSV. The first row is the header. Column
+// kinds are inferred from the first non-null occurrence of each column when
+// schema is nil; otherwise the provided schema is used (its names must match
+// the header).
+func ReadCSV(name string, rd io.Reader, schema *Schema) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csv %s: reading header: %w", name, err)
+	}
+	var records [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csv %s: %w", name, err)
+		}
+		records = append(records, rec)
+	}
+	if schema == nil {
+		cols := make([]Column, len(header))
+		for i, h := range header {
+			cols[i] = Column{Name: h, Kind: inferKind(records, i), Mutable: true}
+		}
+		schema, err = NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if schema.Len() != len(header) {
+			return nil, fmt.Errorf("csv %s: header arity %d != schema arity %d", name, len(header), schema.Len())
+		}
+		for i, h := range header {
+			if schema.Col(i).Name != h {
+				return nil, fmt.Errorf("csv %s: header column %d is %q, schema has %q", name, i, h, schema.Col(i).Name)
+			}
+		}
+	}
+	r := NewRelation(name, schema)
+	for _, rec := range records {
+		t := make(Tuple, len(rec))
+		for i, s := range rec {
+			t[i] = Parse(s)
+		}
+		if err := r.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// LoadCSV reads a relation from the named file with an inferred schema.
+func LoadCSV(name, path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f, nil)
+}
+
+func inferKind(records [][]string, col int) Kind {
+	kind := KindNull
+	for _, rec := range records {
+		if col >= len(rec) {
+			continue
+		}
+		v := Parse(rec[col])
+		if v.IsNull() {
+			continue
+		}
+		switch {
+		case kind == KindNull:
+			kind = v.Kind()
+		case kind == KindInt && v.Kind() == KindFloat:
+			kind = KindFloat
+		case kind != v.Kind() && !(kind == KindFloat && v.Kind() == KindInt):
+			return KindString // mixed kinds fall back to string
+		}
+	}
+	return kind
+}

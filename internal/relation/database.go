@@ -1,0 +1,125 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ForeignKey declares that Child.ChildCol references Parent.ParentCol. HypeR
+// uses foreign keys both for USE-view joins and to connect tuples in the
+// ground causal graph (a review row depends on its product row).
+type ForeignKey struct {
+	Child     string // child relation name
+	ChildCol  string
+	Parent    string // parent relation name
+	ParentCol string
+}
+
+// Database is a named collection of relations with foreign-key metadata. It
+// models the multi-relational instance D of the paper.
+type Database struct {
+	rels  map[string]*Relation
+	order []string
+	fks   []ForeignKey
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Add registers a relation; names must be unique.
+func (d *Database) Add(r *Relation) error {
+	if _, dup := d.rels[r.Name()]; dup {
+		return fmt.Errorf("database: duplicate relation %q", r.Name())
+	}
+	d.rels[r.Name()] = r
+	d.order = append(d.order, r.Name())
+	return nil
+}
+
+// MustAdd adds a relation and panics on error.
+func (d *Database) MustAdd(r *Relation) {
+	if err := d.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Relation returns the named relation or nil.
+func (d *Database) Relation(name string) *Relation { return d.rels[name] }
+
+// Names returns the relation names in insertion order.
+func (d *Database) Names() []string { return append([]string(nil), d.order...) }
+
+// AddForeignKey declares a foreign key after validating that both ends exist.
+func (d *Database) AddForeignKey(fk ForeignKey) error {
+	c, p := d.rels[fk.Child], d.rels[fk.Parent]
+	if c == nil {
+		return fmt.Errorf("database: foreign key child relation %q not found", fk.Child)
+	}
+	if p == nil {
+		return fmt.Errorf("database: foreign key parent relation %q not found", fk.Parent)
+	}
+	if !c.Schema().Has(fk.ChildCol) {
+		return fmt.Errorf("database: relation %q has no column %q", fk.Child, fk.ChildCol)
+	}
+	if !p.Schema().Has(fk.ParentCol) {
+		return fmt.Errorf("database: relation %q has no column %q", fk.Parent, fk.ParentCol)
+	}
+	d.fks = append(d.fks, fk)
+	return nil
+}
+
+// ForeignKeys returns the declared foreign keys.
+func (d *Database) ForeignKeys() []ForeignKey { return append([]ForeignKey(nil), d.fks...) }
+
+// FindRelationOf returns the (unique) relation containing the named
+// attribute. The paper assumes update and output attributes appear in a
+// single relation; ambiguity is an error.
+func (d *Database) FindRelationOf(attr string) (*Relation, error) {
+	var found *Relation
+	for _, name := range d.order {
+		r := d.rels[name]
+		if r.Schema().Has(attr) {
+			if found != nil {
+				return nil, fmt.Errorf("database: attribute %q is ambiguous (in %s and %s)", attr, found.Name(), r.Name())
+			}
+			found = r
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("database: attribute %q not found in any relation", attr)
+	}
+	return found, nil
+}
+
+// Clone deep-copies the database including foreign keys.
+func (d *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, name := range d.order {
+		out.MustAdd(d.rels[name].Clone())
+	}
+	out.fks = append([]ForeignKey(nil), d.fks...)
+	return out
+}
+
+// TotalRows returns the number of tuples across all relations.
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// QualifiedAttrs lists every attribute as "Relation.Attr", sorted.
+func (d *Database) QualifiedAttrs() []string {
+	var out []string
+	for _, name := range d.order {
+		for _, c := range d.rels[name].Schema().Columns() {
+			out = append(out, name+"."+c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

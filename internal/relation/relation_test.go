@@ -1,0 +1,227 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		Column{Name: "ID", Kind: KindInt, Key: true},
+		Column{Name: "Name", Kind: KindString},
+		Column{Name: "Score", Kind: KindFloat, Mutable: true},
+	)
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "A"}, Column{Name: "A"}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if _, err := NewSchema(Column{Name: ""}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, err := NewSchema(Column{Name: "K", Key: true, Mutable: true}); err == nil {
+		t.Error("mutable key should fail")
+	}
+	s := testSchema(t)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("Score"); !ok || i != 2 {
+		t.Errorf("Index(Score) = %d, %v", i, ok)
+	}
+	if s.Has("Nope") {
+		t.Error("Has(Nope) should be false")
+	}
+	if got := s.KeyIndexes(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("KeyIndexes = %v", got)
+	}
+	if got := s.MutableNames(); len(got) != 1 || got[0] != "Score" {
+		t.Errorf("MutableNames = %v", got)
+	}
+	if !strings.Contains(s.String(), "ID int key") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := testSchema(t)
+	ns, idx, err := s.Project("Score", "ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Len() != 2 || ns.Col(0).Name != "Score" || idx[1] != 0 {
+		t.Errorf("Project = %v, %v", ns.Names(), idx)
+	}
+	if _, _, err := s.Project("Nope"); err == nil {
+		t.Error("projecting unknown column should fail")
+	}
+}
+
+func TestRelationInsertAndLookup(t *testing.T) {
+	r := NewRelation("T", testSchema(t))
+	if err := r.Insert(Tuple{Int(1), String("a"), Float(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(Tuple{Int(1), String("b"), Float(0.7)}); err == nil {
+		t.Error("duplicate key should fail")
+	}
+	if err := r.Insert(Tuple{Int(2), String("b")}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	// Coercion: int score coerces to float.
+	if err := r.Insert(Tuple{Int(2), String("b"), Int(3)}); err != nil {
+		t.Fatalf("coercible insert failed: %v", err)
+	}
+	if got := r.Value(1, "Score"); got.Kind() != KindFloat || got.AsFloat() != 3 {
+		t.Errorf("coerced value = %v", got)
+	}
+	if err := r.Insert(Tuple{Int(3), String("c"), String("xyz")}); err == nil {
+		t.Error("uncoercible insert should fail")
+	}
+	if i := r.LookupKey(Tuple{Int(2), Null, Null}); i != 1 {
+		t.Errorf("LookupKey = %d", i)
+	}
+	if i := r.LookupKey(Tuple{Int(99), Null, Null}); i != -1 {
+		t.Errorf("LookupKey missing = %d", i)
+	}
+}
+
+func TestRelationColumnDomainMinMax(t *testing.T) {
+	r := NewRelation("T", testSchema(t))
+	for i, sc := range []float64{3, 1, 2, 1} {
+		r.MustInsert(Int(int64(i)), String("x"), Float(sc))
+	}
+	col := r.Column("Score")
+	if len(col) != 4 || col[0].AsFloat() != 3 {
+		t.Errorf("Column = %v", col)
+	}
+	dom := r.Domain("Score")
+	if len(dom) != 3 || dom[0].AsFloat() != 1 || dom[2].AsFloat() != 3 {
+		t.Errorf("Domain = %v", dom)
+	}
+	lo, hi, ok := r.MinMax("Score")
+	if !ok || lo != 1 || hi != 3 {
+		t.Errorf("MinMax = %v %v %v", lo, hi, ok)
+	}
+	if _, _, ok := NewRelation("E", testSchema(t)).MinMax("Score"); ok {
+		t.Error("MinMax of empty relation should be !ok")
+	}
+}
+
+func TestRelationFilterCloneSet(t *testing.T) {
+	r := NewRelation("T", testSchema(t))
+	for i := 0; i < 10; i++ {
+		r.MustInsert(Int(int64(i)), String("x"), Float(float64(i)))
+	}
+	f := r.Filter(func(t Tuple) bool { return t[2].AsFloat() >= 5 })
+	if f.Len() != 5 {
+		t.Errorf("Filter len = %d", f.Len())
+	}
+	c := r.Clone()
+	if err := c.Set(0, "Score", Float(99)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Value(0, "Score").AsFloat() == 99 {
+		t.Error("Clone should not share tuples")
+	}
+	if err := c.Set(0, "ID", Int(100)); err == nil {
+		t.Error("setting a key column should fail")
+	}
+	s := r.Sample([]int{3, 1})
+	if s.Len() != 2 || s.Value(0, "ID").AsInt() != 3 {
+		t.Errorf("Sample = %v", s)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := NewRelation("T", testSchema(t))
+	r.MustInsert(Int(1), String("alpha"), Float(0.25))
+	r.MustInsert(Int(2), String("beta, with comma"), Null)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("T", bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip len = %d", back.Len())
+	}
+	if got := back.Value(1, "Name"); got.AsString() != "beta, with comma" {
+		t.Errorf("name = %q", got.AsString())
+	}
+	if got := back.Value(1, "Score"); !got.IsNull() {
+		t.Errorf("null score = %v", got)
+	}
+	// Inferred kinds.
+	if back.Schema().Col(0).Kind != KindInt || back.Schema().Col(2).Kind != KindFloat {
+		t.Errorf("inferred schema = %v", back.Schema())
+	}
+	// With an explicit schema, headers must match.
+	wrong := MustSchema(Column{Name: "X", Kind: KindInt})
+	if _, err := ReadCSV("T", bytes.NewReader(buf.Bytes()), wrong); err == nil {
+		t.Error("mismatched schema should fail")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	a := NewRelation("A", MustSchema(Column{Name: "ID", Kind: KindInt, Key: true}, Column{Name: "X", Kind: KindInt}))
+	bRel := NewRelation("B", MustSchema(Column{Name: "ID", Kind: KindInt, Key: true}, Column{Name: "AID", Kind: KindInt}))
+	db.MustAdd(a)
+	db.MustAdd(bRel)
+	if err := db.Add(NewRelation("A", a.Schema())); err == nil {
+		t.Error("duplicate relation should fail")
+	}
+	if err := db.AddForeignKey(ForeignKey{Child: "B", ChildCol: "AID", Parent: "A", ParentCol: "ID"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddForeignKey(ForeignKey{Child: "B", ChildCol: "Nope", Parent: "A", ParentCol: "ID"}); err == nil {
+		t.Error("bad FK column should fail")
+	}
+	if err := db.AddForeignKey(ForeignKey{Child: "Z", ChildCol: "AID", Parent: "A", ParentCol: "ID"}); err == nil {
+		t.Error("bad FK relation should fail")
+	}
+	if r, err := db.FindRelationOf("X"); err != nil || r.Name() != "A" {
+		t.Errorf("FindRelationOf(X) = %v, %v", r, err)
+	}
+	if _, err := db.FindRelationOf("ID"); err == nil {
+		t.Error("ambiguous attribute should fail")
+	}
+	if _, err := db.FindRelationOf("Nope"); err == nil {
+		t.Error("missing attribute should fail")
+	}
+	a.MustInsert(Int(1), Int(10))
+	bRel.MustInsert(Int(1), Int(1))
+	if db.TotalRows() != 2 {
+		t.Errorf("TotalRows = %d", db.TotalRows())
+	}
+	qa := db.QualifiedAttrs()
+	if len(qa) != 4 || qa[0] != "A.ID" {
+		t.Errorf("QualifiedAttrs = %v", qa)
+	}
+	c := db.Clone()
+	if c.Relation("A").Len() != 1 || len(c.ForeignKeys()) != 1 {
+		t.Error("Clone lost data")
+	}
+}
+
+func TestCompositeKey(t *testing.T) {
+	r := NewRelation("T", MustSchema(
+		Column{Name: "A", Kind: KindInt, Key: true},
+		Column{Name: "B", Kind: KindInt, Key: true},
+		Column{Name: "V", Kind: KindInt, Mutable: true},
+	))
+	r.MustInsert(Int(1), Int(1), Int(10))
+	r.MustInsert(Int(1), Int(2), Int(20))
+	if err := r.Insert(Tuple{Int(1), Int(1), Int(30)}); err == nil {
+		t.Error("duplicate composite key should fail")
+	}
+	if r.Len() != 2 {
+		t.Errorf("len = %d", r.Len())
+	}
+}

@@ -1,0 +1,178 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "NULL"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{String("abc"), KindString, "abc"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("kind %v: String() = %q, want %q", c.kind, c.v.String(), c.str)
+		}
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("int should widen to float")
+	}
+	if Float(3.9).AsInt() != 3 {
+		t.Error("float should truncate to int")
+	}
+	if !math.IsNaN(String("x").AsFloat()) {
+		t.Error("string AsFloat should be NaN")
+	}
+	if Bool(true).AsInt() != 1 || Bool(false).AsInt() != 0 {
+		t.Error("bool AsInt should be 0/1")
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	// NULL < bool < numeric < string.
+	ordered := []Value{Null, Bool(false), Bool(true), Int(-5), Float(-1.5), Int(0), Float(0.5), Int(7), String("a"), String("b")}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			// Equal-rank values at different positions must still order
+			// consistently; we only assert sign consistency.
+			if (got < 0) != (want < 0) || (got > 0) != (want > 0) {
+				t.Errorf("Compare(%v, %v) = %d, want sign of %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueNumericCrossKindEquality(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) should equal Float(3)")
+	}
+	if Int(3).Key() != Float(3.0).Key() {
+		t.Error("numerically equal int/float should share a key")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("3 != 3.5")
+	}
+}
+
+func TestValueArithmetic(t *testing.T) {
+	if got := Int(2).Add(Int(3)); got.Kind() != KindInt || got.AsInt() != 5 {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := Int(2).Add(Float(0.5)); got.Kind() != KindFloat || got.AsFloat() != 2.5 {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	if got := Int(7).Mul(Int(6)); got.AsInt() != 42 {
+		t.Errorf("7*6 = %v", got)
+	}
+	if got := Int(7).Sub(Int(9)); got.AsInt() != -2 {
+		t.Errorf("7-9 = %v", got)
+	}
+	if got := Int(7).Div(Int(2)); got.AsFloat() != 3.5 {
+		t.Errorf("7/2 = %v", got)
+	}
+	if got := Int(7).Div(Int(0)); !got.IsNull() {
+		t.Errorf("7/0 = %v, want NULL", got)
+	}
+	if got := String("a").Add(Int(1)); !got.IsNull() {
+		t.Errorf("'a'+1 = %v, want NULL", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"", Null}, {"NULL", Null}, {"null", Null},
+		{"true", Bool(true)}, {"FALSE", Bool(false)},
+		{"42", Int(42)}, {"-3", Int(-3)},
+		{"2.5", Float(2.5)}, {"1e3", Float(1000)},
+		{"hello", String("hello")}, {"12abc", String("12abc")},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("Parse(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if got := Coerce(Int(3), KindFloat); got.Kind() != KindFloat || got.AsFloat() != 3 {
+		t.Errorf("int->float: %v", got)
+	}
+	if got := Coerce(Float(3.7), KindInt); got.AsInt() != 3 {
+		t.Errorf("float->int: %v", got)
+	}
+	if got := Coerce(String("17"), KindInt); got.AsInt() != 17 {
+		t.Errorf("string->int: %v", got)
+	}
+	if got := Coerce(String("x"), KindInt); !got.IsNull() {
+		t.Errorf("bad string->int should be NULL, got %v", got)
+	}
+	if got := Coerce(Int(5), KindString); got.AsString() != "5" {
+		t.Errorf("int->string: %v", got)
+	}
+	if got := Coerce(Int(0), KindBool); got.AsBool() {
+		t.Errorf("0 -> bool should be false")
+	}
+}
+
+// Property: Compare is antisymmetric and Equal iff Compare==0.
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return va.Compare(vb) == -vb.Compare(va) && (va.Equal(vb) == (va.Compare(vb) == 0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key is injective over distinct ints and stable across
+// numerically-equal representations.
+func TestKeyProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		ka, kb := Int(int64(a)).Key(), Int(int64(b)).Key()
+		if a == b {
+			return ka == kb && Float(float64(a)).Key() == ka
+		}
+		return ka != kb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse(v.String()) round-trips ints and bools.
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(a int64, b bool) bool {
+		return Parse(Int(a).String()).Equal(Int(a)) && Parse(Bool(b).String()).Equal(Bool(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

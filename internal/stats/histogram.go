@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi]. Values outside
+// the range clamp to the boundary buckets.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n buckets over [lo, hi].
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Bucket returns the bucket index for x.
+func (h *Histogram) Bucket(x float64) int {
+	n := len(h.Counts)
+	if x <= h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return n - 1
+	}
+	i := int(math.Floor((x - h.Lo) / (h.Hi - h.Lo) * float64(n)))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Counts[h.Bucket(x)]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Frac returns the fraction of observations in bucket i.
+func (h *Histogram) Frac(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Midpoint returns the center value of bucket i.
+func (h *Histogram) Midpoint(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// String renders a compact textual bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxc := 1
+	for _, c := range h.Counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*40/maxc)
+		fmt.Fprintf(&b, "[%8.3g) %6d %s\n", h.Midpoint(i), c, bar)
+	}
+	return b.String()
+}
