@@ -392,6 +392,42 @@ func BenchmarkEstimatorAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkRepeatWhatIf measures the serving-path win of the shared session
+// cache: the same what-if query evaluated from scratch every time (a
+// cache-less Session) vs. repeated against a warm cache (the hyperd
+// configuration), where view materialization and estimator training are
+// memoized and only tuple evaluation remains.
+func BenchmarkRepeatWhatIf(b *testing.B) {
+	g := germanBench(b)
+	const src = `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`
+	b.Run("uncached", func(b *testing.B) {
+		s := NewSession(g.DB, g.Model)
+		s.SetOptions(Options{Seed: 7})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.WhatIf(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		s := NewSessionWithCache(g.DB, g.Model, NewCacheBounded(512))
+		s.SetOptions(Options{Seed: 7})
+		if _, err := s.WhatIf(src); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.WhatIf(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := s.Cache().Stats()
+		b.ReportMetric(st.HitRate(), "hit-rate")
+	})
+}
+
 // BenchmarkExperimentHarness exercises the full experiment drivers at tiny
 // scale, ensuring the cmd/hyperbench paths stay healthy.
 func BenchmarkExperimentHarness(b *testing.B) {

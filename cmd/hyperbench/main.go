@@ -10,6 +10,13 @@
 // Experiments: table1, fig6, fig8, fig9, fig10, fig11, fig12, usecases,
 // backdoor, howto-quality, all. Scale multiplies the paper's dataset sizes;
 // 1.0 reproduces the full 1M-row runs.
+//
+// The additional "serve" experiment (not part of "all") benchmarks the
+// hyperd HTTP serving path — queries/sec, p50/p95 latency, cold vs. cached
+// repeat evaluation, cache hit rate — and writes the machine-readable
+// BENCH_serve.json (-out) tracking the serving perf trajectory across PRs:
+//
+//	hyperbench -exp serve -scale 0.5 -serve-queries 200 -serve-conc 8
 package main
 
 import (
@@ -43,6 +50,9 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments to run (or 'all')")
 	scale := flag.Float64("scale", 0.1, "dataset size multiplier relative to the paper (1.0 = full)")
 	seed := flag.Int64("seed", 7, "random seed")
+	serveQueries := flag.Int("serve-queries", 200, "serve: total requests")
+	serveConc := flag.Int("serve-conc", 8, "serve: concurrent clients")
+	out := flag.String("out", "BENCH_serve.json", "serve: output path for the machine-readable result")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -52,6 +62,16 @@ func main() {
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, W: os.Stdout}
 
 	ran := 0
+	if want["serve"] {
+		fmt.Printf("=== serve (scale %.2g) ===\n", *scale)
+		start := time.Now()
+		if err := runServe(*scale, *seed, *serveQueries, *serveConc, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "hyperbench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- serve done in %s ---\n\n", time.Since(start).Round(time.Millisecond))
+		ran++
+	}
 	for _, r := range runners {
 		if !want["all"] && !want[r.name] {
 			continue
@@ -73,7 +93,7 @@ func main() {
 			}
 			fmt.Fprint(os.Stderr, r.name)
 		}
-		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, ", serve")
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,125 @@
+// Command hyperd is the HypeR query-serving daemon: a long-lived HTTP JSON
+// API over the hyper engine, hosting named sessions (generated datasets or
+// CSV uploads, each with a bounded per-session artifact cache) and serving
+// concurrent what-if, how-to, explain and batch queries.
+//
+// Usage:
+//
+//	hyperd -addr :8080 -preload toy,german
+//	curl localhost:8080/v1/datasets
+//	curl -X POST localhost:8080/v1/whatif -d '{"session":"german","query":"USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)"}'
+//	curl localhost:8080/v1/stats
+//
+// Preloaded sessions are named after their dataset. See internal/server for
+// the full API surface and DESIGN.md for the architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hyper/internal/dataset"
+	"hyper/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache-entries", 512, "per-session cache bound in artifacts (-1 = unbounded)")
+	workers := flag.Int("batch-workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions")
+	preload := flag.String("preload", "", "comma-separated dataset names to preload as sessions (see /v1/datasets)")
+	preloadScale := flag.Float64("preload-scale", 1.0, "dataset scale for preloaded sessions")
+	seed := flag.Int64("seed", 7, "seed for preloaded sessions")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "hyperd: ", log.LstdFlags)
+	cfg := server.Config{
+		CacheEntries: *cacheEntries,
+		BatchWorkers: *workers,
+		MaxSessions:  *maxSessions,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv := server.New(cfg)
+
+	if *preload != "" {
+		for _, name := range strings.Split(*preload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if err := preloadSession(srv, name, *preloadScale, *seed); err != nil {
+				logger.Fatalf("preloading %q: %v", name, err)
+			}
+			logger.Printf("preloaded session %q", name)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		logger.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("serve: %v", err)
+		}
+	}
+}
+
+// preloadSession creates a session named after a registry dataset by driving
+// the same path the HTTP API uses.
+func preloadSession(srv *server.Server, name string, scale float64, seed int64) error {
+	if _, err := dataset.Lookup(name); err != nil {
+		return err
+	}
+	body := fmt.Sprintf(`{"name":%q,"dataset":%q,"scale":%g,"seed":%d}`, name, name, scale, seed)
+	req, err := http.NewRequest("POST", "/v1/sessions", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	rec := &statusRecorder{status: http.StatusOK}
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.status != http.StatusOK {
+		return fmt.Errorf("create returned status %d: %s", rec.status, strings.TrimSpace(rec.body.String()))
+	}
+	return nil
+}
+
+// statusRecorder captures a handler's status and body without a network
+// round-trip.
+type statusRecorder struct {
+	status int
+	body   strings.Builder
+}
+
+func (r *statusRecorder) Header() http.Header         { return http.Header{} }
+func (r *statusRecorder) WriteHeader(code int)        { r.status = code }
+func (r *statusRecorder) Write(b []byte) (int, error) { return r.body.Write(b) }

@@ -1,0 +1,3 @@
+module hyper
+
+go 1.24

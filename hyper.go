@@ -29,6 +29,7 @@ package hyper
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"hyper/internal/causal"
@@ -93,11 +94,13 @@ const (
 
 // Constructors re-exported from the relation package.
 var (
-	NewDatabase = relation.NewDatabase
-	NewRelation = relation.NewRelation
-	NewSchema   = relation.NewSchema
-	MustSchema  = relation.MustSchema
-	LoadCSV     = relation.LoadCSV
+	NewDatabase  = relation.NewDatabase
+	NewRelation  = relation.NewRelation
+	NewSchema    = relation.NewSchema
+	MustSchema   = relation.MustSchema
+	LoadCSV      = relation.LoadCSV
+	ReadCSV      = relation.ReadCSV
+	ReadCSVKeyed = relation.ReadCSVKeyed
 )
 
 // NewCausalModel returns an empty causal model; add edges with AddEdge
@@ -120,24 +123,76 @@ type Options struct {
 }
 
 // Session binds a database and causal model for query evaluation.
+//
+// A Session is safe for concurrent use: each query works on a snapshot of
+// the options taken when it starts, and the database and causal model are
+// treated as read-only. A session created with NewSessionWithCache shares
+// one engine cache across all of its queries (and callers), so repeated
+// queries with the same USE/WHEN/FOR clauses reuse the materialized view,
+// block decomposition, and trained estimators.
 type Session struct {
 	db    *Database
 	model *CausalModel
-	opts  Options
+	cache *engine.Cache
+
+	mu   sync.RWMutex
+	opts Options
 }
+
+// Cache is the engine-level artifact cache shared by a session's queries.
+// See NewCacheBounded for the eviction bound and Cache.Stats for hit/miss
+// counters.
+type Cache = engine.Cache
+
+// CacheStats reports cache hit/miss/eviction counters.
+type CacheStats = engine.CacheStats
+
+// NewCache returns an unbounded query-artifact cache.
+func NewCache() *Cache { return engine.NewCache() }
+
+// NewCacheBounded returns a cache evicting least-recently-used artifacts
+// past max entries (max <= 0 means unbounded).
+func NewCacheBounded(max int) *Cache { return engine.NewCacheBounded(max) }
 
 // NewSession creates a session. model may be nil, in which case queries run
 // in no-background mode (all attributes are treated as potential
-// confounders).
+// confounders). The session has no shared cache: each query (re)builds its
+// artifacts, which keeps results independent of query history; long-lived
+// callers should use NewSessionWithCache.
 func NewSession(db *Database, model *CausalModel) *Session {
 	return &Session{db: db, model: model}
 }
 
-// SetOptions replaces the session's evaluation options.
-func (s *Session) SetOptions(o Options) { s.opts = o }
+// NewSessionWithCache creates a session whose queries share cache, so a
+// repeated what-if query is served from memoized artifacts instead of
+// rebuilding the view and retraining estimators. A nil cache allocates a
+// fresh unbounded one. The cache must not be shared with sessions over a
+// different database or causal model.
+func NewSessionWithCache(db *Database, model *CausalModel, cache *Cache) *Session {
+	if cache == nil {
+		cache = engine.NewCache()
+	}
+	return &Session{db: db, model: model, cache: cache}
+}
+
+// Cache returns the session's shared cache (nil for sessions created with
+// NewSession).
+func (s *Session) Cache() *Cache { return s.cache }
+
+// SetOptions replaces the session's evaluation options. Queries already in
+// flight keep the options they started with.
+func (s *Session) SetOptions(o Options) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts = o
+}
 
 // Options returns the session's evaluation options.
-func (s *Session) Options() Options { return s.opts }
+func (s *Session) Options() Options {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.opts
+}
 
 // DB returns the session database.
 func (s *Session) DB() *Database { return s.db }
@@ -153,11 +208,30 @@ func (s *Session) Validate() error {
 	return s.model.Validate(s.db)
 }
 
+// engineOpts snapshots the session options into engine options; the snapshot
+// (not the live session state) flows through the whole evaluation, so a
+// concurrent SetOptions cannot tear a running query.
 func (s *Session) engineOpts() engine.Options {
+	o := s.Options()
 	return engine.Options{
-		Mode:       s.opts.Mode,
-		SampleSize: s.opts.SampleSize,
-		Seed:       s.opts.Seed,
+		Mode:       o.Mode,
+		SampleSize: o.SampleSize,
+		Seed:       o.Seed,
+		Cache:      s.cache,
+	}
+}
+
+// howtoOpts snapshots the session options into how-to options.
+func (s *Session) howtoOpts() howto.Options {
+	o := s.Options()
+	return howto.Options{
+		Engine: engine.Options{
+			Mode:       o.Mode,
+			SampleSize: o.SampleSize,
+			Seed:       o.Seed,
+			Cache:      s.cache,
+		},
+		Buckets: o.Buckets,
 	}
 }
 
@@ -177,10 +251,7 @@ func (s *Session) HowTo(src string) (*HowToResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return howto.Evaluate(s.db, s.model, q, howto.Options{
-		Engine:  s.engineOpts(),
-		Buckets: s.opts.Buckets,
-	})
+	return howto.Evaluate(s.db, s.model, q, s.howtoOpts())
 }
 
 // HowToBruteForce evaluates a how-to query with the exhaustive Opt-HowTo
@@ -191,10 +262,7 @@ func (s *Session) HowToBruteForce(src string) (*HowToResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return howto.BruteForce(s.db, s.model, q, howto.Options{
-		Engine:  s.engineOpts(),
-		Buckets: s.opts.Buckets,
-	})
+	return howto.BruteForce(s.db, s.model, q, s.howtoOpts())
 }
 
 // HowToMinimizeCost solves the alternate how-to formulation (Section 4.3,
@@ -205,10 +273,7 @@ func (s *Session) HowToMinimizeCost(src string, target float64) (*HowToResult, e
 	if err != nil {
 		return nil, err
 	}
-	return howto.MinimizeCost(s.db, s.model, q, target, howto.Options{
-		Engine:  s.engineOpts(),
-		Buckets: s.opts.Buckets,
-	})
+	return howto.MinimizeCost(s.db, s.model, q, target, s.howtoOpts())
 }
 
 // HowToLexicographic evaluates a preferential multi-objective how-to query:
@@ -226,10 +291,7 @@ func (s *Session) HowToLexicographic(srcs ...string) (*HowToResult, error) {
 		}
 		qs[i] = q
 	}
-	return howto.Lexicographic(s.db, s.model, qs, howto.Options{
-		Engine:  s.engineOpts(),
-		Buckets: s.opts.Buckets,
-	})
+	return howto.Lexicographic(s.db, s.model, qs, s.howtoOpts())
 }
 
 // Explain plans a what-if query without evaluating it, returning a
@@ -269,10 +331,7 @@ func (s *Session) Query(src string) (any, error) {
 	case *hyperql.WhatIf:
 		return engine.Evaluate(s.db, s.model, qq, s.engineOpts())
 	case *hyperql.HowTo:
-		return howto.Evaluate(s.db, s.model, qq, howto.Options{
-			Engine:  s.engineOpts(),
-			Buckets: s.opts.Buckets,
-		})
+		return howto.Evaluate(s.db, s.model, qq, s.howtoOpts())
 	default:
 		return nil, fmt.Errorf("hyper: unknown query type %T", q)
 	}

@@ -1,0 +1,41 @@
+package dataset
+
+import "testing"
+
+// Every registry entry must build a database whose causal model validates
+// against it, at a small scale so the whole sweep stays fast.
+func TestRegistryBuildersValidate(t *testing.T) {
+	for _, b := range Registry() {
+		t.Run(b.Name, func(t *testing.T) {
+			db, model := b.Build(0.05, 7)
+			if db == nil {
+				t.Fatal("nil database")
+			}
+			if db.TotalRows() == 0 {
+				t.Fatal("empty database")
+			}
+			if model == nil {
+				t.Fatal("nil model")
+			}
+			if err := model.Validate(db); err != nil {
+				t.Fatalf("model does not validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	b, err := Lookup("german")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "german" {
+		t.Errorf("Lookup returned %q", b.Name)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown name should fail")
+	}
+	if len(Names()) != len(Registry()) {
+		t.Error("Names and Registry disagree on length")
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -16,67 +17,196 @@ import (
 // "training a regression function over the dataset" description of the IP
 // objective (Section 4.3).
 //
-// A Cache must only be reused across queries against the same database and
-// causal model.
+// A long-lived serving process (cmd/hyperd) shares one Cache per session
+// across every query against that session, so the cache is bounded: when a
+// maximum entry count is set, the least recently used artifact is evicted
+// on insertion past the bound. Hit/miss/eviction counters are maintained
+// for observability (the daemon's /v1/stats endpoint reports them).
+//
+// All methods are safe for concurrent use. A Cache must only be reused
+// across queries against the same database and causal model.
 type Cache struct {
-	mu     sync.Mutex
-	views  map[string]*view
-	blocks map[string]blockInfo
-	ests   map[string]*estimatorSet
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	head    *cacheEntry // most recently used
+	tail    *cacheEntry // least recently used
+	max     int         // maximum entries; 0 = unbounded
+
+	hits, misses, evictions uint64
 }
+
+// cacheEntry is a node of the intrusive LRU list. One list orders all three
+// artifact kinds together; keys are kind-prefixed so they cannot collide.
+type cacheEntry struct {
+	key        string
+	val        any
+	prev, next *cacheEntry
+}
+
+// Key prefixes per artifact kind.
+const (
+	kindView   = "v\x00"
+	kindBlocks = "b\x00"
+	kindEst    = "e\x00"
+)
 
 type blockInfo struct {
 	blockOf []int
 	nBlocks int
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{
-		views:  make(map[string]*view),
-		blocks: make(map[string]blockInfo),
-		ests:   make(map[string]*estimatorSet),
+// NewCache returns an empty, unbounded cache (the right choice for a single
+// how-to evaluation or a short-lived batch of related queries).
+func NewCache() *Cache { return NewCacheBounded(0) }
+
+// NewCacheBounded returns an empty cache holding at most max artifacts
+// (views, block decompositions, and estimator sets each count as one);
+// max <= 0 means unbounded. Long-lived daemons should set a bound so the
+// cache cannot grow without limit.
+func NewCacheBounded(max int) *Cache {
+	if max < 0 {
+		max = 0
+	}
+	return &Cache{entries: make(map[string]*cacheEntry), max: max}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	// MaxEntries is the configured bound (0 = unbounded).
+	MaxEntries int `json:"max_entries"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Entries:    len(c.entries),
+		MaxEntries: c.max,
 	}
 }
 
-func (c *Cache) getView(key string) (*view, bool) {
+// Len returns the current number of cached artifacts.
+func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, ok := c.views[key]
-	return v, ok
+	return len(c.entries)
 }
 
-func (c *Cache) putView(key string, v *view) {
+// get looks up a kind-prefixed key, promoting it to most recently used.
+func (c *Cache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.views[key] = v
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.val, true
 }
+
+// put inserts (or refreshes) a kind-prefixed key, evicting from the LRU tail
+// past the bound.
+func (c *Cache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	e := &cacheEntry{key: key, val: val}
+	c.entries[key] = e
+	c.pushFront(e)
+	for c.max > 0 && len(c.entries) > c.max {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+		c.evictions++
+	}
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) getView(key string) (*view, bool) {
+	v, ok := c.get(kindView + key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*view), true
+}
+
+func (c *Cache) putView(key string, v *view) { c.put(kindView+key, v) }
 
 func (c *Cache) getBlocks(key string) (blockInfo, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b, ok := c.blocks[key]
-	return b, ok
+	b, ok := c.get(kindBlocks + key)
+	if !ok {
+		return blockInfo{}, false
+	}
+	return b.(blockInfo), true
 }
 
-func (c *Cache) putBlocks(key string, b blockInfo) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.blocks[key] = b
-}
+func (c *Cache) putBlocks(key string, b blockInfo) { c.put(kindBlocks+key, b) }
 
 func (c *Cache) getEst(key string) (*estimatorSet, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.ests[key]
-	return e, ok
+	e, ok := c.get(kindEst + key)
+	if !ok {
+		return nil, false
+	}
+	return e.(*estimatorSet), true
 }
 
-func (c *Cache) putEst(key string, e *estimatorSet) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ests[key] = e
-}
+func (c *Cache) putEst(key string, e *estimatorSet) { c.put(kindEst+key, e) }
 
 // estKey builds the identity of an estimator set: everything that affects
 // training except the update constants.
@@ -102,5 +232,11 @@ func estKey(useKey, whenKey, forKey string, featCols []string, o Options) string
 			b.WriteByte(byte('0' + n%10))
 		}
 	}
+	// The seed drives training-sample selection and forest randomness, so
+	// estimators trained under different seeds are distinct artifacts (a
+	// long-lived session cache must not serve a stale-seed estimator after
+	// SetOptions changes the seed).
+	b.WriteString("|r")
+	b.WriteString(strconv.FormatInt(o.Seed, 10))
 	return b.String()
 }

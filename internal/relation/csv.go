@@ -48,22 +48,9 @@ func (r *Relation) SaveCSV(path string) error {
 // schema is nil; otherwise the provided schema is used (its names must match
 // the header).
 func ReadCSV(name string, rd io.Reader, schema *Schema) (*Relation, error) {
-	cr := csv.NewReader(rd)
-	cr.ReuseRecord = false
-	header, err := cr.Read()
+	header, records, err := readCSVRecords(name, rd)
 	if err != nil {
-		return nil, fmt.Errorf("csv %s: reading header: %w", name, err)
-	}
-	var records [][]string
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("csv %s: %w", name, err)
-		}
-		records = append(records, rec)
+		return nil, err
 	}
 	if schema == nil {
 		cols := make([]Column, len(header))
@@ -92,6 +79,86 @@ func ReadCSV(name string, rd io.Reader, schema *Schema) (*Relation, error) {
 		}
 		if err := r.Insert(t); err != nil {
 			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// readCSVRecords parses the header and data rows of a CSV stream.
+func readCSVRecords(name string, rd io.Reader) (header []string, records [][]string, err error) {
+	cr := csv.NewReader(rd)
+	cr.ReuseRecord = false
+	header, err = cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("csv %s: reading header: %w", name, err)
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("csv %s: %w", name, err)
+		}
+		records = append(records, rec)
+	}
+	return header, records, nil
+}
+
+// ReadCSVKeyed reads a relation from CSV with an inferred schema, marking
+// the named header columns as the primary key. With no keys, a synthetic
+// RowID int key column is prepended so duplicate data rows are legal (a
+// plain ReadCSV relation uses the whole tuple as its key and rejects
+// duplicates). The serving layer uses this for uploaded databases.
+func ReadCSVKeyed(name string, rd io.Reader, keys []string) (*Relation, error) {
+	header, records, err := readCSVRecords(name, rd)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		cols[i] = Column{Name: h, Kind: inferKind(records, i), Mutable: true}
+	}
+	synthetic := len(keys) == 0
+	if synthetic {
+		for _, c := range cols {
+			if c.Name == "RowID" {
+				return nil, fmt.Errorf("csv %s: header has a RowID column; declare it (or another column) as the key", name)
+			}
+		}
+		cols = append([]Column{{Name: "RowID", Kind: KindInt, Key: true}}, cols...)
+	} else {
+		isKey := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			isKey[k] = true
+		}
+		found := 0
+		for i := range cols {
+			if isKey[cols[i].Name] {
+				cols[i].Key = true
+				cols[i].Mutable = false
+				found++
+			}
+		}
+		if found != len(isKey) {
+			return nil, fmt.Errorf("csv %s: key columns %v are not all in the header", name, keys)
+		}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRelation(name, schema)
+	for ri, rec := range records {
+		t := make(Tuple, 0, len(cols))
+		if synthetic {
+			t = append(t, Int(int64(ri)))
+		}
+		for _, s := range rec {
+			t = append(t, Parse(s))
+		}
+		if err := r.Insert(t); err != nil {
+			return nil, fmt.Errorf("csv %s: %w", name, err)
 		}
 	}
 	return r, nil

@@ -1,0 +1,55 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVKeyedSyntheticRowID(t *testing.T) {
+	// Duplicate data rows are legal: the synthetic key disambiguates them.
+	r, err := ReadCSVKeyed("T", strings.NewReader("A,B\n1,x\n1,x\n2,y\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if got := r.Schema().Names(); got[0] != "RowID" {
+		t.Fatalf("schema = %v, want leading RowID", got)
+	}
+	if ki := r.Schema().KeyIndexes(); len(ki) != 1 || ki[0] != 0 {
+		t.Errorf("key indexes = %v, want [0]", ki)
+	}
+	if r.Schema().Col(0).Mutable {
+		t.Error("RowID must not be mutable")
+	}
+	if r.Row(2)[0].AsInt() != 2 {
+		t.Errorf("RowID of third row = %v, want 2", r.Row(2)[0])
+	}
+}
+
+func TestReadCSVKeyedExplicitKeys(t *testing.T) {
+	r, err := ReadCSVKeyed("T", strings.NewReader("ID,V\n1,a\n2,b\n"), []string{"ID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schema().Names(); len(got) != 2 || got[0] != "ID" {
+		t.Fatalf("schema = %v, want [ID V]", got)
+	}
+	c := r.Schema().Col(0)
+	if !c.Key || c.Mutable {
+		t.Errorf("ID column = %+v, want key and immutable", c)
+	}
+	// Duplicate keys are rejected.
+	if _, err := ReadCSVKeyed("T", strings.NewReader("ID,V\n1,a\n1,b\n"), []string{"ID"}); err == nil {
+		t.Error("duplicate explicit key should fail")
+	}
+	// Unknown key column is rejected.
+	if _, err := ReadCSVKeyed("T", strings.NewReader("ID,V\n1,a\n"), []string{"Nope"}); err == nil {
+		t.Error("unknown key column should fail")
+	}
+	// A RowID header clashes with the synthetic key.
+	if _, err := ReadCSVKeyed("T", strings.NewReader("RowID,V\n1,a\n"), nil); err == nil {
+		t.Error("RowID header without explicit keys should fail")
+	}
+}

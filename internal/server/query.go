@@ -1,0 +1,291 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"hyper"
+)
+
+// QueryRequest targets one session with one HypeRQL query. The zero Method
+// runs the default engine for the query kind.
+type QueryRequest struct {
+	Session string `json:"session"`
+	Query   string `json:"query"`
+	// Method selects the how-to formulation: "" or "ip" (integer program),
+	// "brute" (exhaustive Opt-HowTo), "mincost" (minimize update cost
+	// subject to Target). Ignored by what-if and explain.
+	Method string `json:"method,omitempty"`
+	// Target is the aggregate floor for method "mincost".
+	Target float64 `json:"target,omitempty"`
+}
+
+// WhatIfResponse is the wire form of a what-if result.
+type WhatIfResponse struct {
+	Value         float64  `json:"value"`
+	Sum           float64  `json:"sum"`
+	Count         float64  `json:"count"`
+	Mode          string   `json:"mode"`
+	Estimator     string   `json:"estimator"`
+	Backdoor      []string `json:"backdoor,omitempty"`
+	Blocks        int      `json:"blocks"`
+	Disjuncts     int      `json:"disjuncts"`
+	ViewRows      int      `json:"view_rows"`
+	UpdatedRows   int      `json:"updated_rows"`
+	SampledRows   int      `json:"sampled_rows"`
+	TrainedModels int      `json:"trained_models"`
+	TotalMs       float64  `json:"total_ms"`
+}
+
+func toWhatIfResponse(r *hyper.WhatIfResult) *WhatIfResponse {
+	return &WhatIfResponse{
+		Value:         r.Value,
+		Sum:           r.Sum,
+		Count:         r.Count,
+		Mode:          r.Mode.String(),
+		Estimator:     r.EstimatorUsed,
+		Backdoor:      r.Backdoor,
+		Blocks:        r.Blocks,
+		Disjuncts:     r.Disjuncts,
+		ViewRows:      r.ViewRows,
+		UpdatedRows:   r.UpdatedRows,
+		SampledRows:   r.SampledRows,
+		TrainedModels: r.TrainedModels,
+		TotalMs:       float64(r.Total) / float64(time.Millisecond),
+	}
+}
+
+// HowToChoice is the decision for one HOWTOUPDATE attribute.
+type HowToChoice struct {
+	Attr string `json:"attr"`
+	// Update renders the chosen hypothetical update ("Price: 1.1x"), or
+	// "no change".
+	Update string  `json:"update"`
+	Delta  float64 `json:"delta"`
+}
+
+// HowToResponse is the wire form of a how-to result.
+type HowToResponse struct {
+	Choices     []HowToChoice `json:"choices"`
+	Objective   float64       `json:"objective"`
+	Base        float64       `json:"base"`
+	Candidates  int           `json:"candidates"`
+	WhatIfEvals int           `json:"whatif_evals"`
+	IPNodes     int           `json:"ip_nodes"`
+	TotalMs     float64       `json:"total_ms"`
+}
+
+func toHowToResponse(r *hyper.HowToResult) *HowToResponse {
+	out := &HowToResponse{
+		Objective:   r.Objective,
+		Base:        r.Base,
+		Candidates:  r.Candidates,
+		WhatIfEvals: r.WhatIfEvals,
+		IPNodes:     r.IPNodes,
+		TotalMs:     float64(r.Total) / float64(time.Millisecond),
+	}
+	for _, c := range r.Choices {
+		out.Choices = append(out.Choices, HowToChoice{Attr: c.Attr, Update: c.String(), Delta: c.Delta})
+	}
+	return out
+}
+
+func (s *Server) handleWhatIf(r *http.Request) (any, error) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	e, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	return e.whatIf(req.Query)
+}
+
+func (s *Server) handleHowTo(r *http.Request) (any, error) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	e, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	return e.howTo(req)
+}
+
+func (s *Server) handleExplain(r *http.Request) (any, error) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	e, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	return e.explain(req.Query)
+}
+
+func (e *sessionEntry) whatIf(query string) (*WhatIfResponse, error) {
+	e.queries.Add(1)
+	res, err := e.sess.WhatIf(query)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	return toWhatIfResponse(res), nil
+}
+
+func (e *sessionEntry) howTo(req QueryRequest) (*HowToResponse, error) {
+	e.queries.Add(1)
+	var (
+		res *hyper.HowToResult
+		err error
+	)
+	switch req.Method {
+	case "", "ip":
+		res, err = e.sess.HowTo(req.Query)
+	case "brute":
+		res, err = e.sess.HowToBruteForce(req.Query)
+	case "mincost":
+		res, err = e.sess.HowToMinimizeCost(req.Query, req.Target)
+	default:
+		return nil, errf(http.StatusBadRequest, "unknown how-to method %q (want ip|brute|mincost)", req.Method)
+	}
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	return toHowToResponse(res), nil
+}
+
+func (e *sessionEntry) explain(query string) (map[string]string, error) {
+	e.queries.Add(1)
+	plan, err := e.sess.Explain(query)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	return map[string]string{"plan": plan}, nil
+}
+
+// BatchQuery is one element of a batch request.
+type BatchQuery struct {
+	// Kind is whatif|howto|explain (default whatif).
+	Kind   string  `json:"kind,omitempty"`
+	Query  string  `json:"query"`
+	Method string  `json:"method,omitempty"`
+	Target float64 `json:"target,omitempty"`
+}
+
+// BatchRequest fans N queries against one session across a worker pool.
+type BatchRequest struct {
+	Session string       `json:"session"`
+	Queries []BatchQuery `json:"queries"`
+	// Workers caps the pool for this request; 0 uses the server default,
+	// and the server's BatchWorkers config is always an upper bound.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchResult is the outcome of one batch element, in request order.
+type BatchResult struct {
+	Index   int             `json:"index"`
+	WhatIf  *WhatIfResponse `json:"whatif,omitempty"`
+	HowTo   *HowToResponse  `json:"howto,omitempty"`
+	Plan    string          `json:"plan,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	TotalMs float64         `json:"total_ms"`
+}
+
+// BatchResponse reports all element results plus wall-clock totals.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+	Errors  int           `json:"errors"`
+	Workers int           `json:"workers"`
+	TotalMs float64       `json:"total_ms"`
+}
+
+func (s *Server) handleBatch(r *http.Request) (any, error) {
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	e, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Queries) == 0 {
+		return nil, errf(http.StatusBadRequest, "batch has no queries")
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.BatchWorkers {
+		workers = s.cfg.BatchWorkers
+	}
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+
+	start := time.Now()
+	results := make([]BatchResult, len(req.Queries))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = e.runBatchQuery(i, req.Queries[i])
+			}
+		}()
+	}
+	for i := range req.Queries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	resp := &BatchResponse{
+		Results: results,
+		Workers: workers,
+		TotalMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for _, r := range results {
+		if r.Error != "" {
+			resp.Errors++
+		}
+	}
+	return resp, nil
+}
+
+// runBatchQuery evaluates one batch element, converting failures into the
+// element's error field so one bad query cannot sink its siblings.
+func (e *sessionEntry) runBatchQuery(i int, q BatchQuery) BatchResult {
+	start := time.Now()
+	out := BatchResult{Index: i}
+	switch q.Kind {
+	case "", "whatif":
+		res, err := e.whatIf(q.Query)
+		if err != nil {
+			out.Error = err.Error()
+		} else {
+			out.WhatIf = res
+		}
+	case "howto":
+		res, err := e.howTo(QueryRequest{Query: q.Query, Method: q.Method, Target: q.Target})
+		if err != nil {
+			out.Error = err.Error()
+		} else {
+			out.HowTo = res
+		}
+	case "explain":
+		res, err := e.explain(q.Query)
+		if err != nil {
+			out.Error = err.Error()
+		} else {
+			out.Plan = res["plan"]
+		}
+	default:
+		out.Error = fmt.Sprintf("unknown query kind %q (want whatif|howto|explain)", q.Kind)
+	}
+	out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+	return out
+}

@@ -1,0 +1,201 @@
+// Package server is HypeR's query-serving subsystem: a long-lived HTTP JSON
+// API over the hyper public layer, hosting a registry of named sessions
+// (generated datasets from internal/dataset or CSV-loaded databases, each
+// bound to a causal model and a bounded engine cache) and serving what-if,
+// how-to, explain and batched queries concurrently. cmd/hyperd is the
+// daemon wrapping it.
+//
+// Endpoints (all JSON):
+//
+//	GET    /healthz              liveness probe
+//	GET    /v1/datasets          named dataset builders available for sessions
+//	GET    /v1/sessions          list live sessions
+//	POST   /v1/sessions          create a session from a dataset name or inline CSV
+//	DELETE /v1/sessions/{name}   drop a session
+//	POST   /v1/whatif            evaluate one what-if query
+//	POST   /v1/howto             evaluate one how-to query (ip|brute|mincost methods)
+//	POST   /v1/explain           plan a what-if query without evaluating it
+//	POST   /v1/batch             evaluate N queries fanned out across a worker pool
+//	GET    /v1/stats             cache hit/miss counters and per-endpoint latency quantiles
+//
+// Sessions are independent: each owns a bounded LRU engine cache
+// (engine.NewCacheBounded), so repeat queries with shared USE/WHEN/FOR
+// clauses skip view materialization and estimator training, and a
+// long-lived daemon's memory stays bounded. The underlying hyper.Session is
+// safe for concurrent use, so no per-session serialization is needed.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"hyper"
+)
+
+// Config tunes the server; the zero value is usable.
+type Config struct {
+	// CacheEntries bounds each session's engine cache (artifacts, not
+	// bytes). Default 512; <0 means unbounded.
+	CacheEntries int
+	// BatchWorkers is the worker-pool size for /v1/batch (and the cap on a
+	// request's own workers field). Default GOMAXPROCS.
+	BatchWorkers int
+	// MaxSessions caps the number of live sessions. Default 64.
+	MaxSessions int
+	// MaxBodyBytes caps request bodies (CSV uploads included). Default 16MB.
+	MaxBodyBytes int64
+	// Logf, when non-nil, receives one line per request.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // unbounded
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// Server hosts the session registry and the HTTP handlers.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu       sync.RWMutex
+	sessions map[string]*sessionEntry
+
+	stats statsRecorder
+}
+
+// New returns a server with an empty session registry.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		start:    time.Now(),
+		sessions: make(map[string]*sessionEntry),
+	}
+	s.stats.init()
+	return s
+}
+
+// Handler returns the routed HTTP handler for the API surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_s": time.Since(s.start).Seconds()})
+	})
+	mux.Handle("GET /v1/datasets", s.instrument("datasets", s.handleDatasets))
+	mux.Handle("GET /v1/sessions", s.instrument("sessions", s.handleListSessions))
+	mux.Handle("POST /v1/sessions", s.instrument("sessions", s.handleCreateSession))
+	mux.Handle("DELETE /v1/sessions/{name}", s.instrument("sessions", s.handleDeleteSession))
+	mux.Handle("POST /v1/whatif", s.instrument("whatif", s.handleWhatIf))
+	mux.Handle("POST /v1/howto", s.instrument("howto", s.handleHowTo))
+	mux.Handle("POST /v1/explain", s.instrument("explain", s.handleExplain))
+	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	return mux
+}
+
+// apiError carries an HTTP status through the handler helpers.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) error {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps a handler with latency recording, error mapping and
+// request logging. Handlers return (payload, error); payloads are rendered
+// as JSON, errors as {"error": ...} with the apiError status (500 default,
+// 400 for body decode errors).
+func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		payload, err := fn(r)
+		elapsed := time.Since(start)
+		status := http.StatusOK
+		if err != nil {
+			var ae *apiError
+			switch {
+			case errors.As(err, &ae):
+				status = ae.status
+			default:
+				status = http.StatusInternalServerError
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
+		} else {
+			writeJSON(w, status, payload)
+		}
+		s.stats.record(endpoint, elapsed, err != nil)
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.Path, status, elapsed.Round(time.Microsecond))
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(payload)
+}
+
+// decodeBody strictly decodes the request body into dst.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return errf(http.StatusBadRequest, "decoding request body: %v", err)
+	}
+	return nil
+}
+
+// session looks up a live session by name.
+func (s *Server) session(name string) (*sessionEntry, error) {
+	if name == "" {
+		return nil, errf(http.StatusBadRequest, "missing session name")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.sessions[name]
+	if !ok {
+		return nil, errf(http.StatusNotFound, "unknown session %q", name)
+	}
+	return e, nil
+}
+
+// parseMode maps the wire name of an engine mode.
+func parseMode(name string) (hyper.Mode, error) {
+	switch name {
+	case "", "full", "hyper":
+		return hyper.ModeFull, nil
+	case "nb", "hyper-nb":
+		return hyper.ModeNB, nil
+	case "indep":
+		return hyper.ModeIndep, nil
+	default:
+		return 0, errf(http.StatusBadRequest, "unknown mode %q (want full|nb|indep)", name)
+	}
+}

@@ -1,0 +1,307 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hyper"
+	"hyper/internal/dataset"
+)
+
+// sessionEntry is one live session: a named database + causal model bound to
+// a bounded engine cache. The embedded hyper.Session is safe for concurrent
+// use, so entries are shared across request goroutines without extra
+// locking; only the query counter is touched per request.
+type sessionEntry struct {
+	name    string
+	dataset string // registry name, or "csv"
+	sess    *hyper.Session
+	created time.Time
+	queries atomic.Int64
+}
+
+// SessionOptions is the wire form of hyper.Options.
+type SessionOptions struct {
+	// Mode is full|nb|indep (default full).
+	Mode       string `json:"mode,omitempty"`
+	SampleSize int    `json:"sample_size,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	Buckets    int    `json:"buckets,omitempty"`
+}
+
+// CSVTable is one inline CSV-encoded relation.
+type CSVTable struct {
+	Name string `json:"name"`
+	// Data is the CSV text; the first row is the header, column kinds are
+	// inferred.
+	Data string `json:"data"`
+	// Keys names the primary-key columns; empty adds a synthetic RowID key
+	// so duplicate data rows are legal.
+	Keys []string `json:"keys,omitempty"`
+}
+
+// CSVForeignKey declares a child->parent link between uploaded tables.
+type CSVForeignKey struct {
+	Child     string `json:"child"`
+	ChildCol  string `json:"child_col"`
+	Parent    string `json:"parent"`
+	ParentCol string `json:"parent_col"`
+}
+
+// CSVCrossEdge is the wire form of a cross-tuple causal edge.
+type CSVCrossEdge struct {
+	FromRel  string `json:"from_rel"`
+	FromAttr string `json:"from_attr"`
+	ToRel    string `json:"to_rel"`
+	ToAttr   string `json:"to_attr"`
+	// GroupBy is the qualified grouping attribute ("Rel.Attr").
+	GroupBy string `json:"group_by"`
+}
+
+// CSVModel declares the causal model over uploaded tables. Edges use
+// qualified "Rel.Attr" endpoints. An absent model runs the session in
+// no-background mode.
+type CSVModel struct {
+	Edges [][2]string    `json:"edges,omitempty"`
+	Cross []CSVCrossEdge `json:"cross,omitempty"`
+}
+
+// CSVDatabase is an inline database upload.
+type CSVDatabase struct {
+	Tables      []CSVTable      `json:"tables"`
+	ForeignKeys []CSVForeignKey `json:"foreign_keys,omitempty"`
+	Model       *CSVModel       `json:"model,omitempty"`
+}
+
+// CreateSessionRequest creates a named session from either a registry
+// dataset or an inline CSV database.
+type CreateSessionRequest struct {
+	Name string `json:"name"`
+	// Dataset is a registry name (GET /v1/datasets); mutually exclusive
+	// with CSV.
+	Dataset string          `json:"dataset,omitempty"`
+	Scale   float64         `json:"scale,omitempty"`
+	Seed    int64           `json:"seed,omitempty"`
+	CSV     *CSVDatabase    `json:"csv,omitempty"`
+	Options *SessionOptions `json:"options,omitempty"`
+	// CacheEntries overrides the server's per-session cache bound
+	// (<0 = unbounded).
+	CacheEntries *int `json:"cache_entries,omitempty"`
+}
+
+// SessionInfo describes a live session.
+type SessionInfo struct {
+	Name      string           `json:"name"`
+	Dataset   string           `json:"dataset"`
+	Relations []string         `json:"relations"`
+	Rows      int              `json:"rows"`
+	Queries   int64            `json:"queries"`
+	CreatedAt time.Time        `json:"created_at"`
+	Cache     hyper.CacheStats `json:"cache"`
+}
+
+func (e *sessionEntry) info() SessionInfo {
+	db := e.sess.DB()
+	return SessionInfo{
+		Name:      e.name,
+		Dataset:   e.dataset,
+		Relations: db.Names(),
+		Rows:      db.TotalRows(),
+		Queries:   e.queries.Load(),
+		CreatedAt: e.created,
+		Cache:     e.sess.Cache().Stats(),
+	}
+}
+
+// DatasetInfo describes one registry builder.
+type DatasetInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleDatasets(*http.Request) (any, error) {
+	var out []DatasetInfo
+	for _, b := range dataset.Registry() {
+		out = append(out, DatasetInfo{Name: b.Name, Description: b.Description})
+	}
+	return map[string]any{"datasets": out}, nil
+}
+
+func (s *Server) handleListSessions(*http.Request) (any, error) {
+	entries := s.sortedEntries()
+	out := make([]SessionInfo, len(entries))
+	for i, e := range entries {
+		out[i] = e.info()
+	}
+	return map[string]any{"sessions": out}, nil
+}
+
+func (s *Server) handleCreateSession(r *http.Request) (any, error) {
+	var req CreateSessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(req.Name) == "" {
+		return nil, errf(http.StatusBadRequest, "session name is required")
+	}
+	if (req.Dataset == "") == (req.CSV == nil) {
+		return nil, errf(http.StatusBadRequest, "exactly one of dataset or csv is required")
+	}
+	// Cheap pre-check so a doomed request doesn't pay for a dataset build
+	// or CSV parse; the authoritative check re-runs under the write lock
+	// below (another request may win the name in between).
+	if err := s.checkAdmissible(req.Name); err != nil {
+		return nil, err
+	}
+
+	var (
+		db    *hyper.Database
+		model *hyper.CausalModel
+		from  string
+	)
+	if req.Dataset != "" {
+		b, err := dataset.Lookup(req.Dataset)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		scale := req.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 7
+		}
+		db, model = b.Build(scale, seed)
+		from = b.Name
+	} else {
+		var err error
+		db, model, err = buildCSVDatabase(req.CSV)
+		if err != nil {
+			return nil, err
+		}
+		from = "csv"
+	}
+	if model != nil {
+		if err := model.Validate(db); err != nil {
+			return nil, errf(http.StatusBadRequest, "causal model does not validate: %v", err)
+		}
+	}
+
+	opts := hyper.Options{}
+	if o := req.Options; o != nil {
+		mode, err := parseMode(o.Mode)
+		if err != nil {
+			return nil, err
+		}
+		opts = hyper.Options{Mode: mode, SampleSize: o.SampleSize, Seed: o.Seed, Buckets: o.Buckets}
+	}
+	cacheEntries := s.cfg.CacheEntries
+	if req.CacheEntries != nil {
+		cacheEntries = *req.CacheEntries
+		if cacheEntries < 0 {
+			cacheEntries = 0
+		}
+	}
+	sess := hyper.NewSessionWithCache(db, model, hyper.NewCacheBounded(cacheEntries))
+	sess.SetOptions(opts)
+
+	e := &sessionEntry{name: req.Name, dataset: from, sess: sess, created: time.Now()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkAdmissibleLocked(req.Name); err != nil {
+		return nil, err
+	}
+	s.sessions[req.Name] = e
+	return e.info(), nil
+}
+
+// checkAdmissible verifies a new session name is free and the registry has
+// room.
+func (s *Server) checkAdmissible(name string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.checkAdmissibleLocked(name)
+}
+
+func (s *Server) checkAdmissibleLocked(name string) error {
+	if _, exists := s.sessions[name]; exists {
+		return errf(http.StatusConflict, "session %q already exists", name)
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return errf(http.StatusTooManyRequests, "session limit reached (%d)", s.cfg.MaxSessions)
+	}
+	return nil
+}
+
+// sortedEntries snapshots the session registry in name order.
+func (s *Server) sortedEntries() []*sessionEntry {
+	s.mu.RLock()
+	entries := make([]*sessionEntry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	return entries
+}
+
+func (s *Server) handleDeleteSession(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[name]; !ok {
+		return nil, errf(http.StatusNotFound, "unknown session %q", name)
+	}
+	delete(s.sessions, name)
+	return map[string]any{"deleted": name}, nil
+}
+
+// buildCSVDatabase assembles a database and optional causal model from an
+// inline upload. CSV columns get inferred kinds and are mutable, so any
+// column can be the target of UPDATE/HOWTOUPDATE.
+func buildCSVDatabase(c *CSVDatabase) (*hyper.Database, *hyper.CausalModel, error) {
+	if len(c.Tables) == 0 {
+		return nil, nil, errf(http.StatusBadRequest, "csv upload has no tables")
+	}
+	db := hyper.NewDatabase()
+	for _, t := range c.Tables {
+		if strings.TrimSpace(t.Name) == "" {
+			return nil, nil, errf(http.StatusBadRequest, "csv table has no name")
+		}
+		rel, err := hyper.ReadCSVKeyed(t.Name, strings.NewReader(t.Data), t.Keys)
+		if err != nil {
+			return nil, nil, errf(http.StatusBadRequest, "table %q: %v", t.Name, err)
+		}
+		if err := db.Add(rel); err != nil {
+			return nil, nil, errf(http.StatusBadRequest, "%v", err)
+		}
+	}
+	for _, fk := range c.ForeignKeys {
+		err := db.AddForeignKey(hyper.ForeignKey{
+			Child: fk.Child, ChildCol: fk.ChildCol,
+			Parent: fk.Parent, ParentCol: fk.ParentCol,
+		})
+		if err != nil {
+			return nil, nil, errf(http.StatusBadRequest, "foreign key: %v", err)
+		}
+	}
+	if c.Model == nil {
+		return db, nil, nil
+	}
+	m := hyper.NewCausalModel()
+	for _, e := range c.Model.Edges {
+		m.AddEdge(e[0], e[1])
+	}
+	for _, ce := range c.Model.Cross {
+		m.AddCross(hyper.CrossEdge{
+			FromRel: ce.FromRel, FromAttr: ce.FromAttr,
+			ToRel: ce.ToRel, ToAttr: ce.ToAttr,
+			GroupBy: ce.GroupBy,
+		})
+	}
+	return db, m, nil
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies each endpoint keeps for
+// quantile estimation; older samples fall out of the ring.
+const latencyWindow = 4096
+
+// endpointStats accumulates one endpoint's counters and a bounded latency
+// ring.
+type endpointStats struct {
+	count  int64
+	errors int64
+	ring   []time.Duration // capacity latencyWindow
+	next   int             // ring write position once full
+}
+
+func (e *endpointStats) record(d time.Duration, failed bool) {
+	e.count++
+	if failed {
+		e.errors++
+	}
+	if len(e.ring) < latencyWindow {
+		e.ring = append(e.ring, d)
+		return
+	}
+	e.ring[e.next] = d
+	e.next = (e.next + 1) % latencyWindow
+}
+
+// quantiles returns p50 and p95 of the retained window.
+func (e *endpointStats) quantiles() (p50, p95 time.Duration) {
+	if len(e.ring) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), e.ring...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.95)
+}
+
+// statsRecorder guards all endpoints' stats.
+type statsRecorder struct {
+	mu  sync.Mutex
+	byE map[string]*endpointStats
+}
+
+func (s *statsRecorder) init() { s.byE = make(map[string]*endpointStats) }
+
+func (s *statsRecorder) record(endpoint string, d time.Duration, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.byE[endpoint]
+	if e == nil {
+		e = &endpointStats{}
+		s.byE[endpoint] = e
+	}
+	e.record(d, failed)
+}
+
+// EndpointStats is the wire form of one endpoint's counters.
+type EndpointStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+}
+
+// snapshot renders every endpoint's stats.
+func (s *statsRecorder) snapshot() map[string]EndpointStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]EndpointStats, len(s.byE))
+	for name, e := range s.byE {
+		p50, p95 := e.quantiles()
+		out[name] = EndpointStats{
+			Count:  e.count,
+			Errors: e.errors,
+			P50Ms:  float64(p50) / float64(time.Millisecond),
+			P95Ms:  float64(p95) / float64(time.Millisecond),
+		}
+	}
+	return out
+}
+
+// StatsResponse is the /v1/stats payload: server uptime, per-endpoint
+// latency quantiles, and per-session query counts and cache effectiveness.
+type StatsResponse struct {
+	UptimeS   float64                  `json:"uptime_s"`
+	Sessions  []SessionInfo            `json:"sessions"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleStats(*http.Request) (any, error) {
+	entries := s.sortedEntries()
+	resp := &StatsResponse{
+		UptimeS:   time.Since(s.start).Seconds(),
+		Endpoints: s.stats.snapshot(),
+		Sessions:  make([]SessionInfo, len(entries)),
+	}
+	for i, e := range entries {
+		resp.Sessions[i] = e.info()
+	}
+	return resp, nil
+}
