@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"hyper/internal/dataset"
+	"hyper/internal/engine"
+	"hyper/internal/howto"
+	"hyper/internal/hyperql"
+	"hyper/internal/ml"
+)
+
+// engineBenchResult is the machine-readable engine benchmark, written to
+// BENCH_engine.json so successive PRs can track the what-if/how-to hot path
+// (cold latency, training volume, allocation behaviour) alongside the
+// serving-path numbers in BENCH_serve.json.
+type engineBenchResult struct {
+	Scale      float64 `json:"scale"`
+	Rows       int     `json:"rows"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	// ColdWhatIfMs is the median uncached evaluation of the discrete
+	// (freq-estimator) serving query; ColdWhatIfForMs adds a FOR predicate
+	// (two regressors via inclusion-exclusion).
+	ColdWhatIfMs    float64 `json:"cold_whatif_ms"`
+	ColdWhatIfForMs float64 `json:"cold_whatif_for_ms"`
+	TrainedModels   int     `json:"trained_models"`
+	// HowToMs is a four-attribute how-to (candidate scoring dominates);
+	// HowToSerialMs is the same query at GOMAXPROCS=1, so the ratio shows
+	// how candidate scoring scales with cores.
+	HowToMs         float64 `json:"howto_ms"`
+	HowToSerialMs   float64 `json:"howto_serial_ms"`
+	HowToCandidates int     `json:"howto_candidates"`
+	// Estimator fit+predict micro-costs over the encoded German view
+	// (testing.Benchmark; allocs/op is the regression tripwire).
+	FreqFitNsPerOp         int64 `json:"freq_fit_ns_per_op"`
+	FreqFitAllocsPerOp     int64 `json:"freq_fit_allocs_per_op"`
+	FreqPredictNsPerOp     int64 `json:"freq_predict_ns_per_op"`
+	FreqPredictAllocsPerOp int64 `json:"freq_predict_allocs_per_op"`
+}
+
+const engineBenchReps = 5
+
+// medianMs runs fn reps times and returns the median wall time in ms.
+func medianMs(reps int, fn func() error) (float64, error) {
+	times := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times = append(times, float64(time.Since(start))/float64(time.Millisecond))
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], nil
+}
+
+// runEngine benchmarks the evaluation hot path off the HTTP stack: cold
+// what-if latency, how-to wall time (parallel and serial), and estimator
+// fit/predict allocation counts, written to out as JSON.
+func runEngine(scale float64, seed int64, out string) error {
+	g := dataset.GermanSyn(int(5000*scale+0.5), seed)
+	rel := g.DB.Relation("German")
+	res := engineBenchResult{
+		Scale:      scale,
+		Rows:       rel.Len(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	parse := func(src string) *hyperql.WhatIf {
+		q, err := hyperql.ParseWhatIf(src)
+		if err != nil {
+			panic(err)
+		}
+		return q
+	}
+	qCold := parse(`USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`)
+	qFor := parse(`USE German UPDATE(Savings) = 2 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`)
+
+	var last *engine.Result
+	cold, err := medianMs(engineBenchReps, func() error {
+		r, err := engine.Evaluate(g.DB, g.Model, qCold, engine.Options{Seed: seed})
+		last = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	res.ColdWhatIfMs = cold
+	res.TrainedModels = last.TrainedModels
+
+	res.ColdWhatIfForMs, err = medianMs(engineBenchReps, func() error {
+		_, err := engine.Evaluate(g.DB, g.Model, qFor, engine.Options{Seed: seed})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	qHow, err := hyperql.ParseHowTo(`
+		USE German
+		HOWTOUPDATE Status, Savings, Housing, CreditAmount
+		TOMAXIMIZE COUNT(Credit = 1)`)
+	if err != nil {
+		return err
+	}
+	var howRes *howto.Result
+	res.HowToMs, err = medianMs(engineBenchReps, func() error {
+		r, err := howto.Evaluate(g.DB, g.Model, qHow, howto.Options{Engine: engine.Options{Seed: seed}})
+		howRes = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	res.HowToCandidates = howRes.Candidates
+	prev := runtime.GOMAXPROCS(1)
+	res.HowToSerialMs, err = medianMs(engineBenchReps, func() error {
+		_, err := howto.Evaluate(g.DB, g.Model, qHow, howto.Options{Engine: engine.Options{Seed: seed}})
+		return err
+	})
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		return err
+	}
+
+	// Estimator fit+predict micro-benchmark over the encoded view, the same
+	// features a discrete what-if conditions on.
+	featCols := []string{"Status", "Age", "Sex", "Savings", "Housing"}
+	enc := ml.NewEncoder(rel, featCols)
+	X := enc.Matrix(rel)
+	y := make([]float64, rel.Len())
+	ci := rel.Schema().MustIndex("Credit")
+	for i := 0; i < rel.Len(); i++ {
+		if rel.Row(i)[ci].AsInt() == 1 {
+			y[i] = 1
+		}
+	}
+	fit := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if f := ml.FitFreqKeep(X, y, 1); f.Support() == 0 {
+				b.Fatal("empty support")
+			}
+		}
+	})
+	res.FreqFitNsPerOp = fit.NsPerOp()
+	res.FreqFitAllocsPerOp = fit.AllocsPerOp()
+	fitted := ml.FitFreqKeep(X, y, 1)
+	pred := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if v := fitted.Predict(X[i%len(X)]); v < 0 {
+				b.Fatal("negative mean")
+			}
+		}
+	})
+	res.FreqPredictNsPerOp = pred.NsPerOp()
+	res.FreqPredictAllocsPerOp = pred.AllocsPerOp()
+
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("rows=%d  cold=%.2fms cold+for=%.2fms models=%d  howto=%.1fms serial=%.1fms (%d candidates)\n",
+		res.Rows, res.ColdWhatIfMs, res.ColdWhatIfForMs, res.TrainedModels,
+		res.HowToMs, res.HowToSerialMs, res.HowToCandidates)
+	fmt.Printf("freq fit %d ns/op %d allocs/op  predict %d ns/op %d allocs/op\n",
+		res.FreqFitNsPerOp, res.FreqFitAllocsPerOp, res.FreqPredictNsPerOp, res.FreqPredictAllocsPerOp)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -17,6 +17,13 @@
 // BENCH_serve.json (-out) tracking the serving perf trajectory across PRs:
 //
 //	hyperbench -exp serve -scale 0.5 -serve-queries 200 -serve-conc 8
+//
+// The "engine" experiment (also not part of "all") benchmarks the evaluation
+// hot path off the HTTP stack — cold what-if latency, how-to wall time
+// (parallel vs. GOMAXPROCS=1), trained-model counts, estimator fit/predict
+// allocations — and writes BENCH_engine.json (-engine-out):
+//
+//	hyperbench -exp engine -scale 1.0
 package main
 
 import (
@@ -53,6 +60,7 @@ func main() {
 	serveQueries := flag.Int("serve-queries", 200, "serve: total requests")
 	serveConc := flag.Int("serve-conc", 8, "serve: concurrent clients")
 	out := flag.String("out", "BENCH_serve.json", "serve: output path for the machine-readable result")
+	engineOut := flag.String("engine-out", "BENCH_engine.json", "engine: output path for the machine-readable result")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -70,6 +78,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("--- serve done in %s ---\n\n", time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if want["engine"] {
+		fmt.Printf("=== engine (scale %.2g) ===\n", *scale)
+		start := time.Now()
+		if err := runEngine(*scale, *seed, *engineOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hyperbench: engine: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- engine done in %s ---\n\n", time.Since(start).Round(time.Millisecond))
 		ran++
 	}
 	for _, r := range runners {
@@ -93,7 +111,7 @@ func main() {
 			}
 			fmt.Fprint(os.Stderr, r.name)
 		}
-		fmt.Fprintln(os.Stderr, ", serve")
+		fmt.Fprintln(os.Stderr, ", serve, engine")
 		os.Exit(2)
 	}
 }

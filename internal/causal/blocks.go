@@ -43,6 +43,50 @@ func (d *Decomposition) NumBlocks() int { return len(d.Blocks) }
 // This is the linear-time procedure of Section 3.3: a single pass assigns
 // each tuple to a component; no per-query work is needed.
 func Decompose(db *relation.Database, m *Model) (*Decomposition, error) {
+	uf, names, offset, _, err := tupleUnionFind(db, m)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect components into blocks keyed by representative.
+	groups := uf.Groups()
+	reps := make([]int, 0, len(groups))
+	for r := range groups {
+		reps = append(reps, r)
+	}
+	// Order blocks by smallest member for determinism.
+	minOf := make(map[int]int, len(groups))
+	for r, members := range groups {
+		m0 := members[0]
+		for _, x := range members {
+			if x < m0 {
+				m0 = x
+			}
+		}
+		minOf[r] = m0
+	}
+	sort.Slice(reps, func(i, j int) bool { return minOf[reps[i]] < minOf[reps[j]] })
+
+	dec := &Decomposition{}
+	for _, r := range reps {
+		b := Block{Rows: make(map[string][]int)}
+		for _, id := range groups[r] {
+			rel, row := locate(names, offset, db, id)
+			b.Rows[rel] = append(b.Rows[rel], row)
+		}
+		for _, rows := range b.Rows {
+			sort.Ints(rows)
+		}
+		dec.Blocks = append(dec.Blocks, b)
+	}
+	return dec, nil
+}
+
+// tupleUnionFind performs the union-find over all tuples shared by Decompose
+// and RowBlocks: tuples connected by a foreign key merge, and tuples of the
+// relations named in a cross-tuple edge merge when they agree on the edge's
+// GroupBy attribute.
+func tupleUnionFind(db *relation.Database, m *Model) (*UnionFind, []string, map[string]int, int, error) {
 	// Assign a dense id to every tuple across relations.
 	offset := make(map[string]int)
 	total := 0
@@ -80,11 +124,11 @@ func Decompose(db *relation.Database, m *Model) (*Decomposition, error) {
 			}
 			r := db.Relation(gRel)
 			if r == nil {
-				return nil, fmt.Errorf("causal: cross edge group relation %q not found", gRel)
+				return nil, nil, nil, 0, fmt.Errorf("causal: cross edge group relation %q not found", gRel)
 			}
 			gi, ok := r.Schema().Index(gAttr)
 			if !ok {
-				return nil, fmt.Errorf("causal: cross edge group attribute %q not in %q", gAttr, gRel)
+				return nil, nil, nil, 0, fmt.Errorf("causal: cross edge group attribute %q not in %q", gAttr, gRel)
 			}
 			first := make(map[string]int)
 			for i, row := range r.Rows() {
@@ -97,39 +141,38 @@ func Decompose(db *relation.Database, m *Model) (*Decomposition, error) {
 			}
 		}
 	}
+	return uf, names, offset, total, nil
+}
 
-	// Collect components into blocks keyed by representative.
-	groups := uf.Groups()
-	reps := make([]int, 0, len(groups))
-	for r := range groups {
-		reps = append(reps, r)
+// RowBlocks computes the same decomposition as Decompose but returns only
+// per-relation block ids (rowBlocks[rel][row] = block id) and the block
+// count, skipping the per-block row-map materialization — the representation
+// the engine's per-tuple accumulation actually needs. Block ids follow
+// Decompose's ordering exactly: blocks are numbered by their smallest
+// (relation, row) member, so the two APIs are interchangeable.
+func RowBlocks(db *relation.Database, m *Model) (map[string][]int, int, error) {
+	uf, names, offset, total, err := tupleUnionFind(db, m)
+	if err != nil {
+		return nil, 0, err
 	}
-	// Order blocks by smallest member for determinism.
-	minOf := make(map[int]int, len(groups))
-	for r, members := range groups {
-		m0 := members[0]
-		for _, x := range members {
-			if x < m0 {
-				m0 = x
-			}
+	// Scanning dense ids in order assigns block ids by smallest member.
+	blockOf := make([]int, total)
+	rootBlock := make(map[int]int)
+	for id := 0; id < total; id++ {
+		root := uf.Find(id)
+		b, ok := rootBlock[root]
+		if !ok {
+			b = len(rootBlock)
+			rootBlock[root] = b
 		}
-		minOf[r] = m0
+		blockOf[id] = b
 	}
-	sort.Slice(reps, func(i, j int) bool { return minOf[reps[i]] < minOf[reps[j]] })
-
-	dec := &Decomposition{}
-	for _, r := range reps {
-		b := Block{Rows: make(map[string][]int)}
-		for _, id := range groups[r] {
-			rel, row := locate(names, offset, db, id)
-			b.Rows[rel] = append(b.Rows[rel], row)
-		}
-		for _, rows := range b.Rows {
-			sort.Ints(rows)
-		}
-		dec.Blocks = append(dec.Blocks, b)
+	out := make(map[string][]int, len(names))
+	for _, n := range names {
+		o := offset[n]
+		out[n] = blockOf[o : o+db.Relation(n).Len()]
 	}
-	return dec, nil
+	return out, len(rootBlock), nil
 }
 
 func locate(names []string, offset map[string]int, db *relation.Database, id int) (string, int) {

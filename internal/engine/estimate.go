@@ -2,8 +2,6 @@ package engine
 
 import (
 	"hash/fnv"
-	"strconv"
-	"strings"
 	"sync"
 
 	"hyper/internal/ml"
@@ -14,23 +12,25 @@ import (
 // estimatorSet trains and caches the conditional-expectation regressors
 // E[label | B, C] used by the backdoor plug-in estimate (Eq. 35-40). One
 // regressor is trained per distinct post-event (or per Y-weighted event);
-// all share the same encoded feature matrix, built once over the (sampled)
-// relevant view.
+// all share one columnar encoded frame (ml.Frame), built once over the full
+// relevant view: training selects the (sampled) rows by index, and tuple
+// evaluation gathers prediction points from the same buffer instead of
+// re-encoding each tuple.
 type estimatorSet struct {
 	view      *relation.Relation
 	featCols  []string
 	keepFirst int // number of leading update-attribute features
 	enc       *ml.Encoder
+	frame     *ml.Frame
 	trainRows []int
-	x         [][]float64
-	keys      map[string]bool // exact feature combinations seen (freq only)
+	keys      *ml.SupportSet // exact feature combinations seen (freq only)
 	kind      string
 	opts      Options
 	mu        sync.Mutex
 	cache     map[string]ml.Regressor
 }
 
-// newEstimatorSet prepares the shared feature matrix. featCols is the
+// newEstimatorSet prepares the shared columnar frame. featCols is the
 // concatenation of update attributes, the backdoor set, and any summary
 // columns; sampling (HypeR-sampled) draws SampleSize rows without
 // replacement.
@@ -43,6 +43,7 @@ func newEstimatorSet(view *relation.Relation, featCols []string, keepFirst int, 
 		opts:      opts,
 		cache:     make(map[string]ml.Regressor),
 	}
+	s.frame = ml.NewFrame(s.enc, view)
 	n := view.Len()
 	if opts.SampleSize > 0 && opts.SampleSize < n {
 		rng := stats.NewRNG(opts.Seed ^ 0x5ab0)
@@ -53,19 +54,9 @@ func newEstimatorSet(view *relation.Relation, featCols []string, keepFirst int, 
 			s.trainRows[i] = i
 		}
 	}
-	s.x = make([][]float64, len(s.trainRows))
-	flat := make([]float64, len(s.trainRows)*len(featCols))
-	for i, r := range s.trainRows {
-		vec := flat[i*len(featCols) : (i+1)*len(featCols)]
-		s.enc.EncodeInto(view, view.Row(r), vec)
-		s.x[i] = vec
-	}
 	s.kind = s.chooseKind()
 	if s.kind == "freq" {
-		s.keys = make(map[string]bool, len(s.x))
-		for _, x := range s.x {
-			s.keys[featKeyOf(x)] = true
-		}
+		s.keys = ml.NewSupportSet(s.frame, s.trainRows)
 	}
 	return s
 }
@@ -73,16 +64,7 @@ func newEstimatorSet(view *relation.Relation, featCols []string, keepFirst int, 
 // hasSupport reports whether the exact feature combination x occurs in the
 // training data (only meaningful for the frequency estimator).
 func (s *estimatorSet) hasSupport(x []float64) bool {
-	return s.keys[featKeyOf(x)]
-}
-
-func featKeyOf(x []float64) string {
-	var b strings.Builder
-	for _, v := range x {
-		b.WriteString(strconv.FormatFloat(v, 'g', 12, 64))
-		b.WriteByte(',')
-	}
-	return b.String()
+	return s.keys.Has(x)
 }
 
 // chooseKind applies the auto rule: the exact frequency estimator when every
@@ -112,6 +94,15 @@ func (s *estimatorSet) chooseKind() string {
 	return "forest"
 }
 
+// cached returns the regressor for key if it is already trained, without
+// building labels or closures — the per-tuple fast path.
+func (s *estimatorSet) cached(key string) (ml.Regressor, bool) {
+	s.mu.Lock()
+	m, ok := s.cache[key]
+	s.mu.Unlock()
+	return m, ok
+}
+
 // model returns (training on demand) the regressor for the labeled target.
 // key must uniquely identify the labeling function. Safe for concurrent use;
 // forest seeds derive from the key so results are independent of training
@@ -130,9 +121,9 @@ func (s *estimatorSet) model(key string, label func(viewRow int) float64) ml.Reg
 	var m ml.Regressor
 	switch s.kind {
 	case "freq":
-		m = ml.FitFreqKeep(s.x, y, s.keepFirst)
+		m = ml.FitFreqFrame(s.frame, s.trainRows, y, s.keepFirst)
 	case "linear":
-		m = ml.FitLinear(s.x, y, 1e-6)
+		m = ml.FitLinearFrame(s.frame, s.trainRows, y, 1e-6)
 	default:
 		p := s.opts.Forest
 		h := fnv.New64a()
@@ -141,7 +132,7 @@ func (s *estimatorSet) model(key string, label func(viewRow int) float64) ml.Reg
 		// Forest over linear residuals: the forest captures nonlinearity
 		// in-distribution while the linear trend extrapolates at the edges
 		// of the observed support, where hypothetical updates often land.
-		m = ml.FitBoosted(s.x, y, p)
+		m = ml.FitBoostedFrame(s.frame, s.trainRows, y, p)
 	}
 	s.mu.Lock()
 	// Another goroutine may have trained the same model concurrently; keep
@@ -162,9 +153,10 @@ func (s *estimatorSet) trainedModels() int {
 	return len(s.cache)
 }
 
-// featureVector encodes the observed features of a view row.
-func (s *estimatorSet) featureVector(row int) []float64 {
-	return s.enc.Encode(s.view, s.view.Row(row))
+// featureVectorInto gathers a view row's features from the shared frame
+// into dst, which must have length len(featCols).
+func (s *estimatorSet) featureVectorInto(row int, dst []float64) {
+	s.frame.Gather(row, dst)
 }
 
 // featureIndex returns the position of a feature column, or -1.

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -109,6 +110,8 @@ func TestRandomQueryInvariants(t *testing.T) {
 		}
 		return true
 	}
+	// These checks are true invariants, so random (time-seeded) inputs are
+	// safe and keep exploring the query space.
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
@@ -143,7 +146,11 @@ func TestRandomQuerySampledConsistency(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	// Fixed source: the 25% sampled-vs-full bound is a statistical property,
+	// not an invariant — some random draws legitimately violate it (e.g.
+	// seed 8888173126901695333 deviates 25.1% on the pre- and post-columnar
+	// engine alike). Pinning the inputs keeps the suite deterministic.
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
 	}
 }

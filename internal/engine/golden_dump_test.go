@@ -1,0 +1,21 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestDumpParityGoldens prints the current engine's results for the parity
+// cases; run with HYPER_DUMP_GOLDENS=1 to regenerate the literals in
+// parity_test.go after an intentional behaviour change.
+func TestDumpParityGoldens(t *testing.T) {
+	if os.Getenv("HYPER_DUMP_GOLDENS") == "" {
+		t.Skip("set HYPER_DUMP_GOLDENS=1 to dump")
+	}
+	for _, c := range parityCases {
+		res := parityEval(t, c)
+		fmt.Printf("%s:\n\testimator: %q,\n\tvalue:     %q,\n\tsum:       %q,\n\tcount:     %q,\n",
+			c.name, res.EstimatorUsed, f17(res.Value), f17(res.Sum), f17(res.Count))
+	}
+}

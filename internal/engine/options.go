@@ -83,6 +83,13 @@ type Options struct {
 	// DisableBlocks turns off block-independent decomposition (used by the
 	// ablation benchmarks; results must not change).
 	DisableBlocks bool
+	// EvalWorkers caps the per-tuple evaluation fan-out (0 = GOMAXPROCS).
+	// Evaluation is deterministic for a fixed worker count; different
+	// counts change where shard boundaries fall, which can regroup a
+	// block's floating-point partial sums and shift results by an ulp. The
+	// how-to scoring pool sets 1 so its candidate-level parallelism is not
+	// multiplied by tuple-level workers.
+	EvalWorkers int
 	// DryRun stops after planning (view, blocks, backdoor set, FOR
 	// normalization, estimator selection) without evaluating any tuple;
 	// Result.Value is zero and the diagnostics describe the plan. Used by

@@ -135,10 +135,18 @@ func (v *view) keyOfViewRow(row relation.Tuple) (string, error) {
 	return key, nil
 }
 
-// blockIDs assigns each view row the id of its block in dec (blocks are
-// defined over base-relation tuples; view rows map to update-relation tuples
-// by key). Rows whose key is missing from the base relation map to block 0.
-func (v *view) blockIDs(dec *causal.Decomposition) ([]int, error) {
+// blockIDs assigns each view row the id of its block (blocks are defined
+// over base-relation tuples; rowBlock holds the update relation's per-row
+// block ids). View rows map to update-relation tuples by key; rows whose key
+// is missing from the base relation map to block 0. When the view IS the
+// update relation (a USE over a bare table), the mapping is the identity and
+// no per-row key encoding happens at all.
+func (v *view) blockIDs(rowBlock []int) ([]int, error) {
+	if v.rel == v.updateRel {
+		// Copy: rowBlock is a subslice of RowBlocks' all-relations buffer,
+		// and the result outlives this call in the engine cache.
+		return append([]int(nil), rowBlock...), nil
+	}
 	// Index base rows by key encoding.
 	keyIdx := v.updateRel.Schema().KeyIndexes()
 	baseKey := make(map[string]int, v.updateRel.Len())
@@ -148,13 +156,6 @@ func (v *view) blockIDs(dec *causal.Decomposition) ([]int, error) {
 			k += row[ki].Key() + "|"
 		}
 		baseKey[k] = i
-	}
-	// Map base row -> block id.
-	rowBlock := make([]int, v.updateRel.Len())
-	for bi, b := range dec.Blocks {
-		for _, r := range b.Rows[v.updateRel.Name()] {
-			rowBlock[r] = bi
-		}
 	}
 	out := make([]int, v.rel.Len())
 	for i, row := range v.rel.Rows() {

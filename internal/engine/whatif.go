@@ -9,6 +9,7 @@ import (
 
 	"hyper/internal/causal"
 	"hyper/internal/hyperql"
+	"hyper/internal/ml"
 	"hyper/internal/relation"
 	"hyper/internal/sqlmini"
 )
@@ -81,15 +82,15 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 			bi, cached = o.Cache.getBlocks(viewKey)
 		}
 		if !cached {
-			dec, err := causal.Decompose(db, model)
+			byRel, nBlocks, err := causal.RowBlocks(db, model)
 			if err != nil {
 				return nil, err
 			}
-			ids, err := v.blockIDs(dec)
+			ids, err := v.blockIDs(byRel[v.updateRel.Name()])
 			if err != nil {
 				return nil, err
 			}
-			bi = blockInfo{blockOf: ids, nBlocks: dec.NumBlocks()}
+			bi = blockInfo{blockOf: ids, nBlocks: nBlocks}
 			if o.Cache != nil {
 				o.Cache.putBlocks(viewKey, bi)
 			}
@@ -258,7 +259,10 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 	// workers; each worker owns an evaluator copy (scratch buffers) and a
 	// private per-block accumulator, merged afterwards so block sums (and
 	// the final result) are exactly reproducible.
-	workers := runtime.GOMAXPROCS(0)
+	workers := o.EvalWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if v.rel.Len() < 4096 || workers < 2 {
 		workers = 1
 	}
@@ -282,6 +286,9 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 			defer wg.Done()
 			local := *ev
 			local.activeBuf = nil
+			local.xBuf = nil
+			local.evBuf = nil
+			local.modelMemo = nil
 			sh := shard{sum: make([]float64, nBlocks), cnt: make([]float64, nBlocks)}
 			for i := lo; i < hi; i++ {
 				s, c, err := local.tuple(i)
@@ -363,6 +370,24 @@ type evaluator struct {
 	featSum   []int // feature positions of summary features
 	affected  []bool
 	activeBuf []int
+	xBuf      []float64 // prediction-point scratch, reused across tuples
+
+	// Distinct post events across all disjuncts, identified once so the
+	// per-tuple inclusion-exclusion works on small integer ids: the hot
+	// path resolves an event subset to its trained regressor through a
+	// worker-local memo, touching neither literal strings nor the shared
+	// estimator lock.
+	events    [][]hyperql.Expr
+	eventID   []int                    // disjunct index -> event id (-1 = empty post)
+	evBuf     []int                    // per-tuple active event ids (scratch)
+	modelMemo map[memoKey]ml.Regressor // per-worker event-subset -> model
+}
+
+// memoKey identifies a model by its post-event subset (a bitmask over
+// evaluator.events) and Y-weighting.
+type memoKey struct {
+	mask     uint64
+	weighted bool
 }
 
 func (e *evaluator) prepare() error {
@@ -384,6 +409,24 @@ func (e *evaluator) prepare() error {
 			return fmt.Errorf("engine: summary feature %q missing from features", s.name)
 		}
 		e.featSum = append(e.featSum, fi)
+	}
+	// Identify the distinct post events (by canonical key) so tuples refer
+	// to them by id.
+	e.eventID = make([]int, len(e.disjuncts))
+	seenEvents := map[string]int{}
+	for k, d := range e.disjuncts {
+		if len(d.post) == 0 {
+			e.eventID[k] = -1
+			continue
+		}
+		key := eventKey(d.post)
+		id, ok := seenEvents[key]
+		if !ok {
+			id = len(e.events)
+			seenEvents[key] = id
+			e.events = append(e.events, d.post)
+		}
+		e.eventID[k] = id
 	}
 	// A tuple is affected when its own update attribute changes or a summary
 	// feature (group mean) shifts; unaffected tuples are evaluated exactly.
@@ -454,8 +497,14 @@ func (e *evaluator) tuple(i int) (sum, count float64, err error) {
 	}
 
 	// Affected tuple: estimate by backdoor adjustment. Build the prediction
-	// features: observed backdoor values, post-update B, post-update ψ.
-	x := e.est.featureVector(i)
+	// features in the worker-local scratch buffer (gathered from the shared
+	// columnar frame, so nothing is re-encoded or allocated per tuple):
+	// observed backdoor values, post-update B, post-update ψ.
+	if e.xBuf == nil {
+		e.xBuf = make([]float64, len(e.est.featCols))
+	}
+	x := e.xBuf
+	e.est.featureVectorInto(i, x)
 	for ai, a := range e.updateAttrs {
 		x[e.featUpd[ai]] = e.est.encodeAt(e.featUpd[ai], e.postVals[a][i])
 	}
@@ -515,43 +564,55 @@ func (e *evaluator) observedEvent(i int, active []int) (float64, error) {
 // E[Y · 1{∨_k E_k ∧ G}] (weighted=true) for the active disjuncts' post
 // events E_k and the output condition G, by inclusion-exclusion over event
 // subsets with one cached regressor per subset (A.2.1). Duplicate events are
-// deduplicated first; an empty event list degenerates to Pr(G) or E[Y·1{G}].
+// deduplicated first (by the ids assigned in prepare — no per-tuple string
+// work); an empty event list degenerates to Pr(G) or E[Y·1{G}].
 func (e *evaluator) inclusionExclusion(i int, active []int, x []float64, weighted bool) (float64, error) {
-	// Collect distinct post events among active disjuncts. An empty post
-	// list is the sure event: the disjunction is then TRUE.
-	var events [][]hyperql.Expr
-	keys := map[string]bool{}
+	// Collect distinct post events among active disjuncts, in first-seen
+	// order. An empty post list is the sure event: the disjunction is then
+	// TRUE.
+	e.evBuf = e.evBuf[:0]
 	sure := false
 	for _, k := range active {
-		d := e.disjuncts[k]
-		if len(d.post) == 0 {
+		id := e.eventID[k]
+		if id < 0 {
 			sure = true
 			continue
 		}
-		key := eventKey(d.post)
-		if !keys[key] {
-			keys[key] = true
-			events = append(events, d.post)
+		dup := false
+		for _, seen := range e.evBuf {
+			if seen == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.evBuf = append(e.evBuf, id)
 		}
 	}
 	if sure {
 		// Pr(TRUE ∧ G) = Pr(G).
-		return e.predictEvent(nil, x, weighted)
+		return e.predictEventMask(0, x, weighted)
 	}
-	if len(events) > 12 {
-		return 0, fmt.Errorf("engine: FOR predicate has %d distinct post events per tuple; limit is 12", len(events))
+	if len(e.evBuf) > 12 {
+		return 0, fmt.Errorf("engine: FOR predicate has %d distinct post events per tuple; limit is 12", len(e.evBuf))
+	}
+	if len(e.events) > 64 {
+		// Too many distinct events for subset bitmasks (possible only with a
+		// raised MaxDisjuncts); build keys per subset instead of memoizing.
+		return e.inclusionExclusionSlow(x, weighted)
 	}
 	total := 0.0
-	for mask := 1; mask < 1<<len(events); mask++ {
-		var lits []hyperql.Expr
+	n := len(e.evBuf)
+	for mask := 1; mask < 1<<n; mask++ {
+		var gm uint64
 		bits := 0
-		for b := 0; b < len(events); b++ {
+		for b := 0; b < n; b++ {
 			if mask&(1<<b) != 0 {
-				lits = append(lits, events[b]...)
+				gm |= 1 << uint(e.evBuf[b])
 				bits++
 			}
 		}
-		p, err := e.predictEvent(lits, x, weighted)
+		p, err := e.predictEventMask(gm, x, weighted)
 		if err != nil {
 			return 0, err
 		}
@@ -564,9 +625,67 @@ func (e *evaluator) inclusionExclusion(i int, active []int, x []float64, weighte
 	return total, nil
 }
 
-// predictEvent trains/fetches the regressor for the event (post literals ∧
-// outCond) — Y-weighted when weighted — and predicts at features x.
-func (e *evaluator) predictEvent(lits []hyperql.Expr, x []float64, weighted bool) (float64, error) {
+// inclusionExclusionSlow is the unmemoized enumeration over the active
+// events in e.evBuf, used when the distinct-event count exceeds the 64-bit
+// subset masks.
+func (e *evaluator) inclusionExclusionSlow(x []float64, weighted bool) (float64, error) {
+	n := len(e.evBuf)
+	total := 0.0
+	for mask := 1; mask < 1<<n; mask++ {
+		var lits []hyperql.Expr
+		bits := 0
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				lits = append(lits, e.events[e.evBuf[b]]...)
+				bits++
+			}
+		}
+		m, err := e.eventModel(lits, weighted)
+		if err != nil {
+			return 0, err
+		}
+		p := m.Predict(x)
+		if bits%2 == 1 {
+			total += p
+		} else {
+			total -= p
+		}
+	}
+	return total, nil
+}
+
+// predictEventMask predicts at features x with the regressor for the event
+// subset gm (a bitmask over e.events, conjoined with outCond) — Y-weighted
+// when weighted. The per-worker memo makes the steady-state path
+// lock-free and string-free; only the first encounter of a subset builds
+// its key and consults (or trains through) the shared estimator cache.
+func (e *evaluator) predictEventMask(gm uint64, x []float64, weighted bool) (float64, error) {
+	mk := memoKey{mask: gm, weighted: weighted}
+	if m, ok := e.modelMemo[mk]; ok {
+		return m.Predict(x), nil
+	}
+	var lits []hyperql.Expr
+	for id, ev := range e.events {
+		if gm&(1<<uint(id)) != 0 {
+			lits = append(lits, ev...)
+		}
+	}
+	m, err := e.eventModel(lits, weighted)
+	if err != nil {
+		return 0, err
+	}
+	if e.modelMemo == nil {
+		e.modelMemo = make(map[memoKey]ml.Regressor)
+	}
+	e.modelMemo[mk] = m
+	return m.Predict(x), nil
+}
+
+// eventModel returns (training on demand) the regressor for the event
+// (lits ∧ outCond), Y-weighted when weighted. It is the single place the
+// conjunction and its cache key are built, so the key, the forest seed
+// derived from it, and the label function cannot drift apart.
+func (e *evaluator) eventModel(lits []hyperql.Expr, weighted bool) (ml.Regressor, error) {
 	all := lits
 	if e.outCond != nil {
 		all = append(append([]hyperql.Expr(nil), lits...), e.outCond)
@@ -574,6 +693,9 @@ func (e *evaluator) predictEvent(lits []hyperql.Expr, x []float64, weighted bool
 	key := eventKey(all)
 	if weighted {
 		key = "Y*" + key
+	}
+	if m, ok := e.est.cached(key); ok {
+		return m, nil
 	}
 	var labelErr error
 	m := e.est.model(key, func(r int) float64 {
@@ -593,9 +715,9 @@ func (e *evaluator) predictEvent(lits []hyperql.Expr, x []float64, weighted bool
 		return 1
 	})
 	if labelErr != nil {
-		return 0, fmt.Errorf("engine: labeling post event: %w", labelErr)
+		return nil, fmt.Errorf("engine: labeling post event: %w", labelErr)
 	}
-	return m.Predict(x), nil
+	return m, nil
 }
 
 func clamp01(x float64) float64 {
@@ -712,14 +834,14 @@ func supportedFraction(est *estimatorSet, v *view, updateAttrs []string, postVal
 		step = 1
 	}
 	checked, supported := 0, 0
+	x := make([]float64, len(est.featCols))
 	for i := 0; i < n; i += step {
 		if !inS[i] {
 			continue
 		}
-		x := est.featureVector(i)
-		for ai, a := range updateAttrs {
+		est.featureVectorInto(i, x)
+		for _, a := range updateAttrs {
 			fi := est.featureIndex(a)
-			_ = ai
 			x[fi] = est.encodeAt(fi, postVals[a][i])
 		}
 		for _, s := range summaries {

@@ -134,24 +134,24 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts
 	res := &Result{Base: base}
 
 	// Marginal effect of each candidate: a candidate what-if query
-	// (Definition 7) evaluated by the engine.
+	// (Definition 7) evaluated by the engine, scored across the worker pool
+	// (candidates share the artifact cache, so only the prediction points
+	// differ).
 	type cvar struct {
 		attr  string
 		spec  hyperql.UpdateSpec
 		delta float64
 	}
+	scoredVars, err := scoreCandidates(db, model, []*hyperql.HowTo{q}, q.Attrs, cands, o)
+	if err != nil {
+		return nil, err
+	}
 	var vars []cvar
 	byAttr := map[string][]int{}
-	for _, attr := range q.Attrs {
-		for _, spec := range cands[attr] {
-			val, err := evalCandidate(db, model, q, []hyperql.UpdateSpec{spec}, o)
-			if err != nil {
-				return nil, err
-			}
-			res.WhatIfEvals++
-			vars = append(vars, cvar{attr: attr, spec: spec, delta: val - base})
-			byAttr[attr] = append(byAttr[attr], len(vars)-1)
-		}
+	for _, s := range scoredVars {
+		res.WhatIfEvals++
+		vars = append(vars, cvar{attr: s.attr, spec: s.spec, delta: s.vals[0] - base})
+		byAttr[s.attr] = append(byAttr[s.attr], len(vars)-1)
 	}
 	res.Candidates = len(vars)
 

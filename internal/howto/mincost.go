@@ -45,22 +45,27 @@ func MinimizeCost(db *relation.Database, model *causal.Model, q *hyperql.HowTo, 
 		delta float64
 		cost  float64
 	}
-	var vars []cvar
-	byAttr := map[string][]int{}
+	costsByAttr := map[string][]float64{}
 	for _, attr := range q.Attrs {
 		costs, err := updateCosts(db, q, attr, cands[attr])
 		if err != nil {
 			return nil, err
 		}
-		for ci, spec := range cands[attr] {
-			val, err := evalCandidate(db, model, q, []hyperql.UpdateSpec{spec}, o)
-			if err != nil {
-				return nil, err
-			}
-			res.WhatIfEvals++
-			vars = append(vars, cvar{attr: attr, spec: spec, delta: val - base, cost: costs[ci]})
-			byAttr[attr] = append(byAttr[attr], len(vars)-1)
-		}
+		costsByAttr[attr] = costs
+	}
+	scoredVars, err := scoreCandidates(db, model, []*hyperql.HowTo{q}, q.Attrs, cands, o)
+	if err != nil {
+		return nil, err
+	}
+	var vars []cvar
+	byAttr := map[string][]int{}
+	nextOfAttr := map[string]int{}
+	for _, s := range scoredVars {
+		ci := nextOfAttr[s.attr]
+		nextOfAttr[s.attr] = ci + 1
+		res.WhatIfEvals++
+		vars = append(vars, cvar{attr: s.attr, spec: s.spec, delta: s.vals[0] - base, cost: costsByAttr[s.attr][ci]})
+		byAttr[s.attr] = append(byAttr[s.attr], len(vars)-1)
 	}
 	res.Candidates = len(vars)
 

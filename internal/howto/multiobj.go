@@ -43,20 +43,18 @@ func Lexicographic(db *relation.Database, model *causal.Model, qs []*hyperql.How
 			return nil, err
 		}
 	}
-	for _, attr := range q0.Attrs {
-		for _, spec := range cands[attr] {
-			cv := cvar{attr: attr, spec: spec, deltas: make([]float64, len(qs))}
-			for oi, q := range qs {
-				val, err := evalCandidate(db, model, q, []hyperql.UpdateSpec{spec}, o)
-				if err != nil {
-					return nil, err
-				}
-				whatIfEvals++
-				cv.deltas[oi] = val - bases[oi]
-			}
-			vars = append(vars, cv)
-			byAttr[attr] = append(byAttr[attr], len(vars)-1)
+	scoredVars, err := scoreCandidates(db, model, qs, q0.Attrs, cands, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range scoredVars {
+		cv := cvar{attr: s.attr, spec: s.spec, deltas: make([]float64, len(qs))}
+		for oi := range qs {
+			whatIfEvals++
+			cv.deltas[oi] = s.vals[oi] - bases[oi]
 		}
+		vars = append(vars, cv)
+		byAttr[s.attr] = append(byAttr[s.attr], len(vars)-1)
 	}
 
 	buildModel := func(objIdx int, pinned []float64) (*ip.Model, error) {

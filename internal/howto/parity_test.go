@@ -1,0 +1,153 @@
+package howto
+
+// Parity goldens for how-to evaluation: the candidate-scoring pool and the
+// columnar estimator substrate must not change which updates are chosen,
+// the estimated objective, or the rendered choice ordering. Result.String()
+// includes every choice in attribute order plus objective and base, so one
+// string pins the full outcome.
+
+import (
+	"os"
+	"testing"
+
+	"hyper/internal/causal"
+	"hyper/internal/dataset"
+	"hyper/internal/engine"
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+)
+
+type howtoParityCase struct {
+	name   string
+	cont   bool // german-cont instead of german
+	method string
+	srcs   []string
+	target float64 // mincost only
+	golden string
+}
+
+var howtoParityCases = []howtoParityCase{
+	{
+		name:   "ip-four-attrs",
+		method: "ip",
+		srcs: []string{`
+			USE German
+			HOWTOUPDATE Status, Savings, Housing, CreditAmount
+			TOMAXIMIZE COUNT(Credit = 1)`},
+		golden: "{Status: = 3, Savings: = 3, Housing: = 2, CreditAmount: = 3} objective=1370.7 (base=528)",
+	},
+	{
+		name:   "ip-budget-one",
+		method: "ip",
+		srcs: []string{`
+			USE German
+			HOWTOUPDATE Status, Savings, Housing, CreditAmount
+			LIMIT UPDATES <= 1
+			TOMAXIMIZE COUNT(Credit = 1)`},
+		golden: "{Status: = 3, Savings: no change, Housing: no change, CreditAmount: no change} objective=875.686 (base=528)",
+	},
+	{
+		name:   "brute-two-attrs",
+		method: "brute",
+		srcs: []string{`
+			USE German
+			HOWTOUPDATE Status, Housing
+			LIMIT UPDATES <= 2
+			TOMAXIMIZE COUNT(Credit = 1)`},
+		golden: "{Status: = 3, Housing: = 2} objective=891.438 (base=528)",
+	},
+	{
+		name:   "mincost-target",
+		method: "mincost",
+		target: 600,
+		srcs: []string{`
+			USE German
+			HOWTOUPDATE Status, Housing
+			TOMAXIMIZE COUNT(Credit = 1)`},
+		golden: "{Status: = 2, Housing: no change} objective=641.296 (base=528)",
+	},
+	{
+		name:   "lexicographic",
+		method: "lex",
+		srcs: []string{
+			`USE German HOWTOUPDATE Status, Savings TOMAXIMIZE COUNT(Credit = 1)`,
+			`USE German HOWTOUPDATE Status, Savings TOMAXIMIZE AVG(POST(Savings))`,
+		},
+		golden: "{Status: = 3, Savings: = 3} objective=1144.25 (base=528)",
+	},
+	{
+		name:   "ip-continuous-linear",
+		method: "ip",
+		cont:   true,
+		srcs: []string{`
+			USE German
+			HOWTOUPDATE CreditAmount
+			LIMIT 1000 <= POST(CreditAmount) <= 3000
+			TOMAXIMIZE COUNT(Credit = 1)`},
+		golden: "{CreditAmount: = 2875} objective=369.179 (base=366)",
+	},
+}
+
+func howtoParityEval(t testing.TB, c howtoParityCase) *Result {
+	t.Helper()
+	var db *relation.Database
+	var model *causal.Model
+	if c.cont {
+		g := dataset.GermanSynContinuous(1000, 7)
+		db, model = g.DB, g.Model
+	} else {
+		g := dataset.GermanSyn(1000, 7)
+		db, model = g.DB, g.Model
+	}
+	qs := make([]*hyperql.HowTo, len(c.srcs))
+	for i, src := range c.srcs {
+		q, err := hyperql.ParseHowTo(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		qs[i] = q
+	}
+	opts := Options{Engine: engine.Options{Seed: 7}}
+	var res *Result
+	var err error
+	switch c.method {
+	case "ip":
+		res, err = Evaluate(db, model, qs[0], opts)
+	case "brute":
+		res, err = BruteForce(db, model, qs[0], opts)
+	case "mincost":
+		res, err = MinimizeCost(db, model, qs[0], c.target, opts)
+	case "lex":
+		res, err = Lexicographic(db, model, qs, opts)
+	default:
+		t.Fatalf("%s: unknown method %q", c.name, c.method)
+	}
+	if err != nil {
+		t.Fatalf("%s: evaluate: %v", c.name, err)
+	}
+	return res
+}
+
+func TestHowToParityGoldens(t *testing.T) {
+	for _, c := range howtoParityCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res := howtoParityEval(t, c)
+			if got := res.String(); got != c.golden {
+				t.Errorf("result = %s\n  golden = %s", got, c.golden)
+			}
+		})
+	}
+}
+
+// TestDumpHowToGoldens prints current results for golden regeneration after
+// an intentional behaviour change; run with HYPER_DUMP_GOLDENS=1.
+func TestDumpHowToGoldens(t *testing.T) {
+	if os.Getenv("HYPER_DUMP_GOLDENS") == "" {
+		t.Skip("set HYPER_DUMP_GOLDENS=1 to dump")
+	}
+	for _, c := range howtoParityCases {
+		res := howtoParityEval(t, c)
+		t.Logf("%s: %q", c.name, res.String())
+	}
+}

@@ -1,0 +1,120 @@
+package howto
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hyper/internal/causal"
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+)
+
+// scored is one candidate update evaluated under every objective query
+// (vals[i] is the what-if value of objective i).
+type scored struct {
+	attr string
+	spec hyperql.UpdateSpec
+	vals []float64
+}
+
+// scoreCandidates evaluates every candidate's what-if value across a worker
+// pool sized by GOMAXPROCS. Candidates are independent what-if queries that
+// share the artifact cache in o.Engine (views, blocks, and trained
+// estimators are concurrency-safe), so scoring parallelizes without
+// changing any result; the returned slice is in deterministic
+// (attribute, candidate) order regardless of completion order.
+//
+// Scoring runs in two phases: the first candidate of each attribute is
+// evaluated first (concurrently across attributes), which trains that
+// attribute's estimator set exactly once, and only then are the remaining
+// candidates fanned out — avoiding a thundering herd of workers all
+// training the same cold estimator.
+func scoreCandidates(db *relation.Database, model *causal.Model, qs []*hyperql.HowTo,
+	attrs []string, cands map[string][]hyperql.UpdateSpec, o Options) ([]scored, error) {
+	type job struct {
+		attr string
+		spec hyperql.UpdateSpec
+	}
+	var jobs []job
+	var warm, rest []int
+	for _, attr := range attrs {
+		for ci, spec := range cands[attr] {
+			if ci == 0 {
+				warm = append(warm, len(jobs))
+			} else {
+				rest = append(rest, len(jobs))
+			}
+			jobs = append(jobs, job{attr: attr, spec: spec})
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers > 1 {
+		// Candidate-level parallelism already saturates the cores; keep the
+		// engine's nested tuple-evaluation fan-out from multiplying it.
+		o.Engine.EvalWorkers = 1
+	}
+	out := make([]scored, len(jobs))
+	errs := make([]error, len(jobs))
+	var failed atomic.Bool
+	run := func(ji int) {
+		if failed.Load() {
+			return
+		}
+		j := jobs[ji]
+		vals := make([]float64, len(qs))
+		for oi, q := range qs {
+			v, err := evalCandidate(db, model, q, []hyperql.UpdateSpec{j.spec}, o)
+			if err != nil {
+				errs[ji] = err
+				failed.Store(true)
+				return
+			}
+			vals[oi] = v
+		}
+		out[ji] = scored{attr: j.attr, spec: j.spec, vals: vals}
+	}
+	runPhase := func(idxs []int) {
+		if len(idxs) == 0 {
+			return
+		}
+		w := workers
+		if w > len(idxs) {
+			w = len(idxs)
+		}
+		if w <= 1 {
+			for _, ji := range idxs {
+				run(ji)
+			}
+			return
+		}
+		feed := make(chan int)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ji := range feed {
+					run(ji)
+				}
+			}()
+		}
+		for _, ji := range idxs {
+			feed <- ji
+		}
+		close(feed)
+		wg.Wait()
+	}
+	runPhase(warm)
+	runPhase(rest)
+	// First error in job order, so failures are as deterministic as results.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package ml
+
+// FreqEstimator fit/predict benchmarks with allocation reporting: the
+// support index is the reason discrete what-ifs stay linear in data size
+// (A.4), so its per-row cost — and especially per-row allocations — is the
+// engine's hot path.
+
+import (
+	"fmt"
+	"testing"
+
+	"hyper/internal/relation"
+)
+
+// benchFreqData builds a discrete feature matrix shaped like the German
+// conditioning set: dim features with small integer domains.
+func benchFreqData(rows, dim int) ([][]float64, []float64) {
+	X := make([][]float64, rows)
+	y := make([]float64, rows)
+	flat := make([]float64, rows*dim)
+	state := uint64(0x9e3779b97f4a7c15)
+	for r := 0; r < rows; r++ {
+		X[r] = flat[r*dim : (r+1)*dim]
+		for c := 0; c < dim; c++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			X[r][c] = float64((state >> 33) % 4)
+		}
+		y[r] = float64((state >> 17) % 2)
+	}
+	return X, y
+}
+
+func BenchmarkFreqFit(b *testing.B) {
+	X, y := benchFreqData(20000, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := FitFreqKeep(X, y, 1)
+		if f.Support() == 0 {
+			b.Fatal("empty support")
+		}
+	}
+}
+
+func BenchmarkFreqPredict(b *testing.B) {
+	X, y := benchFreqData(20000, 6)
+	f := FitFreqKeep(X, y, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := f.Predict(X[i%len(X)]); v < 0 {
+			b.Fatal("negative mean")
+		}
+	}
+}
+
+func BenchmarkEncoderMatrix(b *testing.B) {
+	rel := relation.NewRelation("T", relation.MustSchema(
+		relation.Column{Name: "ID", Kind: relation.KindInt, Key: true},
+		relation.Column{Name: "N", Kind: relation.KindFloat},
+		relation.Column{Name: "C", Kind: relation.KindString},
+		relation.Column{Name: "D", Kind: relation.KindInt},
+	))
+	for i := 0; i < 5000; i++ {
+		rel.MustInsert(relation.Int(int64(i)), relation.Float(float64(i%97)/7),
+			relation.String(fmt.Sprintf("cat%d", i%11)), relation.Int(int64(i%5)))
+	}
+	enc := NewEncoder(rel, []string{"N", "C", "D"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := enc.Matrix(rel); len(m) != rel.Len() {
+			b.Fatal("bad matrix")
+		}
+	}
+}

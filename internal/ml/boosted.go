@@ -14,12 +14,24 @@ type Boosted struct {
 
 // FitBoosted trains the linear stage, then the forest stage on residuals.
 func FitBoosted(X [][]float64, y []float64, p ForestParams) *Boosted {
-	lin := FitLinear(X, y, 1e-6)
+	return FitBoostedFrame(FrameFromRows(X), nil, y, p)
+}
+
+// FitBoostedFrame trains both stages over frame rows. sel maps training
+// positions to frame rows (nil for identity); y is parallel to positions.
+func FitBoostedFrame(fr *Frame, sel []int, y []float64, p ForestParams) *Boosted {
+	lin := FitLinearFrame(fr, sel, y, 1e-6)
 	resid := make([]float64, len(y))
-	for i, x := range X {
-		resid[i] = y[i] - lin.Predict(x)
+	x := make([]float64, fr.Dim())
+	for pos := range y {
+		r := pos
+		if sel != nil {
+			r = sel[pos]
+		}
+		fr.Gather(r, x)
+		resid[pos] = y[pos] - lin.Predict(x)
 	}
-	return &Boosted{lin: lin, forest: FitForest(X, resid, p)}
+	return &Boosted{lin: lin, forest: FitForestFrame(fr, sel, resid, p)}
 }
 
 // Predict returns the linear prediction plus the forest residual correction.

@@ -24,15 +24,23 @@ type Regressor interface {
 // stable ordinal codes learned from the data (sorted order, so codes are
 // deterministic). Unseen categories map to -1.
 type Encoder struct {
-	cols  []string
-	codes []map[string]float64 // nil for numeric columns
+	cols   []string
+	codes  []map[string]float64 // nil for numeric columns
+	schema *relation.Schema     // schema the column indexes were resolved on
+	idxs   []int                // schema column index per feature
 }
 
 // NewEncoder learns an encoding for the given columns from all rows of rel.
 func NewEncoder(rel *relation.Relation, cols []string) *Encoder {
-	e := &Encoder{cols: append([]string(nil), cols...), codes: make([]map[string]float64, len(cols))}
+	e := &Encoder{
+		cols:   append([]string(nil), cols...),
+		codes:  make([]map[string]float64, len(cols)),
+		schema: rel.Schema(),
+		idxs:   make([]int, len(cols)),
+	}
 	for ci, col := range cols {
 		idx := rel.Schema().MustIndex(col)
+		e.idxs[ci] = idx
 		numeric := true
 		distinct := make(map[string]relation.Value)
 		for _, row := range rel.Rows() {
@@ -96,7 +104,15 @@ func (e *Encoder) Encode(rel *relation.Relation, row relation.Tuple) []float64 {
 }
 
 // EncodeInto encodes one tuple into dst, which must have length Dim().
+// Column positions are precomputed at construction; a relation with a
+// schema other than the encoder's resolves them per call.
 func (e *Encoder) EncodeInto(rel *relation.Relation, row relation.Tuple, dst []float64) {
+	if rel.Schema() == e.schema {
+		for i, idx := range e.idxs {
+			dst[i] = e.EncodeValue(i, row[idx])
+		}
+		return
+	}
 	for i, col := range e.cols {
 		dst[i] = e.EncodeValue(i, row[rel.Schema().MustIndex(col)])
 	}

@@ -31,13 +31,16 @@ type Forest struct {
 // Trees are trained in parallel; determinism is preserved by deriving one
 // RNG per tree from the seed.
 func FitForest(X [][]float64, y []float64, p ForestParams) *Forest {
+	return FitForestFrame(FrameFromRows(X), nil, y, p)
+}
+
+// FitForestFrame trains a random forest over frame rows. sel maps training
+// positions to frame rows (nil for identity); y is parallel to positions.
+func FitForestFrame(fr *Frame, sel []int, y []float64, p ForestParams) *Forest {
 	if p.NumTrees <= 0 {
 		p.NumTrees = 20
 	}
-	dim := 0
-	if len(X) > 0 {
-		dim = len(X[0])
-	}
+	dim := fr.Dim()
 	if p.Tree.MaxFeatures <= 0 && dim > 3 {
 		p.Tree.MaxFeatures = (dim + 2) / 3
 	}
@@ -59,8 +62,8 @@ func FitForest(X [][]float64, y []float64, p ForestParams) *Forest {
 			defer wg.Done()
 			for i := range next {
 				rng := rngs[i]
-				rows := rng.Bootstrap(len(X))
-				f.trees[i] = FitTree(X, y, rows, p.Tree, rng)
+				rows := rng.Bootstrap(len(y))
+				f.trees[i] = FitTreeFrame(fr, sel, y, rows, p.Tree, rng)
 			}
 		}()
 	}

@@ -1,0 +1,288 @@
+package ml
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"hyper/internal/relation"
+)
+
+// Frame is the columnar encoded view shared by every estimator of a query:
+// one flat column-major float64 buffer (all rows of the relevant view,
+// encoded once) plus, per column, an interned integer code for each value.
+// Codes are what make the frequency estimator's support index string-free —
+// a feature combination becomes a row of small integers, packed into a
+// single uint64 key where the column cardinalities allow it.
+//
+// A Frame is immutable after construction and safe for concurrent use.
+type Frame struct {
+	rows, dim int
+	data      []float64 // data[c*rows+r]: value of column c at row r
+
+	// Interned codes, built lazily by Intern (tree/forest/linear fits never
+	// need them; the freq estimator and the support set do).
+	internOnce sync.Once
+	codes      []uint32 // codes[c*rows+r]: interned code of that value
+	dicts      []dict   // per-column value (canonical bits) -> code
+	card       []uint32 // distinct values per column
+}
+
+// dict interns encoded float values. Keys are canonical IEEE bits so that
+// -0 and +0 share a code and NaNs (which never equal themselves) still
+// intern to one code.
+type dict map[uint64]uint32
+
+func canonBits(v float64) uint64 {
+	if v == 0 {
+		return 0 // merge -0 and +0
+	}
+	if math.IsNaN(v) {
+		return 0x7ff8000000000001
+	}
+	return math.Float64bits(v)
+}
+
+// NewFrame encodes every row of rel with enc into a frame. Column order
+// follows the encoder's feature columns.
+func NewFrame(enc *Encoder, rel *relation.Relation) *Frame {
+	n, dim := rel.Len(), enc.Dim()
+	f := &Frame{rows: n, dim: dim, data: make([]float64, n*dim)}
+	row := make([]float64, dim)
+	for r := 0; r < n; r++ {
+		enc.EncodeInto(rel, rel.Row(r), row)
+		for c, v := range row {
+			f.data[c*n+r] = v
+		}
+	}
+	return f
+}
+
+// FrameFromRows builds a frame from an already-encoded row matrix. It is the
+// adapter behind the historical [][]float64 fit entry points.
+func FrameFromRows(X [][]float64) *Frame {
+	n := len(X)
+	dim := 0
+	if n > 0 {
+		dim = len(X[0])
+	}
+	f := &Frame{rows: n, dim: dim, data: make([]float64, n*dim)}
+	for r, x := range X {
+		for c, v := range x {
+			f.data[c*n+r] = v
+		}
+	}
+	return f
+}
+
+// Intern assigns per-column integer codes to every value (idempotent, safe
+// for concurrent use). Codes are dense, in first-seen row order per column.
+func (f *Frame) Intern() { f.internOnce.Do(f.intern) }
+
+func (f *Frame) intern() {
+	f.codes = make([]uint32, f.rows*f.dim)
+	f.dicts = make([]dict, f.dim)
+	f.card = make([]uint32, f.dim)
+	for c := 0; c < f.dim; c++ {
+		d := make(dict)
+		f.dicts[c] = d
+		col := f.data[c*f.rows : (c+1)*f.rows]
+		codes := f.codes[c*f.rows : (c+1)*f.rows]
+		for r, v := range col {
+			b := canonBits(v)
+			code, ok := d[b]
+			if !ok {
+				code = f.card[c]
+				d[b] = code
+				f.card[c]++
+			}
+			codes[r] = code
+		}
+	}
+}
+
+// Rows returns the number of encoded rows.
+func (f *Frame) Rows() int { return f.rows }
+
+// Dim returns the number of feature columns.
+func (f *Frame) Dim() int { return f.dim }
+
+// Col returns the contiguous value slice of column c (must not be mutated).
+func (f *Frame) Col(c int) []float64 { return f.data[c*f.rows : (c+1)*f.rows] }
+
+// Gather copies row r into dst, which must have length Dim().
+func (f *Frame) Gather(r int, dst []float64) {
+	for c := 0; c < f.dim; c++ {
+		dst[c] = f.data[c*f.rows+r]
+	}
+}
+
+// Per-column code space: real codes are 0..card-1; two extra symbols are
+// reserved per column for prediction-time unseen values and for the backoff
+// wildcard. codeUnseen must differ per column (it is card[c]); the wildcard
+// is the all-ones sentinel in wide keys and card[c]+1 in packed keys.
+const wideWildcard = ^uint32(0)
+
+// keyer packs interned code rows into map keys. When the product of the
+// per-column alphabets (cardinality + unseen + wildcard) fits in a uint64,
+// keys are exact packed integers (radix encoding, collision-free by
+// construction) and backoff keys are O(1) digit substitutions. Otherwise it
+// falls back to the wide representation — the little-endian bytes of the
+// code row — which is equally collision-free, just heap-allocated on
+// insertion (lookups reuse a scratch buffer and stay allocation-free via the
+// compiler's map[string(bytes)] optimization).
+type keyer struct {
+	dim    int
+	dicts  []dict
+	card   []uint32
+	stride []uint64 // nil => wide mode
+}
+
+func newKeyer(f *Frame) keyer {
+	k := keyer{dim: f.dim, dicts: f.dicts, card: f.card}
+	stride := make([]uint64, f.dim)
+	acc := uint64(1)
+	for c := 0; c < f.dim; c++ {
+		stride[c] = acc
+		alpha := uint64(f.card[c]) + 2 // + unseen + wildcard
+		if acc > math.MaxUint64/alpha {
+			return k // product overflows: wide mode
+		}
+		acc *= alpha
+	}
+	k.stride = stride
+	return k
+}
+
+func (k *keyer) packed() bool { return k.stride != nil }
+
+// encode interns the raw feature vector x into dst; values never seen at
+// frame construction get the per-column unseen sentinel (they can match no
+// training key, which is exactly the semantics of zero support).
+func (k *keyer) encode(x []float64, dst []uint32) {
+	for c, v := range x {
+		if code, ok := k.dicts[c][canonBits(v)]; ok {
+			dst[c] = code
+		} else {
+			dst[c] = k.card[c] // unseen sentinel
+		}
+	}
+}
+
+// encodeScratch interns x into buf — stack space for up to 16 features,
+// heap past that — and returns the code slice. Small enough to inline, so
+// the caller's buffer never escapes in the common case.
+func (k *keyer) encodeScratch(x []float64, buf *[16]uint32) []uint32 {
+	var codes []uint32
+	if k.dim > len(buf) {
+		codes = make([]uint32, k.dim)
+	} else {
+		codes = buf[:k.dim]
+	}
+	k.encode(x, codes)
+	return codes
+}
+
+// packKey radix-packs a full code row.
+func (k *keyer) packKey(codes []uint32) uint64 {
+	key := uint64(0)
+	for c, code := range codes {
+		key += uint64(code) * k.stride[c]
+	}
+	return key
+}
+
+// packPrefix packs only the first n columns (the keepFirst marginal).
+func (k *keyer) packPrefix(codes []uint32, n int) uint64 {
+	key := uint64(0)
+	for c := 0; c < n; c++ {
+		key += uint64(codes[c]) * k.stride[c]
+	}
+	return key
+}
+
+// wildcardAt substitutes the wildcard digit for column c in a packed key.
+func (k *keyer) wildcardAt(key uint64, codes []uint32, c int) uint64 {
+	return key + uint64(k.card[c]+1-codes[c])*k.stride[c]
+}
+
+// wideKey appends the little-endian bytes of the first n codes to buf.
+func wideKey(buf []byte, codes []uint32, n int) []byte {
+	buf = buf[:0]
+	for c := 0; c < n; c++ {
+		buf = binary.LittleEndian.AppendUint32(buf, codes[c])
+	}
+	return buf
+}
+
+// wideWildcardAt patches the 4 bytes of column c to the wildcard sentinel.
+func wideWildcardAt(buf []byte, c int) {
+	binary.LittleEndian.PutUint32(buf[c*4:], wideWildcard)
+}
+
+// wideRestoreAt restores column c's code after a wildcard substitution.
+func wideRestoreAt(buf []byte, codes []uint32, c int) {
+	binary.LittleEndian.PutUint32(buf[c*4:], codes[c])
+}
+
+// SupportSet is the non-zero-support membership index of A.4 detached from
+// any estimator: the engine probes it to decide whether a hypothetical
+// feature combination occurs in the training data at all (the freq→forest
+// fallback check) without training a regressor first.
+type SupportSet struct {
+	keyer
+	set  map[uint64]struct{}
+	setW map[string]struct{}
+}
+
+// NewSupportSet indexes the exact feature combinations of the given frame
+// rows.
+func NewSupportSet(f *Frame, rows []int) *SupportSet {
+	f.Intern()
+	s := &SupportSet{keyer: newKeyer(f)}
+	codes := make([]uint32, f.dim)
+	if s.packed() {
+		s.set = make(map[uint64]struct{}, len(rows))
+		for _, r := range rows {
+			for c := 0; c < f.dim; c++ {
+				codes[c] = f.codes[c*f.rows+r]
+			}
+			s.set[s.packKey(codes)] = struct{}{}
+		}
+		return s
+	}
+	s.setW = make(map[string]struct{}, len(rows))
+	buf := make([]byte, 0, 4*f.dim)
+	for _, r := range rows {
+		for c := 0; c < f.dim; c++ {
+			codes[c] = f.codes[c*f.rows+r]
+		}
+		buf = wideKey(buf, codes, f.dim)
+		if _, ok := s.setW[string(buf)]; !ok {
+			s.setW[string(buf)] = struct{}{}
+		}
+	}
+	return s
+}
+
+// Has reports whether the exact combination x occurs in the indexed rows.
+func (s *SupportSet) Has(x []float64) bool {
+	var stack [16]uint32
+	codes := s.encodeScratch(x, &stack)
+	if s.packed() {
+		_, ok := s.set[s.packKey(codes)]
+		return ok
+	}
+	var bstack [64]byte
+	buf := wideKey(bstack[:0], codes, s.dim)
+	_, ok := s.setW[string(buf)]
+	return ok
+}
+
+// Len returns the number of distinct indexed combinations.
+func (s *SupportSet) Len() int {
+	if s.packed() {
+		return len(s.set)
+	}
+	return len(s.setW)
+}

@@ -15,10 +15,18 @@ type Linear struct {
 // Gaussian elimination, which is exact and fast for the small feature
 // counts HypeR conditions on.
 func FitLinear(X [][]float64, y []float64, ridge float64) *Linear {
-	if len(X) == 0 {
+	return FitLinearFrame(FrameFromRows(X), nil, y, ridge)
+}
+
+// FitLinearFrame fits the ridge regression over frame rows. sel maps
+// training positions to frame rows (nil for identity); y is parallel to
+// positions. The accumulation order matches the row-matrix path exactly, so
+// coefficients are bit-identical.
+func FitLinearFrame(fr *Frame, sel []int, y []float64, ridge float64) *Linear {
+	if len(y) == 0 {
 		return &Linear{}
 	}
-	d := len(X[0])
+	d := fr.Dim()
 	m := d + 1 // last column is the intercept
 	// Normal matrix A (m x m) and rhs v.
 	a := make([][]float64, m)
@@ -26,17 +34,22 @@ func FitLinear(X [][]float64, y []float64, ridge float64) *Linear {
 		a[i] = make([]float64, m)
 	}
 	v := make([]float64, m)
-	for r, x := range X {
+	n := fr.rows
+	for pos := range y {
+		r := pos
+		if sel != nil {
+			r = sel[pos]
+		}
 		for i := 0; i < d; i++ {
-			xi := x[i]
+			xi := fr.data[i*n+r]
 			for j := i; j < d; j++ {
-				a[i][j] += xi * x[j]
+				a[i][j] += xi * fr.data[j*n+r]
 			}
 			a[i][m-1] += xi
-			v[i] += xi * y[r]
+			v[i] += xi * y[pos]
 		}
 		a[m-1][m-1]++
-		v[m-1] += y[r]
+		v[m-1] += y[pos]
 	}
 	for i := 0; i < m; i++ {
 		for j := 0; j < i; j++ {

@@ -35,12 +35,49 @@ type Tree struct {
 	dim  int
 }
 
+// frameView adapts a frame to a training sample: position p reads frame row
+// sel[p] (identity when sel is nil). Feature access goes through the frame's
+// contiguous column buffers, which is the access pattern tree induction
+// wants (bestSplit scans one feature across all rows).
+type frameView struct {
+	fr  *Frame
+	sel []int // position -> frame row; nil = identity
+}
+
+func (v frameView) at(pos, c int) float64 {
+	if v.sel != nil {
+		pos = v.sel[pos]
+	}
+	return v.fr.data[c*v.fr.rows+pos]
+}
+
+// col returns feature c's contiguous column (indexed by frame row, not
+// position; callers holding positions must map through rowOf).
+func (v frameView) col(c int) []float64 {
+	return v.fr.data[c*v.fr.rows : (c+1)*v.fr.rows]
+}
+
+func (v frameView) rowOf(pos int) int {
+	if v.sel == nil {
+		return pos
+	}
+	return v.sel[pos]
+}
+
 // FitTree trains a regression tree on (X, y). rows selects the training rows
 // (with repetition allowed, enabling bootstrap); pass nil for all rows. rng
 // drives feature subsampling and may be nil when MaxFeatures is 0.
 func FitTree(X [][]float64, y []float64, rows []int, p TreeParams, rng *stats.RNG) *Tree {
+	return FitTreeFrame(FrameFromRows(X), nil, y, rows, p, rng)
+}
+
+// FitTreeFrame trains a regression tree over frame rows. sel maps training
+// positions to frame rows (nil for identity); y is parallel to positions;
+// rows selects positions (with repetition, enabling bootstrap) and may be
+// nil for all.
+func FitTreeFrame(fr *Frame, sel []int, y []float64, rows []int, p TreeParams, rng *stats.RNG) *Tree {
 	if rows == nil {
-		rows = make([]int, len(X))
+		rows = make([]int, len(y))
 		for i := range rows {
 			rows[i] = i
 		}
@@ -51,18 +88,14 @@ func FitTree(X [][]float64, y []float64, rows []int, p TreeParams, rng *stats.RN
 	if p.MinLeaf <= 0 {
 		p.MinLeaf = 1
 	}
-	dim := 0
-	if len(X) > 0 {
-		dim = len(X[0])
-	}
-	t := &Tree{dim: dim}
-	b := &treeBuilder{X: X, y: y, p: p, rng: rng, dim: dim}
+	t := &Tree{dim: fr.dim}
+	b := &treeBuilder{X: frameView{fr: fr, sel: sel}, y: y, p: p, rng: rng, dim: fr.dim}
 	t.root = b.build(rows, 0)
 	return t
 }
 
 type treeBuilder struct {
-	X   [][]float64
+	X   frameView
 	y   []float64
 	p   TreeParams
 	rng *stats.RNG
@@ -80,7 +113,7 @@ func (b *treeBuilder) build(rows []int, depth int) *treeNode {
 	}
 	var left, right []int
 	for _, r := range rows {
-		if b.X[r][feat] <= thr {
+		if b.X.at(r, feat) <= thr {
 			left = append(left, r)
 		} else {
 			right = append(right, r)
@@ -105,9 +138,10 @@ func (b *treeBuilder) bestSplit(rows []int, parentSSE float64) (feat int, thr, g
 	bestFeat, bestThr := -1, 0.0
 	vals := make([]float64, 0, len(rows))
 	for _, f := range feats {
+		col := b.X.col(f)
 		vals = vals[:0]
 		for _, r := range rows {
-			vals = append(vals, b.X[r][f])
+			vals = append(vals, col[b.X.rowOf(r)])
 		}
 		thresholds := candidateThresholds(vals, b.p.MaxThresholds)
 		for _, t := range thresholds {
@@ -134,11 +168,12 @@ func (b *treeBuilder) candidateFeatures() []int {
 // splitGain computes the SSE reduction of splitting rows on X[f] <= t using
 // a single streaming pass.
 func (b *treeBuilder) splitGain(rows []int, f int, t, parentSSE float64) float64 {
+	col := b.X.col(f)
 	var nL, nR int
 	var meanL, meanR, m2L, m2R float64
 	for _, r := range rows {
 		v := b.y[r]
-		if b.X[r][f] <= t {
+		if col[b.X.rowOf(r)] <= t {
 			nL++
 			d := v - meanL
 			meanL += d / float64(nL)
