@@ -31,6 +31,18 @@ type serveBenchResult struct {
 	WarmMs       float64 `json:"warm_ms"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
+	// Async path: the same workload submitted through POST /v1/jobs and
+	// polled to completion, plus one brute-force how-to job cancelled
+	// mid-solve. Wait quantiles come from the server's job gauges.
+	AsyncJobs      int     `json:"async_jobs"`
+	AsyncJPS       float64 `json:"async_jobs_per_sec"`
+	AsyncP50WaitMs float64 `json:"async_p50_wait_ms"`
+	AsyncP95WaitMs float64 `json:"async_p95_wait_ms"`
+	AsyncCancelMs  float64 `json:"async_cancel_ms"`
+	AsyncQueued    int     `json:"async_queued_end"`
+	AsyncCompleted uint64  `json:"async_completed"`
+	AsyncCancelled uint64  `json:"async_cancelled"`
+	AsyncRejected  uint64  `json:"async_rejected"`
 }
 
 // serveQueries is the steady-state workload: four what-if templates sharing
@@ -50,7 +62,14 @@ func runServe(scale float64, seed int64, nQueries, conc int, out string) error {
 	if nQueries <= 0 || conc <= 0 {
 		return fmt.Errorf("serve: -serve-queries and -serve-conc must be positive (got %d, %d)", nQueries, conc)
 	}
-	srv := server.New(server.Config{})
+	srv := server.New(server.Config{
+		// The async phase submits the whole workload up front; size the
+		// queue and worker pool to match rather than exercising admission
+		// control (the server tests pin the 429 path).
+		JobWorkers:     conc,
+		JobQueueDepth:  nQueries + 16,
+		JobsPerSession: -1,
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -154,6 +173,95 @@ func runServe(scale float64, seed int64, nQueries, conc int, out string) error {
 		d := latencies[int(q*float64(len(latencies)-1))]
 		return float64(d) / float64(time.Millisecond)
 	}
+
+	// Async phase: the same workload through the job API — submit all jobs,
+	// then poll each to completion.
+	getJob := func(id string) (server.JobInfo, error) {
+		var info server.JobInfo
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return info, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return info, fmt.Errorf("poll %s: status %d", id, resp.StatusCode)
+		}
+		return info, json.NewDecoder(resp.Body).Decode(&info)
+	}
+	isTerminal := func(state string) bool {
+		return state == "done" || state == "failed" || state == "cancelled" || state == "expired"
+	}
+	asyncStart := time.Now()
+	ids := make([]string, 0, nQueries)
+	for i := 0; i < nQueries; i++ {
+		var job server.JobInfo
+		if err := post("/v1/jobs", server.JobRequest{
+			Session: "bench",
+			Query:   serveQueries[i%len(serveQueries)],
+		}, &job); err != nil {
+			return err
+		}
+		ids = append(ids, job.ID)
+	}
+	for _, id := range ids {
+		for {
+			info, err := getJob(id)
+			if err != nil {
+				return err
+			}
+			if isTerminal(info.State) {
+				if info.State != "done" {
+					return fmt.Errorf("job %s finished as %s: %s", id, info.State, info.Error)
+				}
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	asyncElapsed := time.Since(asyncStart)
+
+	// Cancellation round-trip: a brute-force how-to job cancelled as soon
+	// as it runs; AsyncCancelMs is submit -> observed-cancelled wall time.
+	cancelStart := time.Now()
+	var brute server.JobInfo
+	err = post("/v1/jobs", server.JobRequest{
+		Session: "bench", Kind: "howto", Method: "brute",
+		Query: `USE German HOWTOUPDATE Status, Savings, Housing, CreditAmount TOMAXIMIZE COUNT(Credit = 1)`,
+	}, &brute)
+	if err != nil {
+		return err
+	}
+	for {
+		info, err := getJob(brute.ID)
+		if err != nil {
+			return err
+		}
+		if info.State == "running" || isTerminal(info.State) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req, err := http.NewRequest("DELETE", base+"/v1/jobs/"+brute.ID, nil)
+	if err != nil {
+		return err
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		return err
+	} else {
+		resp.Body.Close()
+	}
+	for {
+		info, err := getJob(brute.ID)
+		if err != nil {
+			return err
+		}
+		if isTerminal(info.State) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelMs := float64(time.Since(cancelStart)) / float64(time.Millisecond)
+
 	var stats server.StatsResponse
 	resp, err := http.Get(base + "/v1/stats")
 	if err != nil {
@@ -165,15 +273,24 @@ func runServe(scale float64, seed int64, nQueries, conc int, out string) error {
 		return err
 	}
 	res := serveBenchResult{
-		Scale:       scale,
-		Rows:        info.Rows,
-		Queries:     nQueries,
-		Concurrency: conc,
-		QPS:         float64(nQueries) / elapsed.Seconds(),
-		P50Ms:       quantile(0.50),
-		P95Ms:       quantile(0.95),
-		ColdMs:      coldMs,
-		WarmMs:      warmMs,
+		Scale:          scale,
+		Rows:           info.Rows,
+		Queries:        nQueries,
+		Concurrency:    conc,
+		QPS:            float64(nQueries) / elapsed.Seconds(),
+		P50Ms:          quantile(0.50),
+		P95Ms:          quantile(0.95),
+		ColdMs:         coldMs,
+		WarmMs:         warmMs,
+		AsyncJobs:      nQueries,
+		AsyncJPS:       float64(nQueries) / asyncElapsed.Seconds(),
+		AsyncP50WaitMs: stats.Jobs.P50WaitMs,
+		AsyncP95WaitMs: stats.Jobs.P95WaitMs,
+		AsyncCancelMs:  cancelMs,
+		AsyncQueued:    stats.Jobs.Queued,
+		AsyncCompleted: stats.Jobs.Completed,
+		AsyncCancelled: stats.Jobs.Cancelled,
+		AsyncRejected:  stats.Jobs.Rejected,
 	}
 	for _, s := range stats.Sessions {
 		if s.Name == "bench" {
@@ -192,6 +309,8 @@ func runServe(scale float64, seed int64, nQueries, conc int, out string) error {
 	}
 	fmt.Printf("rows=%d queries=%d conc=%d  %.1f q/s  p50=%.2fms p95=%.2fms  cold=%.2fms warm=%.2fms  hit rate %.1f%%\n",
 		res.Rows, res.Queries, res.Concurrency, res.QPS, res.P50Ms, res.P95Ms, res.ColdMs, res.WarmMs, 100*res.CacheHitRate)
+	fmt.Printf("async: %d jobs  %.1f jobs/s  wait p50=%.2fms p95=%.2fms  cancel rtt=%.2fms  completed=%d cancelled=%d\n",
+		res.AsyncJobs, res.AsyncJPS, res.AsyncP50WaitMs, res.AsyncP95WaitMs, res.AsyncCancelMs, res.AsyncCompleted, res.AsyncCancelled)
 	fmt.Printf("wrote %s\n", out)
 	return nil
 }

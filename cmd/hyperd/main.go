@@ -1,17 +1,26 @@
 // Command hyperd is the HypeR query-serving daemon: a long-lived HTTP JSON
 // API over the hyper engine, hosting named sessions (generated datasets or
 // CSV uploads, each with a bounded per-session artifact cache) and serving
-// concurrent what-if, how-to, explain and batch queries.
+// concurrent what-if, how-to, explain and batch queries — synchronously, or
+// asynchronously through the job API (submit, poll, cancel; see README.md
+// for a curl walkthrough).
 //
 // Usage:
 //
 //	hyperd -addr :8080 -preload toy,german
 //	curl localhost:8080/v1/datasets
 //	curl -X POST localhost:8080/v1/whatif -d '{"session":"german","query":"USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)"}'
+//	curl -X POST localhost:8080/v1/jobs -d '{"session":"german","kind":"howto","query":"USE German HOWTOUPDATE Status LIMIT UPDATES <= 1 TOMAXIMIZE COUNT(Credit = 1)"}'
 //	curl localhost:8080/v1/stats
 //
 // Preloaded sessions are named after their dataset. See internal/server for
 // the full API surface and DESIGN.md for the architecture.
+//
+// On SIGTERM/SIGINT the daemon shuts down gracefully: job submission stops
+// (503), queued jobs are cancelled, running jobs are awaited up to
+// -drain-timeout (then cancelled mid-solve via their contexts), and only
+// then is the HTTP listener closed — so clients can poll final job states
+// during the drain.
 package main
 
 import (
@@ -36,6 +45,11 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 512, "per-session cache bound in artifacts (-1 = unbounded)")
 	workers := flag.Int("batch-workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions")
+	jobWorkers := flag.Int("job-workers", 2, "async job worker-pool size")
+	jobQueue := flag.Int("job-queue", 64, "async job queue depth (submissions past it get HTTP 429)")
+	jobsPerSession := flag.Int("jobs-per-session", 4, "max live async jobs per session (-1 = unlimited)")
+	jobRetention := flag.Int("job-retention", 256, "finished jobs kept pollable")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs on shutdown before cancelling them")
 	preload := flag.String("preload", "", "comma-separated dataset names to preload as sessions (see /v1/datasets)")
 	preloadScale := flag.Float64("preload-scale", 1.0, "dataset scale for preloaded sessions")
 	seed := flag.Int64("seed", 7, "seed for preloaded sessions")
@@ -44,9 +58,13 @@ func main() {
 
 	logger := log.New(os.Stderr, "hyperd: ", log.LstdFlags)
 	cfg := server.Config{
-		CacheEntries: *cacheEntries,
-		BatchWorkers: *workers,
-		MaxSessions:  *maxSessions,
+		CacheEntries:   *cacheEntries,
+		BatchWorkers:   *workers,
+		MaxSessions:    *maxSessions,
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobsPerSession: *jobsPerSession,
+		JobRetention:   *jobRetention,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -81,7 +99,13 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		logger.Printf("received %s, shutting down", sig)
+		logger.Printf("received %s, draining jobs (up to %s)", sig, *drainTimeout)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Drain(drainCtx); err != nil {
+			logger.Printf("drain: running jobs cancelled after timeout: %v", err)
+		}
+		cancelDrain()
+		logger.Printf("jobs drained, shutting down HTTP")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

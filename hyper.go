@@ -27,6 +27,7 @@
 package hyper
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -65,6 +66,11 @@ type (
 	Mode = engine.Mode
 	// Kind is the dynamic type of a Value.
 	Kind = relation.Kind
+	// Progress receives coarse evaluation progress: stage is "tuples"
+	// (engine per-tuple loop), "candidates" (how-to scoring pool) or
+	// "combos" (brute-force search); total <= 0 means unknown.
+	// Implementations must be safe for concurrent use.
+	Progress = engine.ProgressFunc
 )
 
 // Value kinds, re-exported for schema declarations.
@@ -237,49 +243,90 @@ func (s *Session) howtoOpts() howto.Options {
 
 // WhatIf parses and evaluates a what-if query.
 func (s *Session) WhatIf(src string) (*WhatIfResult, error) {
+	return s.WhatIfContext(context.Background(), src, nil)
+}
+
+// WhatIfContext is WhatIf with cancellation and observability: ctx is
+// observed inside the evaluation pipeline (tuple loop, estimator training),
+// so a cancelled or deadline-expired context stops the query mid-solve with
+// ctx.Err(); progress, when non-nil, receives tuple-evaluation updates.
+func (s *Session) WhatIfContext(ctx context.Context, src string, progress Progress) (*WhatIfResult, error) {
 	q, err := hyperql.ParseWhatIf(src)
 	if err != nil {
 		return nil, err
 	}
-	return engine.Evaluate(s.db, s.model, q, s.engineOpts())
+	opts := s.engineOpts()
+	opts.Progress = progress
+	return engine.EvaluateContext(ctx, s.db, s.model, q, opts)
 }
 
 // HowTo parses and evaluates a how-to query via the integer-program
 // formulation.
 func (s *Session) HowTo(src string) (*HowToResult, error) {
+	return s.HowToContext(context.Background(), src, nil)
+}
+
+// HowToContext is HowTo with cancellation and observability: ctx flows into
+// candidate scoring and the IP branch and bound; progress, when non-nil,
+// receives one "candidates" update per scored candidate.
+func (s *Session) HowToContext(ctx context.Context, src string, progress Progress) (*HowToResult, error) {
 	q, err := hyperql.ParseHowTo(src)
 	if err != nil {
 		return nil, err
 	}
-	return howto.Evaluate(s.db, s.model, q, s.howtoOpts())
+	opts := s.howtoOpts()
+	opts.Progress = progress
+	return howto.EvaluateContext(ctx, s.db, s.model, q, opts)
 }
 
 // HowToBruteForce evaluates a how-to query with the exhaustive Opt-HowTo
 // baseline (exponential in the number of update attributes; for comparison
 // and testing).
 func (s *Session) HowToBruteForce(src string) (*HowToResult, error) {
+	return s.HowToBruteForceContext(context.Background(), src, nil)
+}
+
+// HowToBruteForceContext is HowToBruteForce with cancellation and progress
+// ("combos" updates, one per evaluated combination).
+func (s *Session) HowToBruteForceContext(ctx context.Context, src string, progress Progress) (*HowToResult, error) {
 	q, err := hyperql.ParseHowTo(src)
 	if err != nil {
 		return nil, err
 	}
-	return howto.BruteForce(s.db, s.model, q, s.howtoOpts())
+	opts := s.howtoOpts()
+	opts.Progress = progress
+	return howto.BruteForceContext(ctx, s.db, s.model, q, opts)
 }
 
 // HowToMinimizeCost solves the alternate how-to formulation (Section 4.3,
 // footnote 3): minimize the total normalized L1 update cost subject to the
 // query's TOMAXIMIZE aggregate reaching at least target.
 func (s *Session) HowToMinimizeCost(src string, target float64) (*HowToResult, error) {
+	return s.HowToMinimizeCostContext(context.Background(), src, target, nil)
+}
+
+// HowToMinimizeCostContext is HowToMinimizeCost with cancellation and
+// candidate-scoring progress.
+func (s *Session) HowToMinimizeCostContext(ctx context.Context, src string, target float64, progress Progress) (*HowToResult, error) {
 	q, err := hyperql.ParseHowTo(src)
 	if err != nil {
 		return nil, err
 	}
-	return howto.MinimizeCost(s.db, s.model, q, target, s.howtoOpts())
+	opts := s.howtoOpts()
+	opts.Progress = progress
+	return howto.MinimizeCostContext(ctx, s.db, s.model, q, target, opts)
 }
 
 // HowToLexicographic evaluates a preferential multi-objective how-to query:
 // sources are complete how-to queries sharing USE/WHEN/HOWTOUPDATE/LIMIT
 // whose objectives are optimized in the given priority order.
 func (s *Session) HowToLexicographic(srcs ...string) (*HowToResult, error) {
+	return s.HowToLexicographicContext(context.Background(), nil, srcs...)
+}
+
+// HowToLexicographicContext is HowToLexicographic with cancellation and
+// candidate-scoring progress.
+func (s *Session) HowToLexicographicContext(ctx context.Context, progress Progress, srcs ...string) (*HowToResult, error) {
 	if len(srcs) == 0 {
 		return nil, fmt.Errorf("hyper: no objectives")
 	}
@@ -291,7 +338,9 @@ func (s *Session) HowToLexicographic(srcs ...string) (*HowToResult, error) {
 		}
 		qs[i] = q
 	}
-	return howto.Lexicographic(s.db, s.model, qs, s.howtoOpts())
+	opts := s.howtoOpts()
+	opts.Progress = progress
+	return howto.LexicographicContext(ctx, s.db, s.model, qs, opts)
 }
 
 // Explain plans a what-if query without evaluating it, returning a
@@ -323,15 +372,24 @@ func (s *Session) Explain(src string) (string, error) {
 // Query parses src and dispatches to WhatIf or HowTo; the result is either a
 // *WhatIfResult or a *HowToResult.
 func (s *Session) Query(src string) (any, error) {
+	return s.QueryContext(context.Background(), src, nil)
+}
+
+// QueryContext is Query with cancellation and progress.
+func (s *Session) QueryContext(ctx context.Context, src string, progress Progress) (any, error) {
 	q, err := hyperql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	switch qq := q.(type) {
 	case *hyperql.WhatIf:
-		return engine.Evaluate(s.db, s.model, qq, s.engineOpts())
+		opts := s.engineOpts()
+		opts.Progress = progress
+		return engine.EvaluateContext(ctx, s.db, s.model, qq, opts)
 	case *hyperql.HowTo:
-		return howto.Evaluate(s.db, s.model, qq, s.howtoOpts())
+		opts := s.howtoOpts()
+		opts.Progress = progress
+		return howto.EvaluateContext(ctx, s.db, s.model, qq, opts)
 	default:
 		return nil, fmt.Errorf("hyper: unknown query type %T", q)
 	}

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"hyper/internal/dataset"
+	"hyper/internal/hyperql"
+)
+
+// TestEvaluateContextCancelledUpfront pins that a dead context stops the
+// pipeline before any work.
+func TestEvaluateContextCancelledUpfront(t *testing.T) {
+	db, model := dataset.Toy()
+	q, err := hyperql.ParseWhatIf(`USE Product UPDATE(Price) = 1.1 * PRE(Price) OUTPUT AVG(POST(Price))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateContext(ctx, db, model, q, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEvaluateContextCancelMidTuples cancels from inside the progress hook,
+// i.e. while the parallel tuple loop is running, and expects the loop to
+// stop at its next stride check.
+func TestEvaluateContextCancelMidTuples(t *testing.T) {
+	b, err := dataset.Lookup("german")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, model := b.Build(2.0, 7) // 10000 rows: many strides per worker
+	q, err := hyperql.ParseWhatIf(`USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	opts := Options{Seed: 7, Progress: func(stage string, done, total int) {
+		if stage == "tuples" && done > 0 && done < total {
+			fired.Store(true)
+			cancel()
+		}
+	}}
+	res, err := EvaluateContext(ctx, db, model, q, opts)
+	if !fired.Load() {
+		t.Skip("evaluation finished within one stride; nothing to cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (res %+v), want context.Canceled", err, res)
+	}
+}

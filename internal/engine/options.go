@@ -62,6 +62,14 @@ const (
 	EstimatorLinear
 )
 
+// ProgressFunc receives coarse progress updates during evaluation: stage is
+// a short label ("tuples" for the engine's per-tuple loop, "candidates" for
+// how-to scoring, "combos" for the brute-force search), done/total count
+// units of that stage (total <= 0 means unknown). Implementations must be
+// safe for concurrent use — the engine reports from parallel workers — and
+// cheap, since they sit near hot loops.
+type ProgressFunc func(stage string, done, total int)
+
 // Options configures a what-if evaluation.
 type Options struct {
 	Mode Mode
@@ -101,6 +109,10 @@ type Options struct {
 	// cache must only be shared across queries on the same database and
 	// causal model.
 	Cache *Cache
+	// Progress, when non-nil, receives tuple-evaluation progress updates
+	// (stage "tuples"). It does not participate in cache identity: progress
+	// reporting never changes a result.
+	Progress ProgressFunc
 }
 
 func (o *Options) withDefaults() Options {

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyper/internal/causal"
@@ -20,9 +22,23 @@ import (
 // WHEN set → block decomposition → FOR normalization → backdoor adjustment →
 // per-block aggregation.
 func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opts Options) (*Result, error) {
+	return EvaluateContext(context.Background(), db, model, q, opts)
+}
+
+// EvaluateContext is Evaluate with cancellation: ctx is observed between
+// pipeline stages, before each estimator training, and inside the parallel
+// per-tuple loop, so a cancelled or deadline-expired context stops the
+// evaluation mid-solve (returning ctx.Err()) instead of running to
+// completion. Artifacts already placed in the cache (views, blocks, fully
+// trained estimators) remain valid — training is atomic per model, so a
+// cancelled query never leaves a partially trained regressor behind.
+func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	if model == nil && o.Mode == ModeFull {
 		o.Mode = ModeNB
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	res := &Result{Mode: o.Mode}
@@ -70,6 +86,9 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 	}
 	res.ViewTime = time.Since(tv)
 	res.ViewRows = v.rel.Len()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 2: block-independent decomposition (memoized likewise).
 	tb := time.Now()
@@ -186,6 +205,10 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 	}
 	res.Backdoor = backdoor
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Step 9: build the (possibly summary-augmented) view and the estimator.
 	// Proposition 2 conditions the post-update probabilities on μ_When and
 	// μ_For,Pre, so the attributes those predicates reference join the
@@ -240,11 +263,16 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 	res.SampledRows = len(est.trainRows)
 	res.TrainTime = time.Since(tt)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Step 10: per-tuple evaluation, accumulated per block and combined with
 	// the decomposable aggregate g = Sum (Proposition 1).
 	te := time.Now()
 	ev := &evaluator{
-		v: v, est: est, q: q, opts: o,
+		ctx: ctx,
+		v:   v, est: est, q: q, opts: o,
 		updateAttrs: updateAttrs, postVals: postVals,
 		summaries: summaries, yCol: yCol, outCond: outCond,
 		disjuncts: disjuncts, inS: inS,
@@ -272,6 +300,11 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 	}
 	shards := make([]shard, workers)
 	var wg sync.WaitGroup
+	// Cancellation and progress work on a stride so neither the ctx check
+	// nor the shared counter touches the per-tuple fast path.
+	const stride = 512
+	total := v.rel.Len()
+	var tuplesDone atomic.Int64
 	chunk := (v.rel.Len() + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -291,6 +324,15 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 			local.modelMemo = nil
 			sh := shard{sum: make([]float64, nBlocks), cnt: make([]float64, nBlocks)}
 			for i := lo; i < hi; i++ {
+				if (i-lo)%stride == 0 && i > lo {
+					if err := ctx.Err(); err != nil {
+						sh.err = err
+						break
+					}
+					if o.Progress != nil {
+						o.Progress("tuples", int(tuplesDone.Add(stride)), total)
+					}
+				}
 				s, c, err := local.tuple(i)
 				if err != nil {
 					sh.err = err
@@ -335,6 +377,9 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 	res.EvalTime = time.Since(te)
 	res.TrainedModels = est.trainedModels()
 	res.Total = time.Since(start)
+	if o.Progress != nil {
+		o.Progress("tuples", total, total)
+	}
 	return res, nil
 }
 
@@ -352,6 +397,7 @@ func prePresent(e hyperql.Expr) (hasPost, hasPre bool) {
 
 // evaluator holds the per-query state for tuple-level evaluation.
 type evaluator struct {
+	ctx         context.Context
 	v           *view
 	est         *estimatorSet
 	q           *hyperql.WhatIf
@@ -696,6 +742,14 @@ func (e *evaluator) eventModel(lits []hyperql.Expr, weighted bool) (ml.Regressor
 	}
 	if m, ok := e.est.cached(key); ok {
 		return m, nil
+	}
+	// Training an event model is the expensive step of the estimator fitting
+	// loop; a cancelled query stops here rather than fitting another
+	// regressor it will never use. Already-cached models above stay valid.
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	var labelErr error
 	m := e.est.model(key, func(r int) float64 {

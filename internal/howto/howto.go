@@ -10,6 +10,7 @@
 package howto
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -30,6 +31,10 @@ type Options struct {
 	Buckets int
 	// MaxCandidatesPerAttr caps the candidate set per attribute (default 64).
 	MaxCandidatesPerAttr int
+	// Progress, when non-nil, receives candidate-scoring progress (stage
+	// "candidates" for the pooled scorers, "combos" for the brute-force
+	// search). Must be safe for concurrent use.
+	Progress engine.ProgressFunc
 }
 
 func (o *Options) withDefaults() Options {
@@ -121,13 +126,22 @@ func (r *Result) String() string {
 
 // Evaluate answers a how-to query with the IP formulation of Section 4.3.
 func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts Options) (*Result, error) {
+	return EvaluateContext(context.Background(), db, model, q, opts)
+}
+
+// EvaluateContext is Evaluate with cancellation: ctx flows into every
+// candidate what-if evaluation (observed inside the engine's tuple loop and
+// estimator training), the scoring worker pool, and the IP branch and
+// bound, so a cancelled or deadline-expired context stops the solve
+// mid-flight with ctx.Err().
+func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	start := time.Now()
 	cands, err := Candidates(db, q, o)
 	if err != nil {
 		return nil, err
 	}
-	base, err := baseObjective(db, model, q, o)
+	base, err := baseObjective(ctx, db, model, q, o)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +156,7 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts
 		spec  hyperql.UpdateSpec
 		delta float64
 	}
-	scoredVars, err := scoreCandidates(db, model, []*hyperql.HowTo{q}, q.Attrs, cands, o)
+	scoredVars, err := scoreCandidates(ctx, db, model, []*hyperql.HowTo{q}, q.Attrs, cands, o)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +197,7 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts
 			return nil, err
 		}
 	}
-	sol, err := m.Solve()
+	sol, err := m.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -222,23 +236,33 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts
 // combined what-if query for each, and returns the best. Exponential in the
 // number of attributes (Figure 11b / 12b).
 func BruteForce(db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts Options) (*Result, error) {
+	return BruteForceContext(context.Background(), db, model, q, opts)
+}
+
+// BruteForceContext is BruteForce with cancellation: ctx is observed before
+// every combination evaluation (and inside each underlying what-if), so the
+// exponential search aborts promptly when cancelled.
+func BruteForceContext(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.HowTo, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	start := time.Now()
 	cands, err := Candidates(db, q, o)
 	if err != nil {
 		return nil, err
 	}
-	base, err := baseObjective(db, model, q, o)
+	base, err := baseObjective(ctx, db, model, q, o)
 	if err != nil {
 		return nil, err
 	}
 	evalFn := func(updates []hyperql.UpdateSpec) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if len(updates) == 0 {
 			return base, nil
 		}
-		return evalCandidate(db, model, q, updates, o)
+		return evalCandidate(ctx, db, model, q, updates, o)
 	}
-	res, err := bruteForceOver(q, cands, evalFn)
+	res, err := bruteForceOver(q, cands, evalFn, o.Progress)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +277,7 @@ func BruteForce(db *relation.Database, model *causal.Model, q *hyperql.HowTo, op
 func BruteForceWith(q *hyperql.HowTo, cands map[string][]hyperql.UpdateSpec,
 	evalFn func(updates []hyperql.UpdateSpec) (float64, error)) (*Result, error) {
 	start := time.Now()
-	res, err := bruteForceOver(q, cands, evalFn)
+	res, err := bruteForceOver(q, cands, evalFn, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -267,9 +291,18 @@ func BruteForceWith(q *hyperql.HowTo, cands map[string][]hyperql.UpdateSpec,
 }
 
 func bruteForceOver(q *hyperql.HowTo, cands map[string][]hyperql.UpdateSpec,
-	evalFn func(updates []hyperql.UpdateSpec) (float64, error)) (*Result, error) {
+	evalFn func(updates []hyperql.UpdateSpec) (float64, error),
+	progress engine.ProgressFunc) (*Result, error) {
 	res := &Result{}
 	bk, hasBudget := budget(q)
+	// Combination count for progress reporting: an upper bound when a budget
+	// prunes the tree (capped so the product cannot overflow).
+	totalCombos := 1
+	for _, attr := range q.Attrs {
+		if totalCombos < 1<<30 {
+			totalCombos *= len(cands[attr]) + 1
+		}
+	}
 	best := math.Inf(-1)
 	var bestCombo []*hyperql.UpdateSpec
 	combo := make([]*hyperql.UpdateSpec, len(q.Attrs))
@@ -287,6 +320,9 @@ func bruteForceOver(q *hyperql.HowTo, cands map[string][]hyperql.UpdateSpec,
 				return err
 			}
 			res.WhatIfEvals++
+			if progress != nil {
+				progress("combos", res.WhatIfEvals, totalCombos)
+			}
 			score := val
 			if !q.Maximize {
 				score = -score
@@ -330,7 +366,7 @@ func bruteForceOver(q *hyperql.HowTo, cands map[string][]hyperql.UpdateSpec,
 }
 
 // evalCandidate evaluates the candidate what-if query of Definition 7.
-func evalCandidate(db *relation.Database, model *causal.Model, q *hyperql.HowTo,
+func evalCandidate(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.HowTo,
 	updates []hyperql.UpdateSpec, o Options) (float64, error) {
 	wi := &hyperql.WhatIf{
 		Use:     q.Use,
@@ -339,7 +375,12 @@ func evalCandidate(db *relation.Database, model *causal.Model, q *hyperql.HowTo,
 		Output:  q.Obj,
 		For:     q.For,
 	}
-	res, err := engine.Evaluate(db, model, wi, o.Engine)
+	// The per-candidate engine progress is intentionally not forwarded: a
+	// how-to reports candidate-level progress, not the tuples of each
+	// underlying what-if.
+	eo := o.Engine
+	eo.Progress = nil
+	res, err := engine.EvaluateContext(ctx, db, model, wi, eo)
 	if err != nil {
 		return 0, err
 	}
@@ -348,9 +389,9 @@ func evalCandidate(db *relation.Database, model *causal.Model, q *hyperql.HowTo,
 
 // baseObjective evaluates the objective with an identity update (scale by
 // 1), which the engine computes exactly since no tuple is affected.
-func baseObjective(db *relation.Database, model *causal.Model, q *hyperql.HowTo, o Options) (float64, error) {
+func baseObjective(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.HowTo, o Options) (float64, error) {
 	id := hyperql.UpdateSpec{Attr: q.Attrs[0], Form: hyperql.UpdateScale, Const: relation.Int(1)}
-	return evalCandidate(db, model, q, []hyperql.UpdateSpec{id}, o)
+	return evalCandidate(ctx, db, model, q, []hyperql.UpdateSpec{id}, o)
 }
 
 // budget returns the UPDATES <= k constraint if present.

@@ -1,6 +1,7 @@
 package howto
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -23,6 +24,13 @@ import (
 // SOS-1 per attribute, optional UPDATES budget — expressed as maximization
 // of negated costs for the 0/1 solver.
 func MinimizeCost(db *relation.Database, model *causal.Model, q *hyperql.HowTo, target float64, opts Options) (*Result, error) {
+	return MinimizeCostContext(context.Background(), db, model, q, target, opts)
+}
+
+// MinimizeCostContext is MinimizeCost with cancellation: ctx flows into
+// candidate scoring and the IP solve, so the optimization aborts mid-flight
+// when cancelled or past its deadline.
+func MinimizeCostContext(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.HowTo, target float64, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	start := time.Now()
 	if !q.Maximize {
@@ -32,7 +40,7 @@ func MinimizeCost(db *relation.Database, model *causal.Model, q *hyperql.HowTo, 
 	if err != nil {
 		return nil, err
 	}
-	base, err := baseObjective(db, model, q, o)
+	base, err := baseObjective(ctx, db, model, q, o)
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +61,7 @@ func MinimizeCost(db *relation.Database, model *causal.Model, q *hyperql.HowTo, 
 		}
 		costsByAttr[attr] = costs
 	}
-	scoredVars, err := scoreCandidates(db, model, []*hyperql.HowTo{q}, q.Attrs, cands, o)
+	scoredVars, err := scoreCandidates(ctx, db, model, []*hyperql.HowTo{q}, q.Attrs, cands, o)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +106,7 @@ func MinimizeCost(db *relation.Database, model *causal.Model, q *hyperql.HowTo, 
 			return nil, err
 		}
 	}
-	sol, err := m.Solve()
+	sol, err := m.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}

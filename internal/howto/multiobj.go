@@ -1,6 +1,7 @@
 package howto
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,12 @@ import (
 // objective with the previously achieved objective values added as equality
 // constraints (Example 11).
 func Lexicographic(db *relation.Database, model *causal.Model, qs []*hyperql.HowTo, opts Options) (*Result, error) {
+	return LexicographicContext(context.Background(), db, model, qs, opts)
+}
+
+// LexicographicContext is Lexicographic with cancellation: ctx flows into
+// candidate scoring and every per-objective IP solve.
+func LexicographicContext(ctx context.Context, db *relation.Database, model *causal.Model, qs []*hyperql.HowTo, opts Options) (*Result, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("howto: no objectives")
 	}
@@ -38,12 +45,12 @@ func Lexicographic(db *relation.Database, model *causal.Model, qs []*hyperql.How
 	bases := make([]float64, len(qs))
 	whatIfEvals := 0
 	for oi, q := range qs {
-		bases[oi], err = baseObjective(db, model, q, o)
+		bases[oi], err = baseObjective(ctx, db, model, q, o)
 		if err != nil {
 			return nil, err
 		}
 	}
-	scoredVars, err := scoreCandidates(db, model, qs, q0.Attrs, cands, o)
+	scoredVars, err := scoreCandidates(ctx, db, model, qs, q0.Attrs, cands, o)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +119,7 @@ func Lexicographic(db *relation.Database, model *causal.Model, qs []*hyperql.How
 		if err != nil {
 			return nil, err
 		}
-		sol, err := m.Solve()
+		sol, err := m.SolveContext(ctx)
 		if err != nil {
 			return nil, err
 		}

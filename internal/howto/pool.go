@@ -1,6 +1,7 @@
 package howto
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,7 +31,11 @@ type scored struct {
 // attribute's estimator set exactly once, and only then are the remaining
 // candidates fanned out — avoiding a thundering herd of workers all
 // training the same cold estimator.
-func scoreCandidates(db *relation.Database, model *causal.Model, qs []*hyperql.HowTo,
+//
+// ctx cancellation is observed between candidates (and inside each
+// candidate's engine evaluation); o.Progress, when set, receives one
+// "candidates" update per scored candidate.
+func scoreCandidates(ctx context.Context, db *relation.Database, model *causal.Model, qs []*hyperql.HowTo,
 	attrs []string, cands map[string][]hyperql.UpdateSpec, o Options) ([]scored, error) {
 	type job struct {
 		attr string
@@ -60,14 +65,20 @@ func scoreCandidates(db *relation.Database, model *causal.Model, qs []*hyperql.H
 	out := make([]scored, len(jobs))
 	errs := make([]error, len(jobs))
 	var failed atomic.Bool
+	var scoredCount atomic.Int64
 	run := func(ji int) {
 		if failed.Load() {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			errs[ji] = err
+			failed.Store(true)
 			return
 		}
 		j := jobs[ji]
 		vals := make([]float64, len(qs))
 		for oi, q := range qs {
-			v, err := evalCandidate(db, model, q, []hyperql.UpdateSpec{j.spec}, o)
+			v, err := evalCandidate(ctx, db, model, q, []hyperql.UpdateSpec{j.spec}, o)
 			if err != nil {
 				errs[ji] = err
 				failed.Store(true)
@@ -76,6 +87,9 @@ func scoreCandidates(db *relation.Database, model *causal.Model, qs []*hyperql.H
 			vals[oi] = v
 		}
 		out[ji] = scored{attr: j.attr, spec: j.spec, vals: vals}
+		if o.Progress != nil {
+			o.Progress("candidates", int(scoredCount.Add(1)), len(jobs))
+		}
 	}
 	runPhase := func(idxs []int) {
 		if len(idxs) == 0 {

@@ -6,6 +6,7 @@
 package ip
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -110,6 +111,14 @@ func (s *Solution) Selected() []int {
 // fixes the most fractional variable first (depth-first, 1-branch first so
 // good incumbents appear early).
 func (m *Model) Solve() (*Solution, error) {
+	return m.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with cancellation: ctx is checked every 64
+// branch-and-bound nodes, so a cancelled or deadline-expired context aborts
+// the search mid-solve with ctx.Err() instead of exploring the remaining
+// tree.
+func (m *Model) SolveContext(ctx context.Context) (*Solution, error) {
 	n := len(m.names)
 	if n == 0 {
 		return &Solution{Status: lp.Optimal}, nil
@@ -125,6 +134,11 @@ func (m *Model) Solve() (*Solution, error) {
 		nodes++
 		if nodes > 200000 {
 			return fmt.Errorf("ip: node limit exceeded (%d)", nodes)
+		}
+		if nodes%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		rel, err := m.relax(fixed)
 		if err != nil {

@@ -1,6 +1,9 @@
 package ip
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -180,5 +183,37 @@ func TestEnumerationLimit(t *testing.T) {
 	}
 	if _, err := m.EnumerateFeasible(); err == nil {
 		t.Error("enumeration beyond 24 vars should refuse")
+	}
+}
+
+func TestSolveContextCancelled(t *testing.T) {
+	// A model big enough to take more than one 64-node check interval.
+	m := NewModel()
+	n := 14
+	for i := 0; i < n; i++ {
+		m.AddVar(fmt.Sprintf("x%d", i), float64(1+i%3)+0.5)
+	}
+	for i := 0; i+1 < n; i += 2 {
+		if err := m.AddAtMostOne([]int{i, i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := make([]int, n)
+	coef := make([]float64, n)
+	for i := range idx {
+		idx[i] = i
+		coef[i] = float64(1 + i%4)
+	}
+	if err := m.AddLE(idx, coef, float64(n)/1.5); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.SolveContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The same model still solves under a live context.
+	if _, err := m.Solve(); err != nil {
+		t.Fatalf("solve after cancelled attempt: %v", err)
 	}
 }

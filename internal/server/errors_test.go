@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestErrorStatusTable drives every /v1/* endpoint through its error paths
+// and pins the status mapping: unknown session/job/dataset resources are
+// 404 (or 400 where the name arrives in the body of a creation request),
+// malformed HyperQL and malformed request bodies are 400 — never 500 — and
+// every error body carries a non-empty "error" field.
+func TestErrorStatusTable(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	createSession(t, ts, "g")
+
+	const badQL = `USE German UPDATE(`
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string // raw JSON; "" means no body
+		want   int
+	}{
+		// Unknown resources -> 404.
+		{"whatif unknown session", "POST", "/v1/whatif", `{"session":"nope","query":"x"}`, 404},
+		{"howto unknown session", "POST", "/v1/howto", `{"session":"nope","query":"x"}`, 404},
+		{"explain unknown session", "POST", "/v1/explain", `{"session":"nope","query":"x"}`, 404},
+		{"batch unknown session", "POST", "/v1/batch", `{"session":"nope","queries":[{"query":"x"}]}`, 404},
+		{"jobs unknown session", "POST", "/v1/jobs", `{"session":"nope","query":"x"}`, 404},
+		{"delete unknown session", "DELETE", "/v1/sessions/nope", "", 404},
+		{"get unknown job", "GET", "/v1/jobs/nope", "", 404},
+		{"cancel unknown job", "DELETE", "/v1/jobs/nope", "", 404},
+
+		// Malformed HyperQL -> 400.
+		{"whatif bad query", "POST", "/v1/whatif", `{"session":"g","query":"` + badQL + `"}`, 400},
+		{"howto bad query", "POST", "/v1/howto", `{"session":"g","query":"` + badQL + `"}`, 400},
+		{"explain bad query", "POST", "/v1/explain", `{"session":"g","query":"` + badQL + `"}`, 400},
+		{"jobs bad query", "POST", "/v1/jobs", `{"session":"g","query":"` + badQL + `"}`, 400},
+		{"jobs bad howto query", "POST", "/v1/jobs", `{"session":"g","kind":"howto","query":"` + badQL + `"}`, 400},
+		// Kind/query mismatches are rejected at submission, not queued.
+		{"jobs howto query as whatif", "POST", "/v1/jobs", `{"session":"g","kind":"whatif","query":"USE German HOWTOUPDATE Status TOMAXIMIZE COUNT(Credit = 1)"}`, 400},
+		{"jobs whatif query as howto", "POST", "/v1/jobs", `{"session":"g","kind":"howto","query":"USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)"}`, 400},
+
+		// Semantically invalid requests -> 400.
+		{"howto bad method", "POST", "/v1/howto", `{"session":"g","query":"x","method":"annealing"}`, 400},
+		{"jobs bad method", "POST", "/v1/jobs", `{"session":"g","kind":"howto","query":"USE German HOWTOUPDATE Status TOMAXIMIZE COUNT(Credit = 1)","method":"annealing"}`, 400},
+		{"jobs bad kind", "POST", "/v1/jobs", `{"session":"g","kind":"teleport","query":"x"}`, 400},
+		{"jobs empty batch", "POST", "/v1/jobs", `{"session":"g","kind":"batch"}`, 400},
+		{"jobs bad state filter", "GET", "/v1/jobs?state=bogus", "", 400},
+		{"batch empty", "POST", "/v1/batch", `{"session":"g","queries":[]}`, 400},
+		{"session missing name", "POST", "/v1/sessions", `{"dataset":"german"}`, 400},
+		{"session unknown dataset", "POST", "/v1/sessions", `{"name":"x","dataset":"nope"}`, 400},
+		{"session no source", "POST", "/v1/sessions", `{"name":"x"}`, 400},
+		{"session both sources", "POST", "/v1/sessions", `{"name":"x","dataset":"german","csv":{"tables":[]}}`, 400},
+		{"session bad mode", "POST", "/v1/sessions", `{"name":"x","dataset":"german","options":{"mode":"psychic"}}`, 400},
+
+		// Malformed JSON bodies -> 400 on every POST endpoint.
+		{"whatif bad body", "POST", "/v1/whatif", `{"nope`, 400},
+		{"howto bad body", "POST", "/v1/howto", `{"nope`, 400},
+		{"explain bad body", "POST", "/v1/explain", `{"nope`, 400},
+		{"batch bad body", "POST", "/v1/batch", `{"nope`, 400},
+		{"jobs bad body", "POST", "/v1/jobs", `{"nope`, 400},
+		{"sessions bad body", "POST", "/v1/sessions", `{"nope`, 400},
+		{"sessions unknown field", "POST", "/v1/sessions", `{"surprise":1}`, 400},
+
+		// Healthy GET endpoints stay 200 for contrast.
+		{"datasets ok", "GET", "/v1/datasets", "", 200},
+		{"sessions ok", "GET", "/v1/sessions", "", 200},
+		{"jobs list ok", "GET", "/v1/jobs", "", 200},
+		{"stats ok", "GET", "/v1/stats", "", 200},
+		{"healthz ok", "GET", "/healthz", "", 200},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rd io.Reader
+			if tc.body != "" {
+				rd = bytes.NewReader([]byte(tc.body))
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s: status %d, want %d (body %s)", tc.method, tc.path, resp.StatusCode, tc.want, raw)
+			}
+			if tc.want >= 400 {
+				var body struct {
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
+					t.Errorf("error body %q is not structured JSON with an error field", raw)
+				}
+				if strings.Contains(string(raw), "goroutine") {
+					t.Errorf("error body leaks internals: %q", raw)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+
+	"hyper/internal/hyperql"
+	"hyper/internal/jobs"
+)
+
+// JobRequest submits one asynchronous query job against a session.
+type JobRequest struct {
+	Session string `json:"session"`
+	// Kind is whatif|howto|explain|batch (default whatif).
+	Kind  string `json:"kind,omitempty"`
+	Query string `json:"query,omitempty"`
+	// Method/Target configure how-to jobs (see QueryRequest).
+	Method string  `json:"method,omitempty"`
+	Target float64 `json:"target,omitempty"`
+	// Queries and Workers configure batch jobs (see BatchRequest).
+	Queries []BatchQuery `json:"queries,omitempty"`
+	Workers int          `json:"workers,omitempty"`
+	// Priority orders the queue: higher runs first, FIFO within a priority.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMs, when > 0, sets the job deadline timeout ms after
+	// submission; a job still queued or running at the deadline expires.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobProgress is the wire form of a job's progress counters.
+type JobProgress struct {
+	// Stage is "tuples" (what-if), "candidates" (how-to scoring), "combos"
+	// (brute force) or "queries" (batch).
+	Stage string `json:"stage,omitempty"`
+	Done  int64  `json:"done"`
+	// Total <= 0 means unknown.
+	Total int64 `json:"total"`
+}
+
+// JobInfo is the wire form of a job snapshot.
+type JobInfo struct {
+	ID       string `json:"id"`
+	Session  string `json:"session"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	Priority int    `json:"priority,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	DeadlineAt  *time.Time `json:"deadline_at,omitempty"`
+	WaitMs      float64    `json:"wait_ms"`
+	RunMs       float64    `json:"run_ms"`
+
+	Progress JobProgress `json:"progress"`
+
+	// Error is set for failed/cancelled/expired jobs.
+	Error string `json:"error,omitempty"`
+	// Result is the query response (WhatIfResponse, HowToResponse, explain
+	// plan, or BatchResponse) once the job is done.
+	Result any `json:"result,omitempty"`
+}
+
+func toJobInfo(s jobs.Snapshot) JobInfo {
+	info := JobInfo{
+		ID:          s.ID,
+		Session:     s.Session,
+		Kind:        s.Kind,
+		State:       s.State.String(),
+		Priority:    s.Priority,
+		SubmittedAt: s.Submitted,
+		WaitMs:      float64(s.Wait()) / float64(time.Millisecond),
+		RunMs:       float64(s.Run()) / float64(time.Millisecond),
+		Progress:    JobProgress{Stage: s.Stage, Done: s.Done, Total: s.Total},
+		Result:      s.Result,
+	}
+	if !s.Started.IsZero() {
+		t := s.Started
+		info.StartedAt = &t
+	}
+	if !s.Finished.IsZero() {
+		t := s.Finished
+		info.FinishedAt = &t
+	}
+	if !s.Deadline.IsZero() {
+		t := s.Deadline
+		info.DeadlineAt = &t
+	}
+	if s.Err != nil {
+		info.Error = s.Err.Error()
+	}
+	return info
+}
+
+// jobKinds are the accepted values of JobRequest.Kind.
+const jobKinds = "whatif|howto|explain|batch"
+
+func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
+	var req JobRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	e, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = "whatif"
+	}
+
+	// Reject malformed submissions now (HTTP 400) rather than queueing a
+	// job doomed to fail: the query must parse as the submitted kind, the
+	// how-to method must be known, a batch must have elements.
+	var run jobs.Runner
+	switch kind {
+	case "whatif", "explain":
+		if _, err := hyperql.ParseWhatIf(req.Query); err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		if kind == "whatif" {
+			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
+				return e.whatIf(ctx, req.Query, p.Report)
+			}
+		} else {
+			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
+				return e.explain(req.Query)
+			}
+		}
+	case "howto":
+		if _, err := hyperql.ParseHowTo(req.Query); err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		switch req.Method {
+		case "", "ip", "brute", "mincost":
+		default:
+			return nil, errf(http.StatusBadRequest, "unknown how-to method %q (want ip|brute|mincost)", req.Method)
+		}
+		qr := QueryRequest{Query: req.Query, Method: req.Method, Target: req.Target}
+		run = func(ctx context.Context, p *jobs.Progress) (any, error) {
+			return e.howTo(ctx, qr, p.Report)
+		}
+	case "batch":
+		if len(req.Queries) == 0 {
+			return nil, errf(http.StatusBadRequest, "batch job has no queries")
+		}
+		workers := s.batchWorkers(req.Workers)
+		queries := req.Queries
+		run = func(ctx context.Context, p *jobs.Progress) (any, error) {
+			return e.runBatch(ctx, queries, workers, p.Report), nil
+		}
+	default:
+		return nil, errf(http.StatusBadRequest, "unknown job kind %q (want %s)", req.Kind, jobKinds)
+	}
+
+	opts := jobs.SubmitOptions{Session: req.Session, Kind: kind, Priority: req.Priority}
+	if req.TimeoutMs > 0 {
+		opts.Deadline = time.Now().Add(time.Duration(req.TimeoutMs) * time.Millisecond)
+	}
+	j, err := s.jobs.Submit(opts, run)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		return nil, errcf(http.StatusTooManyRequests, "queue_full",
+			"job queue is full (%d queued); retry later", s.cfg.JobQueueDepth)
+	case errors.Is(err, jobs.ErrSessionLimit):
+		return nil, errcf(http.StatusTooManyRequests, "session_limit",
+			"session %q already has %d live jobs; retry later", req.Session, s.cfg.JobsPerSession)
+	case errors.Is(err, jobs.ErrDraining):
+		return nil, errcf(http.StatusServiceUnavailable, "draining", "server is draining; not accepting jobs")
+	case err != nil:
+		return nil, err
+	}
+	// Close the race with a concurrent DELETE /v1/sessions/{name}: its
+	// CancelSession may have run between our session lookup and Submit, in
+	// which case this job would outlive its session uncancelled.
+	if _, err := s.session(req.Session); err != nil {
+		s.jobs.Cancel(j.ID())
+		return nil, err
+	}
+	snap, _ := s.jobs.Get(j.ID())
+	return toJobInfo(snap), nil
+}
+
+func (s *Server) handleGetJob(r *http.Request) (any, error) {
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		return nil, errf(http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return toJobInfo(snap), nil
+}
+
+func (s *Server) handleCancelJob(r *http.Request) (any, error) {
+	id := r.PathValue("id")
+	if _, ok := s.jobs.Cancel(id); !ok {
+		return nil, errf(http.StatusNotFound, "unknown job %q", id)
+	}
+	snap, _ := s.jobs.Get(id)
+	return toJobInfo(snap), nil
+}
+
+func (s *Server) handleListJobs(r *http.Request) (any, error) {
+	session := r.URL.Query().Get("session")
+	stateName := r.URL.Query().Get("state")
+	var state jobs.State
+	filter := false
+	if stateName != "" {
+		st, err := parseJobState(stateName)
+		if err != nil {
+			return nil, err
+		}
+		state, filter = st, true
+	}
+	snaps := s.jobs.List(session, state, filter)
+	out := make([]JobInfo, len(snaps))
+	for i, sn := range snaps {
+		// Listings omit results: polling one job returns the payload.
+		sn.Result = nil
+		out[i] = toJobInfo(sn)
+	}
+	return map[string]any{"jobs": out}, nil
+}
+
+func parseJobState(name string) (jobs.State, error) {
+	for st := jobs.StateQueued; st <= jobs.StateExpired; st++ {
+		if st.String() == strings.ToLower(name) {
+			return st, nil
+		}
+	}
+	return 0, errf(http.StatusBadRequest, "unknown job state %q (want queued|running|done|failed|cancelled|expired)", name)
+}

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyper"
@@ -101,7 +103,7 @@ func (s *Server) handleWhatIf(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.whatIf(req.Query)
+	return e.whatIf(r.Context(), req.Query, nil)
 }
 
 func (s *Server) handleHowTo(r *http.Request) (any, error) {
@@ -113,7 +115,7 @@ func (s *Server) handleHowTo(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.howTo(req)
+	return e.howTo(r.Context(), req, nil)
 }
 
 func (s *Server) handleExplain(r *http.Request) (any, error) {
@@ -128,16 +130,18 @@ func (s *Server) handleExplain(r *http.Request) (any, error) {
 	return e.explain(req.Query)
 }
 
-func (e *sessionEntry) whatIf(query string) (*WhatIfResponse, error) {
+// whatIf evaluates one what-if query under ctx (cancelled requests and
+// cancelled jobs stop the engine mid-evaluation); progress may be nil.
+func (e *sessionEntry) whatIf(ctx context.Context, query string, progress hyper.Progress) (*WhatIfResponse, error) {
 	e.queries.Add(1)
-	res, err := e.sess.WhatIf(query)
+	res, err := e.sess.WhatIfContext(ctx, query, progress)
 	if err != nil {
-		return nil, errf(http.StatusBadRequest, "%v", err)
+		return nil, queryError(ctx, err)
 	}
 	return toWhatIfResponse(res), nil
 }
 
-func (e *sessionEntry) howTo(req QueryRequest) (*HowToResponse, error) {
+func (e *sessionEntry) howTo(ctx context.Context, req QueryRequest, progress hyper.Progress) (*HowToResponse, error) {
 	e.queries.Add(1)
 	var (
 		res *hyper.HowToResult
@@ -145,16 +149,16 @@ func (e *sessionEntry) howTo(req QueryRequest) (*HowToResponse, error) {
 	)
 	switch req.Method {
 	case "", "ip":
-		res, err = e.sess.HowTo(req.Query)
+		res, err = e.sess.HowToContext(ctx, req.Query, progress)
 	case "brute":
-		res, err = e.sess.HowToBruteForce(req.Query)
+		res, err = e.sess.HowToBruteForceContext(ctx, req.Query, progress)
 	case "mincost":
-		res, err = e.sess.HowToMinimizeCost(req.Query, req.Target)
+		res, err = e.sess.HowToMinimizeCostContext(ctx, req.Query, req.Target, progress)
 	default:
 		return nil, errf(http.StatusBadRequest, "unknown how-to method %q (want ip|brute|mincost)", req.Method)
 	}
 	if err != nil {
-		return nil, errf(http.StatusBadRequest, "%v", err)
+		return nil, queryError(ctx, err)
 	}
 	return toHowToResponse(res), nil
 }
@@ -166,6 +170,17 @@ func (e *sessionEntry) explain(query string) (map[string]string, error) {
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
 	return map[string]string{"plan": plan}, nil
+}
+
+// queryError maps an evaluation failure: a cancelled/expired context
+// surfaces as-is (the job layer translates it to a lifecycle state; for a
+// synchronous request the client is gone anyway), anything else is a
+// malformed query or unsatisfiable plan, i.e. a client error.
+func queryError(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return errf(http.StatusBadRequest, "%v", err)
 }
 
 // BatchQuery is one element of a batch request.
@@ -216,28 +231,47 @@ func (s *Server) handleBatch(r *http.Request) (any, error) {
 	if len(req.Queries) == 0 {
 		return nil, errf(http.StatusBadRequest, "batch has no queries")
 	}
-	workers := req.Workers
-	if workers <= 0 || workers > s.cfg.BatchWorkers {
-		workers = s.cfg.BatchWorkers
-	}
-	if workers > len(req.Queries) {
-		workers = len(req.Queries)
-	}
+	return e.runBatch(r.Context(), req.Queries, s.batchWorkers(req.Workers), nil), nil
+}
 
+// batchWorkers clamps a request's worker ask to the server bound.
+func (s *Server) batchWorkers(want int) int {
+	if want <= 0 || want > s.cfg.BatchWorkers {
+		return s.cfg.BatchWorkers
+	}
+	return want
+}
+
+// runBatch fans the queries across a bounded worker pool. ctx cancellation
+// stops in-flight evaluations (their elements report the context error) and
+// skips unstarted ones; progress, when non-nil, counts completed elements.
+// It is shared by the synchronous /v1/batch handler and batch jobs.
+func (e *sessionEntry) runBatch(ctx context.Context, queries []BatchQuery, workers int, progress hyper.Progress) *BatchResponse {
+	if workers > len(queries) {
+		workers = len(queries)
+	}
 	start := time.Now()
-	results := make([]BatchResult, len(req.Queries))
+	results := make([]BatchResult, len(queries))
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	var done atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = e.runBatchQuery(i, req.Queries[i])
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchResult{Index: i, Error: err.Error()}
+					continue
+				}
+				results[i] = e.runBatchQuery(ctx, i, queries[i])
+				if progress != nil {
+					progress("queries", int(done.Add(1)), len(queries))
+				}
 			}
 		}()
 	}
-	for i := range req.Queries {
+	for i := range queries {
 		idx <- i
 	}
 	close(idx)
@@ -253,24 +287,24 @@ func (s *Server) handleBatch(r *http.Request) (any, error) {
 			resp.Errors++
 		}
 	}
-	return resp, nil
+	return resp
 }
 
 // runBatchQuery evaluates one batch element, converting failures into the
 // element's error field so one bad query cannot sink its siblings.
-func (e *sessionEntry) runBatchQuery(i int, q BatchQuery) BatchResult {
+func (e *sessionEntry) runBatchQuery(ctx context.Context, i int, q BatchQuery) BatchResult {
 	start := time.Now()
 	out := BatchResult{Index: i}
 	switch q.Kind {
 	case "", "whatif":
-		res, err := e.whatIf(q.Query)
+		res, err := e.whatIf(ctx, q.Query, nil)
 		if err != nil {
 			out.Error = err.Error()
 		} else {
 			out.WhatIf = res
 		}
 	case "howto":
-		res, err := e.howTo(QueryRequest{Query: q.Query, Method: q.Method, Target: q.Target})
+		res, err := e.howTo(ctx, QueryRequest{Query: q.Query, Method: q.Method, Target: q.Target}, nil)
 		if err != nil {
 			out.Error = err.Error()
 		} else {

@@ -11,21 +11,33 @@
 //	GET    /v1/datasets          named dataset builders available for sessions
 //	GET    /v1/sessions          list live sessions
 //	POST   /v1/sessions          create a session from a dataset name or inline CSV
-//	DELETE /v1/sessions/{name}   drop a session
+//	DELETE /v1/sessions/{name}   drop a session (cancels its jobs)
 //	POST   /v1/whatif            evaluate one what-if query
 //	POST   /v1/howto             evaluate one how-to query (ip|brute|mincost methods)
 //	POST   /v1/explain           plan a what-if query without evaluating it
 //	POST   /v1/batch             evaluate N queries fanned out across a worker pool
-//	GET    /v1/stats             cache hit/miss counters and per-endpoint latency quantiles
+//	POST   /v1/jobs              submit an asynchronous query job (429 when the queue is full)
+//	GET    /v1/jobs              list jobs (?session=, ?state= filters)
+//	GET    /v1/jobs/{id}         poll one job (state, progress, result)
+//	DELETE /v1/jobs/{id}         cancel a job (queued or mid-solve)
+//	GET    /v1/stats             cache/job gauges and per-endpoint latency quantiles
 //
 // Sessions are independent: each owns a bounded LRU engine cache
 // (engine.NewCacheBounded), so repeat queries with shared USE/WHEN/FOR
 // clauses skip view materialization and estimator training, and a
 // long-lived daemon's memory stays bounded. The underlying hyper.Session is
 // safe for concurrent use, so no per-session serialization is needed.
+//
+// Expensive queries should go through the job API (internal/jobs): a
+// submitted job is queued by priority, bounded by admission control and
+// per-session limits, cancellable mid-solve, and observable through
+// progress counters — the synchronous endpoints remain for cheap queries
+// and compatibility (they honor the request context, so a disconnected
+// client stops its evaluation).
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,6 +47,7 @@ import (
 	"time"
 
 	"hyper"
+	"hyper/internal/jobs"
 )
 
 // Config tunes the server; the zero value is usable.
@@ -49,6 +62,17 @@ type Config struct {
 	MaxSessions int
 	// MaxBodyBytes caps request bodies (CSV uploads included). Default 16MB.
 	MaxBodyBytes int64
+	// JobWorkers is the async job worker-pool size (default 2). Each how-to
+	// job parallelizes internally, so a small pool already saturates cores.
+	JobWorkers int
+	// JobQueueDepth bounds queued (not yet running) jobs; submissions past
+	// it are rejected with HTTP 429 (default 64).
+	JobQueueDepth int
+	// JobsPerSession caps one session's live (queued + running) jobs
+	// (default 4; <0 disables the limit).
+	JobsPerSession int
+	// JobRetention is how many finished jobs stay pollable (default 256).
+	JobRetention int
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
 }
@@ -69,10 +93,26 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 64
+	}
+	if c.JobsPerSession == 0 {
+		c.JobsPerSession = 4
+	}
+	if c.JobsPerSession < 0 {
+		c.JobsPerSession = 0 // unlimited
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 256
+	}
 	return c
 }
 
-// Server hosts the session registry and the HTTP handlers.
+// Server hosts the session registry, the async job manager, and the HTTP
+// handlers.
 type Server struct {
 	cfg   Config
 	start time.Time
@@ -80,18 +120,38 @@ type Server struct {
 	mu       sync.RWMutex
 	sessions map[string]*sessionEntry
 
+	jobs *jobs.Manager
+
 	stats statsRecorder
 }
 
-// New returns a server with an empty session registry.
+// New returns a server with an empty session registry and a running job
+// worker pool.
 func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		start:    time.Now(),
 		sessions: make(map[string]*sessionEntry),
+		jobs: jobs.NewManager(jobs.Config{
+			Workers:         cfg.JobWorkers,
+			QueueDepth:      cfg.JobQueueDepth,
+			PerSessionLimit: cfg.JobsPerSession,
+			Retention:       cfg.JobRetention,
+		}),
 	}
 	s.stats.init()
 	return s
+}
+
+// Drain gracefully shuts the job subsystem down: no new jobs are admitted
+// (submissions get HTTP 503), queued jobs are cancelled, and running jobs
+// are awaited until ctx expires — then cancelled and awaited (promptly,
+// since the compute stack observes job contexts). The HTTP handlers other
+// than job submission keep working, so clients can poll final job states
+// while the HTTP server itself shuts down.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.jobs.Drain(ctx)
 }
 
 // Handler returns the routed HTTP handler for the API surface.
@@ -108,13 +168,19 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/howto", s.instrument("howto", s.handleHowTo))
 	mux.Handle("POST /v1/explain", s.instrument("explain", s.handleExplain))
 	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	mux.Handle("POST /v1/jobs", s.instrument("jobs", s.handleSubmitJob))
+	mux.Handle("GET /v1/jobs", s.instrument("jobs", s.handleListJobs))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleGetJob))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs", s.handleCancelJob))
 	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
 	return mux
 }
 
-// apiError carries an HTTP status through the handler helpers.
+// apiError carries an HTTP status (and an optional machine-readable code)
+// through the handler helpers.
 type apiError struct {
 	status int
+	code   string // e.g. "queue_full"; optional
 	msg    string
 }
 
@@ -122,6 +188,12 @@ func (e *apiError) Error() string { return e.msg }
 
 func errf(status int, format string, args ...any) error {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// errcf is errf with a machine-readable error code rendered alongside the
+// message ({"error": ..., "code": ...}).
+func errcf(status int, code, format string, args ...any) error {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
 // instrument wraps a handler with latency recording, error mapping and
@@ -136,14 +208,25 @@ func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, erro
 		elapsed := time.Since(start)
 		status := http.StatusOK
 		if err != nil {
+			body := map[string]string{"error": err.Error()}
 			var ae *apiError
 			switch {
 			case errors.As(err, &ae):
 				status = ae.status
+				if ae.code != "" {
+					body["code"] = ae.code
+				}
+			case errors.Is(err, context.Canceled):
+				// A disconnected client cancelled its own evaluation; that
+				// is not a server fault, so don't record a 5xx (499 is the
+				// de-facto "client closed request" status).
+				status = 499
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusGatewayTimeout
 			default:
 				status = http.StatusInternalServerError
 			}
-			writeJSON(w, status, map[string]string{"error": err.Error()})
+			writeJSON(w, status, body)
 		} else {
 			writeJSON(w, status, payload)
 		}

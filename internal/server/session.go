@@ -252,12 +252,16 @@ func (s *Server) sortedEntries() []*sessionEntry {
 func (s *Server) handleDeleteSession(r *http.Request) (any, error) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.sessions[name]; !ok {
+		s.mu.Unlock()
 		return nil, errf(http.StatusNotFound, "unknown session %q", name)
 	}
 	delete(s.sessions, name)
-	return map[string]any{"deleted": name}, nil
+	s.mu.Unlock()
+	// Jobs against a deleted session keep a reference to its entry but have
+	// no caller left; cancel them so they stop burning cores.
+	cancelled := s.jobs.CancelSession(name)
+	return map[string]any{"deleted": name, "jobs_cancelled": cancelled}, nil
 }
 
 // buildCSVDatabase assembles a database and optional causal model from an

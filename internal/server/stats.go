@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hyper/internal/jobs"
 )
 
 // latencyWindow is how many recent request latencies each endpoint keeps for
@@ -92,11 +94,14 @@ func (s *statsRecorder) snapshot() map[string]EndpointStats {
 }
 
 // StatsResponse is the /v1/stats payload: server uptime, per-endpoint
-// latency quantiles, and per-session query counts and cache effectiveness.
+// latency quantiles, per-session query counts and cache effectiveness, and
+// the job-queue gauges (queued, running, terminal counters, admission
+// rejections, and queue-wait quantiles).
 type StatsResponse struct {
 	UptimeS   float64                  `json:"uptime_s"`
 	Sessions  []SessionInfo            `json:"sessions"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Jobs      jobs.Stats               `json:"jobs"`
 }
 
 func (s *Server) handleStats(*http.Request) (any, error) {
@@ -105,6 +110,7 @@ func (s *Server) handleStats(*http.Request) (any, error) {
 		UptimeS:   time.Since(s.start).Seconds(),
 		Endpoints: s.stats.snapshot(),
 		Sessions:  make([]SessionInfo, len(entries)),
+		Jobs:      s.jobs.Stats(),
 	}
 	for i, e := range entries {
 		resp.Sessions[i] = e.info()
