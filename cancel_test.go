@@ -86,6 +86,116 @@ func TestHowToCancelMidSolve(t *testing.T) {
 	}
 }
 
+// TestWhatIfCancelShardedSolve pins cancellation through the sharded
+// evaluation path: a 10000-row what-if runs a 3-shard plan under a worker
+// fan-out of 3, cancellation from inside the progress hook stops the shard
+// workers at their next stride check, no goroutines are left behind, and a
+// subsequent evaluation on the same session reproduces the uncancelled
+// result exactly (the per-worker scratch and per-shard partials of the
+// cancelled run leaked nothing into the cache).
+func TestWhatIfCancelShardedSolve(t *testing.T) {
+	b, err := dataset.Lookup("german")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, model := b.Build(2.0, 7) // 10000 rows: a 3-shard plan at the default granularity
+	sess := NewSessionWithCache(db, model, NewCacheBounded(512))
+	sess.SetOptions(Options{Mode: ModeFull, Seed: 7, Shards: 3})
+	const src = `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sawShards, fired atomic.Bool
+	progress := func(stage string, done, total int) {
+		if stage == "shards" {
+			sawShards.Store(true)
+		}
+		if stage == "tuples" && done > 0 && done < total {
+			fired.Store(true)
+			cancel()
+		}
+	}
+	res, err := sess.WhatIfContext(ctx, src, progress)
+	if fired.Load() {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v (res %v), want context.Canceled", err, res)
+		}
+	} else if err != nil {
+		// The whole solve fit inside one stride; nothing was cancellable.
+		t.Fatalf("uncancelled solve failed: %v", err)
+	}
+
+	// No goroutine leaks: the shard workers exit with the evaluation.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines: %d before, %d after cancelled sharded what-if", before, after)
+	}
+
+	// Post-cancel consistency across fan-outs: the same session (cache
+	// warmed or partially warmed by the cancelled run) and a fresh serial
+	// session must agree bit for bit. The full run must also report the
+	// "shards" progress stage (the cancelled one usually dies mid-shard).
+	var shardsTotal atomic.Int64
+	got, err := sess.WhatIfContext(context.Background(), src, func(stage string, done, total int) {
+		if stage == "shards" {
+			sawShards.Store(true)
+			shardsTotal.Store(int64(total))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawShards.Load() || shardsTotal.Load() != 3 {
+		t.Errorf("sharded solve reported shards progress = %v (total %d), want 3 shards", sawShards.Load(), shardsTotal.Load())
+	}
+	if got.ShardPlan != 3 {
+		t.Errorf("shard plan = %d, want 3 at 10000 rows", got.ShardPlan)
+	}
+	fresh := NewSession(db, model)
+	fresh.SetOptions(Options{Mode: ModeFull, Seed: 7, Shards: 1})
+	want, err := fresh.WhatIf(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || got.Sum != want.Sum || got.Count != want.Count {
+		t.Errorf("post-cancel sharded result diverged: got %v, want %v", got.Value, want.Value)
+	}
+}
+
+// TestHowToCancelShardedPool pins cancellation of a how-to whose candidate
+// pool runs at a sharded fan-out: the pool and its nested engine workers
+// exit promptly and leak no goroutines.
+func TestHowToCancelShardedPool(t *testing.T) {
+	sess := germanContSession(NewCacheBounded(512))
+	o := sess.Options()
+	o.Shards = 3
+	sess.SetOptions(o)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var sawProgress atomic.Int64
+	progress := func(stage string, done, total int) {
+		if sawProgress.Add(1) == 3 {
+			cancel()
+		}
+	}
+	if _, err := sess.HowToBruteForceContext(ctx, slowBrute, progress); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines: %d before, %d after cancelled sharded how-to", before, after)
+	}
+}
+
 // TestWhatIfCancelled pins that a what-if with an already-cancelled context
 // does no work, and that the IP path observes cancellation too.
 func TestWhatIfCancelled(t *testing.T) {

@@ -1,0 +1,121 @@
+// Command benchguard is the CI bench-regression gate: it compares a freshly
+// generated BENCH_engine.json against the committed baseline and exits
+// non-zero when a tracked metric regresses beyond tolerance. CI runs
+// `hyperbench -exp engine` on every pull request, uploads the fresh JSON as
+// an artifact, and fails the build on regression — so the perf numbers the
+// repository claims are enforced, not aspirational.
+//
+// Tracked metrics:
+//
+//   - cold_whatif_ms        (cold what-if latency; relative tolerance, CI
+//     machines are noisy so the default is 25%). Wall-clock only gates
+//     when the baseline was recorded on comparable hardware — the same
+//     GOMAXPROCS — otherwise a baseline committed from a laptop would fail
+//     every PR on a slower runner (and a faster runner would mask real
+//     regressions). On mismatched hardware the latency comparison is
+//     printed as advisory and the gate rests on the allocation metrics;
+//     regenerate the baseline from a CI artifact to arm it.
+//   - freq_fit_allocs_per_op and freq_predict_allocs_per_op (allocation
+//     counts; near-deterministic across machines, same relative tolerance
+//     plus a small absolute grace so a zero baseline doesn't forbid a
+//     single new alloc)
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_engine.json -current /tmp/fresh.json [-tolerance 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// metrics mirrors the tracked subset of hyperbench's engineBenchResult.
+type metrics struct {
+	Rows                   int     `json:"rows"`
+	GOMAXPROCS             int     `json:"gomaxprocs"`
+	ColdWhatIfMs           float64 `json:"cold_whatif_ms"`
+	FreqFitAllocsPerOp     int64   `json:"freq_fit_allocs_per_op"`
+	FreqPredictAllocsPerOp int64   `json:"freq_predict_allocs_per_op"`
+}
+
+func load(path string) (metrics, error) {
+	var m metrics
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// allocGrace is the absolute allocation slack added on top of the relative
+// tolerance: zero-alloc baselines stay comparable without forbidding every
+// incidental allocation forever.
+const allocGrace = 8
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_engine.json", "committed baseline JSON")
+	currentPath := flag.String("current", "", "freshly generated JSON to check")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = 25%)")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: current: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Rows != cur.Rows {
+		fmt.Fprintf(os.Stderr, "benchguard: row counts differ (baseline %d, current %d); compare runs at the same -scale\n",
+			base.Rows, cur.Rows)
+		os.Exit(2)
+	}
+
+	failed := false
+	check := func(name string, baseV, curV, limit float64, gate bool) {
+		status := "ok"
+		if curV > limit {
+			if gate {
+				status = "REGRESSION"
+				failed = true
+			} else {
+				status = "over limit (advisory: baseline from different hardware)"
+			}
+		} else if !gate {
+			status = "ok (advisory)"
+		}
+		fmt.Printf("%-28s baseline %-12.6g current %-12.6g limit %-12.6g %s\n",
+			name, baseV, curV, limit, status)
+	}
+	comparableHW := base.GOMAXPROCS == cur.GOMAXPROCS
+	if !comparableHW {
+		fmt.Printf("note: baseline GOMAXPROCS=%d, current GOMAXPROCS=%d — wall-clock is advisory until the baseline is regenerated on this hardware\n",
+			base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	check("cold_whatif_ms", base.ColdWhatIfMs, cur.ColdWhatIfMs,
+		base.ColdWhatIfMs*(1+*tolerance), comparableHW)
+	check("freq_fit_allocs_per_op", float64(base.FreqFitAllocsPerOp), float64(cur.FreqFitAllocsPerOp),
+		math.Ceil(float64(base.FreqFitAllocsPerOp)*(1+*tolerance))+allocGrace, true)
+	check("freq_predict_allocs_per_op", float64(base.FreqPredictAllocsPerOp), float64(cur.FreqPredictAllocsPerOp),
+		math.Ceil(float64(base.FreqPredictAllocsPerOp)*(1+*tolerance))+allocGrace, true)
+
+	if failed {
+		fmt.Println("benchguard: FAIL — a tracked metric regressed beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: ok")
+}

@@ -24,6 +24,9 @@ type engineBenchResult struct {
 	Scale      float64 `json:"scale"`
 	Rows       int     `json:"rows"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	// Shards is the -shards worker fan-out used for the headline metrics
+	// (0 = GOMAXPROCS).
+	Shards int `json:"shards"`
 	// ColdWhatIfMs is the median uncached evaluation of the discrete
 	// (freq-estimator) serving query; ColdWhatIfForMs adds a FOR predicate
 	// (two regressors via inclusion-exclusion).
@@ -42,6 +45,22 @@ type engineBenchResult struct {
 	FreqFitAllocsPerOp     int64 `json:"freq_fit_allocs_per_op"`
 	FreqPredictNsPerOp     int64 `json:"freq_predict_ns_per_op"`
 	FreqPredictAllocsPerOp int64 `json:"freq_predict_allocs_per_op"`
+	// ShardSweep records the cold what-if latency under a worker fan-out of
+	// 1/2/4/8 at 5k and 50k rows. Values are bit-identical across the sweep
+	// (the shard plan is canonical); only wall time moves, and only as far
+	// as the hardware allows — single-core machines record a flat sweep.
+	ShardSweep []shardSweepPoint `json:"shard_sweep"`
+}
+
+// shardSweepPoint is one (rows, shards) cell of the sweep.
+type shardSweepPoint struct {
+	Rows   int `json:"rows"`
+	Shards int `json:"shards"`
+	// PlanShards is the canonical plan size at this row count (the worker
+	// fan-out is clamped to it).
+	PlanShards   int     `json:"plan_shards"`
+	ColdWhatIfMs float64 `json:"cold_whatif_ms"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
 }
 
 const engineBenchReps = 5
@@ -61,15 +80,16 @@ func medianMs(reps int, fn func() error) (float64, error) {
 }
 
 // runEngine benchmarks the evaluation hot path off the HTTP stack: cold
-// what-if latency, how-to wall time (parallel and serial), and estimator
-// fit/predict allocation counts, written to out as JSON.
-func runEngine(scale float64, seed int64, out string) error {
+// what-if latency, how-to wall time (parallel and serial), estimator
+// fit/predict allocation counts, and a shard sweep, written to out as JSON.
+func runEngine(scale float64, seed int64, shards int, out string) error {
 	g := dataset.GermanSyn(int(5000*scale+0.5), seed)
 	rel := g.DB.Relation("German")
 	res := engineBenchResult{
 		Scale:      scale,
 		Rows:       rel.Len(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Shards:     shards,
 	}
 
 	parse := func(src string) *hyperql.WhatIf {
@@ -84,7 +104,7 @@ func runEngine(scale float64, seed int64, out string) error {
 
 	var last *engine.Result
 	cold, err := medianMs(engineBenchReps, func() error {
-		r, err := engine.Evaluate(g.DB, g.Model, qCold, engine.Options{Seed: seed})
+		r, err := engine.Evaluate(g.DB, g.Model, qCold, engine.Options{Seed: seed, Shards: shards})
 		last = r
 		return err
 	})
@@ -95,7 +115,7 @@ func runEngine(scale float64, seed int64, out string) error {
 	res.TrainedModels = last.TrainedModels
 
 	res.ColdWhatIfForMs, err = medianMs(engineBenchReps, func() error {
-		_, err := engine.Evaluate(g.DB, g.Model, qFor, engine.Options{Seed: seed})
+		_, err := engine.Evaluate(g.DB, g.Model, qFor, engine.Options{Seed: seed, Shards: shards})
 		return err
 	})
 	if err != nil {
@@ -111,7 +131,7 @@ func runEngine(scale float64, seed int64, out string) error {
 	}
 	var howRes *howto.Result
 	res.HowToMs, err = medianMs(engineBenchReps, func() error {
-		r, err := howto.Evaluate(g.DB, g.Model, qHow, howto.Options{Engine: engine.Options{Seed: seed}})
+		r, err := howto.Evaluate(g.DB, g.Model, qHow, howto.Options{Engine: engine.Options{Seed: seed, Shards: shards}})
 		howRes = r
 		return err
 	})
@@ -163,6 +183,38 @@ func runEngine(scale float64, seed int64, out string) error {
 	res.FreqPredictNsPerOp = pred.NsPerOp()
 	res.FreqPredictAllocsPerOp = pred.AllocsPerOp()
 
+	// Shard sweep: cold what-if under increasing worker fan-out at two
+	// dataset sizes. The engine guarantees identical values across the
+	// sweep; any value drift here is a determinism bug, so it is checked.
+	var baseline [2]float64
+	for si, size := range []int{5000, 50000} {
+		gs := dataset.GermanSyn(size, seed)
+		for _, sw := range []int{1, 2, 4, 8} {
+			var r *engine.Result
+			ms, err := medianMs(3, func() error {
+				var err error
+				r, err = engine.Evaluate(gs.DB, gs.Model, qCold, engine.Options{Seed: seed, Shards: sw})
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			if sw == 1 {
+				baseline[si] = r.Value
+			} else if r.Value != baseline[si] {
+				return fmt.Errorf("shard sweep: rows=%d shards=%d value %v != shards=1 value %v",
+					size, sw, r.Value, baseline[si])
+			}
+			res.ShardSweep = append(res.ShardSweep, shardSweepPoint{
+				Rows:         size,
+				Shards:       sw,
+				PlanShards:   r.ShardPlan,
+				ColdWhatIfMs: ms,
+				TuplesPerSec: float64(size) / (ms / 1000),
+			})
+		}
+	}
+
 	raw, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -176,6 +228,10 @@ func runEngine(scale float64, seed int64, out string) error {
 		res.HowToMs, res.HowToSerialMs, res.HowToCandidates)
 	fmt.Printf("freq fit %d ns/op %d allocs/op  predict %d ns/op %d allocs/op\n",
 		res.FreqFitNsPerOp, res.FreqFitAllocsPerOp, res.FreqPredictNsPerOp, res.FreqPredictAllocsPerOp)
+	for _, p := range res.ShardSweep {
+		fmt.Printf("sweep rows=%-6d shards=%d (plan %d): cold=%.2fms %.0f tuples/s\n",
+			p.Rows, p.Shards, p.PlanShards, p.ColdWhatIfMs, p.TuplesPerSec)
+	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
 }

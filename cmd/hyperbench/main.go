@@ -21,9 +21,10 @@
 // The "engine" experiment (also not part of "all") benchmarks the evaluation
 // hot path off the HTTP stack — cold what-if latency, how-to wall time
 // (parallel vs. GOMAXPROCS=1), trained-model counts, estimator fit/predict
-// allocations — and writes BENCH_engine.json (-engine-out):
+// allocations, and a shard sweep (worker fan-out 1/2/4/8 at 5k and 50k
+// rows) — and writes BENCH_engine.json (-engine-out):
 //
-//	hyperbench -exp engine -scale 1.0
+//	hyperbench -exp engine -scale 1.0 -shards 4
 package main
 
 import (
@@ -61,6 +62,7 @@ func main() {
 	serveConc := flag.Int("serve-conc", 8, "serve: concurrent clients")
 	out := flag.String("out", "BENCH_serve.json", "serve: output path for the machine-readable result")
 	engineOut := flag.String("engine-out", "BENCH_engine.json", "engine: output path for the machine-readable result")
+	shards := flag.Int("shards", 0, "engine: worker fan-out for the headline metrics (0 = GOMAXPROCS); the shard sweep always runs 1/2/4/8")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -83,7 +85,7 @@ func main() {
 	if want["engine"] {
 		fmt.Printf("=== engine (scale %.2g) ===\n", *scale)
 		start := time.Now()
-		if err := runEngine(*scale, *seed, *engineOut); err != nil {
+		if err := runEngine(*scale, *seed, *shards, *engineOut); err != nil {
 			fmt.Fprintf(os.Stderr, "hyperbench: engine: %v\n", err)
 			os.Exit(1)
 		}

@@ -126,6 +126,23 @@ type Options struct {
 	// Buckets controls discretization of continuous attributes in how-to
 	// candidate enumeration (default 8).
 	Buckets int
+	// Shards caps the worker fan-out of the shard-parallel evaluation
+	// stages (tuple loops, per-shard estimator fitting, how-to candidate
+	// scoring): 0 = GOMAXPROCS, 1 = serial. Purely an execution knob —
+	// results are bit-identical for every value, because evaluation reduces
+	// over a canonical shard plan derived from the data (see ShardRows).
+	Shards int
+	// ShardRows overrides the rows-per-shard granularity of the canonical
+	// plan (default 4096). It is part of evaluation semantics: changing it
+	// regroups floating-point reductions, so distinct granularities keep
+	// distinct cache artifacts.
+	ShardRows int
+}
+
+// WithShards returns a copy of o with the shard fan-out set.
+func (o Options) WithShards(n int) Options {
+	o.Shards = n
+	return o
 }
 
 // Session binds a database and causal model for query evaluation.
@@ -185,6 +202,17 @@ func NewSessionWithCache(db *Database, model *CausalModel, cache *Cache) *Sessio
 // NewSession).
 func (s *Session) Cache() *Cache { return s.cache }
 
+// With returns a derived session sharing this session's database, causal
+// model and cache, with its own options. It is how a server applies
+// per-request overrides (a shard fan-out, a different seed) without touching
+// the shared session's state: the derived session is as concurrency-safe as
+// the original, and artifacts still flow through the one shared cache.
+func (s *Session) With(o Options) *Session {
+	d := &Session{db: s.db, model: s.model, cache: s.cache}
+	d.opts = o
+	return d
+}
+
 // SetOptions replaces the session's evaluation options. Queries already in
 // flight keep the options they started with.
 func (s *Session) SetOptions(o Options) {
@@ -218,25 +246,27 @@ func (s *Session) Validate() error {
 // (not the live session state) flows through the whole evaluation, so a
 // concurrent SetOptions cannot tear a running query.
 func (s *Session) engineOpts() engine.Options {
-	o := s.Options()
+	return engineOptsFrom(s.Options(), s.cache)
+}
+
+func engineOptsFrom(o Options, cache *engine.Cache) engine.Options {
 	return engine.Options{
 		Mode:       o.Mode,
 		SampleSize: o.SampleSize,
 		Seed:       o.Seed,
-		Cache:      s.cache,
+		Shards:     o.Shards,
+		ShardRows:  o.ShardRows,
+		Cache:      cache,
 	}
 }
 
-// howtoOpts snapshots the session options into how-to options.
+// howtoOpts snapshots the session options into how-to options (one snapshot
+// for the whole query, so a concurrent SetOptions cannot mix two option
+// versions).
 func (s *Session) howtoOpts() howto.Options {
 	o := s.Options()
 	return howto.Options{
-		Engine: engine.Options{
-			Mode:       o.Mode,
-			SampleSize: o.SampleSize,
-			Seed:       o.Seed,
-			Cache:      s.cache,
-		},
+		Engine:  engineOptsFrom(o, s.cache),
 		Buckets: o.Buckets,
 	}
 }

@@ -156,23 +156,31 @@ func RowBlocks(db *relation.Database, m *Model) (map[string][]int, int, error) {
 		return nil, 0, err
 	}
 	// Scanning dense ids in order assigns block ids by smallest member.
+	// Roots are dense tuple ids, so a flat slice replaces the map on this
+	// hot path (the scan runs once per view build, over every tuple of the
+	// database).
 	blockOf := make([]int, total)
-	rootBlock := make(map[int]int)
+	rootBlock := make([]int32, total)
+	for i := range rootBlock {
+		rootBlock[i] = -1
+	}
+	nBlocks := 0
 	for id := 0; id < total; id++ {
 		root := uf.Find(id)
-		b, ok := rootBlock[root]
-		if !ok {
-			b = len(rootBlock)
+		b := rootBlock[root]
+		if b < 0 {
+			b = int32(nBlocks)
 			rootBlock[root] = b
+			nBlocks++
 		}
-		blockOf[id] = b
+		blockOf[id] = int(b)
 	}
 	out := make(map[string][]int, len(names))
 	for _, n := range names {
 		o := offset[n]
 		out[n] = blockOf[o : o+db.Relation(n).Len()]
 	}
-	return out, len(rootBlock), nil
+	return out, nBlocks, nil
 }
 
 func locate(names []string, offset map[string]int, db *relation.Database, id int) (string, int) {

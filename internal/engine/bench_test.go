@@ -63,14 +63,14 @@ func BenchmarkEstimatorFit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := newEstimatorSet(rel, featCols, 1, opts)
 		ci := rel.Schema().MustIndex("Credit")
-		m := s.model("bench", func(r int) float64 {
+		m, err := s.model("bench", 1, func(r int) (float64, error) {
 			if rel.Row(r)[ci].AsInt() == 1 {
-				return 1
+				return 1, nil
 			}
-			return 0
+			return 0, nil
 		})
-		if m == nil {
-			b.Fatal("no model")
+		if err != nil || m == nil {
+			b.Fatalf("no model: %v", err)
 		}
 	}
 }

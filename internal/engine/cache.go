@@ -238,5 +238,12 @@ func estKey(useKey, whenKey, forKey string, featCols []string, o Options) string
 	// SetOptions changes the seed).
 	b.WriteString("|r")
 	b.WriteString(strconv.FormatInt(o.Seed, 10))
+	// The shard granularity fixes the reduction tree of per-shard estimator
+	// fits, so indexes fitted under different granularities are distinct
+	// artifacts (withDefaults normalizes 0 to the default granularity, so
+	// equal plans share one key). The worker fan-out (Shards) deliberately
+	// does not participate: it cannot change a fitted model.
+	b.WriteString("|g")
+	b.WriteString(strconv.Itoa(o.ShardRows))
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 
 	"hyper/internal/ml"
 	"hyper/internal/relation"
+	"hyper/internal/shard"
 	"hyper/internal/stats"
 )
 
@@ -26,8 +27,15 @@ type estimatorSet struct {
 	keys      *ml.SupportSet // exact feature combinations seen (freq only)
 	kind      string
 	opts      Options
-	mu        sync.Mutex
-	cache     map[string]ml.Regressor
+	// fitPlan is the canonical shard plan over trainRows. Shard-mergeable
+	// estimators (ml.ShardMergeable) fit per shard and merge in plan order;
+	// the others fit whole-frame. The plan depends only on the training-set
+	// size and Options.ShardRows, so fitted models are independent of the
+	// worker fan-out.
+	fitPlan  shard.Plan
+	mu       sync.Mutex
+	cache    map[string]ml.Regressor
+	inflight map[string]chan struct{} // single-flight: key -> done signal
 }
 
 // newEstimatorSet prepares the shared columnar frame. featCols is the
@@ -43,7 +51,7 @@ func newEstimatorSet(view *relation.Relation, featCols []string, keepFirst int, 
 		opts:      opts,
 		cache:     make(map[string]ml.Regressor),
 	}
-	s.frame = ml.NewFrame(s.enc, view)
+	s.frame = ml.NewFrameWorkers(s.enc, view, opts.Shards)
 	n := view.Len()
 	if opts.SampleSize > 0 && opts.SampleSize < n {
 		rng := stats.NewRNG(opts.Seed ^ 0x5ab0)
@@ -55,8 +63,9 @@ func newEstimatorSet(view *relation.Relation, featCols []string, keepFirst int, 
 		}
 	}
 	s.kind = s.chooseKind()
+	s.fitPlan = shard.Rows(len(s.trainRows), opts.ShardRows)
 	if s.kind == "freq" {
-		s.keys = ml.NewSupportSet(s.frame, s.trainRows)
+		s.keys = ml.NewSupportSetSharded(s.frame, s.trainRows, s.fitPlan, opts.Shards)
 	}
 	return s
 }
@@ -106,22 +115,64 @@ func (s *estimatorSet) cached(key string) (ml.Regressor, bool) {
 // model returns (training on demand) the regressor for the labeled target.
 // key must uniquely identify the labeling function. Safe for concurrent use;
 // forest seeds derive from the key so results are independent of training
-// order.
-func (s *estimatorSet) model(key string, label func(viewRow int) float64) ml.Regressor {
+// order. workers is the executing evaluation's fan-out for the per-shard
+// fit — passed per call because a cached estimator set outlives the request
+// that built it, and the execution knob must follow the current request,
+// not the one that warmed the cache (results cannot differ either way; the
+// fit plan is fixed). Training is single-flight: when shard workers (or
+// how-to candidate scorers) race on a cold key, one goroutine trains while
+// the rest wait for its result — without this, a worker fan-out of N
+// multiplies every cold training N-fold, the thundering herd that erased
+// the sharded path's win. A labeling error aborts the training without
+// caching anything: a regressor fitted on partially failed labels must
+// never be served to waiters or later queries.
+func (s *estimatorSet) model(key string, workers int, label func(viewRow int) (float64, error)) (ml.Regressor, error) {
 	s.mu.Lock()
-	if m, ok := s.cache[key]; ok {
+	for {
+		if m, ok := s.cache[key]; ok {
+			s.mu.Unlock()
+			return m, nil
+		}
+		ch, busy := s.inflight[key]
+		if !busy {
+			break
+		}
 		s.mu.Unlock()
-		return m
+		<-ch
+		s.mu.Lock()
 	}
+	if s.inflight == nil {
+		s.inflight = make(map[string]chan struct{})
+	}
+	done := make(chan struct{})
+	s.inflight[key] = done
 	s.mu.Unlock()
+	// Release waiters even if labeling errors or fitting panics, so a
+	// poisoned key cannot deadlock the pool (a waiter re-checks the cache,
+	// finds nothing, and becomes the next trainer — deterministically
+	// hitting the same labeling error).
+	committed := false
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		if !committed {
+			close(done)
+		}
+	}()
+
 	y := make([]float64, len(s.trainRows))
 	for i, r := range s.trainRows {
-		y[i] = label(r)
+		v, err := label(r)
+		if err != nil {
+			return nil, err
+		}
+		y[i] = v
 	}
 	var m ml.Regressor
 	switch s.kind {
 	case "freq":
-		m = ml.FitFreqFrame(s.frame, s.trainRows, y, s.keepFirst)
+		m = ml.FitFreqFrameSharded(s.frame, s.trainRows, y, s.keepFirst, s.fitPlan, workers)
 	case "linear":
 		m = ml.FitLinearFrame(s.frame, s.trainRows, y, 1e-6)
 	default:
@@ -135,15 +186,17 @@ func (s *estimatorSet) model(key string, label func(viewRow int) float64) ml.Reg
 		m = ml.FitBoostedFrame(s.frame, s.trainRows, y, p)
 	}
 	s.mu.Lock()
-	// Another goroutine may have trained the same model concurrently; keep
-	// the first so all callers agree.
-	if prior, ok := s.cache[key]; ok {
-		m = prior
-	} else {
-		s.cache[key] = m
-	}
+	s.cache[key] = m
 	s.mu.Unlock()
-	return m
+	committed = true
+	close(done)
+	return m, nil
+}
+
+// shardedFit reports whether this set's estimator kind fits per shard with
+// exact merge (the capability flag surfaced in Result.ShardedFit).
+func (s *estimatorSet) shardedFit() bool {
+	return ml.ShardMergeable(s.kind) && s.fitPlan.Shards() > 1
 }
 
 // trainedModels returns the number of regressors fitted so far.

@@ -8,7 +8,10 @@
 // combines per-block results with the decomposable aggregate.
 package engine
 
-import "hyper/internal/ml"
+import (
+	"hyper/internal/ml"
+	"hyper/internal/shard"
+)
 
 // Mode selects how the engine conditions its estimates.
 type Mode int
@@ -91,13 +94,20 @@ type Options struct {
 	// DisableBlocks turns off block-independent decomposition (used by the
 	// ablation benchmarks; results must not change).
 	DisableBlocks bool
-	// EvalWorkers caps the per-tuple evaluation fan-out (0 = GOMAXPROCS).
-	// Evaluation is deterministic for a fixed worker count; different
-	// counts change where shard boundaries fall, which can regroup a
-	// block's floating-point partial sums and shift results by an ulp. The
-	// how-to scoring pool sets 1 so its candidate-level parallelism is not
-	// multiplied by tuple-level workers.
-	EvalWorkers int
+	// Shards caps the worker fan-out of the shard-parallel stages: the
+	// per-tuple evaluation loop, per-shard estimator fitting, and the
+	// how-to candidate-scoring pool (0 = GOMAXPROCS, 1 = serial). It is
+	// purely an execution knob: work is partitioned by the canonical shard
+	// plan (see ShardRows) and partial results reduce in plan order, so
+	// every value of Shards produces bit-identical results.
+	Shards int
+	// ShardRows is the target rows per shard of the canonical plan
+	// (default 4096). Unlike Shards it is part of evaluation semantics:
+	// the plan fixes the reduction tree of every floating-point merge, so
+	// changing the granularity can shift results by an ulp — which is why
+	// ShardRows participates in estimator cache identity and Shards does
+	// not.
+	ShardRows int
 	// DryRun stops after planning (view, blocks, backdoor set, FOR
 	// normalization, estimator selection) without evaluating any tuple;
 	// Result.Value is zero and the diagnostics describe the plan. Used by
@@ -115,8 +125,21 @@ type Options struct {
 	Progress ProgressFunc
 }
 
+// WithShards returns a copy of o with the execution fan-out set; results
+// are unaffected (see Shards). The how-to scoring pool passes 1 so its
+// candidate-level parallelism is not multiplied by tuple-level workers.
+func (o Options) WithShards(n int) Options {
+	o.Shards = n
+	return o
+}
+
 func (o *Options) withDefaults() Options {
 	out := *o
+	if out.ShardRows <= 0 {
+		// Normalized here (not just inside shard.Rows) so ShardRows=0 and an
+		// explicit default produce the same estimator cache identity.
+		out.ShardRows = shard.DefaultTargetRows
+	}
 	if out.MaxDisjuncts <= 0 {
 		out.MaxDisjuncts = 64
 	}

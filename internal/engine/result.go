@@ -37,6 +37,16 @@ type Result struct {
 	ViewRows int
 	// UpdatedRows is |S|, the number of tuples the update applies to.
 	UpdatedRows int
+	// ShardPlan is the number of contiguous row shards of the canonical
+	// evaluation plan (1 means the view fit in a single shard).
+	ShardPlan int
+	// ShardWorkers is the worker fan-out that executed the plan. It affects
+	// wall time only: results are identical for every worker count.
+	ShardWorkers int
+	// ShardedFit reports whether the estimator was fitted per shard and
+	// merged (true only for shard-mergeable kinds, currently "freq", over a
+	// multi-shard plan; forests and linear models always fit whole-frame).
+	ShardedFit bool
 
 	// Timing breakdown.
 	ViewTime  time.Duration

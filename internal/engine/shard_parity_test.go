@@ -1,0 +1,181 @@
+package engine
+
+// Shard-merge parity goldens: sharded evaluation must be bit-identical to
+// unsharded evaluation for every worker fan-out. The engine's guarantee is
+// that Options.Shards is execution-only — the canonical shard plan (from
+// the row count and Options.ShardRows) fixes the reduction order of every
+// floating-point merge, so any number of workers, on any machine, produces
+// the same bits. These tests pin that for shards ∈ {1, 2, 3, 7} on the toy
+// and German datasets, across both the single-shard regime (≤ 4096 rows)
+// and the multi-shard regime (5000 rows: a 2-shard plan with per-shard freq
+// fits merged in plan order), plus the edge cases of a one-row-per-shard
+// plan and a worker ask far beyond the plan size.
+
+import (
+	"strconv"
+	"testing"
+
+	"hyper/internal/dataset"
+	"hyper/internal/hyperql"
+)
+
+// shardCounts is the worker fan-out sweep required by the golden contract.
+var shardCounts = []int{1, 2, 3, 7}
+
+// evalWhatIfOpts parses and evaluates query over the named dataset at the
+// given size with opts.
+func evalWhatIfOpts(t *testing.T, ds string, size int, query string, opts Options) *Result {
+	t.Helper()
+	q, err := hyperql.ParseWhatIf(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	switch ds {
+	case "toy":
+		db, model := dataset.Toy()
+		res, err = Evaluate(db, model, q, opts)
+	case "german":
+		g := dataset.GermanSyn(size, 7)
+		res, err = Evaluate(g.DB, g.Model, q, opts)
+	case "german-cont":
+		g := dataset.GermanSynContinuous(size, 7)
+		res, err = Evaluate(g.DB, g.Model, q, opts)
+	default:
+		t.Fatalf("unknown dataset %q", ds)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardCountParityOnParityGoldens re-runs every pinned parity case under
+// each worker fan-out: the goldens (recorded before sharding existed) must
+// keep holding bit for bit at every shard count.
+func TestShardCountParityOnParityGoldens(t *testing.T) {
+	for _, c := range parityCases {
+		for _, shards := range shardCounts {
+			opts := c.opts
+			opts.Shards = shards
+			t.Run(c.name+"/shards="+strconv.Itoa(shards), func(t *testing.T) {
+				res := parityEval(t, parityCase{
+					name: c.name, dataset: c.dataset, query: c.query, opts: opts,
+				})
+				if got := f17(res.Value); got != c.value {
+					t.Errorf("value = %s, golden %s", got, c.value)
+				}
+				if got := f17(res.Sum); got != c.sum {
+					t.Errorf("sum = %s, golden %s", got, c.sum)
+				}
+				if got := f17(res.Count); got != c.count {
+					t.Errorf("count = %s, golden %s", got, c.count)
+				}
+			})
+		}
+	}
+}
+
+// multiShardCases run in the multi-shard regime (5000 rows → 2-shard plan):
+// the freq cases exercise the per-shard fit + plan-order merge, the
+// continuous case the whole-frame fallback behind the capability flag.
+var multiShardCases = []struct {
+	name    string
+	dataset string
+	size    int
+	query   string
+	opts    Options
+	// wantPlan is the expected canonical plan size; wantShardedFit pins the
+	// estimator capability flag.
+	wantPlan       int
+	wantShardedFit bool
+}{
+	{
+		name: "german-freq-5000", dataset: "german", size: 5000,
+		query: `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`,
+		opts:  Options{Seed: 7}, wantPlan: 2, wantShardedFit: true,
+	},
+	{
+		name: "german-freq-for-5000", dataset: "german", size: 5000,
+		query: `USE German UPDATE(Savings) = 2 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`,
+		opts:  Options{Seed: 7}, wantPlan: 2, wantShardedFit: true,
+	},
+	{
+		name: "german-cont-boosted-5000", dataset: "german-cont", size: 5000,
+		query: `USE German UPDATE(CreditAmount) = 1.2 * PRE(CreditAmount) OUTPUT COUNT(Credit = 1)`,
+		opts:  Options{Seed: 7}, wantPlan: 2, wantShardedFit: false,
+	},
+	{
+		// One row per shard on the 4-row toy view: the most extreme plan,
+		// exercising shard boundaries around every tuple.
+		name: "toy-row-per-shard", dataset: "toy", size: 0,
+		query: toyUse + `
+			WHEN Brand = 'Asus'
+			UPDATE(Price) = 1.1 * PRE(Price)
+			OUTPUT AVG(POST(Rtng))
+			FOR PRE(Category) = 'Laptop'`,
+		opts: Options{Seed: 7, ShardRows: 1}, wantPlan: 4, wantShardedFit: false,
+	},
+}
+
+// TestShardCountParityMultiShard pins bit-identity across worker fan-outs
+// in the multi-shard regime, where the parallel path actually splits work:
+// the fan-out sweep (including 7 workers against 2- and 4-shard plans — the
+// shards-beyond-plan edge) must reproduce the 1-worker evaluation exactly.
+func TestShardCountParityMultiShard(t *testing.T) {
+	for _, c := range multiShardCases {
+		t.Run(c.name, func(t *testing.T) {
+			baseOpts := c.opts
+			baseOpts.Shards = 1
+			base := evalWhatIfOpts(t, c.dataset, c.size, c.query, baseOpts)
+			if base.ShardPlan != c.wantPlan {
+				t.Errorf("plan = %d shards, want %d", base.ShardPlan, c.wantPlan)
+			}
+			if base.ShardedFit != c.wantShardedFit {
+				t.Errorf("shardedFit = %v, want %v (estimator %s)",
+					base.ShardedFit, c.wantShardedFit, base.EstimatorUsed)
+			}
+			for _, shards := range shardCounts[1:] {
+				opts := c.opts
+				opts.Shards = shards
+				res := evalWhatIfOpts(t, c.dataset, c.size, c.query, opts)
+				if f17(res.Value) != f17(base.Value) || f17(res.Sum) != f17(base.Sum) || f17(res.Count) != f17(base.Count) {
+					t.Errorf("shards=%d diverged: value %s sum %s count %s, want %s %s %s",
+						shards, f17(res.Value), f17(res.Sum), f17(res.Count),
+						f17(base.Value), f17(base.Sum), f17(base.Count))
+				}
+				if res.EstimatorUsed != base.EstimatorUsed {
+					t.Errorf("shards=%d estimator %q, want %q", shards, res.EstimatorUsed, base.EstimatorUsed)
+				}
+			}
+		})
+	}
+}
+
+// TestShardRowsIsSemanticButCanonical pins the other half of the contract:
+// the granularity (ShardRows) may legitimately regroup reductions — but for
+// a fixed granularity the result is still identical across every fan-out,
+// and the default granularity at ≤ 4096 rows reproduces the sequential
+// plan exactly (plan of one shard).
+func TestShardRowsIsSemanticButCanonical(t *testing.T) {
+	const query = `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`
+	for _, shardRows := range []int{100, 999, 4096} {
+		var base *Result
+		for _, shards := range shardCounts {
+			res := evalWhatIfOpts(t, "german", 1000, query, Options{Seed: 7, ShardRows: shardRows, Shards: shards})
+			if base == nil {
+				base = res
+				continue
+			}
+			if f17(res.Value) != f17(base.Value) {
+				t.Errorf("shardRows=%d shards=%d: value %s != %s", shardRows, shards, f17(res.Value), f17(base.Value))
+			}
+		}
+	}
+	// Default granularity, 1000 rows: single-shard plan — the historical
+	// sequential semantics, which is why the pre-sharding goldens hold.
+	res := evalWhatIfOpts(t, "german", 1000, query, Options{Seed: 7})
+	if res.ShardPlan != 1 {
+		t.Errorf("default plan at 1000 rows = %d shards, want 1", res.ShardPlan)
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,6 +11,7 @@ import (
 	"hyper/internal/hyperql"
 	"hyper/internal/ml"
 	"hyper/internal/relation"
+	"hyper/internal/shard"
 	"hyper/internal/sqlmini"
 )
 
@@ -281,83 +280,101 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 		return nil, err
 	}
 	nBlocks := res.Blocks
-	sumByBlock := make([]float64, nBlocks)
-	cntByBlock := make([]float64, nBlocks)
-	// Tuple contributions are independent, so the loop parallelizes across
-	// workers; each worker owns an evaluator copy (scratch buffers) and a
-	// private per-block accumulator, merged afterwards so block sums (and
-	// the final result) are exactly reproducible.
-	workers := o.EvalWorkers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Tuple contributions are independent, so the loop runs shard-parallel:
+	// the canonical plan partitions the view into contiguous row shards
+	// (count from the row count and ShardRows only — never from the worker
+	// fan-out), each shard accumulates into its own per-block partials, and
+	// partials reduce in plan order. Workers own an evaluator copy (scratch
+	// buffers, model memo) reused across the shards they pick up; shard
+	// placement is scheduling-dependent but cannot influence the result.
+	plan := shard.Rows(v.rel.Len(), o.ShardRows)
+	workers := plan.Workers(o.Shards)
+	res.ShardPlan = plan.Shards()
+	res.ShardWorkers = workers
+	res.ShardedFit = est.shardedFit()
+	// A shard's partial accumulators cover only the window of block ids its
+	// rows touch (for the common one-block-per-tuple decomposition a
+	// contiguous row shard touches a narrow, near-contiguous id range), so
+	// memory and merge cost stay proportional to the data, not to
+	// shards × blocks.
+	type partial struct {
+		minB     int
+		sum, cnt []float64 // indexed by block id - minB
 	}
-	if v.rel.Len() < 4096 || workers < 2 {
-		workers = 1
+	parts := make([]partial, plan.Shards())
+	locals := make([]*evaluator, workers)
+	// blockAt clamps defensively: rows outside the decomposition map to 0.
+	blockAt := func(i int) int {
+		if b := blockOf[i]; b < nBlocks {
+			return b
+		}
+		return 0
 	}
-	type shard struct {
-		sum, cnt []float64
-		err      error
-	}
-	shards := make([]shard, workers)
-	var wg sync.WaitGroup
 	// Cancellation and progress work on a stride so neither the ctx check
 	// nor the shared counter touches the per-tuple fast path.
 	const stride = 512
 	total := v.rel.Len()
-	var tuplesDone atomic.Int64
-	chunk := (v.rel.Len() + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > v.rel.Len() {
-			hi = v.rel.Len()
+	var tuplesDone, shardsDone atomic.Int64
+	err = shard.Run(ctx, plan, workers, func(w, s, lo, hi int) error {
+		local := locals[w]
+		if local == nil {
+			cp := *ev
+			cp.activeBuf, cp.xBuf, cp.evBuf, cp.modelMemo = nil, nil, nil, nil
+			local = &cp
+			locals[w] = local
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			local := *ev
-			local.activeBuf = nil
-			local.xBuf = nil
-			local.evBuf = nil
-			local.modelMemo = nil
-			sh := shard{sum: make([]float64, nBlocks), cnt: make([]float64, nBlocks)}
-			for i := lo; i < hi; i++ {
-				if (i-lo)%stride == 0 && i > lo {
-					if err := ctx.Err(); err != nil {
-						sh.err = err
-						break
-					}
-					if o.Progress != nil {
-						o.Progress("tuples", int(tuplesDone.Add(stride)), total)
-					}
-				}
-				s, c, err := local.tuple(i)
-				if err != nil {
-					sh.err = err
-					break
-				}
-				b := blockOf[i]
-				if b >= nBlocks { // defensive: rows outside decomposition map to 0
-					b = 0
-				}
-				sh.sum[b] += s
-				sh.cnt[b] += c
+		minB, maxB := nBlocks, -1
+		for i := lo; i < hi; i++ {
+			b := blockAt(i)
+			if b < minB {
+				minB = b
 			}
-			shards[w] = sh
-		}(w, lo, hi)
+			if b > maxB {
+				maxB = b
+			}
+		}
+		if maxB < minB {
+			return nil // empty shard
+		}
+		p := partial{minB: minB, sum: make([]float64, maxB-minB+1), cnt: make([]float64, maxB-minB+1)}
+		for i := lo; i < hi; i++ {
+			if (i-lo)%stride == 0 && i > lo {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if o.Progress != nil {
+					o.Progress("tuples", int(tuplesDone.Add(stride)), total)
+				}
+			}
+			ts, tc, err := local.tuple(i)
+			if err != nil {
+				return err
+			}
+			b := blockAt(i) - minB
+			p.sum[b] += ts
+			p.cnt[b] += tc
+		}
+		parts[s] = p
+		if o.Progress != nil {
+			o.Progress("shards", int(shardsDone.Add(1)), plan.Shards())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, sh := range shards {
-		if sh.err != nil {
-			return nil, sh.err
-		}
-		for b := 0; b < nBlocks; b++ {
-			if sh.sum != nil {
-				sumByBlock[b] += sh.sum[b]
-				cntByBlock[b] += sh.cnt[b]
-			}
+	// Reduce in plan order. Folding shard windows in ascending shard order
+	// adds each block's partials in exactly the same sequence for every
+	// worker count (and matches a per-block fold over shards), so the block
+	// sums — and the final aggregate, accumulated in block order — are
+	// reproducible to the bit.
+	sumByBlock := make([]float64, nBlocks)
+	cntByBlock := make([]float64, nBlocks)
+	for s := range parts {
+		p := parts[s]
+		for j, ps := range p.sum {
+			sumByBlock[p.minB+j] += ps
+			cntByBlock[p.minB+j] += p.cnt[j]
 		}
 	}
 	for b := 0; b < nBlocks; b++ {
@@ -751,25 +768,24 @@ func (e *evaluator) eventModel(lits []hyperql.Expr, weighted bool) (ml.Regressor
 			return nil, err
 		}
 	}
-	var labelErr error
-	m := e.est.model(key, func(r int) float64 {
+	m, err := e.est.model(key, e.opts.Shards, func(r int) (float64, error) {
 		env := sqlmini.RowEnv{Rel: e.v.rel, Row: e.v.rel.Row(r)}
 		for _, lit := range all {
 			ok, err := sqlmini.EvalBool(lit, env)
-			if err != nil && labelErr == nil {
-				labelErr = err
+			if err != nil {
+				return 0, err
 			}
 			if !ok {
-				return 0
+				return 0, nil
 			}
 		}
 		if weighted {
-			return e.v.rel.Row(r)[e.yIdx].AsFloat()
+			return e.v.rel.Row(r)[e.yIdx].AsFloat(), nil
 		}
-		return 1
+		return 1, nil
 	})
-	if labelErr != nil {
-		return nil, fmt.Errorf("engine: labeling post event: %w", labelErr)
+	if err != nil {
+		return nil, fmt.Errorf("engine: labeling post event: %w", err)
 	}
 	return m, nil
 }

@@ -90,6 +90,13 @@ var howtoParityCases = []howtoParityCase{
 
 func howtoParityEval(t testing.TB, c howtoParityCase) *Result {
 	t.Helper()
+	return howtoParityEvalOpts(t, c, Options{Engine: engine.Options{Seed: 7}})
+}
+
+// howtoParityEvalOpts is howtoParityEval with explicit options (the shard
+// parity tests sweep the worker fan-out).
+func howtoParityEvalOpts(t testing.TB, c howtoParityCase, opts Options) *Result {
+	t.Helper()
 	var db *relation.Database
 	var model *causal.Model
 	if c.cont {
@@ -107,7 +114,6 @@ func howtoParityEval(t testing.TB, c howtoParityCase) *Result {
 		}
 		qs[i] = q
 	}
-	opts := Options{Engine: engine.Options{Seed: 7}}
 	var res *Result
 	var err error
 	switch c.method {

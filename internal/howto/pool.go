@@ -53,14 +53,22 @@ func scoreCandidates(ctx context.Context, db *relation.Database, model *causal.M
 			jobs = append(jobs, job{attr: attr, spec: spec})
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
+	// The shard fan-out knob governs candidate-level parallelism too: a
+	// how-to is shard-parallel across candidates, each candidate a what-if
+	// over the shared cache. Results are independent of the pool width (the
+	// output slice is in deterministic candidate order and every candidate's
+	// engine evaluation reduces over the canonical shard plan).
+	workers := o.Engine.Shards
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers > 1 {
 		// Candidate-level parallelism already saturates the cores; keep the
 		// engine's nested tuple-evaluation fan-out from multiplying it.
-		o.Engine.EvalWorkers = 1
+		o.Engine = o.Engine.WithShards(1)
 	}
 	out := make([]scored, len(jobs))
 	errs := make([]error, len(jobs))

@@ -76,27 +76,47 @@ var (
 
 // Progress carries a job's observable progress counters; the compute stack
 // reports into it through the progress callback the serving layer wires up,
-// and pollers read a consistent snapshot.
+// and pollers read a consistent snapshot. The primary stage ("tuples",
+// "candidates", "combos", "queries") tracks work units; the engine's
+// sharded evaluation path additionally reports the dedicated "shards" stage
+// (completed shards of the current plan), which is kept alongside — not in
+// place of — the primary counters, so pollers see both how many tuples are
+// done and how far the shard fan-out has progressed.
 type Progress struct {
-	mu    sync.Mutex
-	stage string
-	done  int64
-	total int64
+	mu          sync.Mutex
+	stage       string
+	done        int64
+	total       int64
+	shardsDone  int64
+	shardsTotal int64
 }
 
 // Report replaces the progress counters (stage is e.g. "candidates" or
-// "tuples"; total <= 0 means unknown).
+// "tuples"; total <= 0 means unknown). The "shards" stage updates the
+// per-shard counters without disturbing the primary stage.
 func (p *Progress) Report(stage string, done, total int) {
 	p.mu.Lock()
-	p.stage, p.done, p.total = stage, int64(done), int64(total)
+	if stage == "shards" {
+		p.shardsDone, p.shardsTotal = int64(done), int64(total)
+	} else {
+		p.stage, p.done, p.total = stage, int64(done), int64(total)
+	}
 	p.mu.Unlock()
 }
 
-// Snapshot returns the current stage and counters.
+// Snapshot returns the current primary stage and counters.
 func (p *Progress) Snapshot() (stage string, done, total int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stage, p.done, p.total
+}
+
+// ShardSnapshot returns the shard-stage counters (0, 0 until the engine
+// reports from a sharded evaluation).
+func (p *Progress) ShardSnapshot() (done, total int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shardsDone, p.shardsTotal
 }
 
 // Runner executes a job's work. It must honor ctx: when the job is
@@ -163,6 +183,9 @@ type Snapshot struct {
 
 	Stage       string
 	Done, Total int64
+	// ShardsDone/ShardsTotal track the engine's shard fan-out within the
+	// current evaluation (zero until a sharded stage reports).
+	ShardsDone, ShardsTotal int64
 
 	Result any
 	Err    error
@@ -535,21 +558,24 @@ func (m *Manager) List(session string, state State, filterState bool) []Snapshot
 
 func (m *Manager) snapshotLocked(j *Job) Snapshot {
 	stage, done, total := j.progress.Snapshot()
+	shardsDone, shardsTotal := j.progress.ShardSnapshot()
 	return Snapshot{
-		ID:        j.id,
-		Session:   j.session,
-		Kind:      j.kind,
-		Priority:  j.priority,
-		Deadline:  j.deadline,
-		State:     j.state,
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
-		Stage:     stage,
-		Done:      done,
-		Total:     total,
-		Result:    j.result,
-		Err:       j.err,
+		ID:          j.id,
+		Session:     j.session,
+		Kind:        j.kind,
+		Priority:    j.priority,
+		Deadline:    j.deadline,
+		State:       j.state,
+		Submitted:   j.submitted,
+		Started:     j.started,
+		Finished:    j.finished,
+		Stage:       stage,
+		Done:        done,
+		Total:       total,
+		ShardsDone:  shardsDone,
+		ShardsTotal: shardsTotal,
+		Result:      j.result,
+		Err:         j.err,
 	}
 }
 

@@ -1,11 +1,15 @@
 package ml
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hyper/internal/relation"
+	"hyper/internal/shard"
 )
 
 // Frame is the columnar encoded view shared by every estimator of a query:
@@ -18,6 +22,7 @@ import (
 // A Frame is immutable after construction and safe for concurrent use.
 type Frame struct {
 	rows, dim int
+	workers   int       // construction/intern fan-out hint (0 = GOMAXPROCS)
 	data      []float64 // data[c*rows+r]: value of column c at row r
 
 	// Interned codes, built lazily by Intern (tree/forest/linear fits never
@@ -43,18 +48,38 @@ func canonBits(v float64) uint64 {
 	return math.Float64bits(v)
 }
 
-// NewFrame encodes every row of rel with enc into a frame. Column order
-// follows the encoder's feature columns.
+// NewFrame encodes every row of rel with enc into a frame with the default
+// (GOMAXPROCS) construction fan-out.
 func NewFrame(enc *Encoder, rel *relation.Relation) *Frame {
+	return NewFrameWorkers(enc, rel, 0)
+}
+
+// NewFrameWorkers is NewFrame with an explicit worker fan-out for encoding
+// and later interning (0 = GOMAXPROCS, 1 = serial — the engine passes its
+// Shards knob so nested pools don't multiply). Column order follows the
+// encoder's feature columns. Encoding parallelizes over the canonical row
+// shards; each row writes its own cells, so the buffer content is identical
+// for any worker count.
+func NewFrameWorkers(enc *Encoder, rel *relation.Relation, workers int) *Frame {
 	n, dim := rel.Len(), enc.Dim()
-	f := &Frame{rows: n, dim: dim, data: make([]float64, n*dim)}
-	row := make([]float64, dim)
-	for r := 0; r < n; r++ {
-		enc.EncodeInto(rel, rel.Row(r), row)
-		for c, v := range row {
-			f.data[c*n+r] = v
+	f := &Frame{rows: n, dim: dim, workers: workers, data: make([]float64, n*dim)}
+	plan := shard.Rows(n, 0)
+	workers = plan.Workers(workers)
+	bufs := make([][]float64, workers)
+	_ = shard.Run(context.Background(), plan, workers, func(w, _, lo, hi int) error {
+		row := bufs[w]
+		if row == nil {
+			row = make([]float64, dim)
+			bufs[w] = row
 		}
-	}
+		for r := lo; r < hi; r++ {
+			enc.EncodeInto(rel, rel.Row(r), row)
+			for c, v := range row {
+				f.data[c*n+r] = v
+			}
+		}
+		return nil
+	})
 	return f
 }
 
@@ -83,7 +108,7 @@ func (f *Frame) intern() {
 	f.codes = make([]uint32, f.rows*f.dim)
 	f.dicts = make([]dict, f.dim)
 	f.card = make([]uint32, f.dim)
-	for c := 0; c < f.dim; c++ {
+	internCol := func(c int) {
 		d := make(dict)
 		f.dicts[c] = d
 		col := f.data[c*f.rows : (c+1)*f.rows]
@@ -98,6 +123,38 @@ func (f *Frame) intern() {
 			}
 			codes[r] = code
 		}
+	}
+	// Columns intern independently (codes are per-column, assigned in row
+	// order), so interning fans out across columns without changing any
+	// code; the pool is bounded by the frame's construction fan-out hint.
+	w := f.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > f.dim {
+		w = f.dim
+	}
+	if w > 1 {
+		var nextCol atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(nextCol.Add(1)) - 1
+					if c >= f.dim {
+						return
+					}
+					internCol(c)
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	for c := 0; c < f.dim; c++ {
+		internCol(c)
 	}
 }
 

@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"context"
+
+	"hyper/internal/shard"
+)
+
+// Shard-parallel estimator fitting. The frequency estimator and the support
+// set are the shard-mergeable estimators: their indexes are sums of
+// per-row cells (counts and value sums keyed by interned code combinations),
+// so fitting disjoint row ranges independently and folding the partial
+// indexes together in shard order reconstructs the whole-range fit exactly —
+// integer counts and set membership are associative, and float cell sums
+// reduce along the plan's fixed tree, making the result a pure function of
+// (frame, rows, y, plan), independent of the worker count executing it.
+// Tree, forest and linear fits have no such decomposition (splits and normal
+// equations are global), so they stay whole-frame; the engine consults
+// ShardMergeable to decide.
+
+// ShardMergeable reports whether the named estimator kind ("freq",
+// "forest", "linear", ...) supports per-shard fitting with exact merge.
+func ShardMergeable(kind string) bool { return kind == "freq" }
+
+// FitFreqFrameSharded fits the frequency estimator over the frame rows
+// selected by rows, partitioned by plan: shard s fits rows[lo:hi] (in
+// parallel across at most workers goroutines), and the partial indexes merge
+// in shard order. A plan with fewer than two shards degenerates to the plain
+// FitFreqFrame.
+func FitFreqFrameSharded(fr *Frame, rows []int, y []float64, keepFirst int, plan shard.Plan, workers int) *FreqEstimator {
+	if plan.Shards() <= 1 {
+		return FitFreqFrame(fr, rows, y, keepFirst)
+	}
+	fr.Intern() // once, before the fan-out: part fits share the codes
+	parts := make([]*FreqEstimator, plan.Shards())
+	// The background context is deliberate: fitting is not cancellable
+	// mid-shard (a partially merged index would poison the shared cache),
+	// and callers observe their contexts between estimator fits.
+	_ = shard.Run(context.Background(), plan, workers, func(_, s, lo, hi int) error {
+		parts[s] = FitFreqFrame(fr, rows[lo:hi], y[lo:hi], keepFirst)
+		return nil
+	})
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out.merge(p)
+	}
+	return out
+}
+
+// NewSupportSetSharded builds the support index with per-shard construction
+// and a set union. Membership is order-independent, so the result is
+// identical to NewSupportSet for every plan; sharding is purely an execution
+// choice and is skipped when it cannot run in parallel.
+func NewSupportSetSharded(f *Frame, rows []int, plan shard.Plan, workers int) *SupportSet {
+	if plan.Shards() <= 1 || plan.Workers(workers) <= 1 {
+		return NewSupportSet(f, rows)
+	}
+	f.Intern()
+	parts := make([]*SupportSet, plan.Shards())
+	_ = shard.Run(context.Background(), plan, workers, func(_, s, lo, hi int) error {
+		parts[s] = NewSupportSet(f, rows[lo:hi])
+		return nil
+	})
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out.union(p)
+	}
+	return out
+}
+
+// merge folds other's cells into f. Both must be fitted over the same frame
+// (same keyer), which guarantees they agree on packed vs. wide keys. For a
+// key present in both, counts add exactly and sums add once per merge call,
+// so folding parts in shard order yields a deterministic index.
+func (f *FreqEstimator) merge(other *FreqEstimator) {
+	f.global.sum += other.global.sum
+	f.global.n += other.global.n
+	if f.packed() {
+		mergeCells(f.exact, other.exact)
+		for i := f.keepFirst; i < f.dim; i++ {
+			mergeCells(f.backoff[i], other.backoff[i])
+		}
+		mergeCells(f.firstOnly, other.firstOnly)
+		return
+	}
+	mergeCells(f.exactW, other.exactW)
+	for i := f.keepFirst; i < f.dim; i++ {
+		mergeCells(f.backoffW[i], other.backoffW[i])
+	}
+	mergeCells(f.firstOnlyW, other.firstOnlyW)
+}
+
+// mergeCells folds src's cells into dst (adopting the cell pointer for keys
+// dst has not seen; src is discarded after a merge, so sharing is safe).
+// One definition serves the packed (uint64) and wide (string) key spaces so
+// the merge semantics cannot drift between them.
+func mergeCells[K comparable](dst, src map[K]*cell) {
+	for k, c := range src {
+		d := dst[k]
+		if d == nil {
+			dst[k] = c
+			continue
+		}
+		d.sum += c.sum
+		d.n += c.n
+	}
+}
+
+// union folds other's keys into s (same-frame support sets only).
+func (s *SupportSet) union(other *SupportSet) {
+	if s.packed() {
+		unionKeys(s.set, other.set)
+		return
+	}
+	unionKeys(s.setW, other.setW)
+}
+
+func unionKeys[K comparable](dst, src map[K]struct{}) {
+	for k := range src {
+		dst[k] = struct{}{}
+	}
+}

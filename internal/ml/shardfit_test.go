@@ -1,0 +1,119 @@
+package ml
+
+import (
+	"testing"
+
+	"hyper/internal/shard"
+)
+
+// shardTestData builds a discrete 3-feature training set with integer
+// labels: integer sums are exact under any regrouping, so per-shard fits
+// merged in plan order must reproduce the whole-range fit bit for bit.
+func shardTestData(n int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = []float64{float64(i % 4), float64(i % 3), float64((i / 3) % 5)}
+		y[i] = float64((i*i + 7) % 2)
+	}
+	return X, y
+}
+
+func TestFitFreqFrameShardedMatchesWholeFit(t *testing.T) {
+	const n = 1000
+	X, y := shardTestData(n)
+	fr := FrameFromRows(X)
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	whole := FitFreqFrame(fr, rows, y, 1)
+
+	probes := append([][]float64{
+		{99, 99, 99}, // unseen everywhere: global-mean fallback
+		{0, 99, 99},  // partial: backoff path
+		{3, 2, 4},
+	}, X[:50]...)
+
+	for _, k := range []int{1, 2, 3, 7, n + 5} { // n+5: empty trailing shards
+		for _, workers := range []int{1, 4} {
+			sharded := FitFreqFrameSharded(fr, rows, y, 1, shard.Fixed(n, k), workers)
+			if got, want := sharded.Support(), whole.Support(); got != want {
+				t.Fatalf("k=%d workers=%d: support %d, want %d", k, workers, got, want)
+			}
+			for _, x := range probes {
+				if got, want := sharded.Predict(x), whole.Predict(x); got != want {
+					t.Errorf("k=%d workers=%d: Predict(%v) = %v, want %v", k, workers, x, got, want)
+				}
+			}
+			if got, want := sharded.SupportOf(X[0]), whole.SupportOf(X[0]); got != want {
+				t.Errorf("k=%d workers=%d: SupportOf = %d, want %d", k, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestFitFreqFrameShardedDeterministicFloatSums pins the plan-order merge
+// with non-integer labels: different plans may legitimately regroup sums,
+// but a fixed plan must produce identical bits for every worker count.
+func TestFitFreqFrameShardedDeterministicFloatSums(t *testing.T) {
+	const n = 999
+	X, _ := shardTestData(n)
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 0.1 * float64(i%17) / 3.0
+	}
+	fr := FrameFromRows(X)
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	plan := shard.Fixed(n, 7)
+	base := FitFreqFrameSharded(fr, rows, y, 1, plan, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := FitFreqFrameSharded(fr, rows, y, 1, plan, workers)
+		for _, x := range X[:100] {
+			if got.Predict(x) != base.Predict(x) {
+				t.Fatalf("workers=%d: Predict(%v) = %v, want %v", workers, x, got.Predict(x), base.Predict(x))
+			}
+		}
+	}
+}
+
+func TestNewSupportSetShardedMatchesWhole(t *testing.T) {
+	const n = 500
+	X, _ := shardTestData(n)
+	fr := FrameFromRows(X)
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	whole := NewSupportSet(fr, rows)
+	for _, k := range []int{1, 3, n + 2} {
+		sharded := NewSupportSetSharded(fr, rows, shard.Fixed(n, k), 4)
+		if sharded.Len() != whole.Len() {
+			t.Fatalf("k=%d: %d distinct combos, want %d", k, sharded.Len(), whole.Len())
+		}
+		for _, x := range X[:80] {
+			if !sharded.Has(x) {
+				t.Errorf("k=%d: missing support for %v", k, x)
+			}
+		}
+		if sharded.Has([]float64{99, 99, 99}) {
+			t.Errorf("k=%d: phantom support", k)
+		}
+	}
+}
+
+// TestShardMergeableCapability pins the capability flag the engine keys its
+// per-shard-fit decision on.
+func TestShardMergeableCapability(t *testing.T) {
+	if !ShardMergeable("freq") {
+		t.Error("freq must be shard-mergeable")
+	}
+	for _, kind := range []string{"forest", "linear", "boosted", ""} {
+		if ShardMergeable(kind) {
+			t.Errorf("%q must not be shard-mergeable", kind)
+		}
+	}
+}

@@ -23,6 +23,9 @@ type JobRequest struct {
 	// Queries and Workers configure batch jobs (see BatchRequest).
 	Queries []BatchQuery `json:"queries,omitempty"`
 	Workers int          `json:"workers,omitempty"`
+	// Shards overrides the evaluation fan-out for the job (see
+	// QueryRequest.Shards).
+	Shards int `json:"shards,omitempty"`
 	// Priority orders the queue: higher runs first, FIFO within a priority.
 	Priority int `json:"priority,omitempty"`
 	// TimeoutMs, when > 0, sets the job deadline timeout ms after
@@ -38,6 +41,10 @@ type JobProgress struct {
 	Done  int64  `json:"done"`
 	// Total <= 0 means unknown.
 	Total int64 `json:"total"`
+	// ShardsDone/ShardsTotal track the engine's shard fan-out within the
+	// current evaluation (omitted until a sharded stage reports).
+	ShardsDone  int64 `json:"shards_done,omitempty"`
+	ShardsTotal int64 `json:"shards_total,omitempty"`
 }
 
 // JobInfo is the wire form of a job snapshot.
@@ -74,8 +81,11 @@ func toJobInfo(s jobs.Snapshot) JobInfo {
 		SubmittedAt: s.Submitted,
 		WaitMs:      float64(s.Wait()) / float64(time.Millisecond),
 		RunMs:       float64(s.Run()) / float64(time.Millisecond),
-		Progress:    JobProgress{Stage: s.Stage, Done: s.Done, Total: s.Total},
-		Result:      s.Result,
+		Progress: JobProgress{
+			Stage: s.Stage, Done: s.Done, Total: s.Total,
+			ShardsDone: s.ShardsDone, ShardsTotal: s.ShardsTotal,
+		},
+		Result: s.Result,
 	}
 	if !s.Started.IsZero() {
 		t := s.Started
@@ -123,7 +133,7 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 		}
 		if kind == "whatif" {
 			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
-				return e.whatIf(ctx, req.Query, p.Report)
+				return e.whatIf(ctx, req.Query, req.Shards, p.Report)
 			}
 		} else {
 			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
@@ -139,7 +149,7 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 		default:
 			return nil, errf(http.StatusBadRequest, "unknown how-to method %q (want ip|brute|mincost)", req.Method)
 		}
-		qr := QueryRequest{Query: req.Query, Method: req.Method, Target: req.Target}
+		qr := QueryRequest{Query: req.Query, Method: req.Method, Target: req.Target, Shards: req.Shards}
 		run = func(ctx context.Context, p *jobs.Progress) (any, error) {
 			return e.howTo(ctx, qr, p.Report)
 		}
@@ -149,6 +159,16 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 		}
 		workers := s.batchWorkers(req.Workers)
 		queries := req.Queries
+		if req.Shards > 0 {
+			// The job-level shards knob is the default for every element;
+			// an element's own shards field still wins.
+			queries = append([]BatchQuery(nil), req.Queries...)
+			for i := range queries {
+				if queries[i].Shards == 0 {
+					queries[i].Shards = req.Shards
+				}
+			}
+		}
 		run = func(ctx context.Context, p *jobs.Progress) (any, error) {
 			return e.runBatch(ctx, queries, workers, p.Report), nil
 		}

@@ -22,6 +22,10 @@ type QueryRequest struct {
 	Method string `json:"method,omitempty"`
 	// Target is the aggregate floor for method "mincost".
 	Target float64 `json:"target,omitempty"`
+	// Shards caps the worker fan-out of this request's evaluation
+	// (0 = the session's setting, itself defaulting to GOMAXPROCS). Purely
+	// an execution knob: results are bit-identical for every value.
+	Shards int `json:"shards,omitempty"`
 }
 
 // WhatIfResponse is the wire form of a what-if result.
@@ -38,7 +42,12 @@ type WhatIfResponse struct {
 	UpdatedRows   int      `json:"updated_rows"`
 	SampledRows   int      `json:"sampled_rows"`
 	TrainedModels int      `json:"trained_models"`
-	TotalMs       float64  `json:"total_ms"`
+	// ShardPlan/ShardWorkers report the evaluation's shard fan-out;
+	// ShardedFit is true when the estimator was fitted per shard and merged.
+	ShardPlan    int     `json:"shard_plan"`
+	ShardWorkers int     `json:"shard_workers"`
+	ShardedFit   bool    `json:"sharded_fit,omitempty"`
+	TotalMs      float64 `json:"total_ms"`
 }
 
 func toWhatIfResponse(r *hyper.WhatIfResult) *WhatIfResponse {
@@ -55,6 +64,9 @@ func toWhatIfResponse(r *hyper.WhatIfResult) *WhatIfResponse {
 		UpdatedRows:   r.UpdatedRows,
 		SampledRows:   r.SampledRows,
 		TrainedModels: r.TrainedModels,
+		ShardPlan:     r.ShardPlan,
+		ShardWorkers:  r.ShardWorkers,
+		ShardedFit:    r.ShardedFit,
 		TotalMs:       float64(r.Total) / float64(time.Millisecond),
 	}
 }
@@ -103,7 +115,7 @@ func (s *Server) handleWhatIf(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.whatIf(r.Context(), req.Query, nil)
+	return e.whatIf(r.Context(), req.Query, req.Shards, nil)
 }
 
 func (s *Server) handleHowTo(r *http.Request) (any, error) {
@@ -130,30 +142,45 @@ func (s *Server) handleExplain(r *http.Request) (any, error) {
 	return e.explain(req.Query)
 }
 
+// sessionFor applies a per-request shard fan-out override: 0 keeps the
+// shared session; anything else derives a session (same database, model and
+// cache) whose options carry the override.
+func (e *sessionEntry) sessionFor(shards int) *hyper.Session {
+	if shards <= 0 {
+		return e.sess
+	}
+	return e.sess.With(e.sess.Options().WithShards(shards))
+}
+
 // whatIf evaluates one what-if query under ctx (cancelled requests and
-// cancelled jobs stop the engine mid-evaluation); progress may be nil.
-func (e *sessionEntry) whatIf(ctx context.Context, query string, progress hyper.Progress) (*WhatIfResponse, error) {
+// cancelled jobs stop the engine mid-evaluation); shards > 0 overrides the
+// session's worker fan-out for this request; progress may be nil.
+func (e *sessionEntry) whatIf(ctx context.Context, query string, shards int, progress hyper.Progress) (*WhatIfResponse, error) {
 	e.queries.Add(1)
-	res, err := e.sess.WhatIfContext(ctx, query, progress)
+	res, err := e.sessionFor(shards).WhatIfContext(ctx, query, progress)
 	if err != nil {
 		return nil, queryError(ctx, err)
+	}
+	if e.shards != nil {
+		e.shards.record(res.ShardPlan, res.ShardWorkers)
 	}
 	return toWhatIfResponse(res), nil
 }
 
 func (e *sessionEntry) howTo(ctx context.Context, req QueryRequest, progress hyper.Progress) (*HowToResponse, error) {
 	e.queries.Add(1)
+	sess := e.sessionFor(req.Shards)
 	var (
 		res *hyper.HowToResult
 		err error
 	)
 	switch req.Method {
 	case "", "ip":
-		res, err = e.sess.HowToContext(ctx, req.Query, progress)
+		res, err = sess.HowToContext(ctx, req.Query, progress)
 	case "brute":
-		res, err = e.sess.HowToBruteForceContext(ctx, req.Query, progress)
+		res, err = sess.HowToBruteForceContext(ctx, req.Query, progress)
 	case "mincost":
-		res, err = e.sess.HowToMinimizeCostContext(ctx, req.Query, req.Target, progress)
+		res, err = sess.HowToMinimizeCostContext(ctx, req.Query, req.Target, progress)
 	default:
 		return nil, errf(http.StatusBadRequest, "unknown how-to method %q (want ip|brute|mincost)", req.Method)
 	}
@@ -190,6 +217,9 @@ type BatchQuery struct {
 	Query  string  `json:"query"`
 	Method string  `json:"method,omitempty"`
 	Target float64 `json:"target,omitempty"`
+	// Shards overrides the evaluation fan-out for this element (see
+	// QueryRequest.Shards).
+	Shards int `json:"shards,omitempty"`
 }
 
 // BatchRequest fans N queries against one session across a worker pool.
@@ -297,14 +327,14 @@ func (e *sessionEntry) runBatchQuery(ctx context.Context, i int, q BatchQuery) B
 	out := BatchResult{Index: i}
 	switch q.Kind {
 	case "", "whatif":
-		res, err := e.whatIf(ctx, q.Query, nil)
+		res, err := e.whatIf(ctx, q.Query, q.Shards, nil)
 		if err != nil {
 			out.Error = err.Error()
 		} else {
 			out.WhatIf = res
 		}
 	case "howto":
-		res, err := e.howTo(ctx, QueryRequest{Query: q.Query, Method: q.Method, Target: q.Target}, nil)
+		res, err := e.howTo(ctx, QueryRequest{Query: q.Query, Method: q.Method, Target: q.Target, Shards: q.Shards}, nil)
 		if err != nil {
 			out.Error = err.Error()
 		} else {

@@ -122,7 +122,8 @@ type Server struct {
 
 	jobs *jobs.Manager
 
-	stats statsRecorder
+	stats  statsRecorder
+	shards shardGauges
 }
 
 // New returns a server with an empty session registry and a running job

@@ -21,6 +21,7 @@ type sessionEntry struct {
 	sess    *hyper.Session
 	created time.Time
 	queries atomic.Int64
+	shards  *shardGauges // server-wide gauges, recorded per what-if
 }
 
 // SessionOptions is the wire form of hyper.Options.
@@ -30,7 +31,20 @@ type SessionOptions struct {
 	SampleSize int    `json:"sample_size,omitempty"`
 	Seed       int64  `json:"seed,omitempty"`
 	Buckets    int    `json:"buckets,omitempty"`
+	// Shards is the session's default evaluation fan-out (0 = GOMAXPROCS);
+	// per-request shards fields override it. Execution only — results are
+	// identical for every value.
+	Shards int `json:"shards,omitempty"`
+	// ShardRows tunes the rows-per-shard granularity of the canonical
+	// evaluation plan (default 4096; part of evaluation semantics). Values
+	// below minShardRows are rejected: a tiny granularity on a large
+	// dataset makes every evaluation build thousands of per-shard indexes —
+	// a remote-triggerable CPU and allocation blowup.
+	ShardRows int `json:"shard_rows,omitempty"`
 }
+
+// minShardRows is the smallest granularity accepted over the wire.
+const minShardRows = 256
 
 // CSVTable is one inline CSV-encoded relation.
 type CSVTable struct {
@@ -197,7 +211,13 @@ func (s *Server) handleCreateSession(r *http.Request) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts = hyper.Options{Mode: mode, SampleSize: o.SampleSize, Seed: o.Seed, Buckets: o.Buckets}
+		if o.ShardRows != 0 && o.ShardRows < minShardRows {
+			return nil, errf(http.StatusBadRequest, "shard_rows must be 0 (default) or >= %d", minShardRows)
+		}
+		opts = hyper.Options{
+			Mode: mode, SampleSize: o.SampleSize, Seed: o.Seed, Buckets: o.Buckets,
+			Shards: o.Shards, ShardRows: o.ShardRows,
+		}
 	}
 	cacheEntries := s.cfg.CacheEntries
 	if req.CacheEntries != nil {
@@ -209,7 +229,7 @@ func (s *Server) handleCreateSession(r *http.Request) (any, error) {
 	sess := hyper.NewSessionWithCache(db, model, hyper.NewCacheBounded(cacheEntries))
 	sess.SetOptions(opts)
 
-	e := &sessionEntry{name: req.Name, dataset: from, sess: sess, created: time.Now()}
+	e := &sessionEntry{name: req.Name, dataset: from, sess: sess, created: time.Now(), shards: &s.shards}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkAdmissibleLocked(req.Name); err != nil {

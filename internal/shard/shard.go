@@ -1,0 +1,184 @@
+// Package shard partitions row ranges into contiguous blocks and executes
+// per-shard work across a bounded worker pool. It is the substrate of the
+// engine's block-parallel evaluation path: a Plan fixes the partition (and
+// with it the exact reduction order of every floating-point merge), while
+// the worker count only decides how many shards run at once. Keeping those
+// two concerns separate is what makes sharded evaluation deterministic:
+// results depend on the plan — a pure function of the row count and the
+// rows-per-shard granularity — never on GOMAXPROCS, the Shards option, or
+// scheduling order.
+//
+// The package is a leaf (standard library only) so every layer of the
+// compute stack — ml frame construction, estimator fitting, engine tuple
+// loops — can share one partitioning vocabulary.
+package shard
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultTargetRows is the canonical rows-per-shard granularity. It matches
+// the engine's historical "don't parallelize under 4096 rows" threshold, so
+// datasets at or below it keep the exact sequential reduction order they
+// always had.
+const DefaultTargetRows = 4096
+
+// Plan is a contiguous partition of rows [0, n) into k shards. The zero
+// value is an empty plan over zero rows.
+type Plan struct {
+	n      int
+	bounds []int // len k+1; shard i covers [bounds[i], bounds[i+1])
+}
+
+// Rows returns the canonical plan for n rows at the given rows-per-shard
+// target (<= 0 uses DefaultTargetRows): k = ceil(n/target) shards of
+// near-equal size (difference at most one row). The plan depends only on
+// (n, target) — never on the machine — so any evaluation reducing in plan
+// order is reproducible everywhere.
+func Rows(n, target int) Plan {
+	if target <= 0 {
+		target = DefaultTargetRows
+	}
+	if n <= 0 {
+		return Plan{}
+	}
+	k := (n + target - 1) / target
+	return Fixed(n, k)
+}
+
+// Fixed partitions n rows into exactly k shards of near-equal size. k < 1 is
+// treated as 1; k > n produces k-n trailing empty shards (callers testing
+// edge cases rely on empty shards being representable).
+func Fixed(n, k int) Plan {
+	if n < 0 {
+		n = 0
+	}
+	if k < 1 {
+		k = 1
+	}
+	p := Plan{n: n, bounds: make([]int, k+1)}
+	// Spread the remainder over the leading shards: sizes differ by at most
+	// one, and the layout is a pure function of (n, k).
+	q, r := n/k, n%k
+	at := 0
+	for i := 0; i < k; i++ {
+		p.bounds[i] = at
+		at += q
+		if i < r {
+			at++
+		}
+	}
+	p.bounds[k] = n
+	return p
+}
+
+// Shards returns the number of shards in the plan.
+func (p Plan) Shards() int {
+	if p.bounds == nil {
+		return 0
+	}
+	return len(p.bounds) - 1
+}
+
+// Len returns the total number of rows covered.
+func (p Plan) Len() int { return p.n }
+
+// Bounds returns the half-open row range [lo, hi) of shard i.
+func (p Plan) Bounds(i int) (lo, hi int) { return p.bounds[i], p.bounds[i+1] }
+
+// Workers resolves a requested worker count against a plan: requested <= 0
+// means GOMAXPROCS, and the result is clamped to [1, shards] (an empty plan
+// resolves to 1 so callers can divide by it).
+func (p Plan) Workers(requested int) int {
+	k := p.Shards()
+	if k == 0 {
+		return 1
+	}
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > k {
+		w = k
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(worker, shard, lo, hi) once per shard of the plan across
+// at most workers goroutines (resolved via Plan.Workers). worker is a dense
+// id in [0, workers) identifying the executing goroutine, so callers can
+// reuse per-worker scratch across the shards that goroutine happens to pick
+// up; which shards land on which worker is scheduling-dependent and must not
+// influence results.
+//
+// ctx is checked before each shard is started: once cancelled, no further
+// shard begins (fn itself should also observe ctx inside long loops). The
+// returned error is the first error in shard order — not completion order —
+// so failures are as deterministic as results; a ctx error is reported when
+// no shard produced one first.
+func Run(ctx context.Context, p Plan, workers int, fn func(worker, shard, lo, hi int) error) error {
+	k := p.Shards()
+	if k == 0 {
+		return ctx.Err()
+	}
+	w := p.Workers(workers)
+	errs := make([]error, k)
+	if w == 1 {
+		for s := 0; s < k; s++ {
+			if err := ctx.Err(); err != nil {
+				return firstError(errs, err)
+			}
+			lo, hi := p.Bounds(s)
+			if errs[s] = fn(0, s, lo, hi); errs[s] != nil {
+				return firstError(errs, nil)
+			}
+		}
+		return firstError(errs, ctx.Err())
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= k {
+					return
+				}
+				// Stop claiming shards once any shard has failed or the
+				// context died — matching the serial path, which returns at
+				// the first error instead of finishing the plan. Shards
+				// already in flight run to completion; the error reported is
+				// still the first in shard order among those that ran.
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				lo, hi := p.Bounds(s)
+				if errs[s] = fn(worker, s, lo, hi); errs[s] != nil {
+					failed.Store(true)
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	return firstError(errs, ctx.Err())
+}
+
+// firstError returns the first non-nil error in shard order, falling back to
+// fallback.
+func firstError(errs []error, fallback error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return fallback
+}

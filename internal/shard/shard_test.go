@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestRowsPlanCoversContiguously(t *testing.T) {
+	for _, c := range []struct{ n, target, wantShards int }{
+		{0, 4096, 0},
+		{1, 4096, 1},
+		{4096, 4096, 1},
+		{4097, 4096, 2},
+		{5000, 4096, 2},
+		{50000, 4096, 13},
+		{10, 3, 4},
+		{10, 0, 1}, // default target
+	} {
+		p := Rows(c.n, c.target)
+		if got := p.Shards(); got != c.wantShards {
+			t.Errorf("Rows(%d,%d).Shards() = %d, want %d", c.n, c.target, got, c.wantShards)
+		}
+		if p.Len() != c.n {
+			t.Errorf("Rows(%d,%d).Len() = %d", c.n, c.target, p.Len())
+		}
+		at := 0
+		for s := 0; s < p.Shards(); s++ {
+			lo, hi := p.Bounds(s)
+			if lo != at || hi < lo {
+				t.Fatalf("Rows(%d,%d) shard %d = [%d,%d), want lo %d", c.n, c.target, s, lo, hi, at)
+			}
+			at = hi
+		}
+		if at != c.n {
+			t.Errorf("Rows(%d,%d) covers %d rows, want %d", c.n, c.target, at, c.n)
+		}
+	}
+}
+
+func TestFixedBalancedAndEdgeCases(t *testing.T) {
+	// Near-equal sizes: max-min <= 1.
+	p := Fixed(10, 3)
+	sizes := []int{}
+	for s := 0; s < p.Shards(); s++ {
+		lo, hi := p.Bounds(s)
+		sizes = append(sizes, hi-lo)
+	}
+	if len(sizes) != 3 || sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Fatalf("Fixed(10,3) sizes = %v", sizes)
+	}
+	for _, sz := range sizes {
+		if sz < 3 || sz > 4 {
+			t.Errorf("Fixed(10,3) imbalanced: %v", sizes)
+		}
+	}
+
+	// More shards than rows: trailing empty shards are representable.
+	p = Fixed(3, 7)
+	if p.Shards() != 7 {
+		t.Fatalf("Fixed(3,7).Shards() = %d", p.Shards())
+	}
+	nonEmpty, covered := 0, 0
+	for s := 0; s < 7; s++ {
+		lo, hi := p.Bounds(s)
+		if hi > lo {
+			nonEmpty++
+			covered += hi - lo
+		}
+	}
+	if nonEmpty != 3 || covered != 3 {
+		t.Errorf("Fixed(3,7): %d non-empty shards covering %d rows", nonEmpty, covered)
+	}
+
+	// Degenerate inputs normalize instead of panicking.
+	if p := Fixed(-1, 0); p.Shards() != 1 || p.Len() != 0 {
+		t.Errorf("Fixed(-1,0) = %d shards over %d rows", p.Shards(), p.Len())
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	p := Fixed(100, 4)
+	if w := p.Workers(8); w != 4 {
+		t.Errorf("Workers(8) over 4 shards = %d, want 4", w)
+	}
+	if w := p.Workers(2); w != 2 {
+		t.Errorf("Workers(2) = %d", w)
+	}
+	if w := p.Workers(0); w < 1 || w > 4 {
+		t.Errorf("Workers(0) = %d, want within [1,4]", w)
+	}
+	if w := (Plan{}).Workers(0); w != 1 {
+		t.Errorf("empty plan Workers(0) = %d, want 1", w)
+	}
+}
+
+func TestRunVisitsEveryShardOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		p := Fixed(103, 7)
+		var mu sync.Mutex
+		got := make(map[int][2]int)
+		err := Run(context.Background(), p, workers, func(worker, s, lo, hi int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := got[s]; dup {
+				t.Errorf("workers=%d: shard %d ran twice", workers, s)
+			}
+			got[s] = [2]int{lo, hi}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 7 {
+			t.Fatalf("workers=%d: ran %d shards, want 7", workers, len(got))
+		}
+		for s := 0; s < 7; s++ {
+			lo, hi := p.Bounds(s)
+			if got[s] != [2]int{lo, hi} {
+				t.Errorf("workers=%d: shard %d got %v, want [%d,%d)", workers, s, got[s], lo, hi)
+			}
+		}
+	}
+}
+
+func TestRunReturnsFirstErrorInShardOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Both shard 2 and shard 5 fail; the reported error must be shard 2's
+	// regardless of completion order.
+	for _, workers := range []int{1, 4} {
+		err := Run(context.Background(), Fixed(60, 6), workers, func(_, s, _, _ int) error {
+			switch s {
+			case 2:
+				return errA
+			case 5:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errA)
+		}
+	}
+}
+
+func TestRunObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := Run(ctx, Fixed(100, 10), 1, func(_, s, _, _ int) error {
+		ran++
+		if s == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran >= 10 {
+		t.Errorf("all %d shards ran despite cancellation", ran)
+	}
+}
+
+func TestRunEmptyPlan(t *testing.T) {
+	if err := Run(context.Background(), Plan{}, 4, func(_, _, _, _ int) error {
+		t.Fatal("fn called on empty plan")
+		return nil
+	}); err != nil {
+		t.Fatalf("empty plan: %v", err)
+	}
+}

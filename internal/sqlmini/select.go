@@ -250,7 +250,7 @@ func (e combinedEnv) Lookup(table, name string, _ hyperql.Temporal) (relation.Va
 func (j *joiner) project(rows [][]relation.Value, name string) (*relation.Relation, error) {
 	var cols []relation.Column
 	var offs []int
-	for i, item := range j.sel.Items {
+	for _, item := range j.sel.Items {
 		c, ok := item.Expr.(*hyperql.ColRef)
 		if !ok {
 			return nil, fmt.Errorf("sqlmini: aggregate select item %s requires GROUP BY", item.Expr)
@@ -266,7 +266,6 @@ func (j *joiner) project(rows [][]relation.Value, name string) (*relation.Relati
 		}
 		cols = append(cols, relation.Column{Name: cn, Kind: src.Kind, Key: src.Key, Mutable: src.Mutable})
 		offs = append(offs, off)
-		_ = i
 	}
 	schema, err := relation.NewSchema(cols...)
 	if err != nil {
