@@ -37,9 +37,26 @@ import (
 type metrics struct {
 	Rows                   int     `json:"rows"`
 	GOMAXPROCS             int     `json:"gomaxprocs"`
+	NumCPU                 int     `json:"num_cpu"`
+	GoVersion              string  `json:"go_version"`
 	ColdWhatIfMs           float64 `json:"cold_whatif_ms"`
 	FreqFitAllocsPerOp     int64   `json:"freq_fit_allocs_per_op"`
 	FreqPredictAllocsPerOp int64   `json:"freq_predict_allocs_per_op"`
+}
+
+// env renders the execution environment of one run for the verdict. Older
+// baselines predate the num_cpu/go_version fields; they print as "?" until
+// the baseline is regenerated.
+func (m metrics) env() string {
+	cpus := "?"
+	if m.NumCPU > 0 {
+		cpus = fmt.Sprintf("%d", m.NumCPU)
+	}
+	gover := m.GoVersion
+	if gover == "" {
+		gover = "?"
+	}
+	return fmt.Sprintf("gomaxprocs=%d cpus=%s go=%s", m.GOMAXPROCS, cpus, gover)
 }
 
 func load(path string) (metrics, error) {
@@ -101,10 +118,20 @@ func main() {
 		fmt.Printf("%-28s baseline %-12.6g current %-12.6g limit %-12.6g %s\n",
 			name, baseV, curV, limit, status)
 	}
+	// The environments lead the verdict: a wall-clock comparison only means
+	// something when both runs name comparable hardware, and a 1-core
+	// runner's flat shard sweep must never be read as a regression against
+	// a multi-core baseline.
+	fmt.Printf("baseline env: %s\n", base.env())
+	fmt.Printf("current env:  %s\n", cur.env())
 	comparableHW := base.GOMAXPROCS == cur.GOMAXPROCS
 	if !comparableHW {
 		fmt.Printf("note: baseline GOMAXPROCS=%d, current GOMAXPROCS=%d — wall-clock is advisory until the baseline is regenerated on this hardware\n",
 			base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	if base.GoVersion != "" && cur.GoVersion != "" && base.GoVersion != cur.GoVersion {
+		fmt.Printf("note: baseline built with %s, current with %s — allocation counts can shift across Go releases\n",
+			base.GoVersion, cur.GoVersion)
 	}
 	check("cold_whatif_ms", base.ColdWhatIfMs, cur.ColdWhatIfMs,
 		base.ColdWhatIfMs*(1+*tolerance), comparableHW)

@@ -1,0 +1,321 @@
+// Command distsmoke is the distributed-path smoke gate: it boots one real
+// hyperd coordinator process plus two real hyperd worker processes, runs
+// the toy and german what-if/how-to goldens through every placement
+// ("local", "workers", "fit"), and fails on any byte of divergence between
+// the distributed results and the single-node ones. CI runs it on every
+// pull request (the dist-smoke job), so the bit-identity contract of the
+// shard transport is enforced against real processes and real sockets, not
+// just in-process test doubles.
+//
+// Usage:
+//
+//	go build -o /tmp/hyperd ./cmd/hyperd
+//	go run ./cmd/distsmoke -hyperd /tmp/hyperd
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "distsmoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func freePort() int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("picking port: %v", err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+// proc is one spawned hyperd process.
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+}
+
+func spawn(name, bin string, args ...string) *proc {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatalf("starting %s: %v", name, err)
+	}
+	fmt.Fprintf(os.Stderr, "distsmoke: started %s (pid %d): %s %v\n", name, cmd.Process.Pid, bin, args)
+	return &proc{name: name, cmd: cmd}
+}
+
+func (p *proc) stop() {
+	if p == nil || p.cmd.Process == nil {
+		return
+	}
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { _ = p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = p.cmd.Process.Kill()
+		<-done
+	}
+}
+
+func waitHealthy(base string, deadline time.Duration) {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fatalf("%s did not become healthy within %s", base, deadline)
+}
+
+func waitWorkers(base string, want int, deadline time.Duration) {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		var out struct {
+			Workers []struct {
+				Alive bool `json:"alive"`
+			} `json:"workers"`
+		}
+		resp, err := http.Get(base + "/dist/v1/workers")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err == nil {
+				alive := 0
+				for _, w := range out.Workers {
+					if w.Alive {
+						alive++
+					}
+				}
+				if alive >= want {
+					return
+				}
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fatalf("coordinator never saw %d live workers within %s", want, deadline)
+}
+
+func post(base, path string, body any) (int, []byte) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("POST %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, payload
+}
+
+// stable is the placement-independent subset of a what-if response: every
+// semantic field of the result, none of the execution diagnostics. Encoding
+// it with encoding/json (shortest-round-trip float formatting) makes the
+// comparison exactly byte-for-byte on the float64 values.
+type stable struct {
+	Value       float64  `json:"value"`
+	Sum         float64  `json:"sum"`
+	Count       float64  `json:"count"`
+	Mode        string   `json:"mode"`
+	Estimator   string   `json:"estimator"`
+	Backdoor    []string `json:"backdoor"`
+	Blocks      int      `json:"blocks"`
+	Disjuncts   int      `json:"disjuncts"`
+	ViewRows    int      `json:"view_rows"`
+	UpdatedRows int      `json:"updated_rows"`
+	SampledRows int      `json:"sampled_rows"`
+	ShardPlan   int      `json:"shard_plan"`
+}
+
+type whatIfResp struct {
+	stable
+	Placement     string `json:"placement"`
+	RemoteWorkers int    `json:"remote_workers"`
+}
+
+// stableHowTo strips a how-to response of wall-clock fields.
+type stableHowTo struct {
+	Choices     json.RawMessage `json:"choices"`
+	Objective   float64         `json:"objective"`
+	Base        float64         `json:"base"`
+	Candidates  int             `json:"candidates"`
+	WhatIfEvals int             `json:"whatif_evals"`
+	IPNodes     int             `json:"ip_nodes"`
+}
+
+func stableBytes(payload []byte, dst any) []byte {
+	if err := json.Unmarshal(payload, dst); err != nil {
+		fatalf("decoding response: %v (%s)", err, payload)
+	}
+	out, err := json.Marshal(dst)
+	if err != nil {
+		fatalf("re-encoding response: %v", err)
+	}
+	return out
+}
+
+func main() {
+	hyperd := flag.String("hyperd", "hyperd", "path to the hyperd binary")
+	flag.Parse()
+
+	cport, w1port, w2port := freePort(), freePort(), freePort()
+	cbase := fmt.Sprintf("http://127.0.0.1:%d", cport)
+
+	coord := spawn("coordinator", *hyperd,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", cport),
+		"-dist-ttl", "5s", "-quiet")
+	defer coord.stop()
+	waitHealthy(cbase, 30*time.Second)
+
+	for i, port := range []int{w1port, w2port} {
+		w := spawn(fmt.Sprintf("worker%d", i+1), *hyperd,
+			"-worker",
+			"-coordinator", cbase,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-worker-id", fmt.Sprintf("smoke-w%d", i+1),
+			"-heartbeat", "500ms", "-quiet")
+		defer w.stop()
+	}
+	waitWorkers(cbase, 2, 30*time.Second)
+
+	// Sessions: the toy catalog (multi-relation, forest estimator) and a
+	// german build at a shard granularity that spreads the plan over both
+	// workers (5000 rows / 256 -> 20 plan shards).
+	for _, s := range []any{
+		map[string]any{"name": "toy", "dataset": "toy", "options": map[string]any{"seed": 7}},
+		map[string]any{"name": "german", "dataset": "german", "options": map[string]any{"seed": 7, "shard_rows": 256}},
+	} {
+		if status, payload := post(cbase, "/v1/sessions", s); status != http.StatusOK {
+			fatalf("creating session: %d %s", status, payload)
+		}
+	}
+
+	whatifGoldens := []struct {
+		name, session, query string
+	}{
+		{"german-count", "german", `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`},
+		{"german-for", "german", `USE German UPDATE(Savings) = 2 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`},
+		{"german-avg", "german", `USE German UPDATE(Housing) = 1 OUTPUT AVG(POST(Credit))`},
+		{"toy-avg", "toy", `USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
+			AVG(T2.Rating) AS Rtng
+			FROM Product AS T1, Review AS T2
+			WHERE T1.PID = T2.PID
+			GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
+			WHEN Brand = 'Asus'
+			UPDATE(Price) = 1.1 * PRE(Price)
+			OUTPUT AVG(POST(Rtng))
+			FOR PRE(Category) = 'Laptop'`},
+	}
+	for _, g := range whatifGoldens {
+		run := func(placement string) ([]byte, whatIfResp) {
+			var r whatIfResp
+			status, payload := post(cbase, "/v1/whatif", map[string]any{
+				"session": g.session, "query": g.query, "placement": placement,
+			})
+			if status != http.StatusOK {
+				fatalf("%s (%s): status %d: %s", g.name, placement, status, payload)
+			}
+			if err := json.Unmarshal(payload, &r); err != nil {
+				fatalf("%s (%s): %v", g.name, placement, err)
+			}
+			return stableBytes(payload, &r.stable), r
+		}
+		// "fit" first so the cold session cache exercises remote fitting.
+		fitBytes, _ := run("fit")
+		workersBytes, wresp := run("workers")
+		localBytes, _ := run("local")
+		if !bytes.Equal(workersBytes, localBytes) {
+			fatalf("%s: placement=workers diverges from local:\n  workers: %s\n  local:   %s", g.name, workersBytes, localBytes)
+		}
+		if !bytes.Equal(fitBytes, localBytes) {
+			fatalf("%s: placement=fit diverges from local:\n  fit:   %s\n  local: %s", g.name, fitBytes, localBytes)
+		}
+		if wresp.Placement != "workers" || wresp.RemoteWorkers < 1 {
+			fatalf("%s: distributed run reports placement=%q remote_workers=%d — the workers were not used",
+				g.name, wresp.Placement, wresp.RemoteWorkers)
+		}
+		fmt.Fprintf(os.Stderr, "distsmoke: %-14s ok (local == workers == fit): %s\n", g.name, localBytes)
+	}
+
+	howtoGoldens := []struct {
+		name, session, query string
+	}{
+		{"german-howto", "german", `USE German HOWTOUPDATE Status LIMIT UPDATES <= 1 TOMAXIMIZE COUNT(Credit = 1)`},
+		{"toy-howto", "toy", `USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
+			AVG(T2.Rating) AS Rtng
+			FROM Product AS T1, Review AS T2
+			WHERE T1.PID = T2.PID
+			GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
+			HOWTOUPDATE Price LIMIT UPDATES <= 1 TOMAXIMIZE AVG(POST(Rtng))`},
+	}
+	for _, g := range howtoGoldens {
+		run := func(placement string) []byte {
+			status, payload := post(cbase, "/v1/howto", map[string]any{
+				"session": g.session, "query": g.query, "placement": placement,
+			})
+			if status != http.StatusOK {
+				fatalf("%s (%s): status %d: %s", g.name, placement, status, payload)
+			}
+			var s stableHowTo
+			return stableBytes(payload, &s)
+		}
+		fitBytes := run("fit") // cold cache: fits go through the workers
+		localBytes := run("local")
+		if !bytes.Equal(fitBytes, localBytes) {
+			fatalf("%s: placement=fit diverges from local:\n  fit:   %s\n  local: %s", g.name, fitBytes, localBytes)
+		}
+		fmt.Fprintf(os.Stderr, "distsmoke: %-14s ok (local == fit): %s\n", g.name, localBytes)
+	}
+
+	// The coordinator must have actually distributed work.
+	var stats struct {
+		Dist struct {
+			RemoteEvals   uint64 `json:"remote_evals"`
+			RemoteShards  uint64 `json:"remote_shards"`
+			RemoteFits    uint64 `json:"remote_fits"`
+			FramesShipped uint64 `json:"frames_shipped"`
+			WorkersAlive  int    `json:"workers_alive"`
+		} `json:"dist"`
+	}
+	resp, err := http.Get(cbase + "/v1/stats")
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+	if stats.Dist.WorkersAlive != 2 || stats.Dist.RemoteEvals == 0 || stats.Dist.RemoteShards == 0 ||
+		stats.Dist.RemoteFits == 0 || stats.Dist.FramesShipped == 0 {
+		fatalf("coordinator gauges say the distributed path did not run: %+v", stats.Dist)
+	}
+	fmt.Fprintf(os.Stderr, "distsmoke: gauges: %+v\n", stats.Dist)
+	fmt.Println("distsmoke: PASS — distributed evaluation is bit-identical to single-node on toy and german")
+}

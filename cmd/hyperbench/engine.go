@@ -21,9 +21,16 @@ import (
 // (cold latency, training volume, allocation behaviour) alongside the
 // serving-path numbers in BENCH_serve.json.
 type engineBenchResult struct {
-	Scale      float64 `json:"scale"`
-	Rows       int     `json:"rows"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale float64 `json:"scale"`
+	Rows  int     `json:"rows"`
+	// Execution environment. Wall-clock numbers are only comparable across
+	// runs on comparable hardware; cmd/benchguard prints these in its
+	// verdict and arms the latency gate only when GOMAXPROCS matches, so a
+	// 1-core CI runner's flat shard sweep is never misread as a regression
+	// against a multi-core baseline.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
 	// Shards is the -shards worker fan-out used for the headline metrics
 	// (0 = GOMAXPROCS).
 	Shards int `json:"shards"`
@@ -89,6 +96,8 @@ func runEngine(scale float64, seed int64, shards int, out string) error {
 		Scale:      scale,
 		Rows:       rel.Len(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
 		Shards:     shards,
 	}
 

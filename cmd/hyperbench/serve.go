@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -18,8 +19,13 @@ import (
 // serveBenchResult is the machine-readable serving benchmark, written to
 // BENCH_serve.json so successive PRs can track the serving-path trajectory.
 type serveBenchResult struct {
-	Scale       float64 `json:"scale"`
-	Rows        int     `json:"rows"`
+	Scale float64 `json:"scale"`
+	Rows  int     `json:"rows"`
+	// Execution environment (see engineBenchResult): recorded so a baseline
+	// from one machine is never silently compared against another.
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	GoVersion   string  `json:"go_version"`
 	Queries     int     `json:"queries"`
 	Concurrency int     `json:"concurrency"`
 	QPS         float64 `json:"queries_per_sec"`
@@ -275,6 +281,9 @@ func runServe(scale float64, seed int64, nQueries, conc int, out string) error {
 	res := serveBenchResult{
 		Scale:          scale,
 		Rows:           info.Rows,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		GoVersion:      runtime.Version(),
 		Queries:        nQueries,
 		Concurrency:    conc,
 		QPS:            float64(nQueries) / elapsed.Seconds(),

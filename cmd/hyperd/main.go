@@ -13,6 +13,17 @@
 //	curl -X POST localhost:8080/v1/jobs -d '{"session":"german","kind":"howto","query":"USE German HOWTOUPDATE Status LIMIT UPDATES <= 1 TOMAXIMIZE COUNT(Credit = 1)"}'
 //	curl localhost:8080/v1/stats
 //
+// Every hyperd embeds a shard coordinator: workers started with
+//
+//	hyperd -worker -coordinator http://host:8080 -addr :8081
+//
+// register themselves (with heartbeats) and are handed contiguous ranges of
+// each query's canonical shard plan; session frames ship to a worker on
+// first touch and results merge in plan order, bit-identical to a local
+// run. The per-request "placement" knob ("local" | "workers" | "fit")
+// selects the execution path; see README.md for the worker-mode
+// walkthrough.
+//
 // Preloaded sessions are named after their dataset. See internal/server for
 // the full API surface and DESIGN.md for the architecture.
 //
@@ -20,7 +31,8 @@
 // (503), queued jobs are cancelled, running jobs are awaited up to
 // -drain-timeout (then cancelled mid-solve via their contexts), and only
 // then is the HTTP listener closed — so clients can poll final job states
-// during the drain.
+// during the drain. A worker deregisters from its coordinator before
+// exiting, so shards requeue proactively instead of timing out a lease.
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -36,7 +49,11 @@ import (
 	"syscall"
 	"time"
 
+	"net"
+	"net/url"
+
 	"hyper/internal/dataset"
+	"hyper/internal/dist"
 	"hyper/internal/server"
 )
 
@@ -54,9 +71,27 @@ func main() {
 	preloadScale := flag.Float64("preload-scale", 1.0, "dataset scale for preloaded sessions")
 	seed := flag.Int64("seed", 7, "seed for preloaded sessions")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	distTTL := flag.Duration("dist-ttl", 15*time.Second, "coordinator: worker lease (a worker missing heartbeats this long gets no shards)")
+	distSecret := flag.String("dist-secret", "", "shared secret for the dist surface (registration + worker compute endpoints); set on coordinator and workers alike when untrusted peers can reach the listeners")
+	workerMode := flag.Bool("worker", false, "run as a shard worker instead of a serving daemon (requires -coordinator)")
+	coordinator := flag.String("coordinator", "", "worker mode: coordinator base URL to register with (e.g. http://host:8080)")
+	advertise := flag.String("advertise", "", "worker mode: base URL the coordinator dials back (default derived from -addr on 127.0.0.1)")
+	workerID := flag.String("worker-id", "", "worker mode: stable worker id (default <hostname>-<pid>)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "worker mode: heartbeat interval (keep well under the coordinator's -dist-ttl)")
+	workerFrames := flag.Int("worker-frames", 8, "worker mode: session frames kept (LRU eviction past this)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "hyperd: ", log.LstdFlags)
+	if *workerMode {
+		if *coordinator == "" {
+			logger.Fatal("-worker requires -coordinator")
+		}
+		if err := runWorker(logger, *addr, *coordinator, *advertise, *workerID, *distSecret, *heartbeat, *workerFrames, *quiet); err != nil {
+			logger.Fatalf("worker: %v", err)
+		}
+		return
+	}
+
 	cfg := server.Config{
 		CacheEntries:   *cacheEntries,
 		BatchWorkers:   *workers,
@@ -65,6 +100,8 @@ func main() {
 		JobQueueDepth:  *jobQueue,
 		JobsPerSession: *jobsPerSession,
 		JobRetention:   *jobRetention,
+		DistTTL:        *distTTL,
+		DistSecret:     *distSecret,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -116,6 +153,186 @@ func main() {
 			logger.Fatalf("serve: %v", err)
 		}
 	}
+}
+
+// runWorker serves the dist compute API and keeps a registration alive with
+// the coordinator: register (with retry), heartbeat every interval,
+// re-register when the coordinator forgets us (restart), deregister on
+// shutdown so the coordinator requeues proactively.
+func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secret string, hb time.Duration, maxFrames int, quiet bool) error {
+	if hb <= 0 {
+		hb = 5 * time.Second
+	}
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if advertiseURL == "" {
+		if strings.HasPrefix(addr, ":") {
+			advertiseURL = "http://127.0.0.1" + addr
+		} else {
+			advertiseURL = "http://" + addr
+		}
+	}
+	coordinatorURL = strings.TrimRight(coordinatorURL, "/")
+	// A loopback/unspecified advertise URL is only reachable from the
+	// worker's own machine. With a remote coordinator it would register
+	// fine and then fail every dial-back — an endless register/drop/requeue
+	// churn where every query quietly falls back to local evaluation — so
+	// refuse the combination up front.
+	if loopbackURL(advertiseURL) && !loopbackURL(coordinatorURL) {
+		return fmt.Errorf("advertise URL %s is loopback but the coordinator %s is not on this machine; pass -advertise with a routable address",
+			advertiseURL, coordinatorURL)
+	}
+
+	wcfg := dist.WorkerConfig{MaxFrames: maxFrames, Secret: secret}
+	if !quiet {
+		wcfg.Logf = logger.Printf
+	}
+	w := dist.NewWorker(wcfg)
+	mux := http.NewServeMux()
+	mux.Handle("/dist/v1/", w.Handler())
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, `{"ok":true,"worker":%q,"frames":%d}`, id, len(w.FrameIDs()))
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("worker %s listening on %s (advertising %s, coordinator %s)", id, addr, advertiseURL, coordinatorURL)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	coordPost := func(path string, body string) (int, error) {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(http.MethodPost, coordinatorURL+path, rd)
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if secret != "" {
+			req.Header.Set("Authorization", "Bearer "+secret)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	register := func() error {
+		status, err := coordPost("/dist/v1/workers", fmt.Sprintf(`{"id":%q,"url":%q}`, id, advertiseURL))
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("register: status %d", status)
+		}
+		return nil
+	}
+	beat := func() (int, error) {
+		return coordPost("/dist/v1/workers/"+id+"/beat", "")
+	}
+
+	stopBeats := make(chan struct{})
+	beatsDone := make(chan struct{})
+	go func() {
+		defer close(beatsDone)
+		registered := false
+		for backoff := time.Second; !registered; {
+			if err := register(); err != nil {
+				logger.Printf("registering with %s: %v (retrying in %s)", coordinatorURL, err, backoff)
+				select {
+				case <-time.After(backoff):
+				case <-stopBeats:
+					return
+				}
+				if backoff < 30*time.Second {
+					backoff *= 2
+				}
+				continue
+			}
+			registered = true
+			logger.Printf("registered with coordinator %s", coordinatorURL)
+		}
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				status, err := beat()
+				switch {
+				case err != nil:
+					logger.Printf("heartbeat: %v", err)
+				case status == http.StatusNotFound:
+					// Coordinator restarted (or dropped us after a failure):
+					// re-register so shards flow again.
+					if err := register(); err != nil {
+						logger.Printf("re-registering: %v", err)
+					} else {
+						logger.Printf("re-registered with coordinator")
+					}
+				case status != http.StatusOK:
+					logger.Printf("heartbeat: status %d", status)
+				}
+			case <-stopBeats:
+				return
+			}
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		logger.Printf("received %s, deregistering", sig)
+		close(stopBeats)
+		<-beatsDone
+		if req, err := http.NewRequest(http.MethodDelete, coordinatorURL+"/dist/v1/workers/"+id, nil); err == nil {
+			if secret != "" {
+				req.Header.Set("Authorization", "Bearer "+secret)
+			}
+			if resp, err := client.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		return nil
+	case err := <-errc:
+		close(stopBeats)
+		<-beatsDone
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// loopbackURL reports whether a base URL points at a loopback or
+// unspecified host (reachable only from this machine).
+func loopbackURL(raw string) bool {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return false
+	}
+	host := u.Hostname()
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && (ip.IsLoopback() || ip.IsUnspecified())
 }
 
 // preloadSession creates a session named after a registry dataset by driving

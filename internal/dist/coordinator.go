@@ -1,0 +1,802 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyper/internal/causal"
+	"hyper/internal/engine"
+	"hyper/internal/hyperql"
+	"hyper/internal/ml"
+	"hyper/internal/relation"
+)
+
+// ErrNoWorkers is returned when a distributed operation is requested and no
+// live worker is registered (callers decide between failing the request and
+// falling back to local evaluation).
+var ErrNoWorkers = errors.New("dist: no live workers")
+
+// CoordinatorConfig tunes the coordinator; the zero value is usable.
+type CoordinatorConfig struct {
+	// TTL is the worker lease: a worker whose last heartbeat is older is
+	// not assigned work. Default 15s.
+	TTL time.Duration
+	// Client performs the worker dial-backs. Default http.DefaultClient
+	// (evaluations can be long; cancellation flows through request
+	// contexts, not client timeouts).
+	Client *http.Client
+	// Secret, when non-empty, gates the dist surface: worker registration
+	// must present it (Authorization: Bearer <secret>) and the coordinator
+	// presents it on every dial-back so workers can verify their caller.
+	// A worker accepted into the registry receives session data and its
+	// partials are merged into query results, so on any network where
+	// untrusted peers can reach the listeners, set a secret on both ends
+	// (hyperd -dist-secret).
+	Secret string
+	// Logf, when non-nil, receives coordinator events (registrations,
+	// drops, requeues, frame ships).
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.TTL <= 0 {
+		c.TTL = 15 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// Coordinator owns the worker registry and drives distributed shard
+// execution: contiguous plan-shard assignment over the live workers, frame
+// shipping on first touch, requeue of lost workers' shards onto the
+// survivors (or local fallback), and the plan-order reduce that keeps
+// distributed results bit-identical to local ones.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu      sync.Mutex
+	workers map[string]*remoteWorker
+
+	// Gauges (surfaced through /v1/stats).
+	registered     atomic.Uint64 // registrations accepted (incl. re-registrations)
+	lost           atomic.Uint64 // workers dropped after a dispatch failure
+	requeues       atomic.Uint64 // shard batches requeued after a worker loss
+	framesShipped  atomic.Uint64
+	remoteEvals    atomic.Uint64 // distributed what-if evaluations completed
+	remoteShards   atomic.Uint64 // plan shards evaluated on remote workers
+	remoteFits     atomic.Uint64 // remote shard-mergeable fits completed
+	localFallbacks atomic.Uint64 // times pending shards fell back to local
+}
+
+// remoteWorker is one registered worker. shipped tracks the frames this
+// worker has confirmed, so steady-state dispatch skips the 404 round-trip.
+type remoteWorker struct {
+	id  string
+	url string
+
+	mu       sync.Mutex
+	lastBeat time.Time
+	shipped  map[string]bool
+	shipping map[string]chan struct{} // frame id -> in-flight ship (single-flight)
+}
+
+func (w *remoteWorker) beat() {
+	w.mu.Lock()
+	w.lastBeat = time.Now()
+	w.mu.Unlock()
+}
+
+func (w *remoteWorker) aliveAt(ttl time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Since(w.lastBeat) <= ttl
+}
+
+func (w *remoteWorker) hasFrame(id string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.shipped[id]
+}
+
+func (w *remoteWorker) markFrame(id string) {
+	w.mu.Lock()
+	if w.shipped == nil {
+		w.shipped = make(map[string]bool)
+	}
+	w.shipped[id] = true
+	w.mu.Unlock()
+}
+
+func (w *remoteWorker) frameCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.shipped)
+}
+
+// NewCoordinator returns a coordinator with an empty worker registry.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	return &Coordinator{cfg: cfg.withDefaults(), workers: make(map[string]*remoteWorker)}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the coordinator's registration surface, mountable next to
+// the serving API (hyperd serves it on the same listener).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+pathWorkers, func(rw http.ResponseWriter, r *http.Request) {
+		if !checkSecret(rw, r, c.cfg.Secret) {
+			return
+		}
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(rw, http.StatusBadRequest, "", "decoding register request: %v", err)
+			return
+		}
+		if req.ID == "" || req.URL == "" {
+			writeError(rw, http.StatusBadRequest, "", "register requires id and url")
+			return
+		}
+		c.Register(req.ID, req.URL)
+		writeJSON(rw, http.StatusOK, map[string]any{"ok": true, "ttl_ms": c.cfg.TTL.Milliseconds()})
+	})
+	mux.HandleFunc("POST "+pathWorkers+"/{id}/beat", func(rw http.ResponseWriter, r *http.Request) {
+		if !checkSecret(rw, r, c.cfg.Secret) {
+			return
+		}
+		id := r.PathValue("id")
+		c.mu.Lock()
+		w, ok := c.workers[id]
+		c.mu.Unlock()
+		if !ok {
+			// Unknown (dropped or pre-restart) worker: it must re-register,
+			// which also re-announces its URL.
+			writeError(rw, http.StatusNotFound, "", "unknown worker %q", id)
+			return
+		}
+		w.beat()
+		writeJSON(rw, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("DELETE "+pathWorkers+"/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		if !checkSecret(rw, r, c.cfg.Secret) {
+			return
+		}
+		id := r.PathValue("id")
+		c.mu.Lock()
+		_, ok := c.workers[id]
+		delete(c.workers, id)
+		c.mu.Unlock()
+		if !ok {
+			writeError(rw, http.StatusNotFound, "", "unknown worker %q", id)
+			return
+		}
+		c.logf("dist: worker %s deregistered", id)
+		writeJSON(rw, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET "+pathWorkers, func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]any{"workers": c.WorkerInfos()})
+	})
+	return mux
+}
+
+// Register adds (or refreshes) a worker and starts its lease.
+func (c *Coordinator) Register(id, url string) {
+	c.mu.Lock()
+	w, ok := c.workers[id]
+	if !ok || w.url != url {
+		w = &remoteWorker{id: id, url: url}
+		c.workers[id] = w
+	}
+	c.mu.Unlock()
+	w.beat()
+	c.registered.Add(1)
+	c.logf("dist: worker %s registered at %s", id, url)
+}
+
+// alive snapshots the workers within their lease, sorted by id so shard
+// assignment is deterministic given a membership set.
+func (c *Coordinator) alive() []*remoteWorker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*remoteWorker
+	for _, w := range c.workers {
+		if w.aliveAt(c.cfg.TTL) {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// WorkersAlive returns the number of workers within their lease.
+func (c *Coordinator) WorkersAlive() int { return len(c.alive()) }
+
+// WorkerInfos snapshots the registry for listings and stats.
+func (c *Coordinator) WorkerInfos() []WorkerInfo {
+	c.mu.Lock()
+	ws := make([]*remoteWorker, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	c.mu.Unlock()
+	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+	out := make([]WorkerInfo, len(ws))
+	for i, w := range ws {
+		w.mu.Lock()
+		out[i] = WorkerInfo{
+			ID: w.id, URL: w.url,
+			Alive:      time.Since(w.lastBeat) <= c.cfg.TTL,
+			LastBeatMs: float64(time.Since(w.lastBeat)) / float64(time.Millisecond),
+			Frames:     len(w.shipped),
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// drop removes a worker after a dispatch failure; its shards are requeued by
+// the caller. A live worker process will heartbeat into a 404 and
+// re-register.
+func (c *Coordinator) drop(w *remoteWorker, err error) {
+	c.mu.Lock()
+	if cur, ok := c.workers[w.id]; ok && cur == w {
+		delete(c.workers, w.id)
+	}
+	c.mu.Unlock()
+	c.lost.Add(1)
+	c.logf("dist: dropping worker %s: %v", w.id, err)
+}
+
+// Stats is the coordinator gauge snapshot (wire form for /v1/stats).
+type Stats struct {
+	WorkersAlive      int    `json:"workers_alive"`
+	WorkersRegistered int    `json:"workers_registered"`
+	Registrations     uint64 `json:"registrations"`
+	WorkersLost       uint64 `json:"workers_lost"`
+	Requeues          uint64 `json:"requeues"`
+	FramesShipped     uint64 `json:"frames_shipped"`
+	RemoteEvals       uint64 `json:"remote_evals"`
+	RemoteShards      uint64 `json:"remote_shards"`
+	RemoteFits        uint64 `json:"remote_fits"`
+	LocalFallbacks    uint64 `json:"local_fallbacks"`
+}
+
+// Stats snapshots the coordinator gauges.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	registered := len(c.workers)
+	c.mu.Unlock()
+	return Stats{
+		WorkersAlive:      c.WorkersAlive(),
+		WorkersRegistered: registered,
+		Registrations:     c.registered.Load(),
+		WorkersLost:       c.lost.Load(),
+		Requeues:          c.requeues.Load(),
+		FramesShipped:     c.framesShipped.Load(),
+		RemoteEvals:       c.remoteEvals.Load(),
+		RemoteShards:      c.remoteShards.Load(),
+		RemoteFits:        c.remoteFits.Load(),
+		LocalFallbacks:    c.localFallbacks.Load(),
+	}
+}
+
+// terminalError marks a worker response that must fail the whole operation
+// (a malformed query fails identically everywhere — requeueing it would
+// fail every worker in turn).
+type terminalError struct{ err error }
+
+func (e terminalError) Error() string { return e.err.Error() }
+
+// postWorker POSTs a compute request to a worker, shipping the frame and
+// retrying once on a frame_missing miss. A 4xx response other than the
+// frame miss is terminal; transport failures and 5xx are retryable (the
+// caller drops the worker and requeues).
+func (c *Coordinator) postWorker(ctx context.Context, w *remoteWorker, frame *Frame, path string, req, dst any) error {
+	frameID, _, err := frame.Payload()
+	if err != nil {
+		return terminalError{err}
+	}
+	// Best effort: the authoritative signal is the worker's own
+	// frame_missing answer below (a restarted worker forgets frames the
+	// coordinator shipped to its previous life).
+	if err := c.ensureFrame(ctx, w, frame); err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		status, body, err := c.roundTrip(ctx, w, http.MethodPost, path, req)
+		if err != nil {
+			return err
+		}
+		switch {
+		case status == http.StatusOK:
+			if err := json.Unmarshal(body, dst); err != nil {
+				return fmt.Errorf("dist: decoding %s response from %s: %w", path, w.id, err)
+			}
+			return nil
+		case status == http.StatusNotFound && errCode(body) == codeFrameMissing:
+			if attempt >= 2 {
+				// The worker keeps losing the frame between ship and use
+				// (LRU thrash across many hot sessions). That is a capacity
+				// problem, not a query problem: report it retryable so the
+				// caller requeues elsewhere or falls back locally instead of
+				// failing the user's request.
+				return fmt.Errorf("dist: worker %s evicted frame %.12s twice mid-request (frame-store thrash; raise -worker-frames)", w.id, frameID)
+			}
+			// The worker lost the frame (restart, LRU eviction): forget our
+			// shipped mark and re-ship through the single-flight.
+			w.mu.Lock()
+			delete(w.shipped, frameID)
+			w.mu.Unlock()
+			if err := c.ensureFrame(ctx, w, frame); err != nil {
+				return err
+			}
+			continue
+		case status >= 400 && status < 500:
+			return terminalError{fmt.Errorf("dist: worker %s: %s", w.id, errMessage(body, status))}
+		default:
+			return fmt.Errorf("dist: worker %s: %s", w.id, errMessage(body, status))
+		}
+	}
+}
+
+// ensureFrame makes sure the worker holds the frame, shipping it at most
+// once per (worker, frame) at a time: concurrent cold requests (a how-to's
+// parallel candidate fits, a batch fan-out) wait for the one in-flight
+// upload instead of each PUTting the full snapshot.
+func (c *Coordinator) ensureFrame(ctx context.Context, w *remoteWorker, frame *Frame) error {
+	id, _, err := frame.Payload()
+	if err != nil {
+		return terminalError{err}
+	}
+	for {
+		w.mu.Lock()
+		if w.shipped[id] {
+			w.mu.Unlock()
+			return nil
+		}
+		ch, busy := w.shipping[id]
+		if !busy {
+			if w.shipping == nil {
+				w.shipping = make(map[string]chan struct{})
+			}
+			ch = make(chan struct{})
+			w.shipping[id] = ch
+			w.mu.Unlock()
+			err := c.shipFrame(ctx, w, frame) // marks shipped on success
+			w.mu.Lock()
+			delete(w.shipping, id)
+			w.mu.Unlock()
+			close(ch)
+			return err
+		}
+		w.mu.Unlock()
+		select {
+		case <-ch:
+			// The in-flight ship finished; re-check (a failed ship loops
+			// back and this caller becomes the next shipper).
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func errCode(body []byte) string {
+	var e errorBody
+	_ = json.Unmarshal(body, &e)
+	return e.Code
+}
+
+func errMessage(body []byte, status int) string {
+	var e errorBody
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Sprintf("status %d: %s", status, e.Error)
+	}
+	return fmt.Sprintf("status %d", status)
+}
+
+func (c *Coordinator) roundTrip(ctx context.Context, w *remoteWorker, method, path string, payload any) (int, []byte, error) {
+	var body io.Reader
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return 0, nil, terminalError{err}
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.url+path, body)
+	if err != nil {
+		return 0, nil, terminalError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	setSecret(req, c.cfg.Secret)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// shipFrame PUTs the frame body to a worker (first touch co-location).
+func (c *Coordinator) shipFrame(ctx context.Context, w *remoteWorker, frame *Frame) error {
+	id, body, err := frame.Payload()
+	if err != nil {
+		return terminalError{err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, w.url+pathFrames+id, bytes.NewReader(body))
+	if err != nil {
+		return terminalError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	setSecret(req, c.cfg.Secret)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: shipping frame to %s: %s", w.id, errMessage(raw, resp.StatusCode))
+	}
+	w.markFrame(id)
+	c.framesShipped.Add(1)
+	c.logf("dist: shipped frame %.12s to worker %s (%d bytes)", id, w.id, len(body))
+	return nil
+}
+
+// splitContiguous partitions ids into at most n contiguous chunks of
+// near-equal size (the per-worker shard assignment).
+func splitContiguous(ids []int, n int) [][]int {
+	if n > len(ids) {
+		n = len(ids)
+	}
+	chunks := make([][]int, 0, n)
+	for w := 0; w < n; w++ {
+		lo := w * len(ids) / n
+		hi := (w + 1) * len(ids) / n
+		if lo < hi {
+			chunks = append(chunks, ids[lo:hi])
+		}
+	}
+	return chunks
+}
+
+// EvalSpec carries one distributed what-if evaluation.
+type EvalSpec struct {
+	DB      *relation.Database
+	Model   *causal.Model
+	Frame   *Frame
+	Query   string
+	Options engine.Options
+	// Progress, when non-nil, receives "shards" updates as remote shard
+	// batches complete (the jobs layer surfaces them as shards_done/total).
+	Progress engine.ProgressFunc
+}
+
+// EvaluateWhatIf runs one what-if query with its plan shards distributed
+// over the live workers. The canonical plan is resolved locally (the view is
+// cached), contiguous shard ranges go to the workers sorted by id, lost
+// workers' ranges are requeued onto the survivors — or evaluated locally
+// when none remain — and the partials reduce in plan order, making the
+// result bit-identical to a local run for every membership history.
+func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engine.Result, error) {
+	start := time.Now()
+	q, err := hyperql.ParseWhatIf(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	planShards, _, err := engine.PlanContext(ctx, spec.DB, spec.Model, q, spec.Options)
+	if err != nil {
+		return nil, err
+	}
+	if planShards == 0 {
+		// Empty view: nothing to distribute.
+		return engine.EvaluateContext(ctx, spec.DB, spec.Model, q, spec.Options)
+	}
+	pending := make([]int, planShards)
+	for i := range pending {
+		pending[i] = i
+	}
+
+	var (
+		mu         sync.Mutex
+		partials   = make([]engine.ShardPartial, 0, planShards)
+		meta       engine.PartialMeta
+		haveMeta   bool
+		metaErr    error
+		usedRemote = map[string]bool{}
+		doneShards int
+		localDone  int
+	)
+	report := func() {
+		if spec.Progress != nil {
+			spec.Progress("shards", doneShards, planShards)
+		}
+	}
+	absorb := func(workerID string, pr *engine.PartialResult, n int) {
+		if !haveMeta {
+			meta = pr.Meta
+			haveMeta = true
+		} else if !meta.Consistent(pr.Meta) {
+			metaErr = fmt.Errorf("dist: worker %s evaluation metadata diverges from the merged plan (determinism violation): %+v vs %+v",
+				workerID, pr.Meta, meta)
+			return
+		} else if pr.Meta.TrainedModels > meta.TrainedModels {
+			// Diagnostics only: each worker trains the models its shards
+			// demanded; report the widest set.
+			meta.TrainedModels = pr.Meta.TrainedModels
+		}
+		partials = append(partials, pr.Partials...)
+		doneShards += n
+		report()
+	}
+
+	for round := 0; len(pending) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ws := c.alive()
+		if len(ws) == 0 {
+			// Local fallback: the coordinator process evaluates whatever is
+			// left. Same plan, same partials, same merge.
+			c.localFallbacks.Add(1)
+			lopts := spec.Options
+			lopts.Progress = nil
+			lopts.RemoteFit = nil
+			pr, err := engine.EvaluatePartialContext(ctx, spec.DB, spec.Model, q, lopts, pending)
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			absorb("local", pr, len(pending))
+			localDone += len(pending)
+			err = metaErr
+			mu.Unlock()
+			if err != nil {
+				// The locally computed metadata diverges from what a worker
+				// already delivered: surface the determinism violation, not
+				// a confusing partial-count mismatch from the merge.
+				return nil, err
+			}
+			pending = nil
+			break
+		}
+		chunks := splitContiguous(pending, len(ws))
+		var failed []int
+		var wg sync.WaitGroup
+		for i, chunk := range chunks {
+			wg.Add(1)
+			go func(w *remoteWorker, chunk []int) {
+				defer wg.Done()
+				var resp EvalResponse
+				err := c.postWorker(ctx, w, spec.Frame, pathEval, EvalRequest{
+					Frame:   mustFrameID(spec.Frame),
+					Query:   spec.Query,
+					Options: WireOptionsFrom(spec.Options),
+					Shards:  chunk,
+				}, &resp)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					var term terminalError
+					if errors.As(err, &term) || ctx.Err() != nil {
+						if metaErr == nil {
+							metaErr = err
+						}
+						return
+					}
+					c.drop(w, err)
+					failed = append(failed, chunk...)
+					return
+				}
+				absorb(w.id, &resp, len(chunk))
+				usedRemote[w.id] = true
+			}(ws[i], chunk)
+		}
+		wg.Wait()
+		if metaErr != nil {
+			return nil, metaErr
+		}
+		if len(failed) > 0 {
+			sort.Ints(failed)
+			c.requeues.Add(1)
+			c.logf("dist: requeueing %d shards after worker loss (round %d)", len(failed), round)
+		}
+		pending = failed
+	}
+
+	res, err := engine.MergePartials(meta, partials)
+	if err != nil {
+		return nil, err
+	}
+	res.Placement = "workers"
+	res.RemoteWorkers = len(usedRemote)
+	res.ShardWorkers = len(usedRemote)
+	if res.ShardWorkers == 0 {
+		res.ShardWorkers = 1
+	}
+	res.Total = time.Since(start)
+	res.EvalTime = res.Total
+	c.remoteEvals.Add(1)
+	c.remoteShards.Add(uint64(planShards - localDone))
+	return res, nil
+}
+
+func mustFrameID(f *Frame) string {
+	id, _, _ := f.Payload()
+	return id
+}
+
+// Fitter returns a session-bound fitter (an engine.RemoteFitter) that
+// distributes shard-mergeable estimator fits (freq cells and support sets)
+// over the live workers, with the same requeue-on-loss policy as
+// evaluation. When no workers survive it returns an error and the engine's
+// local fit takes over — bit-identical either way. Callers wanting
+// per-request diagnostics create one fitter per request and read
+// WorkersUsed afterwards.
+func (c *Coordinator) Fitter(frame *Frame) *SessionFitter {
+	return &SessionFitter{c: c, frame: frame}
+}
+
+// SessionFitter implements engine.RemoteFitter over the coordinator's
+// worker pool for one session frame.
+type SessionFitter struct {
+	c     *Coordinator
+	frame *Frame
+
+	mu   sync.Mutex
+	used map[string]bool // worker ids that contributed at least one part
+}
+
+// WorkersUsed reports how many distinct workers contributed fit parts
+// through this fitter (0 when every fit was cache-warm or fell back local).
+func (f *SessionFitter) WorkersUsed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.used)
+}
+
+func (f *SessionFitter) markUsed(id string) {
+	f.mu.Lock()
+	if f.used == nil {
+		f.used = make(map[string]bool)
+	}
+	f.used[id] = true
+	f.mu.Unlock()
+}
+
+func (f *SessionFitter) FitFreqParts(ctx context.Context, query string, o engine.Options, mask uint64, weighted bool, fitShards int) ([]*ml.FreqWire, error) {
+	resp, err := f.fit(ctx, query, o, mask, weighted, true, false, fitShards)
+	if err != nil {
+		return nil, err
+	}
+	return resp.parts, nil
+}
+
+func (f *SessionFitter) SupportParts(ctx context.Context, query string, o engine.Options, fitShards int) ([]*ml.SupportWire, error) {
+	resp, err := f.fit(ctx, query, o, 0, false, false, true, fitShards)
+	if err != nil {
+		return nil, err
+	}
+	return resp.support, nil
+}
+
+type fitParts struct {
+	parts   []*ml.FreqWire
+	support []*ml.SupportWire
+}
+
+// fit distributes one shard-mergeable fit over the live workers, collecting
+// one part per fit-plan shard (in plan order) with requeue on worker loss.
+func (f *SessionFitter) fit(ctx context.Context, query string, o engine.Options, mask uint64, weighted, cells, support bool, fitShards int) (*fitParts, error) {
+	if fitShards <= 0 {
+		return nil, fmt.Errorf("dist: fit plan has %d shards", fitShards)
+	}
+	c := f.c
+	out := &fitParts{}
+	if cells {
+		out.parts = make([]*ml.FreqWire, fitShards)
+	}
+	if support {
+		out.support = make([]*ml.SupportWire, fitShards)
+	}
+	pending := make([]int, fitShards)
+	for i := range pending {
+		pending[i] = i
+	}
+	wireOpts := WireOptionsFrom(o)
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ws := c.alive()
+		if len(ws) == 0 {
+			return nil, ErrNoWorkers
+		}
+		chunks := splitContiguous(pending, len(ws))
+		var (
+			mu      sync.Mutex
+			failed  []int
+			termErr error
+			wg      sync.WaitGroup
+		)
+		for i, chunk := range chunks {
+			wg.Add(1)
+			go func(w *remoteWorker, chunk []int) {
+				defer wg.Done()
+				var resp FitResponse
+				err := c.postWorker(ctx, w, f.frame, pathFit, FitRequest{
+					Frame:    mustFrameID(f.frame),
+					Query:    query,
+					Options:  wireOpts,
+					Mask:     strconv.FormatUint(mask, 10),
+					Weighted: weighted,
+					Cells:    cells,
+					Support:  support,
+					Shards:   chunk,
+				}, &resp)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					var term terminalError
+					if errors.As(err, &term) || ctx.Err() != nil {
+						if termErr == nil {
+							termErr = err
+						}
+						return
+					}
+					c.drop(w, err)
+					failed = append(failed, chunk...)
+					return
+				}
+				if resp.FitPlan != fitShards ||
+					(cells && len(resp.Parts) != len(chunk)) ||
+					(support && len(resp.Support) != len(chunk)) {
+					termErr = fmt.Errorf("dist: worker %s fit shape mismatch (plan %d vs %d, %d/%d parts for %d shards)",
+						w.id, resp.FitPlan, fitShards, len(resp.Parts), len(resp.Support), len(chunk))
+					return
+				}
+				for j, s := range chunk {
+					if cells {
+						out.parts[s] = resp.Parts[j]
+					}
+					if support {
+						out.support[s] = resp.Support[j]
+					}
+				}
+				f.markUsed(w.id)
+			}(ws[i], chunk)
+		}
+		wg.Wait()
+		if termErr != nil {
+			return nil, termErr
+		}
+		if len(failed) > 0 {
+			sort.Ints(failed)
+			c.requeues.Add(1)
+		}
+		pending = failed
+	}
+	c.remoteFits.Add(1)
+	return out, nil
+}

@@ -1,0 +1,185 @@
+// Package dist is HypeR's distribution substrate: a coordinator/worker
+// shard transport that promotes the canonical shard plans of internal/shard
+// from an in-process pool to a cluster-wide unit of work, with the same
+// determinism contract the local path pins — distributed evaluation is
+// bit-identical to a single-process `Shards=N` run.
+//
+// The division of labour:
+//
+//   - A worker (cmd/hyperd -worker) holds content-addressed frame snapshots
+//     (a session's database + causal model, shipped on first touch), and
+//     serves two stateless computations over them: per-shard what-if
+//     evaluation (engine.EvaluatePartialContext → block-window partials)
+//     and per-shard shard-mergeable estimator fits
+//     (engine.FitEventPartialContext → freq-cell / support-set wire maps).
+//
+//   - The coordinator registers workers (registration + heartbeats with a
+//     lease TTL), assigns contiguous plan shard ranges to the live workers,
+//     ships a session's frame to a worker on its first miss (co-locating
+//     the frame with its shards; later queries hit the worker's warm frame
+//     cache), and reduces the returned partials strictly in plan order via
+//     engine.MergePartials. Shards of a worker lost mid-evaluation are
+//     requeued onto the surviving workers, or evaluated locally when none
+//     survive — the reduction order never depends on who computed what, so
+//     failures move work without moving results.
+//
+// Everything on the wire is JSON. Both ends re-derive the deterministic
+// parts of an evaluation (plan, block decomposition, estimator choice,
+// training) from the same frame + query + semantic options; the coordinator
+// cross-checks the workers' evaluation metadata and fails loudly on any
+// disagreement rather than merging diverging partials.
+package dist
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+
+	"hyper/internal/engine"
+	"hyper/internal/ml"
+)
+
+// Protocol paths. Worker-side endpoints are served by Worker.Handler;
+// coordinator-side registration endpoints by Coordinator.Handler.
+const (
+	pathPing    = "/dist/v1/ping"
+	pathFrames  = "/dist/v1/frames/" // + frame id (PUT)
+	pathEval    = "/dist/v1/eval"
+	pathFit     = "/dist/v1/fit"
+	pathWorkers = "/dist/v1/workers" // coordinator: register/beat/list
+)
+
+// codeFrameMissing is the machine-readable error code a worker returns when
+// it is asked to evaluate against a frame it has not seen; the coordinator
+// reacts by shipping the frame and retrying (frame shipping on first touch).
+const codeFrameMissing = "frame_missing"
+
+// WireOptions is the JSON form of the semantic engine options. It carries
+// exactly the fields the serving layer can set (hyper.Options plus the
+// engine's DNF caps); Cache/Progress/RemoteFit are process-local and the
+// Forest hyperparameters follow from Seed via the engine defaults.
+type WireOptions struct {
+	Mode            int   `json:"mode,omitempty"`
+	SampleSize      int   `json:"sample_size,omitempty"`
+	Seed            int64 `json:"seed,omitempty"`
+	Estimator       int   `json:"estimator,omitempty"`
+	Shards          int   `json:"shards,omitempty"`
+	ShardRows       int   `json:"shard_rows,omitempty"`
+	MaxDisjuncts    int   `json:"max_disjuncts,omitempty"`
+	MaxDomainExpand int   `json:"max_domain_expand,omitempty"`
+	DisableBlocks   bool  `json:"disable_blocks,omitempty"`
+}
+
+// WireOptionsFrom strips an engine option set to its wire form.
+func WireOptionsFrom(o engine.Options) WireOptions {
+	return WireOptions{
+		Mode:            int(o.Mode),
+		SampleSize:      o.SampleSize,
+		Seed:            o.Seed,
+		Estimator:       int(o.Estimator),
+		Shards:          o.Shards,
+		ShardRows:       o.ShardRows,
+		MaxDisjuncts:    o.MaxDisjuncts,
+		MaxDomainExpand: o.MaxDomainExpand,
+		DisableBlocks:   o.DisableBlocks,
+	}
+}
+
+// EngineOptions rebuilds the engine options on the worker side. The worker
+// attaches its own per-frame cache.
+func (w WireOptions) EngineOptions() engine.Options {
+	return engine.Options{
+		Mode:            engine.Mode(w.Mode),
+		SampleSize:      w.SampleSize,
+		Seed:            w.Seed,
+		Estimator:       engine.EstimatorKind(w.Estimator),
+		Shards:          w.Shards,
+		ShardRows:       w.ShardRows,
+		MaxDisjuncts:    w.MaxDisjuncts,
+		MaxDomainExpand: w.MaxDomainExpand,
+		DisableBlocks:   w.DisableBlocks,
+	}
+}
+
+// EvalRequest asks a worker to evaluate the listed plan shards of a what-if
+// query against a previously shipped frame.
+type EvalRequest struct {
+	Frame   string      `json:"frame"`
+	Query   string      `json:"query"`
+	Options WireOptions `json:"options"`
+	Shards  []int       `json:"shards"`
+}
+
+// EvalResponse is the worker's answer: the engine's partial result, directly
+// serializable.
+type EvalResponse = engine.PartialResult
+
+// FitRequest asks a worker for the per-shard partial indexes of a
+// shard-mergeable estimator fit: the freq cells of the event subset Mask
+// (Y-weighted when Weighted) and/or the support-set keys, over the listed
+// fit-plan shards. Mask is decimal-encoded because JSON numbers cannot carry
+// a full uint64.
+type FitRequest struct {
+	Frame    string      `json:"frame"`
+	Query    string      `json:"query"`
+	Options  WireOptions `json:"options"`
+	Mask     string      `json:"mask"`
+	Weighted bool        `json:"weighted,omitempty"`
+	Cells    bool        `json:"cells,omitempty"`
+	Support  bool        `json:"support,omitempty"`
+	Shards   []int       `json:"shards"`
+}
+
+// FitResponse carries one wire part per requested shard, in request order.
+type FitResponse struct {
+	FitPlan int               `json:"fit_plan"`
+	Parts   []*ml.FreqWire    `json:"parts,omitempty"`
+	Support []*ml.SupportWire `json:"support,omitempty"`
+}
+
+// RegisterRequest announces a worker to the coordinator. URL is the base
+// address the coordinator dials back (scheme://host:port).
+type RegisterRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// WorkerInfo describes one registered worker (GET /dist/v1/workers and the
+// /v1/stats dist gauges).
+type WorkerInfo struct {
+	ID         string  `json:"id"`
+	URL        string  `json:"url"`
+	Alive      bool    `json:"alive"`
+	LastBeatMs float64 `json:"last_beat_ms"`
+	Frames     int     `json:"frames"` // frames confirmed shipped to this worker
+}
+
+// errorBody is the JSON error envelope shared by both ends of the protocol.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// setSecret attaches the shared dist secret (when configured) as a bearer
+// token.
+func setSecret(r *http.Request, secret string) {
+	if secret != "" {
+		r.Header.Set("Authorization", "Bearer "+secret)
+	}
+}
+
+// checkSecret enforces the shared dist secret on an incoming request,
+// writing a 401 and returning false on mismatch. An empty configured secret
+// disables the check (trusted-network deployments; the default). The
+// comparison is constant-time so the secret cannot be guessed byte by byte.
+func checkSecret(rw http.ResponseWriter, r *http.Request, secret string) bool {
+	if secret == "" {
+		return true
+	}
+	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if subtle.ConstantTimeCompare([]byte(got), []byte(secret)) == 1 {
+		return true
+	}
+	writeError(rw, http.StatusUnauthorized, "", "missing or invalid dist secret")
+	return false
+}

@@ -1,0 +1,515 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyper/internal/causal"
+	"hyper/internal/dataset"
+	"hyper/internal/engine"
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+)
+
+func g17(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+
+func distDataset(t testing.TB, name string) (*relation.Database, *causal.Model) {
+	t.Helper()
+	switch name {
+	case "toy":
+		return dataset.Toy()
+	case "german":
+		g := dataset.GermanSyn(1000, 7)
+		return g.DB, g.Model
+	default:
+		t.Fatalf("unknown dataset %q", name)
+		return nil, nil
+	}
+}
+
+// testWorker is one in-process worker behind a real HTTP listener, with
+// request counters and a kill switch that aborts its next eval mid-request.
+type testWorker struct {
+	w        *Worker
+	ts       *httptest.Server
+	puts     atomic.Int64
+	evals    atomic.Int64
+	killEval atomic.Bool
+}
+
+func newTestWorker(t *testing.T) *testWorker {
+	t.Helper()
+	tw := &testWorker{w: NewWorker(WorkerConfig{})}
+	inner := tw.w.Handler()
+	tw.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPut:
+			tw.puts.Add(1)
+		case r.URL.Path == pathEval:
+			tw.evals.Add(1)
+			if tw.killEval.Load() {
+				// Die mid-evaluation: the connection is severed without a
+				// response, exactly what a killed worker process looks like
+				// to the coordinator.
+				panic(http.ErrAbortHandler)
+			}
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(tw.ts.Close)
+	return tw
+}
+
+func newTestCoordinator(t *testing.T, workers ...*testWorker) (*Coordinator, *http.Client) {
+	t.Helper()
+	client := &http.Client{}
+	t.Cleanup(client.CloseIdleConnections)
+	c := NewCoordinator(CoordinatorConfig{TTL: time.Minute, Client: client})
+	for i, tw := range workers {
+		c.Register("w"+strconv.Itoa(i+1), tw.ts.URL)
+	}
+	return c, client
+}
+
+// TestDistributedEvalGolden pins the distributed path against the same
+// golden constants the engine parity tests pin for the single-process path:
+// 2 real HTTP workers, each rebuilding the database from the shipped frame,
+// must reproduce the pinned value to the last bit.
+func TestDistributedEvalGolden(t *testing.T) {
+	goldens := []struct {
+		name, ds, query, value string
+	}{
+		{"german-freq-count", "german", `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`, "875.68587543540139"},
+		{"toy-avg-forest", "toy", `USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
+			AVG(T2.Rating) AS Rtng
+			FROM Product AS T1, Review AS T2
+			WHERE T1.PID = T2.PID
+			GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
+			WHEN Brand = 'Asus'
+			UPDATE(Price) = 1.1 * PRE(Price)
+			OUTPUT AVG(POST(Rtng))
+			FOR PRE(Category) = 'Laptop'`, "2.6302810387072708"},
+	}
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			w1, w2 := newTestWorker(t), newTestWorker(t)
+			c, _ := newTestCoordinator(t, w1, w2)
+			db, model := distDataset(t, g.ds)
+			res, err := c.EvaluateWhatIf(context.Background(), EvalSpec{
+				DB: db, Model: model, Frame: NewFrame(db, model),
+				Query: g.query, Options: engine.Options{Seed: 7},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g17(res.Value); got != g.value {
+				t.Fatalf("distributed value %s != pinned golden %s", got, g.value)
+			}
+			if res.Placement != "workers" {
+				t.Fatalf("placement %q, want workers", res.Placement)
+			}
+		})
+	}
+}
+
+// TestDistributedEvalParity checks multi-shard, multi-worker distribution
+// against the local run bit for bit, and that the frame ships exactly once
+// per worker while repeat queries hit warm frames.
+func TestDistributedEvalParity(t *testing.T) {
+	queries := []string{
+		`USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`,
+		`USE German UPDATE(Savings) = 2 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`,
+		`USE German UPDATE(Housing) = 1 OUTPUT AVG(POST(Credit))`,
+	}
+	opts := engine.Options{Seed: 7, ShardRows: 256} // 1000 rows -> 4 plan shards
+	workers := []*testWorker{newTestWorker(t), newTestWorker(t), newTestWorker(t)}
+	c, _ := newTestCoordinator(t, workers...)
+	db, model := distDataset(t, "german")
+	frame := NewFrame(db, model)
+	var progressMax atomic.Int64
+	for _, src := range queries {
+		ldb, lmodel := distDataset(t, "german")
+		q, err := hyperql.ParseWhatIf(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.EvaluateContext(context.Background(), ldb, lmodel, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.EvaluateWhatIf(context.Background(), EvalSpec{
+			DB: db, Model: model, Frame: frame, Query: src, Options: opts,
+			Progress: func(stage string, done, total int) {
+				if stage == "shards" && int64(done) > progressMax.Load() {
+					progressMax.Store(int64(done))
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g17(got.Value) != g17(want.Value) || g17(got.Sum) != g17(want.Sum) || g17(got.Count) != g17(want.Count) {
+			t.Fatalf("%s: distributed %s/%s/%s != local %s/%s/%s", src,
+				g17(got.Value), g17(got.Sum), g17(got.Count), g17(want.Value), g17(want.Sum), g17(want.Count))
+		}
+		if got.EstimatorUsed != want.EstimatorUsed || got.Blocks != want.Blocks || got.ShardPlan != want.ShardPlan {
+			t.Fatalf("%s: metadata diverges: %+v vs %+v", src, got, want)
+		}
+		if got.RemoteWorkers < 2 {
+			t.Fatalf("%s: only %d remote workers contributed (plan %d)", src, got.RemoteWorkers, got.ShardPlan)
+		}
+	}
+	if progressMax.Load() != 4 {
+		t.Fatalf("shards progress peaked at %d, want 4", progressMax.Load())
+	}
+	for i, tw := range workers {
+		if got := tw.puts.Load(); got != 1 {
+			t.Fatalf("worker %d received %d frame ships, want exactly 1 (first touch only)", i+1, got)
+		}
+	}
+	st := c.Stats()
+	if st.RemoteEvals != uint64(len(queries)) || st.FramesShipped != 3 || st.WorkersLost != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+// TestWorkerLossRequeue kills one worker mid-evaluation and asserts the
+// coordinator requeues its shards onto the survivor, the result stays
+// bit-identical, and no goroutines leak. (CI runs this under -race.)
+func TestWorkerLossRequeue(t *testing.T) {
+	opts := engine.Options{Seed: 7, ShardRows: 128} // 1000 rows -> 8 plan shards
+	src := `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`
+	ldb, lmodel := distDataset(t, "german")
+	q, err := hyperql.ParseWhatIf(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.EvaluateContext(context.Background(), ldb, lmodel, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	w1, w2 := newTestWorker(t), newTestWorker(t)
+	c, client := newTestCoordinator(t, w1, w2)
+	w2.killEval.Store(true) // w2 dies on its first eval dispatch
+
+	db, model := distDataset(t, "german")
+	res, err := c.EvaluateWhatIf(context.Background(), EvalSpec{
+		DB: db, Model: model, Frame: NewFrame(db, model), Query: src, Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g17(res.Value) != g17(want.Value) {
+		t.Fatalf("post-requeue value %s != local %s", g17(res.Value), g17(want.Value))
+	}
+	if res.RemoteWorkers != 1 {
+		t.Fatalf("RemoteWorkers %d, want 1 (the survivor)", res.RemoteWorkers)
+	}
+	st := c.Stats()
+	if st.WorkersLost != 1 || st.Requeues != 1 {
+		t.Fatalf("stats after loss: %+v (want 1 lost, 1 requeue)", st)
+	}
+	if st.WorkersAlive != 1 {
+		t.Fatalf("workers alive %d, want 1", st.WorkersAlive)
+	}
+	if w2.evals.Load() != 1 || w1.evals.Load() < 2 {
+		t.Fatalf("eval counts: w1=%d w2=%d (w2 must have died on its only dispatch)", w1.evals.Load(), w2.evals.Load())
+	}
+
+	// All workers gone mid-stream: the coordinator falls back to local
+	// evaluation and still produces the identical result.
+	w1.killEval.Store(true)
+	res2, err := c.EvaluateWhatIf(context.Background(), EvalSpec{
+		DB: db, Model: model, Frame: NewFrame(db, model), Query: src, Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g17(res2.Value) != g17(want.Value) {
+		t.Fatalf("local-fallback value %s != local %s", g17(res2.Value), g17(want.Value))
+	}
+	if c.Stats().LocalFallbacks != 1 {
+		t.Fatalf("local fallbacks %d, want 1", c.Stats().LocalFallbacks)
+	}
+
+	w1.ts.Close()
+	w2.ts.Close()
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// TestRemoteFitOverHTTP drives the engine's remote-fit hook through a real
+// worker: every shard-mergeable fit (cells + support) runs off-process and
+// the result matches the purely local evaluation bit for bit.
+func TestRemoteFitOverHTTP(t *testing.T) {
+	opts := engine.Options{Seed: 7, ShardRows: 256}
+	src := `USE German UPDATE(Savings) = 2 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`
+	ldb, lmodel := distDataset(t, "german")
+	q, err := hyperql.ParseWhatIf(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.EvaluateContext(context.Background(), ldb, lmodel, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1 := newTestWorker(t)
+	c, _ := newTestCoordinator(t, w1)
+	db, model := distDataset(t, "german")
+	ropts := opts
+	ropts.RemoteFit = c.Fitter(NewFrame(db, model))
+	got, err := engine.EvaluateContext(context.Background(), db, model, q, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g17(got.Value) != g17(want.Value) {
+		t.Fatalf("remote-fit value %s != local %s", g17(got.Value), g17(want.Value))
+	}
+	if st := c.Stats(); st.RemoteFits == 0 {
+		t.Fatalf("no remote fits recorded: %+v", st)
+	}
+}
+
+// TestHeartbeatLease exercises registration, lease expiry, and heartbeats
+// through the coordinator's HTTP surface.
+func TestHeartbeatLease(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{TTL: 60 * time.Millisecond})
+	cts := httptest.NewServer(c.Handler())
+	defer cts.Close()
+
+	post := func(path string, body string) int {
+		req, err := http.NewRequest(http.MethodPost, cts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body != "" {
+			req, _ = http.NewRequest(http.MethodPost, cts.URL+path, strings.NewReader(body))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(pathWorkers, `{"id":"wA","url":"http://127.0.0.1:1"}`); got != http.StatusOK {
+		t.Fatalf("register status %d", got)
+	}
+	if c.WorkersAlive() != 1 {
+		t.Fatal("worker not alive after register")
+	}
+	// Heartbeats keep the lease.
+	for i := 0; i < 3; i++ {
+		time.Sleep(30 * time.Millisecond)
+		if got := post(pathWorkers+"/wA/beat", ""); got != http.StatusOK {
+			t.Fatalf("beat status %d", got)
+		}
+	}
+	if c.WorkersAlive() != 1 {
+		t.Fatal("worker lease lapsed despite heartbeats")
+	}
+	// Lapse the lease: the worker drops out of the assignable set.
+	time.Sleep(100 * time.Millisecond)
+	if c.WorkersAlive() != 0 {
+		t.Fatal("worker still alive past its lease")
+	}
+	// A beat for an unknown id is 404 (the worker must re-register).
+	if got := post(pathWorkers+"/ghost/beat", ""); got != http.StatusNotFound {
+		t.Fatalf("ghost beat status %d, want 404", got)
+	}
+}
+
+// TestFrameRoundTrip proves the snapshot codec is bit-exact: every value of
+// every relation, the foreign keys, and the model survive the trip, and the
+// rebuilt database reproduces a golden evaluation exactly.
+func TestFrameRoundTrip(t *testing.T) {
+	db, model := distDataset(t, "toy")
+	id1, body, err := NewFrame(db, model).Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	db2, model2, err := snap.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Content addressing: the rebuilt database re-encodes to the same id.
+	id2, _, err := NewFrame(db2, model2).Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("frame id changed across a round trip: %.12s -> %.12s", id1, id2)
+	}
+	// Exact value fidelity, row order included.
+	for _, name := range db.Names() {
+		a, b := db.Relation(name), db2.Relation(name)
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: %d rows -> %d rows", name, a.Len(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			for j, v := range a.Row(i) {
+				w := b.Row(i)[j]
+				if v.Kind() != w.Kind() || !v.Equal(w) {
+					t.Fatalf("%s[%d][%d]: %v (%s) -> %v (%s)", name, i, j, v, v.Kind(), w, w.Kind())
+				}
+			}
+		}
+	}
+	// The rebuilt pair reproduces the pinned golden bit for bit.
+	q, err := hyperql.ParseWhatIf(`USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
+		AVG(T2.Rating) AS Rtng
+		FROM Product AS T1, Review AS T2
+		WHERE T1.PID = T2.PID
+		GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
+		WHEN Brand = 'Asus'
+		UPDATE(Price) = 1.1 * PRE(Price)
+		OUTPUT AVG(POST(Rtng))
+		FOR PRE(Category) = 'Laptop'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Evaluate(db2, model2, q, engine.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g17(res.Value); got != "2.6302810387072708" {
+		t.Fatalf("rebuilt-frame evaluation %s != golden", got)
+	}
+}
+
+func TestValueCodec(t *testing.T) {
+	vals := []relation.Value{
+		relation.Null,
+		relation.Bool(true), relation.Bool(false),
+		relation.Int(0), relation.Int(-42), relation.Int(1 << 62),
+		relation.Float(2.0), relation.Float(0.1), relation.Float(-1e-300), relation.Float(1.7976931348623157e308),
+		relation.String(""), relation.String("2"), relation.String("true"), relation.String("NULL"),
+		relation.String("héllo,\"world\"\n"),
+	}
+	for _, v := range vals {
+		got, err := decodeValue(encodeValue(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got.Kind() != v.Kind() || !got.Equal(v) {
+			t.Fatalf("%v (%s) round-tripped to %v (%s)", v, v.Kind(), got, got.Kind())
+		}
+	}
+}
+
+// TestDistSecret pins the shared-secret gate on both ends: registration
+// without the secret is rejected, worker compute endpoints reject
+// unauthenticated callers, and a matched pair works end to end.
+func TestDistSecret(t *testing.T) {
+	w := NewWorker(WorkerConfig{Secret: "s3cret"})
+	wts := httptest.NewServer(w.Handler())
+	defer wts.Close()
+
+	c := NewCoordinator(CoordinatorConfig{TTL: time.Minute, Secret: "s3cret"})
+	cts := httptest.NewServer(c.Handler())
+	defer cts.Close()
+
+	// Registration without (or with a wrong) secret: 401, registry empty.
+	for _, auth := range []string{"", "Bearer wrong"} {
+		req, err := http.NewRequest(http.MethodPost, cts.URL+pathWorkers,
+			strings.NewReader(`{"id":"evil","url":"http://127.0.0.1:1"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("register auth=%q: status %d, want 401", auth, resp.StatusCode)
+		}
+	}
+	if c.WorkersAlive() != 0 {
+		t.Fatal("unauthenticated registration reached the registry")
+	}
+
+	// Worker compute endpoints reject unauthenticated callers outright.
+	resp, err := http.Post(wts.URL+pathEval, "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated eval: status %d, want 401", resp.StatusCode)
+	}
+
+	// A matched secret pair distributes normally, bit-identical as ever.
+	c.Register("w1", wts.URL)
+	db, model := distDataset(t, "german")
+	opts := engine.Options{Seed: 7, ShardRows: 256}
+	res, err := c.EvaluateWhatIf(context.Background(), EvalSpec{
+		DB: db, Model: model, Frame: NewFrame(db, model),
+		Query: `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`, Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteWorkers != 1 {
+		t.Fatalf("secured pair did not distribute: %+v", res)
+	}
+}
+
+// TestFrameShipSingleFlight proves concurrent cold requests against one
+// worker upload the frame exactly once: the in-flight ship is shared, not
+// raced.
+func TestFrameShipSingleFlight(t *testing.T) {
+	tw := newTestWorker(t)
+	c, _ := newTestCoordinator(t, tw)
+	db, model := distDataset(t, "german")
+	frame := NewFrame(db, model)
+	fitter := c.Fitter(frame)
+	opts := engine.Options{Seed: 7, ShardRows: 256}
+
+	const conc = 8
+	var wg sync.WaitGroup
+	errs := make([]error, conc)
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct masks -> distinct fits, all racing on the cold frame.
+			_, errs[i] = fitter.SupportParts(context.Background(),
+				`USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`, opts, 4)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fit %d: %v", i, err)
+		}
+	}
+	if got := tw.puts.Load(); got != 1 {
+		t.Fatalf("frame shipped %d times under %d concurrent cold fits, want exactly 1", got, conc)
+	}
+}

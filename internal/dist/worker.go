@@ -1,0 +1,256 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"sync"
+
+	"hyper/internal/causal"
+	"hyper/internal/engine"
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+)
+
+// WorkerConfig tunes a worker; the zero value is usable.
+type WorkerConfig struct {
+	// MaxFrames bounds the frame store (LRU eviction). Default 8.
+	MaxFrames int
+	// MaxBodyBytes caps frame uploads. Default 256MB.
+	MaxBodyBytes int64
+	// CacheEntries bounds each frame's engine artifact cache. Default 256.
+	CacheEntries int
+	// Secret, when non-empty, requires every compute request (frames, eval,
+	// fit) to present the shared dist secret — set it when untrusted peers
+	// can reach the worker's listener, mirroring the coordinator's Secret.
+	Secret string
+	// Logf, when non-nil, receives one line per request.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.MaxFrames <= 0 {
+		c.MaxFrames = 8
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Worker serves the shard-transport compute endpoints: it stores shipped
+// frames (content-addressed, LRU-bounded) and evaluates per-shard what-if
+// partials and shard-mergeable fits against them. A worker is stateless
+// beyond its frame cache: every computation re-derives the deterministic
+// evaluation state from frame + query + options, so workers can join, die,
+// and rejoin freely without affecting any result.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu     sync.Mutex
+	frames map[string]*workerFrame
+	order  []string // LRU: least recently used first
+}
+
+// workerFrame is one decoded frame plus its engine cache (views, blocks,
+// trained estimators are shared across the queries hitting this frame).
+type workerFrame struct {
+	db    *relation.Database
+	model *causal.Model
+	cache *engine.Cache
+}
+
+// NewWorker returns a worker with an empty frame store.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg.withDefaults(), frames: make(map[string]*workerFrame)}
+}
+
+// Handler returns the worker's HTTP surface.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	guarded := func(fn http.HandlerFunc) http.HandlerFunc {
+		return func(rw http.ResponseWriter, r *http.Request) {
+			if !checkSecret(rw, r, w.cfg.Secret) {
+				return
+			}
+			fn(rw, r)
+		}
+	}
+	mux.HandleFunc("GET "+pathPing, w.handlePing)
+	mux.HandleFunc("PUT "+pathFrames+"{id}", guarded(w.handlePutFrame))
+	mux.HandleFunc("POST "+pathEval, guarded(w.handleEval))
+	mux.HandleFunc("POST "+pathFit, guarded(w.handleFit))
+	return mux
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// FrameIDs returns the stored frame ids, least recently used first.
+func (w *Worker) FrameIDs() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.order...)
+}
+
+// frame fetches a stored frame, marking it most recently used.
+func (w *Worker) frame(id string) (*workerFrame, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.frames[id]
+	if !ok {
+		return nil, false
+	}
+	for i, o := range w.order {
+		if o == id {
+			w.order = append(append(w.order[:i:i], w.order[i+1:]...), id)
+			break
+		}
+	}
+	return f, true
+}
+
+// store inserts a frame, evicting the least recently used past the bound.
+func (w *Worker) store(id string, f *workerFrame) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.frames[id]; dup {
+		return // content-addressed: an identical re-ship changes nothing
+	}
+	w.frames[id] = f
+	w.order = append(w.order, id)
+	for len(w.frames) > w.cfg.MaxFrames {
+		evict := w.order[0]
+		w.order = w.order[1:]
+		delete(w.frames, evict)
+		w.logf("dist worker: evicted frame %.12s", evict)
+	}
+}
+
+func writeJSON(rw http.ResponseWriter, status int, payload any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	enc := json.NewEncoder(rw)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(payload)
+}
+
+func writeError(rw http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(rw, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+func (w *Worker) handlePing(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, http.StatusOK, map[string]any{"ok": true, "frames": w.FrameIDs()})
+}
+
+func (w *Worker) handlePutFrame(rw http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(io.LimitReader(r.Body, w.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "", "reading frame body: %v", err)
+		return
+	}
+	if int64(len(body)) > w.cfg.MaxBodyBytes {
+		writeError(rw, http.StatusRequestEntityTooLarge, "", "frame exceeds %d bytes", w.cfg.MaxBodyBytes)
+		return
+	}
+	sum := sha256.Sum256(body)
+	if got := hex.EncodeToString(sum[:]); got != id {
+		// The id is the integrity check: a frame that does not hash to its
+		// name was corrupted in transit (or the coordinator is buggy).
+		writeError(rw, http.StatusBadRequest, "", "frame body hashes to %.12s, not %.12s", got, id)
+		return
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		writeError(rw, http.StatusBadRequest, "", "decoding frame: %v", err)
+		return
+	}
+	db, model, err := snap.Build()
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "", "building frame: %v", err)
+		return
+	}
+	w.store(id, &workerFrame{db: db, model: model, cache: engine.NewCacheBounded(w.cfg.CacheEntries)})
+	w.logf("dist worker: stored frame %.12s (%d rows)", id, db.TotalRows())
+	writeJSON(rw, http.StatusOK, map[string]any{"ok": true})
+}
+
+// evalFrame resolves the frame of a compute request, mapping a miss to the
+// frame_missing protocol error.
+func (w *Worker) evalFrame(rw http.ResponseWriter, id string) (*workerFrame, bool) {
+	f, ok := w.frame(id)
+	if !ok {
+		writeError(rw, http.StatusNotFound, codeFrameMissing, "frame %.12s not on this worker", id)
+		return nil, false
+	}
+	return f, true
+}
+
+func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
+	var req EvalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(rw, http.StatusBadRequest, "", "decoding eval request: %v", err)
+		return
+	}
+	f, ok := w.evalFrame(rw, req.Frame)
+	if !ok {
+		return
+	}
+	q, err := hyperql.ParseWhatIf(req.Query)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "", "%v", err)
+		return
+	}
+	opts := req.Options.EngineOptions()
+	opts.Cache = f.cache
+	res, err := engine.EvaluatePartialContext(r.Context(), f.db, f.model, q, opts, req.Shards)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "", "%v", err)
+		return
+	}
+	w.logf("dist worker: eval frame=%.12s shards=%v plan=%d", req.Frame, req.Shards, res.Meta.Plan)
+	writeJSON(rw, http.StatusOK, res)
+}
+
+func (w *Worker) handleFit(rw http.ResponseWriter, r *http.Request) {
+	var req FitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(rw, http.StatusBadRequest, "", "decoding fit request: %v", err)
+		return
+	}
+	f, ok := w.evalFrame(rw, req.Frame)
+	if !ok {
+		return
+	}
+	q, err := hyperql.ParseWhatIf(req.Query)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "", "%v", err)
+		return
+	}
+	mask, err := strconv.ParseUint(req.Mask, 10, 64)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "", "bad mask %q: %v", req.Mask, err)
+		return
+	}
+	opts := req.Options.EngineOptions()
+	opts.Cache = f.cache
+	part, err := engine.FitEventPartialContext(r.Context(), f.db, f.model, q, opts, mask, req.Weighted, req.Cells, req.Support, req.Shards)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "", "%v", err)
+		return
+	}
+	w.logf("dist worker: fit frame=%.12s mask=%s shards=%v", req.Frame, req.Mask, req.Shards)
+	writeJSON(rw, http.StatusOK, FitResponse{FitPlan: part.FitPlan, Parts: part.Parts, Support: part.Support})
+}

@@ -6,6 +6,7 @@ package engine
 // encoding cost are visible in `go test -bench`.
 
 import (
+	"context"
 	"testing"
 
 	"hyper/internal/dataset"
@@ -61,9 +62,9 @@ func BenchmarkEstimatorFit(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := newEstimatorSet(rel, featCols, 1, opts)
+		s := newEstimatorSet(context.Background(), rel, featCols, 1, "bench", opts)
 		ci := rel.Schema().MustIndex("Credit")
-		m, err := s.model("bench", 1, func(r int) (float64, error) {
+		m, err := s.model("bench", fitExec{ctx: context.Background(), workers: 1}, func(r int) (float64, error) {
 			if rel.Row(r)[ci].AsInt() == 1 {
 				return 1, nil
 			}

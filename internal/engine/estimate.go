@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"fmt"
 	"hash/fnv"
 	"sync"
 
@@ -41,8 +43,11 @@ type estimatorSet struct {
 // newEstimatorSet prepares the shared columnar frame. featCols is the
 // concatenation of update attributes, the backdoor set, and any summary
 // columns; sampling (HypeR-sampled) draws SampleSize rows without
-// replacement.
-func newEstimatorSet(view *relation.Relation, featCols []string, keepFirst int, opts Options) *estimatorSet {
+// replacement. query is the canonical query text, forwarded to a remote
+// fitter (opts.RemoteFit) so the support index can be assembled from
+// per-shard parts computed off-process; any remote failure falls back to
+// the local sharded build, which is bit-identical.
+func newEstimatorSet(ctx context.Context, view *relation.Relation, featCols []string, keepFirst int, query string, opts Options) *estimatorSet {
 	s := &estimatorSet{
 		view:      view,
 		featCols:  append([]string(nil), featCols...),
@@ -65,7 +70,16 @@ func newEstimatorSet(view *relation.Relation, featCols []string, keepFirst int, 
 	s.kind = s.chooseKind()
 	s.fitPlan = shard.Rows(len(s.trainRows), opts.ShardRows)
 	if s.kind == "freq" {
-		s.keys = ml.NewSupportSetSharded(s.frame, s.trainRows, s.fitPlan, opts.Shards)
+		if opts.RemoteFit != nil {
+			if parts, err := opts.RemoteFit.SupportParts(ctx, query, opts, s.fitPlan.Shards()); err == nil && len(parts) == s.fitPlan.Shards() {
+				if keys, err := ml.MergeSupportWires(s.frame, parts); err == nil {
+					s.keys = keys
+				}
+			}
+		}
+		if s.keys == nil {
+			s.keys = ml.NewSupportSetSharded(s.frame, s.trainRows, s.fitPlan, opts.Shards)
+		}
 	}
 	return s
 }
@@ -112,21 +126,40 @@ func (s *estimatorSet) cached(key string) (ml.Regressor, bool) {
 	return m, ok
 }
 
+// fitExec is the per-call execution context of an estimator training: the
+// evaluation's cancellation, worker fan-out, and (when the caller knows the
+// event-subset mask) the remote fitter that can compute the per-shard fit
+// off-process. It is passed per call — never stored — because a cached
+// estimator set outlives the request that built it, and execution knobs
+// must follow the current request, not the one that warmed the cache
+// (results cannot differ either way; the fit plan is fixed).
+type fitExec struct {
+	ctx      context.Context
+	workers  int
+	fitter   RemoteFitter // nil = fit locally
+	query    string       // canonical query text for the remote fitter
+	opts     Options      // evaluation options, forwarded to the fitter
+	mask     uint64       // event-subset bitmask identifying the model
+	maskOK   bool         // mask is meaningful (subset-enumerable path)
+	weighted bool
+}
+
 // model returns (training on demand) the regressor for the labeled target.
 // key must uniquely identify the labeling function. Safe for concurrent use;
 // forest seeds derive from the key so results are independent of training
-// order. workers is the executing evaluation's fan-out for the per-shard
-// fit — passed per call because a cached estimator set outlives the request
-// that built it, and the execution knob must follow the current request,
-// not the one that warmed the cache (results cannot differ either way; the
-// fit plan is fixed). Training is single-flight: when shard workers (or
-// how-to candidate scorers) race on a cold key, one goroutine trains while
-// the rest wait for its result — without this, a worker fan-out of N
-// multiplies every cold training N-fold, the thundering herd that erased
-// the sharded path's win. A labeling error aborts the training without
-// caching anything: a regressor fitted on partially failed labels must
-// never be served to waiters or later queries.
-func (s *estimatorSet) model(key string, workers int, label func(viewRow int) (float64, error)) (ml.Regressor, error) {
+// order. Training is single-flight: when shard workers (or how-to candidate
+// scorers) race on a cold key, one goroutine trains while the rest wait for
+// its result — without this, a worker fan-out of N multiplies every cold
+// training N-fold, the thundering herd that erased the sharded path's win.
+// A labeling error aborts the training without caching anything: a
+// regressor fitted on partially failed labels must never be served to
+// waiters or later queries.
+//
+// When ex carries a remote fitter and the estimator is shard-mergeable, the
+// per-shard fit is dispatched off-process and the wire parts merge in fit-
+// plan order; any remote failure falls back to the local fit, which is
+// bit-identical by construction — distribution can move work, never results.
+func (s *estimatorSet) model(key string, ex fitExec, label func(viewRow int) (float64, error)) (ml.Regressor, error) {
 	s.mu.Lock()
 	for {
 		if m, ok := s.cache[key]; ok {
@@ -161,29 +194,40 @@ func (s *estimatorSet) model(key string, workers int, label func(viewRow int) (f
 		}
 	}()
 
-	y := make([]float64, len(s.trainRows))
-	for i, r := range s.trainRows {
-		v, err := label(r)
-		if err != nil {
-			return nil, err
-		}
-		y[i] = v
-	}
 	var m ml.Regressor
-	switch s.kind {
-	case "freq":
-		m = ml.FitFreqFrameSharded(s.frame, s.trainRows, y, s.keepFirst, s.fitPlan, workers)
-	case "linear":
-		m = ml.FitLinearFrame(s.frame, s.trainRows, y, 1e-6)
-	default:
-		p := s.opts.Forest
-		h := fnv.New64a()
-		h.Write([]byte(key))
-		p.Seed = s.opts.Seed ^ int64(h.Sum64())
-		// Forest over linear residuals: the forest captures nonlinearity
-		// in-distribution while the linear trend extrapolates at the edges
-		// of the observed support, where hypothetical updates often land.
-		m = ml.FitBoostedFrame(s.frame, s.trainRows, y, p)
+	if s.kind == "freq" && ex.fitter != nil && ex.maskOK {
+		if rm, err := s.remoteFit(ex); err == nil {
+			m = rm
+		}
+		// Errors fall through to the local fit below: per-shard fits merged
+		// in plan order are bit-identical to the local fit, so losing the
+		// workers mid-training can never change a result — only where the
+		// work ran.
+	}
+	if m == nil {
+		y := make([]float64, len(s.trainRows))
+		for i, r := range s.trainRows {
+			v, err := label(r)
+			if err != nil {
+				return nil, err
+			}
+			y[i] = v
+		}
+		switch s.kind {
+		case "freq":
+			m = ml.FitFreqFrameSharded(s.frame, s.trainRows, y, s.keepFirst, s.fitPlan, ex.workers)
+		case "linear":
+			m = ml.FitLinearFrame(s.frame, s.trainRows, y, 1e-6)
+		default:
+			p := s.opts.Forest
+			h := fnv.New64a()
+			h.Write([]byte(key))
+			p.Seed = s.opts.Seed ^ int64(h.Sum64())
+			// Forest over linear residuals: the forest captures nonlinearity
+			// in-distribution while the linear trend extrapolates at the edges
+			// of the observed support, where hypothetical updates often land.
+			m = ml.FitBoostedFrame(s.frame, s.trainRows, y, p)
+		}
 	}
 	s.mu.Lock()
 	s.cache[key] = m
@@ -191,6 +235,21 @@ func (s *estimatorSet) model(key string, workers int, label func(viewRow int) (f
 	committed = true
 	close(done)
 	return m, nil
+}
+
+// remoteFit asks the remote fitter for one wire part per fit-plan shard and
+// merges them in plan order. The merged estimator equals the local
+// FitFreqFrameSharded result bit for bit (same cells, same fold order), so
+// callers may use remote and local fits interchangeably.
+func (s *estimatorSet) remoteFit(ex fitExec) (ml.Regressor, error) {
+	parts, err := ex.fitter.FitFreqParts(ex.ctx, ex.query, ex.opts, ex.mask, ex.weighted, s.fitPlan.Shards())
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != s.fitPlan.Shards() {
+		return nil, fmt.Errorf("engine: remote fit returned %d parts, fit plan has %d shards", len(parts), s.fitPlan.Shards())
+	}
+	return ml.MergeFreqWires(s.frame, s.keepFirst, parts)
 }
 
 // shardedFit reports whether this set's estimator kind fits per shard with

@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"hyper/internal/causal"
+	"hyper/internal/hyperql"
+	"hyper/internal/ml"
+	"hyper/internal/relation"
+	"hyper/internal/shard"
+)
+
+// Partial evaluation: the engine's distributed-execution surface. A what-if
+// evaluation decomposes over the canonical shard plan into block-window
+// partials that are pure functions of (data, query, semantic options, shard
+// id) — independent of which process computes them. A coordinator can
+// therefore hand disjoint shard subsets to remote workers, collect their
+// PartialResults, and MergePartials them in plan order to reconstruct the
+// exact Result a single process would produce. The same property holds for
+// shard-mergeable estimator fits through FitEventPartialContext, whose
+// per-shard freq-cell maps merge via internal/ml's wire encoding.
+
+// ShardPartial is the serializable block-window partial of one plan shard:
+// the per-block (sum, count) accumulators over the window of block ids the
+// shard's rows touch. An empty shard has nil Sum/Cnt.
+type ShardPartial struct {
+	Shard    int       `json:"shard"`
+	MinBlock int       `json:"min_block,omitempty"`
+	Sum      []float64 `json:"sum,omitempty"`
+	Cnt      []float64 `json:"cnt,omitempty"`
+}
+
+// PartialMeta is the evaluation metadata a partial evaluation derives
+// alongside its partials. Every field except TrainedModels is a
+// deterministic function of (data, query, semantic options); a coordinator
+// verifies that all workers agree on those fields before merging, turning
+// any nondeterminism into a loud error instead of a silently wrong merge.
+// TrainedModels is execution-dependent (a worker trains only the models its
+// shards' tuples demand) and is excluded from the consistency check.
+type PartialMeta struct {
+	Plan          int      `json:"plan"`
+	Blocks        int      `json:"blocks"`
+	Agg           string   `json:"agg"` // "count" | "sum" | "avg"
+	Mode          Mode     `json:"mode"`
+	Backdoor      []string `json:"backdoor,omitempty"`
+	EstimatorUsed string   `json:"estimator"`
+	ShardedFit    bool     `json:"sharded_fit,omitempty"`
+	Disjuncts     int      `json:"disjuncts"`
+	ViewRows      int      `json:"view_rows"`
+	UpdatedRows   int      `json:"updated_rows"`
+	SampledRows   int      `json:"sampled_rows"`
+	TrainedModels int      `json:"trained_models"`
+}
+
+// PartialResult is what a (possibly remote) partial evaluation returns: the
+// shared metadata plus one partial per evaluated shard.
+type PartialResult struct {
+	Meta     PartialMeta    `json:"meta"`
+	Partials []ShardPartial `json:"partials"`
+}
+
+// Consistent reports whether two metas agree on every deterministic field —
+// the cross-worker determinism check. TrainedModels is execution-dependent
+// and ignored.
+func (m PartialMeta) Consistent(o PartialMeta) bool {
+	if m.Plan != o.Plan || m.Blocks != o.Blocks || m.Agg != o.Agg || m.Mode != o.Mode ||
+		m.EstimatorUsed != o.EstimatorUsed || m.ShardedFit != o.ShardedFit ||
+		m.Disjuncts != o.Disjuncts || m.ViewRows != o.ViewRows ||
+		m.UpdatedRows != o.UpdatedRows || m.SampledRows != o.SampledRows ||
+		len(m.Backdoor) != len(o.Backdoor) {
+		return false
+	}
+	for i := range m.Backdoor {
+		if m.Backdoor[i] != o.Backdoor[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func aggName(a hyperql.AggFunc) string {
+	switch a {
+	case hyperql.AggCount:
+		return "count"
+	case hyperql.AggSum:
+		return "sum"
+	case hyperql.AggAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("agg(%s)", string(a))
+	}
+}
+
+func aggFromName(s string) (hyperql.AggFunc, error) {
+	switch s {
+	case "count":
+		return hyperql.AggCount, nil
+	case "sum":
+		return hyperql.AggSum, nil
+	case "avg":
+		return hyperql.AggAvg, nil
+	default:
+		return "", fmt.Errorf("engine: unknown aggregate %q (want count|sum|avg)", s)
+	}
+}
+
+func (p *evalPrep) meta() PartialMeta {
+	return PartialMeta{
+		Plan:          p.plan.Shards(),
+		Blocks:        p.nBlocks,
+		Agg:           aggName(p.agg),
+		Mode:          p.res.Mode,
+		Backdoor:      p.res.Backdoor,
+		EstimatorUsed: p.res.EstimatorUsed,
+		ShardedFit:    p.res.ShardedFit,
+		Disjuncts:     p.res.Disjuncts,
+		ViewRows:      p.res.ViewRows,
+		UpdatedRows:   p.res.UpdatedRows,
+		SampledRows:   p.res.SampledRows,
+		TrainedModels: p.ev.est.trainedModels(),
+	}
+}
+
+// PlanContext resolves the canonical shard plan of a what-if query without
+// evaluating it: it materializes (or fetches from cache) the relevant view
+// and derives the plan from the view's row count and the ShardRows
+// granularity. A coordinator calls this to know how many shards it is
+// assigning before any worker does real work.
+func PlanContext(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opts Options) (planShards, viewRows int, err error) {
+	o := opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	v, _, _, err := resolveView(db, q, o)
+	if err != nil {
+		return 0, 0, err
+	}
+	plan := shard.Rows(v.rel.Len(), o.ShardRows)
+	return plan.Shards(), v.rel.Len(), nil
+}
+
+// EvaluatePartialContext runs the full evaluation pipeline but evaluates
+// tuples only for the listed shards of the canonical plan, returning their
+// serializable partials plus the evaluation metadata. shards must be
+// distinct and within the plan. The partials (and every Meta field except
+// TrainedModels) are bit-identical to what any other process evaluating the
+// same (data, query, semantic options) would produce for the same shards.
+func EvaluatePartialContext(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opts Options, shards []int) (*PartialResult, error) {
+	if opts.DryRun {
+		return nil, fmt.Errorf("engine: partial evaluation has no dry-run form")
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("engine: no shards requested")
+	}
+	p, err := prepareEvaluation(ctx, db, model, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := p.evalShards(ctx, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &PartialResult{Meta: p.meta(), Partials: parts}, nil
+}
+
+// MergePartials reduces a complete set of shard partials (every shard of the
+// plan exactly once, in any arrival order) into the final Result, folding
+// strictly in plan order so the reduction tree — and therefore every bit of
+// the result — matches a single-process evaluation.
+func MergePartials(meta PartialMeta, parts []ShardPartial) (*Result, error) {
+	agg, err := aggFromName(meta.Agg)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Plan <= 0 {
+		return nil, fmt.Errorf("engine: merge: plan has %d shards", meta.Plan)
+	}
+	if meta.Blocks <= 0 {
+		return nil, fmt.Errorf("engine: merge: meta has %d blocks", meta.Blocks)
+	}
+	if len(parts) != meta.Plan {
+		return nil, fmt.Errorf("engine: merge: have %d partials, plan has %d shards", len(parts), meta.Plan)
+	}
+	ordered := make([]ShardPartial, meta.Plan)
+	seen := make([]bool, meta.Plan)
+	for _, p := range parts {
+		if p.Shard < 0 || p.Shard >= meta.Plan {
+			return nil, fmt.Errorf("engine: merge: shard %d out of plan range [0,%d)", p.Shard, meta.Plan)
+		}
+		if seen[p.Shard] {
+			return nil, fmt.Errorf("engine: merge: shard %d delivered twice", p.Shard)
+		}
+		if len(p.Sum) != len(p.Cnt) {
+			return nil, fmt.Errorf("engine: merge: shard %d has %d sums but %d counts", p.Shard, len(p.Sum), len(p.Cnt))
+		}
+		if p.MinBlock < 0 || p.MinBlock+len(p.Sum) > meta.Blocks {
+			return nil, fmt.Errorf("engine: merge: shard %d block window [%d,%d) outside [0,%d)",
+				p.Shard, p.MinBlock, p.MinBlock+len(p.Sum), meta.Blocks)
+		}
+		seen[p.Shard] = true
+		ordered[p.Shard] = p
+	}
+	res := &Result{
+		Mode:          meta.Mode,
+		Backdoor:      meta.Backdoor,
+		Blocks:        meta.Blocks,
+		Disjuncts:     meta.Disjuncts,
+		EstimatorUsed: meta.EstimatorUsed,
+		TrainedModels: meta.TrainedModels,
+		SampledRows:   meta.SampledRows,
+		ViewRows:      meta.ViewRows,
+		UpdatedRows:   meta.UpdatedRows,
+		ShardPlan:     meta.Plan,
+		ShardedFit:    meta.ShardedFit,
+	}
+	foldPartials(res, ordered, meta.Blocks, agg)
+	return res, nil
+}
+
+// EventFitPartial is the result of a per-shard shard-mergeable fit: one
+// wire-encoded partial index per requested fit-plan shard (and, when asked,
+// the matching support-set partials).
+type EventFitPartial struct {
+	// FitPlan is the canonical fit plan's shard count (over the training
+	// rows), which both ends must agree on.
+	FitPlan   int               `json:"fit_plan"`
+	Estimator string            `json:"estimator"`
+	Parts     []*ml.FreqWire    `json:"parts,omitempty"`
+	Support   []*ml.SupportWire `json:"support,omitempty"`
+}
+
+// FitEventPartialContext fits the frequency estimator of the query's event
+// subset `mask` (a bitmask over the distinct post events, conjoined with the
+// OUTPUT condition; Y-weighted when weighted) over the listed shards of the
+// canonical fit plan, returning one wire part per listed shard in the order
+// listed. wantCells/wantSupport select which indexes to build. Because the
+// event list, the fit plan, the training rows and the labeling are all
+// deterministic in (data, query, semantic options), a coordinator that
+// merges the parts of every fit-plan shard in plan order reconstructs
+// exactly the estimator its own local fit would have produced.
+func FitEventPartialContext(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opts Options, mask uint64, weighted bool, wantCells, wantSupport bool, shards []int) (*EventFitPartial, error) {
+	if opts.DryRun {
+		return nil, fmt.Errorf("engine: partial fit has no dry-run form")
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("engine: no fit shards requested")
+	}
+	p, err := prepareEvaluation(ctx, db, model, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	est := p.ev.est
+	if !ml.ShardMergeable(est.kind) {
+		return nil, fmt.Errorf("engine: estimator %q is not shard-mergeable", est.kind)
+	}
+	if len(p.ev.events) > 64 {
+		return nil, fmt.Errorf("engine: %d distinct post events exceed the 64-bit subset masks", len(p.ev.events))
+	}
+	if len(p.ev.events) < 64 && mask>>uint(len(p.ev.events)) != 0 {
+		return nil, fmt.Errorf("engine: event mask %#x references events beyond the query's %d", mask, len(p.ev.events))
+	}
+	if weighted && p.ev.yIdx < 0 {
+		return nil, fmt.Errorf("engine: weighted fit requested but the query has no Y column")
+	}
+	fitPlan := est.fitPlan
+	out := &EventFitPartial{FitPlan: fitPlan.Shards(), Estimator: est.kind}
+	seen := make([]bool, fitPlan.Shards())
+	for _, s := range shards {
+		if s < 0 || s >= fitPlan.Shards() {
+			return nil, fmt.Errorf("engine: fit shard %d out of plan range [0,%d)", s, fitPlan.Shards())
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("engine: fit shard %d requested twice", s)
+		}
+		seen[s] = true
+	}
+
+	lits := p.ev.maskLits(mask)
+	all := lits
+	if p.ev.outCond != nil {
+		all = append(append([]hyperql.Expr(nil), lits...), p.ev.outCond)
+	}
+	label := p.ev.labelFor(all, weighted)
+	for _, s := range shards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lo, hi := fitPlan.Bounds(s)
+		rows := est.trainRows[lo:hi]
+		if wantCells {
+			y := make([]float64, len(rows))
+			for i, r := range rows {
+				v, err := label(r)
+				if err != nil {
+					return nil, fmt.Errorf("engine: labeling post event: %w", err)
+				}
+				y[i] = v
+			}
+			out.Parts = append(out.Parts, ml.EncodeFreqWire(ml.FitFreqFrame(est.frame, rows, y, est.keepFirst)))
+		}
+		if wantSupport {
+			out.Support = append(out.Support, ml.EncodeSupportWire(ml.NewSupportSet(est.frame, rows)))
+		}
+	}
+	return out, nil
+}

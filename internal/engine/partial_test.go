@@ -1,0 +1,301 @@
+package engine
+
+// Partial-evaluation goldens: the distributed-execution surface must be
+// bit-identical to the in-process path. Every test here evaluates shard
+// subsets in freshly constructed "processes" (independent dataset builds,
+// separate caches — nothing shared with the reference run) and checks the
+// merged result against a plain EvaluateContext to the last bit.
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"hyper/internal/causal"
+	"hyper/internal/dataset"
+	"hyper/internal/hyperql"
+	"hyper/internal/ml"
+	"hyper/internal/relation"
+)
+
+func partialDataset(t testing.TB, name string) (*relation.Database, *causal.Model) {
+	t.Helper()
+	switch name {
+	case "toy":
+		return dataset.Toy()
+	case "german":
+		g := dataset.GermanSyn(1000, 7)
+		return g.DB, g.Model
+	default:
+		t.Fatalf("unknown dataset %q", name)
+		return nil, nil
+	}
+}
+
+func g17(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+
+// TestPartialMergeParity splits the plan across N simulated worker
+// processes, each with its own dataset build, and merges the partials; the
+// result must match the single-process evaluation bit for bit, on toy and
+// german, across shard granularities and split widths.
+func TestPartialMergeParity(t *testing.T) {
+	cases := []struct {
+		name, ds, query string
+		opts            Options
+	}{
+		{"toy-avg", "toy", toyUse + `
+			WHEN Brand = 'Asus'
+			UPDATE(Price) = 1.1 * PRE(Price)
+			OUTPUT AVG(POST(Rtng))
+			FOR PRE(Category) = 'Laptop'`, Options{Seed: 7}},
+		{"german-count", "german", `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`, Options{Seed: 7, ShardRows: 128}},
+		{"german-for", "german", `USE German UPDATE(Savings) = 2 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`, Options{Seed: 7, ShardRows: 256}},
+		{"german-avg-sampled", "german", `USE German UPDATE(Housing) = 1 OUTPUT AVG(POST(Credit))`, Options{Seed: 7, SampleSize: 500, ShardRows: 200}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q, err := hyperql.ParseWhatIf(c.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, model := partialDataset(t, c.ds)
+			want, err := EvaluateContext(context.Background(), db, model, q, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 3} {
+				planShards, viewRows, err := PlanContext(context.Background(), db, model, q, c.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if viewRows != want.ViewRows {
+					t.Fatalf("PlanContext view rows %d != %d", viewRows, want.ViewRows)
+				}
+				if workers > planShards {
+					continue
+				}
+				// Contiguous split of the plan across `workers` processes.
+				var parts []ShardPartial
+				var meta PartialMeta
+				for w := 0; w < workers; w++ {
+					lo := w * planShards / workers
+					hi := (w + 1) * planShards / workers
+					if lo == hi {
+						continue
+					}
+					ids := make([]int, 0, hi-lo)
+					for s := lo; s < hi; s++ {
+						ids = append(ids, s)
+					}
+					// A fresh process: its own dataset build and cache.
+					wdb, wmodel := partialDataset(t, c.ds)
+					wq, err := hyperql.ParseWhatIf(c.query)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wopts := c.opts
+					wopts.Cache = NewCache()
+					pr, err := EvaluatePartialContext(context.Background(), wdb, wmodel, wq, wopts, ids)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if w == 0 {
+						meta = pr.Meta
+					} else if !meta.Consistent(pr.Meta) {
+						t.Fatalf("worker %d meta %+v inconsistent with %+v", w, pr.Meta, meta)
+					}
+					parts = append(parts, pr.Partials...)
+				}
+				got, err := MergePartials(meta, parts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g17(got.Value) != g17(want.Value) || g17(got.Sum) != g17(want.Sum) || g17(got.Count) != g17(want.Count) {
+					t.Fatalf("workers=%d: merged value/sum/count %s/%s/%s != local %s/%s/%s",
+						workers, g17(got.Value), g17(got.Sum), g17(got.Count),
+						g17(want.Value), g17(want.Sum), g17(want.Count))
+				}
+				if got.EstimatorUsed != want.EstimatorUsed || got.Blocks != want.Blocks ||
+					got.Disjuncts != want.Disjuncts || got.UpdatedRows != want.UpdatedRows ||
+					got.ShardPlan != want.ShardPlan {
+					t.Fatalf("workers=%d: merged metadata diverges: %+v vs %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMergePartialsValidation(t *testing.T) {
+	meta := PartialMeta{Plan: 2, Blocks: 3, Agg: "count"}
+	ok := []ShardPartial{
+		{Shard: 0, MinBlock: 0, Sum: []float64{1}, Cnt: []float64{1}},
+		{Shard: 1, MinBlock: 2, Sum: []float64{2}, Cnt: []float64{2}},
+	}
+	if res, err := MergePartials(meta, ok); err != nil || res.Value != 3 {
+		t.Fatalf("valid merge failed: %v %+v", err, res)
+	}
+	bad := []struct {
+		name  string
+		parts []ShardPartial
+	}{
+		{"missing", ok[:1]},
+		{"dup", []ShardPartial{ok[0], ok[0]}},
+		{"range", []ShardPartial{ok[0], {Shard: 5, Sum: []float64{1}, Cnt: []float64{1}}}},
+		{"window", []ShardPartial{ok[0], {Shard: 1, MinBlock: 2, Sum: []float64{1, 1}, Cnt: []float64{1, 1}}}},
+		{"arity", []ShardPartial{ok[0], {Shard: 1, Sum: []float64{1, 2}, Cnt: []float64{1}}}},
+	}
+	for _, b := range bad {
+		if _, err := MergePartials(meta, b.parts); err == nil {
+			t.Errorf("%s: merge accepted invalid partials", b.name)
+		}
+	}
+	if _, err := MergePartials(PartialMeta{Plan: 2, Blocks: 3, Agg: "median"}, ok); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+}
+
+// replicaFitter implements RemoteFitter by preparing the same evaluation in
+// an independent "process" (fresh dataset build, fresh cache) and fitting
+// the requested shards there — the engine-level contract a dist worker
+// fulfils over HTTP.
+type replicaFitter struct {
+	t     *testing.T
+	ds    string
+	calls int
+}
+
+func (f *replicaFitter) parts(ctx context.Context, query string, o Options, mask uint64, weighted, cells, support bool, n int) (*EventFitPartial, error) {
+	f.calls++
+	db, model := partialDataset(f.t, f.ds)
+	q, err := hyperql.ParseWhatIf(query)
+	if err != nil {
+		return nil, err
+	}
+	o.Cache = NewCache()
+	o.RemoteFit = nil // the replica is a leaf
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return FitEventPartialContext(ctx, db, model, q, o, mask, weighted, cells, support, ids)
+}
+
+func (f *replicaFitter) FitFreqParts(ctx context.Context, query string, o Options, mask uint64, weighted bool, fitShards int) ([]*ml.FreqWire, error) {
+	p, err := f.parts(ctx, query, o, mask, weighted, true, false, fitShards)
+	if err != nil {
+		return nil, err
+	}
+	return p.Parts, nil
+}
+
+func (f *replicaFitter) SupportParts(ctx context.Context, query string, o Options, fitShards int) ([]*ml.SupportWire, error) {
+	p, err := f.parts(ctx, query, o, 0, false, false, true, fitShards)
+	if err != nil {
+		return nil, err
+	}
+	return p.Support, nil
+}
+
+// TestRemoteFitParity runs the freq-estimator queries with every fit
+// delegated to an independent replica process and checks bit-identity with
+// the purely local run — including the query with a FOR clause, whose
+// event-subset masks must mean the same thing on both ends.
+func TestRemoteFitParity(t *testing.T) {
+	queries := []string{
+		`USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`,
+		`USE German UPDATE(Savings) = 2 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`,
+		`USE German UPDATE(Housing) = 1 OUTPUT AVG(POST(Credit))`,
+	}
+	for _, src := range queries {
+		q, err := hyperql.ParseWhatIf(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Seed: 7, ShardRows: 256}
+		db, model := partialDataset(t, "german")
+		want, err := EvaluateContext(context.Background(), db, model, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitter := &replicaFitter{t: t, ds: "german"}
+		ropts := opts
+		ropts.RemoteFit = fitter
+		rdb, rmodel := partialDataset(t, "german")
+		got, err := EvaluateContext(context.Background(), rdb, rmodel, q, ropts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fitter.calls == 0 {
+			t.Fatalf("%s: remote fitter was never consulted", src)
+		}
+		if g17(got.Value) != g17(want.Value) || g17(got.Sum) != g17(want.Sum) || g17(got.Count) != g17(want.Count) {
+			t.Fatalf("%s: remote-fit value/sum/count %s/%s/%s != local %s/%s/%s",
+				src, g17(got.Value), g17(got.Sum), g17(got.Count),
+				g17(want.Value), g17(want.Sum), g17(want.Count))
+		}
+		if got.EstimatorUsed != want.EstimatorUsed {
+			t.Fatalf("%s: estimator %q != %q", src, got.EstimatorUsed, want.EstimatorUsed)
+		}
+	}
+}
+
+// TestRemoteFitFallback proves a failing fitter cannot change a result: the
+// engine falls back to the local fit.
+func TestRemoteFitFallback(t *testing.T) {
+	q, err := hyperql.ParseWhatIf(`USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Seed: 7, ShardRows: 256}
+	db, model := partialDataset(t, "german")
+	want, err := EvaluateContext(context.Background(), db, model, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts := opts
+	ropts.RemoteFit = failingFitter{}
+	got, err := EvaluateContext(context.Background(), db, model, q, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g17(got.Value) != g17(want.Value) {
+		t.Fatalf("fallback value %s != %s", g17(got.Value), g17(want.Value))
+	}
+}
+
+type failingFitter struct{}
+
+func (failingFitter) FitFreqParts(context.Context, string, Options, uint64, bool, int) ([]*ml.FreqWire, error) {
+	return nil, context.DeadlineExceeded
+}
+
+func (failingFitter) SupportParts(context.Context, string, Options, int) ([]*ml.SupportWire, error) {
+	return nil, context.DeadlineExceeded
+}
+
+// TestEmptyViewEvaluates pins the empty-relevant-view path: zero rows must
+// yield a zero-value result (as before the partial-evaluation refactor),
+// not a panic from an empty shard plan.
+func TestEmptyViewEvaluates(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "ID", Kind: relation.KindInt, Key: true},
+		relation.Column{Name: "A", Kind: relation.KindInt, Mutable: true},
+		relation.Column{Name: "B", Kind: relation.KindInt, Mutable: true},
+	)
+	db := relation.NewDatabase()
+	db.MustAdd(relation.NewRelation("T", schema))
+	q, err := hyperql.ParseWhatIf(`USE T UPDATE(A) = 1 OUTPUT COUNT(B = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateContext(context.Background(), db, nil, q, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 || res.Count != 0 || res.ViewRows != 0 {
+		t.Fatalf("empty view: %+v, want zero result", res)
+	}
+	if _, _, err := PlanContext(context.Background(), db, nil, q, Options{}); err != nil {
+		t.Fatalf("PlanContext on empty view: %v", err)
+	}
+}

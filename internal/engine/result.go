@@ -47,6 +47,15 @@ type Result struct {
 	// merged (true only for shard-mergeable kinds, currently "freq", over a
 	// multi-shard plan; forests and linear models always fit whole-frame).
 	ShardedFit bool
+	// Placement names the execution placement that produced the result:
+	// "" or "local" for a single-process evaluation, "workers" when plan
+	// shards were evaluated on remote workers and merged in plan order,
+	// "fit" when tuple evaluation ran locally with remote estimator fits.
+	// Like ShardWorkers it can never change a result.
+	Placement string
+	// RemoteWorkers is the number of distinct remote workers that
+	// contributed shards or fits (0 for a purely local run).
+	RemoteWorkers int
 
 	// Timing breakdown.
 	ViewTime  time.Duration

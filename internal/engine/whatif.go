@@ -32,35 +32,53 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 // trained estimators) remain valid — training is atomic per model, so a
 // cancelled query never leaves a partially trained regressor behind.
 func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opts Options) (*Result, error) {
-	o := opts.withDefaults()
-	if model == nil && o.Mode == ModeFull {
-		o.Mode = ModeNB
-	}
-	if err := ctx.Err(); err != nil {
+	p, err := prepareEvaluation(ctx, db, model, q, opts)
+	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	res := &Result{Mode: o.Mode}
+	if p.o.DryRun {
+		return p.res, nil
+	}
+	te := time.Now()
+	parts, err := p.evalShards(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Reduce in plan order. Folding shard windows in ascending shard order
+	// adds each block's partials in exactly the same sequence for every
+	// worker count (and matches a per-block fold over shards), so the block
+	// sums — and the final aggregate, accumulated in block order — are
+	// reproducible to the bit.
+	foldPartials(p.res, parts, p.nBlocks, p.agg)
+	p.res.EvalTime = time.Since(te)
+	p.res.TrainedModels = p.ev.est.trainedModels()
+	p.res.Total = time.Since(p.start)
+	if p.o.Progress != nil {
+		total := p.v.rel.Len()
+		p.o.Progress("tuples", total, total)
+	}
+	return p.res, nil
+}
 
+// resolveView materializes (or fetches from cache) the relevant view of the
+// query, validating the UPDATE clause on the way. It returns the view, its
+// cache key, and the distinct update attributes.
+func resolveView(db *relation.Database, q *hyperql.WhatIf, o Options) (*view, string, []string, error) {
 	if len(q.Updates) == 0 {
-		return nil, fmt.Errorf("engine: what-if query has no UPDATE clause")
+		return nil, "", nil, fmt.Errorf("engine: what-if query has no UPDATE clause")
 	}
 	if q.Output == nil || !q.Output.Func.Valid() {
-		return nil, fmt.Errorf("engine: what-if query has no valid OUTPUT aggregate")
+		return nil, "", nil, fmt.Errorf("engine: what-if query has no valid OUTPUT aggregate")
 	}
 	updateAttrs := make([]string, 0, len(q.Updates))
 	seen := map[string]bool{}
 	for _, u := range q.Updates {
 		if seen[u.Attr] {
-			return nil, fmt.Errorf("engine: attribute %q updated twice", u.Attr)
+			return nil, "", nil, fmt.Errorf("engine: attribute %q updated twice", u.Attr)
 		}
 		seen[u.Attr] = true
 		updateAttrs = append(updateAttrs, u.Attr)
 	}
-
-	// Step 1: relevant view (USE), memoized across candidate queries when a
-	// cache is provided.
-	tv := time.Now()
 	viewKey := q.Use.String() + "\x00" + q.Updates[0].Attr
 	var v *view
 	if o.Cache != nil {
@@ -72,7 +90,7 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 		var err error
 		v, err = buildView(db, q.Use, q.Updates[0].Attr)
 		if err != nil {
-			return nil, err
+			return nil, "", nil, err
 		}
 		if o.Cache != nil {
 			o.Cache.putView(viewKey, v)
@@ -80,8 +98,46 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 	}
 	for _, a := range updateAttrs[1:] {
 		if !v.rel.Schema().Has(a) {
-			return nil, fmt.Errorf("engine: update attribute %q is not a column of the relevant view", a)
+			return nil, "", nil, fmt.Errorf("engine: update attribute %q is not a column of the relevant view", a)
 		}
+	}
+	return v, viewKey, updateAttrs, nil
+}
+
+// evalPrep is a fully prepared what-if evaluation: everything up to (but not
+// including) the per-tuple loop. Preparation is deterministic in the query,
+// data, and semantic options, so two processes preparing the same evaluation
+// agree on the shard plan, the block decomposition, and every trained
+// estimator — the property the distributed execution path relies on.
+type evalPrep struct {
+	o       Options
+	res     *Result
+	v       *view
+	blockOf []int
+	nBlocks int
+	ev      *evaluator
+	agg     hyperql.AggFunc
+	plan    shard.Plan
+	start   time.Time
+}
+
+func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opts Options) (*evalPrep, error) {
+	o := opts.withDefaults()
+	if model == nil && o.Mode == ModeFull {
+		o.Mode = ModeNB
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Mode: o.Mode}
+
+	// Step 1: relevant view (USE), memoized across candidate queries when a
+	// cache is provided.
+	tv := time.Now()
+	v, viewKey, updateAttrs, err := resolveView(db, q, o)
+	if err != nil {
+		return nil, err
 	}
 	res.ViewTime = time.Since(tv)
 	res.ViewRows = v.rel.Len()
@@ -214,6 +270,7 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 	// conditioning features (this is what makes runtime grow with the number
 	// of FOR attributes, Figure 11a).
 	tt := time.Now()
+	queryText := q.String()
 	augView, sumCols := augmentView(v.rel, summaries)
 	featCols := append(append(append([]string{}, updateAttrs...), backdoor...), sumCols...)
 	if o.Mode != ModeIndep {
@@ -221,7 +278,7 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 	}
 	makeEst := func(eo Options) *estimatorSet {
 		if eo.Cache == nil {
-			return newEstimatorSet(augView, featCols, len(updateAttrs), eo)
+			return newEstimatorSet(ctx, augView, featCols, len(updateAttrs), queryText, eo)
 		}
 		whenKey, forKey := "", ""
 		if q.When != nil {
@@ -235,7 +292,7 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 		if cached, ok := eo.Cache.getEst(key); ok {
 			return cached
 		}
-		e := newEstimatorSet(augView, featCols, len(updateAttrs), eo)
+		e := newEstimatorSet(ctx, augView, featCols, len(updateAttrs), queryText, eo)
 		eo.Cache.putEst(key, e)
 		return e
 	}
@@ -245,7 +302,7 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 		res.SampledRows = len(est.trainRows)
 		res.TrainTime = time.Since(tt)
 		res.Total = time.Since(start)
-		return res, nil
+		return &evalPrep{o: o, res: res, v: v, start: start}, nil
 	}
 	if est.kind == "freq" && o.Estimator != EstimatorFreq {
 		// The exact frequency estimator cannot extrapolate to update values
@@ -266,12 +323,12 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 		return nil, err
 	}
 
-	// Step 10: per-tuple evaluation, accumulated per block and combined with
-	// the decomposable aggregate g = Sum (Proposition 1).
-	te := time.Now()
+	// Step 10 is the per-tuple loop (evalShards); prepare its evaluator and
+	// the canonical shard plan here so partial and full evaluations share one
+	// construction.
 	ev := &evaluator{
 		ctx: ctx,
-		v:   v, est: est, q: q, opts: o,
+		v:   v, est: est, q: q, opts: o, queryText: queryText,
 		updateAttrs: updateAttrs, postVals: postVals,
 		summaries: summaries, yCol: yCol, outCond: outCond,
 		disjuncts: disjuncts, inS: inS,
@@ -279,33 +336,66 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 	if err := ev.prepare(); err != nil {
 		return nil, err
 	}
-	nBlocks := res.Blocks
-	// Tuple contributions are independent, so the loop runs shard-parallel:
-	// the canonical plan partitions the view into contiguous row shards
-	// (count from the row count and ShardRows only — never from the worker
-	// fan-out), each shard accumulates into its own per-block partials, and
-	// partials reduce in plan order. Workers own an evaluator copy (scratch
-	// buffers, model memo) reused across the shards they pick up; shard
-	// placement is scheduling-dependent but cannot influence the result.
 	plan := shard.Rows(v.rel.Len(), o.ShardRows)
-	workers := plan.Workers(o.Shards)
 	res.ShardPlan = plan.Shards()
-	res.ShardWorkers = workers
+	res.ShardWorkers = plan.Workers(o.Shards)
 	res.ShardedFit = est.shardedFit()
-	// A shard's partial accumulators cover only the window of block ids its
-	// rows touch (for the common one-block-per-tuple decomposition a
-	// contiguous row shard touches a narrow, near-contiguous id range), so
-	// memory and merge cost stay proportional to the data, not to
-	// shards × blocks.
-	type partial struct {
-		minB     int
-		sum, cnt []float64 // indexed by block id - minB
+	return &evalPrep{
+		o: o, res: res, v: v,
+		blockOf: blockOf, nBlocks: res.Blocks,
+		ev: ev, agg: outAgg, plan: plan, start: start,
+	}, nil
+}
+
+// evalShards runs the per-tuple loop over the listed shards of the canonical
+// plan (nil = every shard), returning one block-window partial per listed
+// shard, in the order listed. Tuple contributions are independent, so the
+// loop runs shard-parallel: each shard accumulates into its own per-block
+// partials; workers own an evaluator copy (scratch buffers, model memo)
+// reused across the shards they pick up. Shard placement is
+// scheduling-dependent but cannot influence any partial: a shard's partial
+// is a pure function of the prepared evaluation and its row range, which is
+// what makes partials portable across processes.
+func (p *evalPrep) evalShards(ctx context.Context, ids []int) ([]ShardPartial, error) {
+	k := p.plan.Shards()
+	if ids == nil {
+		ids = make([]int, k)
+		for i := range ids {
+			ids[i] = i
+		}
+	} else {
+		seen := make([]bool, k)
+		for _, s := range ids {
+			if s < 0 || s >= k {
+				return nil, fmt.Errorf("engine: shard %d out of plan range [0,%d)", s, k)
+			}
+			if seen[s] {
+				return nil, fmt.Errorf("engine: shard %d requested twice", s)
+			}
+			seen[s] = true
+		}
 	}
-	parts := make([]partial, plan.Shards())
+	if len(ids) == 0 {
+		// Empty view: a zero-shard plan has no partials, and the fold below
+		// produces the zero-value aggregate (shard.Fixed would coerce an
+		// empty run plan to one slot and index past ids).
+		return nil, ctx.Err()
+	}
+	total := 0
+	for _, s := range ids {
+		lo, hi := p.plan.Bounds(s)
+		total += hi - lo
+	}
+	// One run-plan slot per requested shard: the worker pool claims listed
+	// shards, not row ranges.
+	runPlan := shard.Fixed(len(ids), len(ids))
+	workers := runPlan.Workers(p.o.Shards)
 	locals := make([]*evaluator, workers)
+	parts := make([]ShardPartial, len(ids))
+	nBlocks := p.nBlocks
 	// blockAt clamps defensively: rows outside the decomposition map to 0.
 	blockAt := func(i int) int {
-		if b := blockOf[i]; b < nBlocks {
+		if b := p.blockOf[i]; b < nBlocks {
 			return b
 		}
 		return 0
@@ -313,16 +403,23 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 	// Cancellation and progress work on a stride so neither the ctx check
 	// nor the shared counter touches the per-tuple fast path.
 	const stride = 512
-	total := v.rel.Len()
 	var tuplesDone, shardsDone atomic.Int64
-	err = shard.Run(ctx, plan, workers, func(w, s, lo, hi int) error {
+	err := shard.Run(ctx, runPlan, workers, func(w, idx, _, _ int) error {
 		local := locals[w]
 		if local == nil {
-			cp := *ev
+			cp := *p.ev
 			cp.activeBuf, cp.xBuf, cp.evBuf, cp.modelMemo = nil, nil, nil, nil
 			local = &cp
 			locals[w] = local
 		}
+		s := ids[idx]
+		lo, hi := p.plan.Bounds(s)
+		parts[idx] = ShardPartial{Shard: s}
+		// A shard's partial accumulators cover only the window of block ids
+		// its rows touch (for the common one-block-per-tuple decomposition a
+		// contiguous row shard touches a narrow, near-contiguous id range),
+		// so memory and merge cost stay proportional to the data, not to
+		// shards × blocks.
 		minB, maxB := nBlocks, -1
 		for i := lo; i < hi; i++ {
 			b := blockAt(i)
@@ -334,16 +431,20 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 			}
 		}
 		if maxB < minB {
+			if p.o.Progress != nil {
+				p.o.Progress("shards", int(shardsDone.Add(1)), len(ids))
+			}
 			return nil // empty shard
 		}
-		p := partial{minB: minB, sum: make([]float64, maxB-minB+1), cnt: make([]float64, maxB-minB+1)}
+		sum := make([]float64, maxB-minB+1)
+		cnt := make([]float64, maxB-minB+1)
 		for i := lo; i < hi; i++ {
 			if (i-lo)%stride == 0 && i > lo {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				if o.Progress != nil {
-					o.Progress("tuples", int(tuplesDone.Add(stride)), total)
+				if p.o.Progress != nil {
+					p.o.Progress("tuples", int(tuplesDone.Add(stride)), total)
 				}
 			}
 			ts, tc, err := local.tuple(i)
@@ -351,37 +452,39 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 				return err
 			}
 			b := blockAt(i) - minB
-			p.sum[b] += ts
-			p.cnt[b] += tc
+			sum[b] += ts
+			cnt[b] += tc
 		}
-		parts[s] = p
-		if o.Progress != nil {
-			o.Progress("shards", int(shardsDone.Add(1)), plan.Shards())
+		parts[idx] = ShardPartial{Shard: s, MinBlock: minB, Sum: sum, Cnt: cnt}
+		if p.o.Progress != nil {
+			p.o.Progress("shards", int(shardsDone.Add(1)), len(ids))
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Reduce in plan order. Folding shard windows in ascending shard order
-	// adds each block's partials in exactly the same sequence for every
-	// worker count (and matches a per-block fold over shards), so the block
-	// sums — and the final aggregate, accumulated in block order — are
-	// reproducible to the bit.
+	return parts, nil
+}
+
+// foldPartials reduces block-window partials (which must already be in plan
+// order) into res and computes the aggregate value. It is the single
+// reduction used by local evaluation and by the distributed merge, so the
+// two cannot drift.
+func foldPartials(res *Result, parts []ShardPartial, nBlocks int, agg hyperql.AggFunc) {
 	sumByBlock := make([]float64, nBlocks)
 	cntByBlock := make([]float64, nBlocks)
-	for s := range parts {
-		p := parts[s]
-		for j, ps := range p.sum {
-			sumByBlock[p.minB+j] += ps
-			cntByBlock[p.minB+j] += p.cnt[j]
+	for _, p := range parts {
+		for j, ps := range p.Sum {
+			sumByBlock[p.MinBlock+j] += ps
+			cntByBlock[p.MinBlock+j] += p.Cnt[j]
 		}
 	}
 	for b := 0; b < nBlocks; b++ {
 		res.Sum += sumByBlock[b]
 		res.Count += cntByBlock[b]
 	}
-	switch outAgg {
+	switch agg {
 	case hyperql.AggCount:
 		res.Value = res.Count
 	case hyperql.AggSum:
@@ -391,13 +494,6 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 			res.Value = res.Sum / res.Count
 		}
 	}
-	res.EvalTime = time.Since(te)
-	res.TrainedModels = est.trainedModels()
-	res.Total = time.Since(start)
-	if o.Progress != nil {
-		o.Progress("tuples", total, total)
-	}
-	return res, nil
 }
 
 func prePresent(e hyperql.Expr) (hasPost, hasPre bool) {
@@ -419,6 +515,7 @@ type evaluator struct {
 	est         *estimatorSet
 	q           *hyperql.WhatIf
 	opts        Options
+	queryText   string // canonical query text, forwarded to remote fitters
 	updateAttrs []string
 	postVals    map[string][]relation.Value
 	summaries   []summaryFeature
@@ -703,7 +800,7 @@ func (e *evaluator) inclusionExclusionSlow(x []float64, weighted bool) (float64,
 				bits++
 			}
 		}
-		m, err := e.eventModel(lits, weighted)
+		m, err := e.eventModel(lits, weighted, 0, false)
 		if err != nil {
 			return 0, err
 		}
@@ -727,13 +824,8 @@ func (e *evaluator) predictEventMask(gm uint64, x []float64, weighted bool) (flo
 	if m, ok := e.modelMemo[mk]; ok {
 		return m.Predict(x), nil
 	}
-	var lits []hyperql.Expr
-	for id, ev := range e.events {
-		if gm&(1<<uint(id)) != 0 {
-			lits = append(lits, ev...)
-		}
-	}
-	m, err := e.eventModel(lits, weighted)
+	lits := e.maskLits(gm)
+	m, err := e.eventModel(lits, weighted, gm, true)
 	if err != nil {
 		return 0, err
 	}
@@ -744,11 +836,26 @@ func (e *evaluator) predictEventMask(gm uint64, x []float64, weighted bool) (flo
 	return m.Predict(x), nil
 }
 
+// maskLits collects the post literals of the event subset gm, in event-id
+// order. The same construction runs on both ends of the remote-fit
+// transport, so a mask is an unambiguous cross-process model identity.
+func (e *evaluator) maskLits(gm uint64) []hyperql.Expr {
+	var lits []hyperql.Expr
+	for id, ev := range e.events {
+		if gm&(1<<uint(id)) != 0 {
+			lits = append(lits, ev...)
+		}
+	}
+	return lits
+}
+
 // eventModel returns (training on demand) the regressor for the event
 // (lits ∧ outCond), Y-weighted when weighted. It is the single place the
 // conjunction and its cache key are built, so the key, the forest seed
-// derived from it, and the label function cannot drift apart.
-func (e *evaluator) eventModel(lits []hyperql.Expr, weighted bool) (ml.Regressor, error) {
+// derived from it, and the label function cannot drift apart. mask (valid
+// when maskOK) is the event-subset bitmask identifying the same model to a
+// remote fitter.
+func (e *evaluator) eventModel(lits []hyperql.Expr, weighted bool, mask uint64, maskOK bool) (ml.Regressor, error) {
 	all := lits
 	if e.outCond != nil {
 		all = append(append([]hyperql.Expr(nil), lits...), e.outCond)
@@ -768,7 +875,27 @@ func (e *evaluator) eventModel(lits []hyperql.Expr, weighted bool) (ml.Regressor
 			return nil, err
 		}
 	}
-	m, err := e.est.model(key, e.opts.Shards, func(r int) (float64, error) {
+	ex := fitExec{
+		ctx: e.ctx, workers: e.opts.Shards,
+		query: e.queryText, opts: e.opts,
+		mask: mask, maskOK: maskOK, weighted: weighted,
+	}
+	if maskOK {
+		ex.fitter = e.opts.RemoteFit
+	}
+	m, err := e.est.model(key, ex, e.labelFor(all, weighted))
+	if err != nil {
+		return nil, fmt.Errorf("engine: labeling post event: %w", err)
+	}
+	return m, nil
+}
+
+// labelFor builds the training-label function of the event conjunction
+// (all ∧), Y-weighted when weighted. Both the in-process training path and
+// the remote per-shard fit label through this one function, so the two can
+// never disagree on a row's label.
+func (e *evaluator) labelFor(all []hyperql.Expr, weighted bool) func(r int) (float64, error) {
+	return func(r int) (float64, error) {
 		env := sqlmini.RowEnv{Rel: e.v.rel, Row: e.v.rel.Row(r)}
 		for _, lit := range all {
 			ok, err := sqlmini.EvalBool(lit, env)
@@ -783,11 +910,7 @@ func (e *evaluator) eventModel(lits []hyperql.Expr, weighted bool) (ml.Regressor
 			return e.v.rel.Row(r)[e.yIdx].AsFloat(), nil
 		}
 		return 1, nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("engine: labeling post event: %w", err)
 	}
-	return m, nil
 }
 
 func clamp01(x float64) float64 {

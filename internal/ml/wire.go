@@ -1,0 +1,310 @@
+package ml
+
+import (
+	"encoding/base64"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Wire encoding for the shard-mergeable estimators. A FreqEstimator (and a
+// SupportSet) fitted over one shard of the canonical fit plan is a map of
+// cells keyed by interned feature codes; because interning is deterministic
+// (codes are dense, assigned in row order per column), two processes that
+// built the same frame over the same rows agree on every key. That makes a
+// per-shard partial index a portable message: a worker fits its shard,
+// encodes the cells, and a coordinator that decodes the parts against its
+// own frame and merges them in plan order reconstructs the whole-range fit
+// bit for bit — the same contract FitFreqFrameSharded provides in-process.
+//
+// Every wire message carries the frame fingerprint (dim, per-column
+// cardinalities, packed/wide key mode) so a part fitted against a different
+// frame — different data, different view, different feature columns — is
+// rejected at decode time instead of merging garbage.
+
+// WireCells is one cell map in wire form: parallel arrays sorted by key so
+// the encoding of a given index is canonical. Packed keys are decimal
+// uint64 strings (JSON numbers lose precision past 2^53); wide keys are
+// base64 of the little-endian code bytes.
+type WireCells struct {
+	Keys []string  `json:"k,omitempty"`
+	Sum  []float64 `json:"s,omitempty"`
+	N    []int     `json:"n,omitempty"`
+}
+
+// FreqWire is a FreqEstimator partial index in wire form.
+type FreqWire struct {
+	Dim       int       `json:"dim"`
+	Card      []uint32  `json:"card"`
+	Packed    bool      `json:"packed"`
+	KeepFirst int       `json:"keep_first"`
+	GlobalSum float64   `json:"global_sum"`
+	GlobalN   int       `json:"global_n"`
+	Exact     WireCells `json:"exact"`
+	// Backoff has one entry per feature column; columns below KeepFirst are
+	// never wildcarded and stay empty.
+	Backoff   []WireCells `json:"backoff"`
+	FirstOnly WireCells   `json:"first_only"`
+}
+
+// SupportWire is a SupportSet partial index in wire form.
+type SupportWire struct {
+	Dim    int      `json:"dim"`
+	Card   []uint32 `json:"card"`
+	Packed bool     `json:"packed"`
+	Keys   []string `json:"keys,omitempty"`
+}
+
+func encodeCells[K comparable](m map[K]*cell, enc func(K) string) WireCells {
+	if len(m) == 0 {
+		return WireCells{}
+	}
+	keys := make([]string, 0, len(m))
+	byKey := make(map[string]*cell, len(m))
+	for k, c := range m {
+		s := enc(k)
+		keys = append(keys, s)
+		byKey[s] = c
+	}
+	sort.Strings(keys)
+	w := WireCells{Keys: keys, Sum: make([]float64, len(keys)), N: make([]int, len(keys))}
+	for i, k := range keys {
+		w.Sum[i] = byKey[k].sum
+		w.N[i] = byKey[k].n
+	}
+	return w
+}
+
+func decodeCells[K comparable](w WireCells, dec func(string) (K, error)) (map[K]*cell, error) {
+	if len(w.Keys) != len(w.Sum) || len(w.Keys) != len(w.N) {
+		return nil, fmt.Errorf("ml: wire cells arrays disagree (%d keys, %d sums, %d counts)",
+			len(w.Keys), len(w.Sum), len(w.N))
+	}
+	m := make(map[K]*cell, len(w.Keys))
+	for i, s := range w.Keys {
+		k, err := dec(s)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[k]; dup {
+			return nil, fmt.Errorf("ml: wire cells have duplicate key %q", s)
+		}
+		m[k] = &cell{sum: w.Sum[i], n: w.N[i]}
+	}
+	return m, nil
+}
+
+func packedKeyString(k uint64) string { return strconv.FormatUint(k, 10) }
+
+func parsePackedKey(s string) (uint64, error) {
+	k, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ml: bad packed wire key %q: %v", s, err)
+	}
+	return k, nil
+}
+
+func wideKeyString(k string) string { return base64.StdEncoding.EncodeToString([]byte(k)) }
+
+func parseWideKey(s string) (string, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return "", fmt.Errorf("ml: bad wide wire key %q: %v", s, err)
+	}
+	return string(raw), nil
+}
+
+// EncodeFreqWire renders a fitted frequency estimator as a wire message.
+func EncodeFreqWire(f *FreqEstimator) *FreqWire {
+	w := &FreqWire{
+		Dim:       f.dim,
+		Card:      append([]uint32(nil), f.card...),
+		Packed:    f.packed(),
+		KeepFirst: f.keepFirst,
+		GlobalSum: f.global.sum,
+		GlobalN:   f.global.n,
+		Backoff:   make([]WireCells, f.dim),
+	}
+	if f.packed() {
+		w.Exact = encodeCells(f.exact, packedKeyString)
+		for i := f.keepFirst; i < f.dim; i++ {
+			w.Backoff[i] = encodeCells(f.backoff[i], packedKeyString)
+		}
+		w.FirstOnly = encodeCells(f.firstOnly, packedKeyString)
+		return w
+	}
+	w.Exact = encodeCells(f.exactW, wideKeyString)
+	for i := f.keepFirst; i < f.dim; i++ {
+		w.Backoff[i] = encodeCells(f.backoffW[i], wideKeyString)
+	}
+	w.FirstOnly = encodeCells(f.firstOnlyW, wideKeyString)
+	return w
+}
+
+// checkFingerprint verifies a wire part was fitted against the same frame
+// shape the decoder holds.
+func checkFingerprint(k keyer, dim int, card []uint32, packed bool) error {
+	if dim != k.dim {
+		return fmt.Errorf("ml: wire part dim %d != frame dim %d", dim, k.dim)
+	}
+	if len(card) != len(k.card) {
+		return fmt.Errorf("ml: wire part has %d cardinalities, frame has %d", len(card), len(k.card))
+	}
+	for i, c := range card {
+		if c != k.card[i] {
+			return fmt.Errorf("ml: wire part cardinality[%d]=%d != frame %d (different data?)", i, c, k.card[i])
+		}
+	}
+	if packed != k.packed() {
+		return fmt.Errorf("ml: wire part key mode (packed=%v) != frame key mode (packed=%v)", packed, k.packed())
+	}
+	return nil
+}
+
+// DecodeFreqWire rebuilds a frequency-estimator partial against the local
+// frame, verifying the fingerprint so cells from a different frame cannot be
+// merged silently.
+func DecodeFreqWire(fr *Frame, w *FreqWire) (*FreqEstimator, error) {
+	fr.Intern()
+	k := newKeyer(fr)
+	if err := checkFingerprint(k, w.Dim, w.Card, w.Packed); err != nil {
+		return nil, err
+	}
+	if w.KeepFirst < 0 || w.KeepFirst > w.Dim {
+		return nil, fmt.Errorf("ml: wire part keep_first %d out of range [0, %d]", w.KeepFirst, w.Dim)
+	}
+	if len(w.Backoff) != w.Dim {
+		return nil, fmt.Errorf("ml: wire part has %d backoff maps, want %d", len(w.Backoff), w.Dim)
+	}
+	f := &FreqEstimator{keyer: k, keepFirst: w.KeepFirst}
+	f.global = cell{sum: w.GlobalSum, n: w.GlobalN}
+	var err error
+	if f.packed() {
+		if f.exact, err = decodeCells(w.Exact, parsePackedKey); err != nil {
+			return nil, err
+		}
+		f.backoff = make([]map[uint64]*cell, f.dim)
+		for i := f.keepFirst; i < f.dim; i++ {
+			if f.backoff[i], err = decodeCells(w.Backoff[i], parsePackedKey); err != nil {
+				return nil, err
+			}
+		}
+		if f.firstOnly, err = decodeCells(w.FirstOnly, parsePackedKey); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if f.exactW, err = decodeCells(w.Exact, parseWideKey); err != nil {
+		return nil, err
+	}
+	f.backoffW = make([]map[string]*cell, f.dim)
+	for i := f.keepFirst; i < f.dim; i++ {
+		if f.backoffW[i], err = decodeCells(w.Backoff[i], parseWideKey); err != nil {
+			return nil, err
+		}
+	}
+	if f.firstOnlyW, err = decodeCells(w.FirstOnly, parseWideKey); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MergeFreqWires decodes the per-shard wire parts against the local frame
+// and folds them in the given (plan) order, reconstructing exactly the
+// estimator FitFreqFrameSharded would produce in-process. keepFirst must
+// match every part.
+func MergeFreqWires(fr *Frame, keepFirst int, parts []*FreqWire) (*FreqEstimator, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("ml: no wire parts to merge")
+	}
+	var out *FreqEstimator
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("ml: wire part %d is nil", i)
+		}
+		if p.KeepFirst != keepFirst {
+			return nil, fmt.Errorf("ml: wire part %d keep_first %d != %d", i, p.KeepFirst, keepFirst)
+		}
+		f, err := DecodeFreqWire(fr, p)
+		if err != nil {
+			return nil, fmt.Errorf("ml: wire part %d: %w", i, err)
+		}
+		if out == nil {
+			out = f
+			continue
+		}
+		out.merge(f)
+	}
+	return out, nil
+}
+
+// EncodeSupportWire renders a support set as a wire message.
+func EncodeSupportWire(s *SupportSet) *SupportWire {
+	w := &SupportWire{Dim: s.dim, Card: append([]uint32(nil), s.card...), Packed: s.packed()}
+	if s.packed() {
+		for k := range s.set {
+			w.Keys = append(w.Keys, packedKeyString(k))
+		}
+	} else {
+		for k := range s.setW {
+			w.Keys = append(w.Keys, wideKeyString(k))
+		}
+	}
+	sort.Strings(w.Keys)
+	return w
+}
+
+// DecodeSupportWire rebuilds a support-set partial against the local frame.
+func DecodeSupportWire(fr *Frame, w *SupportWire) (*SupportSet, error) {
+	fr.Intern()
+	k := newKeyer(fr)
+	if err := checkFingerprint(k, w.Dim, w.Card, w.Packed); err != nil {
+		return nil, err
+	}
+	s := &SupportSet{keyer: k}
+	if s.packed() {
+		s.set = make(map[uint64]struct{}, len(w.Keys))
+		for _, ks := range w.Keys {
+			key, err := parsePackedKey(ks)
+			if err != nil {
+				return nil, err
+			}
+			s.set[key] = struct{}{}
+		}
+		return s, nil
+	}
+	s.setW = make(map[string]struct{}, len(w.Keys))
+	for _, ks := range w.Keys {
+		key, err := parseWideKey(ks)
+		if err != nil {
+			return nil, err
+		}
+		s.setW[key] = struct{}{}
+	}
+	return s, nil
+}
+
+// MergeSupportWires decodes and unions the per-shard support parts. Set
+// union is order-independent, but callers still pass parts in plan order for
+// symmetry with MergeFreqWires.
+func MergeSupportWires(fr *Frame, parts []*SupportWire) (*SupportSet, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("ml: no support parts to merge")
+	}
+	var out *SupportSet
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("ml: support part %d is nil", i)
+		}
+		s, err := DecodeSupportWire(fr, p)
+		if err != nil {
+			return nil, fmt.Errorf("ml: support part %d: %w", i, err)
+		}
+		if out == nil {
+			out = s
+			continue
+		}
+		out.union(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package ml
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"hyper/internal/shard"
+)
+
+// wireFrame builds a deterministic discrete frame: dim columns whose values
+// cycle with different periods, so every column has a small alphabet and
+// rows repeat combinations (cells accumulate).
+func wireFrame(rows, dim int) (*Frame, []float64) {
+	X := make([][]float64, rows)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		X[r] = make([]float64, dim)
+		for c := 0; c < dim; c++ {
+			X[r][c] = float64((r*17 + c*5) % (3 + c%13))
+		}
+		y[r] = float64(r%7) * 0.25
+	}
+	return FrameFromRows(X), y
+}
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func TestFreqWireRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dim  int
+	}{
+		{"packed", 4},
+		{"wide", 24}, // alphabet product overflows uint64 -> wide keys
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fr, y := wireFrame(500, tc.dim)
+			rows := allRows(500)
+			fit := FitFreqFrame(fr, rows, y, 1)
+			if fit.packed() != (tc.name == "packed") {
+				t.Fatalf("key mode: packed=%v, want %v", fit.packed(), tc.name == "packed")
+			}
+			w := EncodeFreqWire(fit)
+			raw, err := json.Marshal(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back FreqWire
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			dec, err := DecodeFreqWire(fr, &back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The decoded estimator must predict identically everywhere,
+			// including backoff and global-mean fallbacks.
+			x := make([]float64, tc.dim)
+			for r := 0; r < 500; r += 7 {
+				fr.Gather(r, x)
+				if got, want := dec.Predict(x), fit.Predict(x); got != want {
+					t.Fatalf("row %d: decoded predict %v != %v", r, got, want)
+				}
+				x[tc.dim-1] = 99 // unseen value: exercises backoff
+				if got, want := dec.Predict(x), fit.Predict(x); got != want {
+					t.Fatalf("row %d backoff: decoded predict %v != %v", r, got, want)
+				}
+			}
+			// Canonical wire forms must match exactly.
+			if !reflect.DeepEqual(EncodeFreqWire(dec), w) {
+				t.Fatal("re-encoded wire form differs from original")
+			}
+		})
+	}
+}
+
+// TestMergeFreqWiresParity proves that fitting per shard in separate
+// "processes" (separately constructed identical frames), shipping the parts
+// over the wire, and merging them in plan order reproduces the in-process
+// sharded fit bit for bit.
+func TestMergeFreqWiresParity(t *testing.T) {
+	const rows = 1000
+	for _, dim := range []int{5, 24} {
+		fr, y := wireFrame(rows, dim)
+		rowIdx := allRows(rows)
+		plan := shard.Rows(rows, 128)
+		if plan.Shards() < 2 {
+			t.Fatal("plan too small for the test")
+		}
+		local := FitFreqFrameSharded(fr, rowIdx, y, 2, plan, 4)
+
+		// Each shard is fitted against its own frame replica, as a remote
+		// worker would.
+		parts := make([]*FreqWire, plan.Shards())
+		for s := 0; s < plan.Shards(); s++ {
+			replica, _ := wireFrame(rows, dim)
+			lo, hi := plan.Bounds(s)
+			parts[s] = EncodeFreqWire(FitFreqFrame(replica, rowIdx[lo:hi], y[lo:hi], 2))
+		}
+		merged, err := MergeFreqWires(fr, 2, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(EncodeFreqWire(merged), EncodeFreqWire(local)) {
+			t.Fatalf("dim %d: merged wire parts differ from in-process sharded fit", dim)
+		}
+	}
+}
+
+func TestMergeSupportWiresParity(t *testing.T) {
+	const rows = 600
+	fr, _ := wireFrame(rows, 6)
+	rowIdx := allRows(rows)
+	plan := shard.Rows(rows, 100)
+	local := NewSupportSet(fr, rowIdx)
+
+	parts := make([]*SupportWire, plan.Shards())
+	for s := 0; s < plan.Shards(); s++ {
+		replica, _ := wireFrame(rows, 6)
+		lo, hi := plan.Bounds(s)
+		parts[s] = EncodeSupportWire(NewSupportSet(replica, rowIdx[lo:hi]))
+	}
+	merged, err := MergeSupportWires(fr, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != local.Len() {
+		t.Fatalf("merged support %d keys, local %d", merged.Len(), local.Len())
+	}
+	x := make([]float64, 6)
+	for r := 0; r < rows; r++ {
+		fr.Gather(r, x)
+		if !merged.Has(x) {
+			t.Fatalf("row %d missing from merged support", r)
+		}
+	}
+	x[0] = 1e9
+	if merged.Has(x) {
+		t.Fatal("unseen combination reported as supported")
+	}
+}
+
+func TestDecodeFreqWireRejectsForeignFrame(t *testing.T) {
+	fr, y := wireFrame(300, 4)
+	fit := FitFreqFrame(fr, allRows(300), y, 0)
+	w := EncodeFreqWire(fit)
+
+	other, _ := wireFrame(300, 5) // different dim
+	if _, err := DecodeFreqWire(other, w); err == nil {
+		t.Fatal("decode against a different-dim frame must fail")
+	}
+	// Same dim, different content -> different cardinalities.
+	X := make([][]float64, 300)
+	for r := range X {
+		X[r] = []float64{float64(r % 17), float64(r % 13), float64(r % 11), float64(r % 23)}
+	}
+	if _, err := DecodeFreqWire(FrameFromRows(X), w); err == nil {
+		t.Fatal("decode against a different-content frame must fail")
+	}
+}

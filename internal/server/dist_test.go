@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hyper/internal/dist"
+)
+
+// distTestServer boots the serving API plus `workers` real shard workers
+// (separate handlers, own frame stores) registered with the server's
+// embedded coordinator.
+func distTestServer(t *testing.T, workers int) (base string) {
+	t.Helper()
+	srv := New(Config{Logf: nil})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for i := 0; i < workers; i++ {
+		w := dist.NewWorker(dist.WorkerConfig{})
+		wts := httptest.NewServer(w.Handler())
+		t.Cleanup(wts.Close)
+		body := fmt.Sprintf(`{"id":"tw%d","url":%q}`, i+1, wts.URL)
+		resp, err := http.Post(ts.URL+"/dist/v1/workers", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("register status %d", resp.StatusCode)
+		}
+	}
+	return ts.URL
+}
+
+func distPost(t *testing.T, base, path string, body any, dst any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(payload, dst); err != nil {
+			t.Fatalf("decoding %s response: %v (%s)", path, err, payload)
+		}
+	}
+	return resp.StatusCode, payload
+}
+
+// stableWhatIf is the placement-independent subset of a what-if response:
+// every semantic field, none of the execution diagnostics (wall time,
+// trained-model counts, worker fan-out).
+type stableWhatIf struct {
+	Value       float64  `json:"value"`
+	Sum         float64  `json:"sum"`
+	Count       float64  `json:"count"`
+	Mode        string   `json:"mode"`
+	Estimator   string   `json:"estimator"`
+	Backdoor    []string `json:"backdoor"`
+	Blocks      int      `json:"blocks"`
+	Disjuncts   int      `json:"disjuncts"`
+	ViewRows    int      `json:"view_rows"`
+	UpdatedRows int      `json:"updated_rows"`
+	SampledRows int      `json:"sampled_rows"`
+	ShardPlan   int      `json:"shard_plan"`
+}
+
+func stableOf(r *WhatIfResponse) string {
+	raw, _ := json.Marshal(stableWhatIf{
+		Value: r.Value, Sum: r.Sum, Count: r.Count, Mode: r.Mode, Estimator: r.Estimator,
+		Backdoor: r.Backdoor, Blocks: r.Blocks, Disjuncts: r.Disjuncts,
+		ViewRows: r.ViewRows, UpdatedRows: r.UpdatedRows, SampledRows: r.SampledRows,
+		ShardPlan: r.ShardPlan,
+	})
+	return string(raw)
+}
+
+func TestServerPlacement(t *testing.T) {
+	base := distTestServer(t, 2)
+	status, payload := distPost(t, base, "/v1/sessions", CreateSessionRequest{
+		Name: "g", Dataset: "german",
+		Options: &SessionOptions{Seed: 7, ShardRows: 256},
+	}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("create session: %d %s", status, payload)
+	}
+
+	queries := []string{
+		`USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`,
+		`USE German UPDATE(Housing) = 1 OUTPUT AVG(POST(Credit))`,
+	}
+	for _, src := range queries {
+		var local, workers, fit, auto WhatIfResponse
+		// "fit" runs first: on a cold session cache its estimator fits go
+		// through the remote transport (a warm cache would have nothing left
+		// to fit — the artifacts are identical either way).
+		if st, p := distPost(t, base, "/v1/whatif", QueryRequest{Session: "g", Query: src, Placement: "fit"}, &fit); st != 200 {
+			t.Fatalf("fit: %d %s", st, p)
+		}
+		if st, p := distPost(t, base, "/v1/whatif", QueryRequest{Session: "g", Query: src, Placement: "local"}, &local); st != 200 {
+			t.Fatalf("local: %d %s", st, p)
+		}
+		if st, p := distPost(t, base, "/v1/whatif", QueryRequest{Session: "g", Query: src, Placement: "workers"}, &workers); st != 200 {
+			t.Fatalf("workers: %d %s", st, p)
+		}
+		if st, p := distPost(t, base, "/v1/whatif", QueryRequest{Session: "g", Query: src}, &auto); st != 200 {
+			t.Fatalf("auto: %d %s", st, p)
+		}
+		ref := stableOf(&local)
+		for name, r := range map[string]*WhatIfResponse{"workers": &workers, "fit": &fit, "auto": &auto} {
+			if got := stableOf(r); got != ref {
+				t.Fatalf("%s: placement %s diverges:\n%s\nvs local\n%s", src, name, got, ref)
+			}
+		}
+		if workers.Placement != "workers" || workers.RemoteWorkers == 0 {
+			t.Fatalf("workers response placement=%q remote=%d", workers.Placement, workers.RemoteWorkers)
+		}
+		if auto.Placement != "workers" {
+			t.Fatalf("auto placement resolved to %q with live workers", auto.Placement)
+		}
+		if fit.Placement != "fit" {
+			t.Fatalf("fit response placement=%q", fit.Placement)
+		}
+	}
+
+	// How-to: "fit" distributes candidate fits; the choices must match the
+	// local run exactly.
+	howto := `USE German HOWTOUPDATE Status LIMIT UPDATES <= 1 TOMAXIMIZE COUNT(Credit = 1)`
+	var hLocal, hFit HowToResponse
+	if st, p := distPost(t, base, "/v1/howto", QueryRequest{Session: "g", Query: howto, Placement: "fit"}, &hFit); st != 200 {
+		t.Fatalf("howto fit: %d %s", st, p)
+	}
+	if st, p := distPost(t, base, "/v1/howto", QueryRequest{Session: "g", Query: howto, Placement: "local"}, &hLocal); st != 200 {
+		t.Fatalf("howto local: %d %s", st, p)
+	}
+	if hLocal.Objective != hFit.Objective || hLocal.Base != hFit.Base || len(hLocal.Choices) != len(hFit.Choices) {
+		t.Fatalf("howto fit diverges: %+v vs %+v", hFit, hLocal)
+	}
+	for i := range hLocal.Choices {
+		if hLocal.Choices[i] != hFit.Choices[i] {
+			t.Fatalf("howto choice %d: %+v vs %+v", i, hFit.Choices[i], hLocal.Choices[i])
+		}
+	}
+
+	// Placement validation.
+	if st, _ := distPost(t, base, "/v1/howto", QueryRequest{Session: "g", Query: howto, Placement: "workers"}, nil); st != http.StatusBadRequest {
+		t.Fatalf("howto placement=workers status %d, want 400", st)
+	}
+	if st, _ := distPost(t, base, "/v1/whatif", QueryRequest{Session: "g", Query: queries[0], Placement: "bogus"}, nil); st != http.StatusBadRequest {
+		t.Fatalf("placement=bogus status %d, want 400", st)
+	}
+
+	// Stats surface the coordinator gauges and worker registry.
+	var stats StatsResponse
+	if st, p := distPost(t, base, "/v1/stats", nil, nil); st != http.StatusMethodNotAllowed && st != 200 {
+		t.Fatalf("stats: %d %s", st, p)
+	}
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dist.WorkersAlive != 2 || len(stats.Dist.Workers) != 2 {
+		t.Fatalf("dist stats workers: %+v", stats.Dist)
+	}
+	if stats.Dist.RemoteEvals == 0 || stats.Dist.FramesShipped == 0 || stats.Dist.RemoteFits == 0 {
+		t.Fatalf("dist gauges not moving: %+v", stats.Dist.Stats)
+	}
+}
+
+// TestServerPlacementJob submits a distributed what-if job and polls it to
+// completion: remote shard completion must surface through the job's
+// shards_done/shards_total progress gauge.
+func TestServerPlacementJob(t *testing.T) {
+	base := distTestServer(t, 2)
+	if st, p := distPost(t, base, "/v1/sessions", CreateSessionRequest{
+		Name: "g", Dataset: "german",
+		Options: &SessionOptions{Seed: 7, ShardRows: 256},
+	}, nil); st != 200 {
+		t.Fatalf("create session: %d %s", st, p)
+	}
+	var local WhatIfResponse
+	if st, p := distPost(t, base, "/v1/whatif", QueryRequest{
+		Session: "g", Query: `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`, Placement: "local",
+	}, &local); st != 200 {
+		t.Fatalf("local: %d %s", st, p)
+	}
+
+	var job JobInfo
+	if st, p := distPost(t, base, "/v1/jobs", JobRequest{
+		Session: "g", Kind: "whatif",
+		Query:     `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`,
+		Placement: "workers",
+	}, &job); st != 200 {
+		t.Fatalf("submit: %d %s", st, p)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State == "done" || job.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.State != "done" {
+		t.Fatalf("job %s: %s", job.State, job.Error)
+	}
+	if want := int64(local.ShardPlan); job.Progress.ShardsTotal != want || job.Progress.ShardsDone != want {
+		t.Fatalf("job shards progress %d/%d, want %d/%d", job.Progress.ShardsDone, job.Progress.ShardsTotal, want, want)
+	}
+	raw, err := json.Marshal(job.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res WhatIfResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != local.Value || res.Placement != "workers" {
+		t.Fatalf("job result value=%v placement=%q, want value=%v placement=workers", res.Value, res.Placement, local.Value)
+	}
+}

@@ -26,6 +26,10 @@ type JobRequest struct {
 	// Shards overrides the evaluation fan-out for the job (see
 	// QueryRequest.Shards).
 	Shards int `json:"shards,omitempty"`
+	// Placement selects where the job's evaluation runs (see
+	// QueryRequest.Placement); distributed jobs report remote shard
+	// completion through the same shards_done/shards_total progress gauge.
+	Placement string `json:"placement,omitempty"`
 	// Priority orders the queue: higher runs first, FIFO within a priority.
 	Priority int `json:"priority,omitempty"`
 	// TimeoutMs, when > 0, sets the job deadline timeout ms after
@@ -133,7 +137,7 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 		}
 		if kind == "whatif" {
 			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
-				return e.whatIf(ctx, req.Query, req.Shards, p.Report)
+				return e.whatIf(ctx, req.Query, req.Shards, req.Placement, p.Report)
 			}
 		} else {
 			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
@@ -149,7 +153,7 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 		default:
 			return nil, errf(http.StatusBadRequest, "unknown how-to method %q (want ip|brute|mincost)", req.Method)
 		}
-		qr := QueryRequest{Query: req.Query, Method: req.Method, Target: req.Target, Shards: req.Shards}
+		qr := QueryRequest{Query: req.Query, Method: req.Method, Target: req.Target, Shards: req.Shards, Placement: req.Placement}
 		run = func(ctx context.Context, p *jobs.Progress) (any, error) {
 			return e.howTo(ctx, qr, p.Report)
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hyper"
+	"hyper/internal/dist"
 )
 
 // QueryRequest targets one session with one HypeRQL query. The zero Method
@@ -26,6 +27,13 @@ type QueryRequest struct {
 	// (0 = the session's setting, itself defaulting to GOMAXPROCS). Purely
 	// an execution knob: results are bit-identical for every value.
 	Shards int `json:"shards,omitempty"`
+	// Placement selects where the evaluation runs; like Shards it can never
+	// change a result. "" = auto (distribute what-if plan shards over live
+	// registered workers, local otherwise), "local" = this process only,
+	// "workers" = distribute plan shards (what-if only), "fit" = evaluate
+	// locally but offload shard-mergeable estimator fits to the workers
+	// (what-if and how-to).
+	Placement string `json:"placement,omitempty"`
 }
 
 // WhatIfResponse is the wire form of a what-if result.
@@ -44,10 +52,14 @@ type WhatIfResponse struct {
 	TrainedModels int      `json:"trained_models"`
 	// ShardPlan/ShardWorkers report the evaluation's shard fan-out;
 	// ShardedFit is true when the estimator was fitted per shard and merged.
-	ShardPlan    int     `json:"shard_plan"`
-	ShardWorkers int     `json:"shard_workers"`
-	ShardedFit   bool    `json:"sharded_fit,omitempty"`
-	TotalMs      float64 `json:"total_ms"`
+	ShardPlan    int  `json:"shard_plan"`
+	ShardWorkers int  `json:"shard_workers"`
+	ShardedFit   bool `json:"sharded_fit,omitempty"`
+	// Placement/RemoteWorkers report where the evaluation ran (omitted for
+	// a plain local run; execution-only, never part of the result value).
+	Placement     string  `json:"placement,omitempty"`
+	RemoteWorkers int     `json:"remote_workers,omitempty"`
+	TotalMs       float64 `json:"total_ms"`
 }
 
 func toWhatIfResponse(r *hyper.WhatIfResult) *WhatIfResponse {
@@ -67,6 +79,8 @@ func toWhatIfResponse(r *hyper.WhatIfResult) *WhatIfResponse {
 		ShardPlan:     r.ShardPlan,
 		ShardWorkers:  r.ShardWorkers,
 		ShardedFit:    r.ShardedFit,
+		Placement:     r.Placement,
+		RemoteWorkers: r.RemoteWorkers,
 		TotalMs:       float64(r.Total) / float64(time.Millisecond),
 	}
 }
@@ -115,7 +129,7 @@ func (s *Server) handleWhatIf(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.whatIf(r.Context(), req.Query, req.Shards, nil)
+	return e.whatIf(r.Context(), req.Query, req.Shards, req.Placement, nil)
 }
 
 func (s *Server) handleHowTo(r *http.Request) (any, error) {
@@ -152,12 +166,68 @@ func (e *sessionEntry) sessionFor(shards int) *hyper.Session {
 	return e.sess.With(e.sess.Options().WithShards(shards))
 }
 
+// fitSession derives a session whose shard-mergeable estimator fits are
+// offloaded to the registered workers (placement "fit"). The fitter is
+// per-request so WorkersUsed reports this request's remote contribution —
+// 0 means every fit was cache-warm or fell back local.
+func (e *sessionEntry) fitSession(shards int) (*hyper.Session, *dist.SessionFitter) {
+	fitter := e.dist.Fitter(e.frame)
+	opts := e.sessionFor(shards).Options().WithRemoteFit(fitter)
+	return e.sess.With(opts), fitter
+}
+
+// resolvePlacement validates the placement knob against the query kind and
+// resolves "" (auto): what-if queries distribute over live workers when any
+// are registered, how-to queries stay local unless "fit" is asked for
+// explicitly (a how-to evaluates many candidate queries; per-fit round
+// trips are worth it only when the caller says so).
+func (e *sessionEntry) resolvePlacement(placement, kind string) (string, error) {
+	switch placement {
+	case "":
+		if kind == "whatif" && e.dist != nil && e.dist.WorkersAlive() > 0 {
+			return "workers", nil
+		}
+		return "local", nil
+	case "local", "fit":
+		return placement, nil
+	case "workers":
+		if kind != "whatif" {
+			return "", errf(http.StatusBadRequest, "placement %q applies to what-if queries only (use \"fit\" for how-to)", placement)
+		}
+		return placement, nil
+	default:
+		return "", errf(http.StatusBadRequest, "unknown placement %q (want local|workers|fit)", placement)
+	}
+}
+
 // whatIf evaluates one what-if query under ctx (cancelled requests and
 // cancelled jobs stop the engine mid-evaluation); shards > 0 overrides the
-// session's worker fan-out for this request; progress may be nil.
-func (e *sessionEntry) whatIf(ctx context.Context, query string, shards int, progress hyper.Progress) (*WhatIfResponse, error) {
+// session's worker fan-out for this request; placement selects where the
+// evaluation runs (results are identical everywhere); progress may be nil.
+func (e *sessionEntry) whatIf(ctx context.Context, query string, shards int, placement string, progress hyper.Progress) (*WhatIfResponse, error) {
 	e.queries.Add(1)
-	res, err := e.sessionFor(shards).WhatIfContext(ctx, query, progress)
+	pl, err := e.resolvePlacement(placement, "whatif")
+	if err != nil {
+		return nil, err
+	}
+	var res *hyper.WhatIfResult
+	switch pl {
+	case "workers":
+		sess := e.sessionFor(shards)
+		res, err = e.dist.EvaluateWhatIf(ctx, dist.EvalSpec{
+			DB: sess.DB(), Model: sess.Model(), Frame: e.frame,
+			Query: query, Options: sess.EngineOptions(), Progress: progress,
+		})
+	case "fit":
+		sess, fitter := e.fitSession(shards)
+		res, err = sess.WhatIfContext(ctx, query, progress)
+		if res != nil {
+			res.Placement = "fit"
+			res.RemoteWorkers = fitter.WorkersUsed()
+		}
+	default:
+		res, err = e.sessionFor(shards).WhatIfContext(ctx, query, progress)
+	}
 	if err != nil {
 		return nil, queryError(ctx, err)
 	}
@@ -169,11 +239,17 @@ func (e *sessionEntry) whatIf(ctx context.Context, query string, shards int, pro
 
 func (e *sessionEntry) howTo(ctx context.Context, req QueryRequest, progress hyper.Progress) (*HowToResponse, error) {
 	e.queries.Add(1)
+	pl, err := e.resolvePlacement(req.Placement, "howto")
+	if err != nil {
+		return nil, err
+	}
 	sess := e.sessionFor(req.Shards)
-	var (
-		res *hyper.HowToResult
-		err error
-	)
+	if pl == "fit" {
+		// Every candidate what-if of the how-to shares the session's frame,
+		// so its shard-mergeable fits distribute over the same transport.
+		sess, _ = e.fitSession(req.Shards)
+	}
+	var res *hyper.HowToResult
 	switch req.Method {
 	case "", "ip":
 		res, err = sess.HowToContext(ctx, req.Query, progress)
@@ -220,6 +296,8 @@ type BatchQuery struct {
 	// Shards overrides the evaluation fan-out for this element (see
 	// QueryRequest.Shards).
 	Shards int `json:"shards,omitempty"`
+	// Placement selects where this element runs (see QueryRequest.Placement).
+	Placement string `json:"placement,omitempty"`
 }
 
 // BatchRequest fans N queries against one session across a worker pool.
@@ -327,14 +405,14 @@ func (e *sessionEntry) runBatchQuery(ctx context.Context, i int, q BatchQuery) B
 	out := BatchResult{Index: i}
 	switch q.Kind {
 	case "", "whatif":
-		res, err := e.whatIf(ctx, q.Query, q.Shards, nil)
+		res, err := e.whatIf(ctx, q.Query, q.Shards, q.Placement, nil)
 		if err != nil {
 			out.Error = err.Error()
 		} else {
 			out.WhatIf = res
 		}
 	case "howto":
-		res, err := e.howTo(ctx, QueryRequest{Query: q.Query, Method: q.Method, Target: q.Target, Shards: q.Shards}, nil)
+		res, err := e.howTo(ctx, QueryRequest{Query: q.Query, Method: q.Method, Target: q.Target, Shards: q.Shards, Placement: q.Placement}, nil)
 		if err != nil {
 			out.Error = err.Error()
 		} else {

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"hyper"
+	"hyper/internal/dist"
 	"hyper/internal/jobs"
 )
 
@@ -73,6 +74,15 @@ type Config struct {
 	JobsPerSession int
 	// JobRetention is how many finished jobs stay pollable (default 256).
 	JobRetention int
+	// DistTTL is the worker lease of the embedded shard coordinator: a
+	// registered worker whose last heartbeat is older is not assigned plan
+	// shards (default 15s).
+	DistTTL time.Duration
+	// DistSecret, when non-empty, gates worker registration (and is
+	// presented on every worker dial-back). A registered worker receives
+	// session data and its partials merge into query results, so set a
+	// secret whenever untrusted peers can reach the listeners.
+	DistSecret string
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
 }
@@ -121,6 +131,7 @@ type Server struct {
 	sessions map[string]*sessionEntry
 
 	jobs *jobs.Manager
+	dist *dist.Coordinator
 
 	stats  statsRecorder
 	shards shardGauges
@@ -140,10 +151,15 @@ func New(cfg Config) *Server {
 			PerSessionLimit: cfg.JobsPerSession,
 			Retention:       cfg.JobRetention,
 		}),
+		dist: dist.NewCoordinator(dist.CoordinatorConfig{TTL: cfg.DistTTL, Secret: cfg.DistSecret, Logf: cfg.Logf}),
 	}
 	s.stats.init()
 	return s
 }
+
+// Dist returns the embedded shard coordinator (worker registry, distributed
+// evaluation, fit transport).
+func (s *Server) Dist() *dist.Coordinator { return s.dist }
 
 // Drain gracefully shuts the job subsystem down: no new jobs are admitted
 // (submissions get HTTP 503), queued jobs are cancelled, and running jobs
@@ -174,6 +190,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleGetJob))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs", s.handleCancelJob))
 	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	// Shard-transport registration surface: workers announce themselves and
+	// heartbeat here; the coordinator dials them back for shard work.
+	dh := s.dist.Handler()
+	mux.Handle("/dist/v1/workers", dh)
+	mux.Handle("/dist/v1/workers/", dh)
 	return mux
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"hyper"
 	"hyper/internal/dataset"
+	"hyper/internal/dist"
 )
 
 // sessionEntry is one live session: a named database + causal model bound to
@@ -21,7 +22,9 @@ type sessionEntry struct {
 	sess    *hyper.Session
 	created time.Time
 	queries atomic.Int64
-	shards  *shardGauges // server-wide gauges, recorded per what-if
+	shards  *shardGauges      // server-wide gauges, recorded per what-if
+	dist    *dist.Coordinator // shard transport (placement knob)
+	frame   *dist.Frame       // content-addressed snapshot shipped to workers
 }
 
 // SessionOptions is the wire form of hyper.Options.
@@ -229,7 +232,10 @@ func (s *Server) handleCreateSession(r *http.Request) (any, error) {
 	sess := hyper.NewSessionWithCache(db, model, hyper.NewCacheBounded(cacheEntries))
 	sess.SetOptions(opts)
 
-	e := &sessionEntry{name: req.Name, dataset: from, sess: sess, created: time.Now(), shards: &s.shards}
+	e := &sessionEntry{
+		name: req.Name, dataset: from, sess: sess, created: time.Now(),
+		shards: &s.shards, dist: s.dist, frame: dist.NewFrame(db, model),
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkAdmissibleLocked(req.Name); err != nil {

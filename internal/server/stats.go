@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyper/internal/dist"
 	"hyper/internal/jobs"
 )
 
@@ -154,6 +155,14 @@ type StatsResponse struct {
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Jobs      jobs.Stats               `json:"jobs"`
 	Shards    ShardStats               `json:"shards"`
+	Dist      DistStats                `json:"dist"`
+}
+
+// DistStats is the shard-transport section of /v1/stats: the coordinator
+// gauges plus the per-worker registry snapshot.
+type DistStats struct {
+	dist.Stats
+	Workers []dist.WorkerInfo `json:"workers,omitempty"`
 }
 
 func (s *Server) handleStats(*http.Request) (any, error) {
@@ -164,6 +173,7 @@ func (s *Server) handleStats(*http.Request) (any, error) {
 		Sessions:  make([]SessionInfo, len(entries)),
 		Jobs:      s.jobs.Stats(),
 		Shards:    s.shards.snapshot(),
+		Dist:      DistStats{Stats: s.dist.Stats(), Workers: s.dist.WorkerInfos()},
 	}
 	for i, e := range entries {
 		resp.Sessions[i] = e.info()
