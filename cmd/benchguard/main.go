@@ -19,6 +19,12 @@
 //     counts; near-deterministic across machines, same relative tolerance
 //     plus a small absolute grace so a zero baseline doesn't forbid a
 //     single new alloc)
+//   - tracing_overhead_pct (span-instrumentation cost of a cold what-if,
+//     measured by hyperbench as an interleaved traced/untraced pair on the
+//     SAME machine in the SAME run, so it gates unconditionally — no
+//     baseline or hardware comparability needed; must stay under 2%, with
+//     a 0.25ms absolute grace so sub-millisecond noise on tiny workloads
+//     cannot fail the build)
 //
 // Usage:
 //
@@ -42,6 +48,8 @@ type metrics struct {
 	ColdWhatIfMs           float64 `json:"cold_whatif_ms"`
 	FreqFitAllocsPerOp     int64   `json:"freq_fit_allocs_per_op"`
 	FreqPredictAllocsPerOp int64   `json:"freq_predict_allocs_per_op"`
+	ColdWhatIfTracedMs     float64 `json:"cold_whatif_traced_ms"`
+	TracingOverheadPct     float64 `json:"tracing_overhead_pct"`
 }
 
 // env renders the execution environment of one run for the verdict. Older
@@ -139,6 +147,29 @@ func main() {
 		math.Ceil(float64(base.FreqFitAllocsPerOp)*(1+*tolerance))+allocGrace, true)
 	check("freq_predict_allocs_per_op", float64(base.FreqPredictAllocsPerOp), float64(cur.FreqPredictAllocsPerOp),
 		math.Ceil(float64(base.FreqPredictAllocsPerOp)*(1+*tolerance))+allocGrace, true)
+
+	// Tracing overhead is a within-run paired measurement (hyperbench
+	// interleaves traced and untraced reps on this machine), so it gates
+	// against the fixed 2% budget regardless of the baseline's hardware.
+	// The absolute grace keeps sub-millisecond jitter on small workloads
+	// from tripping a percentage gate.
+	const maxTracingOverheadPct = 2.0
+	const tracingGraceMs = 0.25
+	if cur.ColdWhatIfTracedMs > 0 {
+		// Recover the paired untraced time from the ratio: cold_whatif_ms is
+		// a median over different reps and would make the delta incoherent.
+		pairedUntracedMs := cur.ColdWhatIfTracedMs / (1 + cur.TracingOverheadPct/100)
+		deltaMs := cur.ColdWhatIfTracedMs - pairedUntracedMs
+		status := "ok"
+		if cur.TracingOverheadPct > maxTracingOverheadPct && deltaMs > tracingGraceMs {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s current %+.3f%% (%+.3fms)    limit %.6g%%       %s\n",
+			"tracing_overhead_pct", cur.TracingOverheadPct, deltaMs, maxTracingOverheadPct, status)
+	} else {
+		fmt.Printf("%-28s not measured (regenerate with current hyperbench)\n", "tracing_overhead_pct")
+	}
 
 	if failed {
 		fmt.Println("benchguard: FAIL — a tracked metric regressed beyond tolerance")

@@ -23,6 +23,8 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 )
@@ -180,6 +182,131 @@ func stableBytes(payload []byte, dst any) []byte {
 	return out
 }
 
+// span mirrors obs.SpanJSON (distsmoke deliberately decodes the wire shape,
+// not the Go type, so the tool also guards the JSON contract).
+type span struct {
+	Name     string         `json:"name"`
+	Attrs    map[string]any `json:"attrs"`
+	Children []*span        `json:"children"`
+}
+
+func (s *span) find(name string) *span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := c.find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// checkDistTrace runs one traced distributed what-if and asserts the
+// coordinator grafted the workers' span trees into a single end-to-end
+// trace: one worker_eval child per assigned worker shard range, each with
+// the remote tree attached, shard counts reconciling with the plan.
+func checkDistTrace(cbase string) {
+	var res struct {
+		ShardPlan     int `json:"shard_plan"`
+		RemoteWorkers int `json:"remote_workers"`
+		Trace         *struct {
+			ID   string `json:"id"`
+			Root *span  `json:"root"`
+		} `json:"trace"`
+	}
+	status, payload := post(cbase, "/v1/whatif?trace=1", map[string]any{
+		"session": "german", "placement": "workers",
+		"query": `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`,
+	})
+	if status != http.StatusOK {
+		fatalf("traced whatif: status %d: %s", status, payload)
+	}
+	if err := json.Unmarshal(payload, &res); err != nil {
+		fatalf("traced whatif: %v", err)
+	}
+	if res.Trace == nil || res.Trace.Root == nil || res.Trace.ID == "" {
+		fatalf("?trace=1 returned no trace")
+	}
+	de := res.Trace.Root.find("dist_eval")
+	if de == nil {
+		fatalf("traced distributed whatif has no dist_eval span")
+	}
+	shardSum, workerSpans, grafted := 0.0, 0, 0
+	for _, c := range de.Children {
+		if c.Name != "worker_eval" {
+			continue
+		}
+		workerSpans++
+		shards, _ := c.Attrs["shards"].(float64)
+		shardSum += shards
+		if c.find("eval") != nil {
+			grafted++
+		}
+	}
+	if workerSpans != res.RemoteWorkers || workerSpans == 0 {
+		fatalf("trace has %d worker_eval spans, response reports %d remote workers", workerSpans, res.RemoteWorkers)
+	}
+	if grafted != workerSpans {
+		fatalf("only %d of %d worker_eval spans carry a grafted remote tree", grafted, workerSpans)
+	}
+	if int(shardSum) != res.ShardPlan {
+		fatalf("worker_eval shard counts sum to %v, plan is %d", shardSum, res.ShardPlan)
+	}
+	fmt.Fprintf(os.Stderr, "distsmoke: trace %s ok: %d worker spans, %d/%d shards grafted end-to-end\n",
+		res.Trace.ID, workerSpans, int(shardSum), res.ShardPlan)
+}
+
+// scrapeMetrics fetches and parses a Prometheus text exposition, failing on
+// any malformed line, and returns series -> value (series includes labels).
+func scrapeMetrics(name, base string) map[string]float64 {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fatalf("%s /metrics: %v", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("%s /metrics: status %d", name, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		fatalf("%s /metrics: content type %q", name, ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("%s /metrics: %v", name, err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			fatalf("%s /metrics: malformed line %q", name, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			fatalf("%s /metrics: bad value in %q: %v", name, line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if len(out) == 0 {
+		fatalf("%s /metrics: empty exposition", name)
+	}
+	return out
+}
+
+func requireSeries(name string, series map[string]float64, want ...string) {
+	for _, w := range want {
+		if _, ok := series[w]; !ok {
+			fatalf("%s /metrics is missing series %q", name, w)
+		}
+	}
+}
+
 func main() {
 	hyperd := flag.String("hyperd", "hyperd", "path to the hyperd binary")
 	flag.Parse()
@@ -317,5 +444,45 @@ func main() {
 		fatalf("coordinator gauges say the distributed path did not run: %+v", stats.Dist)
 	}
 	fmt.Fprintf(os.Stderr, "distsmoke: gauges: %+v\n", stats.Dist)
+
+	// One traced distributed run must stitch a single cross-process trace.
+	checkDistTrace(cbase)
+
+	// All three processes must expose well-formed Prometheus text with their
+	// core series, and the worker-side shard counters must reconcile with the
+	// coordinator's ledger (exact when nothing was requeued).
+	coordSeries := scrapeMetrics("coordinator", cbase)
+	requireSeries("coordinator", coordSeries,
+		`hyper_requests_total{endpoint="whatif"}`,
+		`hyper_request_duration_ms_count{endpoint="whatif"}`,
+		"hyper_dist_remote_shards_total",
+		"hyper_dist_workers_alive",
+		"hyper_uptime_seconds",
+		"hyper_traces_recorded_total",
+	)
+	workerShards := 0.0
+	for i, port := range []int{w1port, w2port} {
+		name := fmt.Sprintf("worker%d", i+1)
+		ws := scrapeMetrics(name, fmt.Sprintf("http://127.0.0.1:%d", port))
+		requireSeries(name, ws,
+			"hyper_worker_evals_total",
+			"hyper_worker_eval_shards_total",
+			"hyper_worker_fits_total",
+			"hyper_worker_frames",
+		)
+		if ws["hyper_worker_evals_total"] == 0 {
+			fatalf("%s served no evals according to its own counters", name)
+		}
+		workerShards += ws["hyper_worker_eval_shards_total"]
+	}
+	if requeues := coordSeries["hyper_dist_requeues_total"]; requeues == 0 {
+		if remote := coordSeries["hyper_dist_remote_shards_total"]; workerShards != remote {
+			fatalf("shard ledgers disagree: workers served %v shards, coordinator recorded %v", workerShards, remote)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "distsmoke: %v requeues — skipping exact shard reconciliation\n", requeues)
+	}
+	fmt.Fprintf(os.Stderr, "distsmoke: metrics ok: workers served %v shards, coordinator ledger matches\n", workerShards)
+
 	fmt.Println("distsmoke: PASS — distributed evaluation is bit-identical to single-node on toy and german")
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -14,6 +16,7 @@ import (
 	"hyper/internal/howto"
 	"hyper/internal/hyperql"
 	"hyper/internal/ml"
+	"hyper/internal/obs"
 )
 
 // engineBenchResult is the machine-readable engine benchmark, written to
@@ -40,6 +43,12 @@ type engineBenchResult struct {
 	ColdWhatIfMs    float64 `json:"cold_whatif_ms"`
 	ColdWhatIfForMs float64 `json:"cold_whatif_for_ms"`
 	TrainedModels   int     `json:"trained_models"`
+	// ColdWhatIfTracedMs is the same cold query evaluated under an active
+	// obs trace (reps interleaved with untraced ones so machine drift hits
+	// both sides equally); TracingOverheadPct is the relative cost of the
+	// span instrumentation, gated <2% by cmd/benchguard.
+	ColdWhatIfTracedMs float64 `json:"cold_whatif_traced_ms"`
+	TracingOverheadPct float64 `json:"tracing_overhead_pct"`
 	// HowToMs is a four-attribute how-to (candidate scoring dominates);
 	// HowToSerialMs is the same query at GOMAXPROCS=1, so the ratio shows
 	// how candidate scoring scales with cores.
@@ -71,6 +80,45 @@ type shardSweepPoint struct {
 }
 
 const engineBenchReps = 5
+
+// tracingOverheadReps is higher than engineBenchReps because the tracing
+// gate is a percentage of a few milliseconds: the per-side minimum needs
+// enough samples for each side to land a rep near its noise floor.
+const tracingOverheadReps = 15
+
+// interleavedMs alternates two workloads rep pairs (a,b,a,b,...) and returns
+// each side's MINIMUM wall time in ms. Interleaving puts slow-machine drift
+// on both sides instead of whichever ran second; the minimum (not median) is
+// the estimator because scheduler noise is one-sided additive — each side's
+// best rep approaches its intrinsic cost, which is exactly what a
+// sub-millisecond overhead comparison needs (run-to-run medians of the same
+// workload swing far more than the 2% budget being measured). One untimed
+// warmup pair absorbs first-touch costs (page faults, branch predictors)
+// that would otherwise be billed entirely to side a.
+func interleavedMs(reps int, a, b func() error) (aMs, bMs float64, err error) {
+	if err := a(); err != nil {
+		return 0, 0, err
+	}
+	if err := b(); err != nil {
+		return 0, 0, err
+	}
+	aMs, bMs = math.Inf(1), math.Inf(1)
+	for i := 0; i < reps; i++ {
+		for _, side := range []struct {
+			fn   func() error
+			best *float64
+		}{{a, &aMs}, {b, &bMs}} {
+			start := time.Now()
+			if err := side.fn(); err != nil {
+				return 0, 0, err
+			}
+			if ms := float64(time.Since(start)) / float64(time.Millisecond); ms < *side.best {
+				*side.best = ms
+			}
+		}
+	}
+	return aMs, bMs, nil
+}
 
 // medianMs runs fn reps times and returns the median wall time in ms.
 func medianMs(reps int, fn func() error) (float64, error) {
@@ -122,6 +170,28 @@ func runEngine(scale float64, seed int64, shards int, out string) error {
 	}
 	res.ColdWhatIfMs = cold
 	res.TrainedModels = last.TrainedModels
+
+	// Tracing overhead: the identical cold evaluation with and without an
+	// active trace, reps interleaved (A/B/A/B...) so cache warmup and CPU
+	// frequency drift bias neither side. Spans are execution-only, so the
+	// traced result must stay bit-identical — checked, not assumed.
+	tracedMs, untracedMs, err := interleavedMs(tracingOverheadReps, func() error {
+		tr := obs.NewTrace("bench_whatif")
+		r, err := engine.EvaluateContext(tr.Context(context.Background()), g.DB, g.Model, qCold, engine.Options{Seed: seed, Shards: shards})
+		tr.Finish()
+		if err == nil && r.Value != last.Value {
+			return fmt.Errorf("traced evaluation diverged: %v != %v", r.Value, last.Value)
+		}
+		return err
+	}, func() error {
+		_, err := engine.Evaluate(g.DB, g.Model, qCold, engine.Options{Seed: seed, Shards: shards})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	res.ColdWhatIfTracedMs = tracedMs
+	res.TracingOverheadPct = (tracedMs - untracedMs) / untracedMs * 100
 
 	res.ColdWhatIfForMs, err = medianMs(engineBenchReps, func() error {
 		_, err := engine.Evaluate(g.DB, g.Model, qFor, engine.Options{Seed: seed, Shards: shards})
@@ -235,6 +305,8 @@ func runEngine(scale float64, seed int64, shards int, out string) error {
 	fmt.Printf("rows=%d  cold=%.2fms cold+for=%.2fms models=%d  howto=%.1fms serial=%.1fms (%d candidates)\n",
 		res.Rows, res.ColdWhatIfMs, res.ColdWhatIfForMs, res.TrainedModels,
 		res.HowToMs, res.HowToSerialMs, res.HowToCandidates)
+	fmt.Printf("tracing: cold traced=%.2fms untraced=%.2fms overhead=%+.2f%%\n",
+		res.ColdWhatIfTracedMs, untracedMs, res.TracingOverheadPct)
 	fmt.Printf("freq fit %d ns/op %d allocs/op  predict %d ns/op %d allocs/op\n",
 		res.FreqFitNsPerOp, res.FreqFitAllocsPerOp, res.FreqPredictNsPerOp, res.FreqPredictAllocsPerOp)
 	for _, p := range res.ShardSweep {

@@ -43,6 +43,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -79,9 +80,14 @@ func main() {
 	workerID := flag.String("worker-id", "", "worker mode: stable worker id (default <hostname>-<pid>)")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "worker mode: heartbeat interval (keep well under the coordinator's -dist-ttl)")
 	workerFrames := flag.Int("worker-frames", 8, "worker mode: session frames kept (LRU eviction past this)")
+	slowQueryMs := flag.Int("slow-query-ms", 0, "log a JSON line (with trace id) for query requests at least this slow (0 = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off; keep it off or firewalled in production)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "hyperd: ", log.LstdFlags)
+	if *pprofAddr != "" {
+		servePprof(logger, *pprofAddr)
+	}
 	if *workerMode {
 		if *coordinator == "" {
 			logger.Fatal("-worker requires -coordinator")
@@ -102,6 +108,7 @@ func main() {
 		JobRetention:   *jobRetention,
 		DistTTL:        *distTTL,
 		DistSecret:     *distSecret,
+		SlowQueryMs:    *slowQueryMs,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -195,6 +202,11 @@ func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secre
 	w := dist.NewWorker(wcfg)
 	mux := http.NewServeMux()
 	mux.Handle("/dist/v1/", w.Handler())
+	// Observability surface, same paths as the serving daemon so one scrape
+	// config covers coordinator and workers alike.
+	mux.Handle("GET /metrics", w.Metrics().Handler())
+	mux.Handle("GET /v1/traces", w.Traces().ListHandler())
+	mux.Handle("GET /v1/traces/{id}", w.Traces().GetHandler())
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(rw, `{"ok":true,"worker":%q,"frames":%d}`, id, len(w.FrameIDs()))
@@ -318,6 +330,26 @@ func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secre
 		}
 		return nil
 	}
+}
+
+// servePprof exposes the net/http/pprof profiling endpoints on their own
+// listener — opt-in and address-separated so the serving API can stay
+// reachable while profiling stays private (bind it to localhost or a
+// firewalled port; the profiles expose internals and can be expensive).
+func servePprof(logger *log.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		logger.Printf("pprof listening on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("pprof: %v", err)
+		}
+	}()
 }
 
 // loopbackURL reports whether a base URL points at a loopback or

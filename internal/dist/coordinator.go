@@ -18,6 +18,7 @@ import (
 	"hyper/internal/engine"
 	"hyper/internal/hyperql"
 	"hyper/internal/ml"
+	"hyper/internal/obs"
 	"hyper/internal/relation"
 )
 
@@ -46,6 +47,9 @@ type CoordinatorConfig struct {
 	// Logf, when non-nil, receives coordinator events (registrations,
 	// drops, requeues, frame ships).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the coordinator's hyper_dist_* metric
+	// families at construction time (the same atomics /v1/stats reads).
+	Metrics *obs.Registry
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -78,6 +82,11 @@ type Coordinator struct {
 	remoteShards   atomic.Uint64 // plan shards evaluated on remote workers
 	remoteFits     atomic.Uint64 // remote shard-mergeable fits completed
 	localFallbacks atomic.Uint64 // times pending shards fell back to local
+
+	// requeueEvents labels each worker drop with who failed and why
+	// (reason: lease_expired | dial_fail | frame_missing); nil without a
+	// metrics registry (every obs vec/counter method no-ops on nil).
+	requeueEvents *obs.CounterVec
 }
 
 // remoteWorker is one registered worker. shipped tracks the frames this
@@ -127,7 +136,32 @@ func (w *remoteWorker) frameCount() int {
 
 // NewCoordinator returns a coordinator with an empty worker registry.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
-	return &Coordinator{cfg: cfg.withDefaults(), workers: make(map[string]*remoteWorker)}
+	c := &Coordinator{cfg: cfg.withDefaults(), workers: make(map[string]*remoteWorker)}
+	if r := c.cfg.Metrics; r != nil {
+		r.GaugeFunc("hyper_dist_workers_alive", "Registered workers within their heartbeat lease.",
+			func() float64 { return float64(c.WorkersAlive()) })
+		r.GaugeFunc("hyper_dist_workers_registered", "Workers in the registry, alive or not.",
+			func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(len(c.workers)) })
+		r.CounterFunc("hyper_dist_registrations_total", "Worker registrations accepted (including re-registrations).",
+			func() float64 { return float64(c.registered.Load()) })
+		r.CounterFunc("hyper_dist_workers_lost_total", "Workers dropped after a dispatch failure.",
+			func() float64 { return float64(c.lost.Load()) })
+		r.CounterFunc("hyper_dist_requeues_total", "Shard batches requeued after a worker loss.",
+			func() float64 { return float64(c.requeues.Load()) })
+		r.CounterFunc("hyper_dist_frames_shipped_total", "Frame snapshots shipped to workers.",
+			func() float64 { return float64(c.framesShipped.Load()) })
+		r.CounterFunc("hyper_dist_remote_evals_total", "Distributed what-if evaluations completed.",
+			func() float64 { return float64(c.remoteEvals.Load()) })
+		r.CounterFunc("hyper_dist_remote_shards_total", "Plan shards evaluated on remote workers.",
+			func() float64 { return float64(c.remoteShards.Load()) })
+		r.CounterFunc("hyper_dist_remote_fits_total", "Remote shard-mergeable fits completed.",
+			func() float64 { return float64(c.remoteFits.Load()) })
+		r.CounterFunc("hyper_dist_local_fallbacks_total", "Times pending shards fell back to local evaluation.",
+			func() float64 { return float64(c.localFallbacks.Load()) })
+		c.requeueEvents = r.CounterVec("hyper_dist_requeue_events_total",
+			"Worker drops that requeued shards, by worker and failure reason.", "worker", "reason")
+	}
+	return c
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -254,14 +288,38 @@ func (c *Coordinator) WorkerInfos() []WorkerInfo {
 // the caller. A live worker process will heartbeat into a 404 and
 // re-register.
 func (c *Coordinator) drop(w *remoteWorker, err error) {
+	reason := requeueReason(w, err, c.cfg.TTL)
 	c.mu.Lock()
 	if cur, ok := c.workers[w.id]; ok && cur == w {
 		delete(c.workers, w.id)
 	}
 	c.mu.Unlock()
 	c.lost.Add(1)
-	c.logf("dist: dropping worker %s: %v", w.id, err)
+	c.requeueEvents.With(w.id, reason).Inc()
+	c.logf("dist: dropping worker %s (%s): %v", w.id, reason, err)
 }
+
+// requeueReason classifies why a worker's shards are being requeued:
+// frame_missing when the worker kept losing the frame mid-request (store
+// thrash), lease_expired when its heartbeat lease had already lapsed by
+// failure time, dial_fail for everything else (transport error, 5xx).
+func requeueReason(w *remoteWorker, err error, ttl time.Duration) string {
+	var thrash frameThrashError
+	switch {
+	case errors.As(err, &thrash):
+		return "frame_missing"
+	case !w.aliveAt(ttl):
+		return "lease_expired"
+	default:
+		return "dial_fail"
+	}
+}
+
+// frameThrashError marks repeated frame loss on one worker mid-request (the
+// retryable failure whose requeue reason is frame_missing).
+type frameThrashError struct{ err error }
+
+func (e frameThrashError) Error() string { return e.err.Error() }
 
 // Stats is the coordinator gauge snapshot (wire form for /v1/stats).
 type Stats struct {
@@ -336,7 +394,7 @@ func (c *Coordinator) postWorker(ctx context.Context, w *remoteWorker, frame *Fr
 				// problem, not a query problem: report it retryable so the
 				// caller requeues elsewhere or falls back locally instead of
 				// failing the user's request.
-				return fmt.Errorf("dist: worker %s evicted frame %.12s twice mid-request (frame-store thrash; raise -worker-frames)", w.id, frameID)
+				return frameThrashError{fmt.Errorf("dist: worker %s evicted frame %.12s twice mid-request (frame-store thrash; raise -worker-frames)", w.id, frameID)}
 			}
 			// The worker lost the frame (restart, LRU eviction): forget our
 			// shipped mark and re-ship through the single-flight.
@@ -425,6 +483,12 @@ func (c *Coordinator) roundTrip(ctx context.Context, w *remoteWorker, method, pa
 	}
 	req.Header.Set("Content-Type", "application/json")
 	setSecret(req, c.cfg.Secret)
+	if traceID := obs.TraceIDFromContext(ctx); traceID != "" {
+		// Cross-process trace propagation: a stamped compute request asks the
+		// worker to trace its evaluation and return the span tree in the
+		// response body for grafting.
+		req.Header.Set(obs.TraceIDHeader, traceID)
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return 0, nil, err
@@ -443,6 +507,10 @@ func (c *Coordinator) shipFrame(ctx context.Context, w *remoteWorker, frame *Fra
 	if err != nil {
 		return terminalError{err}
 	}
+	_, ssp := obs.Start(ctx, "ship_frame")
+	defer ssp.End()
+	ssp.Set("worker", w.id)
+	ssp.Set("bytes", len(body))
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, w.url+pathFrames+id, bytes.NewReader(body))
 	if err != nil {
 		return terminalError{err}
@@ -513,6 +581,12 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 		// Empty view: nothing to distribute.
 		return engine.EvaluateContext(ctx, spec.DB, spec.Model, q, spec.Options)
 	}
+	// dist_eval is the distributed fan-out's span: one worker_eval child per
+	// assigned shard range (grafting the worker's own tree when it returned
+	// one), so a traced distributed query reads as a single end-to-end tree.
+	ctx, dsp := obs.Start(ctx, "dist_eval")
+	defer dsp.End()
+	dsp.Set("plan", planShards)
 	pending := make([]int, planShards)
 	for i := range pending {
 		pending[i] = i
@@ -588,13 +662,21 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 			wg.Add(1)
 			go func(w *remoteWorker, chunk []int) {
 				defer wg.Done()
+				wctx, wsp := obs.Start(ctx, "worker_eval")
+				wsp.Set("worker", w.id)
+				wsp.Set("shards", len(chunk))
 				var resp EvalResponse
-				err := c.postWorker(ctx, w, spec.Frame, pathEval, EvalRequest{
+				err := c.postWorker(wctx, w, spec.Frame, pathEval, EvalRequest{
 					Frame:   mustFrameID(spec.Frame),
 					Query:   spec.Query,
 					Options: WireOptionsFrom(spec.Options),
 					Shards:  chunk,
 				}, &resp)
+				wsp.Set("error", err != nil)
+				if err == nil {
+					wsp.Graft(resp.Spans)
+				}
+				wsp.End()
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -609,7 +691,7 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 					failed = append(failed, chunk...)
 					return
 				}
-				absorb(w.id, &resp, len(chunk))
+				absorb(w.id, &resp.PartialResult, len(chunk))
 				usedRemote[w.id] = true
 			}(ws[i], chunk)
 		}
@@ -637,6 +719,8 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 	}
 	res.Total = time.Since(start)
 	res.EvalTime = res.Total
+	dsp.Set("workers", len(usedRemote))
+	dsp.Set("local_shards", localDone)
 	c.remoteEvals.Add(1)
 	c.remoteShards.Add(uint64(planShards - localDone))
 	return res, nil
@@ -744,8 +828,12 @@ func (f *SessionFitter) fit(ctx context.Context, query string, o engine.Options,
 			wg.Add(1)
 			go func(w *remoteWorker, chunk []int) {
 				defer wg.Done()
+				wctx, wsp := obs.Start(ctx, "worker_fit")
+				wsp.Set("worker", w.id)
+				wsp.Set("shards", len(chunk))
+				defer wsp.End()
 				var resp FitResponse
-				err := c.postWorker(ctx, w, f.frame, pathFit, FitRequest{
+				err := c.postWorker(wctx, w, f.frame, pathFit, FitRequest{
 					Frame:    mustFrameID(f.frame),
 					Query:    query,
 					Options:  wireOpts,
@@ -755,6 +843,10 @@ func (f *SessionFitter) fit(ctx context.Context, query string, o engine.Options,
 					Support:  support,
 					Shards:   chunk,
 				}, &resp)
+				wsp.Set("error", err != nil)
+				if err == nil {
+					wsp.Graft(resp.Spans)
+				}
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {

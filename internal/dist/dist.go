@@ -37,6 +37,7 @@ import (
 
 	"hyper/internal/engine"
 	"hyper/internal/ml"
+	"hyper/internal/obs"
 )
 
 // Protocol paths. Worker-side endpoints are served by Worker.Handler;
@@ -110,9 +111,16 @@ type EvalRequest struct {
 	Shards  []int       `json:"shards"`
 }
 
-// EvalResponse is the worker's answer: the engine's partial result, directly
-// serializable.
-type EvalResponse = engine.PartialResult
+// EvalResponse is the worker's answer: the engine's partial result, plus the
+// worker-local span tree when the coordinator asked for tracing by stamping
+// the X-Hyper-Trace-Id header on the request. The coordinator grafts Spans
+// under its per-worker span, stitching one end-to-end trace across
+// processes; span timestamps are the worker's clock (durations are the
+// authoritative numbers), and tracing never touches Partials.
+type EvalResponse struct {
+	engine.PartialResult
+	Spans *obs.SpanJSON `json:"spans,omitempty"`
+}
 
 // FitRequest asks a worker for the per-shard partial indexes of a
 // shard-mergeable estimator fit: the freq cells of the event subset Mask
@@ -131,10 +139,13 @@ type FitRequest struct {
 }
 
 // FitResponse carries one wire part per requested shard, in request order.
+// Spans is the worker's span tree for the fit, present only when the
+// request was traced (see EvalResponse).
 type FitResponse struct {
 	FitPlan int               `json:"fit_plan"`
 	Parts   []*ml.FreqWire    `json:"parts,omitempty"`
 	Support []*ml.SupportWire `json:"support,omitempty"`
+	Spans   *obs.SpanJSON     `json:"spans,omitempty"`
 }
 
 // RegisterRequest announces a worker to the coordinator. URL is the base

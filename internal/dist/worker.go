@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -14,6 +15,7 @@ import (
 	"hyper/internal/causal"
 	"hyper/internal/engine"
 	"hyper/internal/hyperql"
+	"hyper/internal/obs"
 	"hyper/internal/relation"
 )
 
@@ -58,6 +60,17 @@ type Worker struct {
 	mu     sync.Mutex
 	frames map[string]*workerFrame
 	order  []string // LRU: least recently used first
+
+	// Observability: a per-worker metric registry (served at GET /metrics on
+	// the worker's own mux) and a trace ring holding the span trees of
+	// coordinator-traced compute requests (GET /v1/traces).
+	metrics    *obs.Registry
+	traces     *obs.Recorder
+	evals      *obs.Counter // eval requests answered successfully
+	evalShards *obs.Counter // plan shards evaluated (successful evals only)
+	fits       *obs.Counter // fit requests answered successfully
+	frameBytes *obs.Counter // frame bytes accepted into the store
+	evictions  *obs.Counter // frames evicted by the LRU bound
 }
 
 // workerFrame is one decoded frame plus its engine cache (views, blocks,
@@ -70,8 +83,29 @@ type workerFrame struct {
 
 // NewWorker returns a worker with an empty frame store.
 func NewWorker(cfg WorkerConfig) *Worker {
-	return &Worker{cfg: cfg.withDefaults(), frames: make(map[string]*workerFrame)}
+	w := &Worker{
+		cfg:     cfg.withDefaults(),
+		frames:  make(map[string]*workerFrame),
+		metrics: obs.NewRegistry(),
+		traces:  obs.NewRecorder(obs.DefaultTraceCapacity),
+	}
+	w.evals = w.metrics.Counter("hyper_worker_evals_total", "Eval requests answered successfully.")
+	w.evalShards = w.metrics.Counter("hyper_worker_eval_shards_total", "Plan shards evaluated by this worker (successful evals only).")
+	w.fits = w.metrics.Counter("hyper_worker_fits_total", "Fit requests answered successfully.")
+	w.frameBytes = w.metrics.Counter("hyper_worker_frame_bytes_received_total", "Frame bytes accepted into the store.")
+	w.evictions = w.metrics.Counter("hyper_worker_frame_evictions_total", "Frames evicted by the LRU bound.")
+	w.metrics.GaugeFunc("hyper_worker_frames", "Frames currently in the store.",
+		func() float64 { w.mu.Lock(); defer w.mu.Unlock(); return float64(len(w.frames)) })
+	w.metrics.CounterFunc("hyper_worker_traces_recorded_total", "Coordinator-traced requests captured into the trace ring.",
+		func() float64 { return float64(w.traces.Recorded()) })
+	return w
 }
+
+// Metrics returns the worker's metric registry (served at GET /metrics).
+func (w *Worker) Metrics() *obs.Registry { return w.metrics }
+
+// Traces returns the worker's trace ring.
+func (w *Worker) Traces() *obs.Recorder { return w.traces }
 
 // Handler returns the worker's HTTP surface.
 func (w *Worker) Handler() http.Handler {
@@ -88,6 +122,11 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("PUT "+pathFrames+"{id}", guarded(w.handlePutFrame))
 	mux.HandleFunc("POST "+pathEval, guarded(w.handleEval))
 	mux.HandleFunc("POST "+pathFit, guarded(w.handleFit))
+	// Observability surface, unauthenticated like the ping: metric values
+	// and span shapes carry no session data.
+	mux.Handle("GET /metrics", w.metrics.Handler())
+	mux.Handle("GET /v1/traces", w.traces.ListHandler())
+	mux.Handle("GET /v1/traces/{id}", w.traces.GetHandler())
 	return mux
 }
 
@@ -134,7 +173,24 @@ func (w *Worker) store(id string, f *workerFrame) {
 		evict := w.order[0]
 		w.order = w.order[1:]
 		delete(w.frames, evict)
+		w.evictions.Inc()
 		w.logf("dist worker: evicted frame %.12s", evict)
+	}
+}
+
+// traceRequest starts a worker-local trace when the coordinator stamped the
+// request with a trace id; the returned finish renders the tree into the
+// worker's ring and hands back the root for the response body (nil without
+// the header — untraced requests pay one header read).
+func (w *Worker) traceRequest(r *http.Request, name string) (ctx context.Context, finish func() *obs.SpanJSON) {
+	traceID := r.Header.Get(obs.TraceIDHeader)
+	if traceID == "" {
+		return r.Context(), func() *obs.SpanJSON { return nil }
+	}
+	tr := obs.NewTraceWithID(traceID, name)
+	return tr.Context(r.Context()), func() *obs.SpanJSON {
+		tr.Finish()
+		return w.traces.Record(tr).Root
 	}
 }
 
@@ -183,6 +239,7 @@ func (w *Worker) handlePutFrame(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.store(id, &workerFrame{db: db, model: model, cache: engine.NewCacheBounded(w.cfg.CacheEntries)})
+	w.frameBytes.Add(len(body))
 	w.logf("dist worker: stored frame %.12s (%d rows)", id, db.TotalRows())
 	writeJSON(rw, http.StatusOK, map[string]any{"ok": true})
 }
@@ -215,13 +272,16 @@ func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
 	}
 	opts := req.Options.EngineOptions()
 	opts.Cache = f.cache
-	res, err := engine.EvaluatePartialContext(r.Context(), f.db, f.model, q, opts, req.Shards)
+	ctx, finish := w.traceRequest(r, "eval")
+	res, err := engine.EvaluatePartialContext(ctx, f.db, f.model, q, opts, req.Shards)
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, "", "%v", err)
 		return
 	}
+	w.evals.Inc()
+	w.evalShards.Add(len(req.Shards))
 	w.logf("dist worker: eval frame=%.12s shards=%v plan=%d", req.Frame, req.Shards, res.Meta.Plan)
-	writeJSON(rw, http.StatusOK, res)
+	writeJSON(rw, http.StatusOK, EvalResponse{PartialResult: *res, Spans: finish()})
 }
 
 func (w *Worker) handleFit(rw http.ResponseWriter, r *http.Request) {
@@ -246,11 +306,13 @@ func (w *Worker) handleFit(rw http.ResponseWriter, r *http.Request) {
 	}
 	opts := req.Options.EngineOptions()
 	opts.Cache = f.cache
-	part, err := engine.FitEventPartialContext(r.Context(), f.db, f.model, q, opts, mask, req.Weighted, req.Cells, req.Support, req.Shards)
+	ctx, finish := w.traceRequest(r, "fit")
+	part, err := engine.FitEventPartialContext(ctx, f.db, f.model, q, opts, mask, req.Weighted, req.Cells, req.Support, req.Shards)
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, "", "%v", err)
 		return
 	}
+	w.fits.Inc()
 	w.logf("dist worker: fit frame=%.12s mask=%s shards=%v", req.Frame, req.Mask, req.Shards)
-	writeJSON(rw, http.StatusOK, FitResponse{FitPlan: part.FitPlan, Parts: part.Parts, Support: part.Support})
+	writeJSON(rw, http.StatusOK, FitResponse{FitPlan: part.FitPlan, Parts: part.Parts, Support: part.Support, Spans: finish()})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"hyper/internal/ml"
+	"hyper/internal/obs"
 	"hyper/internal/relation"
 	"hyper/internal/shard"
 	"hyper/internal/stats"
@@ -194,6 +195,14 @@ func (s *estimatorSet) model(key string, ex fitExec, label func(viewRow int) (fl
 		}
 	}()
 
+	// One span per actual training (cache hits and single-flight waiters
+	// never reach here), so a trace's fit-span count equals the trained
+	// model count at any shard fan-out.
+	_, fsp := obs.Start(ex.ctx, "fit")
+	defer fsp.End()
+	fsp.Set("estimator", s.kind)
+	fsp.Set("weighted", ex.weighted)
+
 	var m ml.Regressor
 	if s.kind == "freq" && ex.fitter != nil && ex.maskOK {
 		if rm, err := s.remoteFit(ex); err == nil {
@@ -203,6 +212,7 @@ func (s *estimatorSet) model(key string, ex fitExec, label func(viewRow int) (fl
 		// in plan order are bit-identical to the local fit, so losing the
 		// workers mid-training can never change a result — only where the
 		// work ran.
+		fsp.Set("remote", m != nil)
 	}
 	if m == nil {
 		y := make([]float64, len(s.trainRows))

@@ -10,6 +10,7 @@ import (
 	"hyper/internal/causal"
 	"hyper/internal/hyperql"
 	"hyper/internal/ml"
+	"hyper/internal/obs"
 	"hyper/internal/relation"
 	"hyper/internal/shard"
 	"hyper/internal/sqlmini"
@@ -32,7 +33,12 @@ func Evaluate(db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opt
 // trained estimators) remain valid — training is atomic per model, so a
 // cancelled query never leaves a partially trained regressor behind.
 func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.Model, q *hyperql.WhatIf, opts Options) (*Result, error) {
-	p, err := prepareEvaluation(ctx, db, model, q, opts)
+	// Tracing rides the context like the other execution-only knobs
+	// (Progress, Shards): an untraced context makes every obs.Start a nil
+	// check, and a traced one never reaches cache identity or results.
+	pctx, psp := obs.Start(ctx, "prepare")
+	p, err := prepareEvaluation(pctx, db, model, q, opts)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +55,10 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 	// worker count (and matches a per-block fold over shards), so the block
 	// sums — and the final aggregate, accumulated in block order — are
 	// reproducible to the bit.
+	_, fsp := obs.Start(ctx, "fold")
 	foldPartials(p.res, parts, p.nBlocks, p.agg)
+	fsp.Set("blocks", p.nBlocks)
+	fsp.End()
 	p.res.EvalTime = time.Since(te)
 	p.res.TrainedModels = p.ev.est.trainedModels()
 	p.res.Total = time.Since(p.start)
@@ -63,34 +72,32 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 // resolveView materializes (or fetches from cache) the relevant view of the
 // query, validating the UPDATE clause on the way. It returns the view, its
 // cache key, and the distinct update attributes.
-func resolveView(db *relation.Database, q *hyperql.WhatIf, o Options) (*view, string, []string, error) {
+func resolveView(db *relation.Database, q *hyperql.WhatIf, o Options) (v *view, viewKey string, updateAttrs []string, hit bool, err error) {
 	if len(q.Updates) == 0 {
-		return nil, "", nil, fmt.Errorf("engine: what-if query has no UPDATE clause")
+		return nil, "", nil, false, fmt.Errorf("engine: what-if query has no UPDATE clause")
 	}
 	if q.Output == nil || !q.Output.Func.Valid() {
-		return nil, "", nil, fmt.Errorf("engine: what-if query has no valid OUTPUT aggregate")
+		return nil, "", nil, false, fmt.Errorf("engine: what-if query has no valid OUTPUT aggregate")
 	}
-	updateAttrs := make([]string, 0, len(q.Updates))
+	updateAttrs = make([]string, 0, len(q.Updates))
 	seen := map[string]bool{}
 	for _, u := range q.Updates {
 		if seen[u.Attr] {
-			return nil, "", nil, fmt.Errorf("engine: attribute %q updated twice", u.Attr)
+			return nil, "", nil, false, fmt.Errorf("engine: attribute %q updated twice", u.Attr)
 		}
 		seen[u.Attr] = true
 		updateAttrs = append(updateAttrs, u.Attr)
 	}
-	viewKey := q.Use.String() + "\x00" + q.Updates[0].Attr
-	var v *view
+	viewKey = q.Use.String() + "\x00" + q.Updates[0].Attr
 	if o.Cache != nil {
 		if cached, ok := o.Cache.getView(viewKey); ok {
-			v = cached
+			v, hit = cached, true
 		}
 	}
 	if v == nil {
-		var err error
 		v, err = buildView(db, q.Use, q.Updates[0].Attr)
 		if err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, false, err
 		}
 		if o.Cache != nil {
 			o.Cache.putView(viewKey, v)
@@ -98,10 +105,10 @@ func resolveView(db *relation.Database, q *hyperql.WhatIf, o Options) (*view, st
 	}
 	for _, a := range updateAttrs[1:] {
 		if !v.rel.Schema().Has(a) {
-			return nil, "", nil, fmt.Errorf("engine: update attribute %q is not a column of the relevant view", a)
+			return nil, "", nil, false, fmt.Errorf("engine: update attribute %q is not a column of the relevant view", a)
 		}
 	}
-	return v, viewKey, updateAttrs, nil
+	return v, viewKey, updateAttrs, hit, nil
 }
 
 // evalPrep is a fully prepared what-if evaluation: everything up to (but not
@@ -135,18 +142,24 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 	// Step 1: relevant view (USE), memoized across candidate queries when a
 	// cache is provided.
 	tv := time.Now()
-	v, viewKey, updateAttrs, err := resolveView(db, q, o)
+	_, vsp := obs.Start(ctx, "view")
+	v, viewKey, updateAttrs, viewHit, err := resolveView(db, q, o)
 	if err != nil {
 		return nil, err
 	}
 	res.ViewTime = time.Since(tv)
 	res.ViewRows = v.rel.Len()
+	vsp.Set("rows", res.ViewRows)
+	vsp.Set("cache_hit", viewHit)
+	vsp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Step 2: block-independent decomposition (memoized likewise).
 	tb := time.Now()
+	_, bsp := obs.Start(ctx, "blocks")
+	blocksHit := false
 	var blockOf []int
 	res.Blocks = 1
 	if model != nil && !o.DisableBlocks {
@@ -155,6 +168,7 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 		if o.Cache != nil {
 			bi, cached = o.Cache.getBlocks(viewKey)
 		}
+		blocksHit = cached
 		if !cached {
 			byRel, nBlocks, err := causal.RowBlocks(db, model)
 			if err != nil {
@@ -175,6 +189,9 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 		blockOf = make([]int, v.rel.Len())
 	}
 	res.BlockTime = time.Since(tb)
+	bsp.Set("blocks", res.Blocks)
+	bsp.Set("cache_hit", blocksHit)
+	bsp.End()
 
 	// Step 3: WHEN defines the update set S (pre-update values only).
 	inS := make([]bool, v.rel.Len())
@@ -270,12 +287,14 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 	// conditioning features (this is what makes runtime grow with the number
 	// of FOR attributes, Figure 11a).
 	tt := time.Now()
+	_, tsp := obs.Start(ctx, "train")
 	queryText := q.String()
 	augView, sumCols := augmentView(v.rel, summaries)
 	featCols := append(append(append([]string{}, updateAttrs...), backdoor...), sumCols...)
 	if o.Mode != ModeIndep {
 		featCols = appendPredicateAttrs(featCols, v.rel, q.When, disjuncts, updateAttrs)
 	}
+	estHit := false
 	makeEst := func(eo Options) *estimatorSet {
 		if eo.Cache == nil {
 			return newEstimatorSet(ctx, augView, featCols, len(updateAttrs), queryText, eo)
@@ -290,17 +309,26 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 		forKey += "\x00" + q.Output.String()
 		key := estKey(viewKey, whenKey, forKey, featCols, eo)
 		if cached, ok := eo.Cache.getEst(key); ok {
+			estHit = true
 			return cached
 		}
+		estHit = false
 		e := newEstimatorSet(ctx, augView, featCols, len(updateAttrs), queryText, eo)
 		eo.Cache.putEst(key, e)
 		return e
+	}
+	endTrainSpan := func(est *estimatorSet) {
+		tsp.Set("estimator", est.kind)
+		tsp.Set("sampled_rows", len(est.trainRows))
+		tsp.Set("cache_hit", estHit)
+		tsp.End()
 	}
 	est := makeEst(o)
 	if o.DryRun {
 		res.EstimatorUsed = est.kind
 		res.SampledRows = len(est.trainRows)
 		res.TrainTime = time.Since(tt)
+		endTrainSpan(est)
 		res.Total = time.Since(start)
 		return &evalPrep{o: o, res: res, v: v, start: start}, nil
 	}
@@ -318,6 +346,7 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 	res.EstimatorUsed = est.kind
 	res.SampledRows = len(est.trainRows)
 	res.TrainTime = time.Since(tt)
+	endTrainSpan(est)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -357,6 +386,15 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 // is a pure function of the prepared evaluation and its row range, which is
 // what makes partials portable across processes.
 func (p *evalPrep) evalShards(ctx context.Context, ids []int) ([]ShardPartial, error) {
+	ctx, sp := obs.Start(ctx, "eval_shards")
+	defer sp.End()
+	if sp != nil {
+		// Lazily trained models fit from inside the tuple loop through the
+		// evaluator's stored context; repointing it here nests their fit
+		// spans under eval_shards (cancellation semantics are unchanged —
+		// both contexts share the same Done chain).
+		p.ev.ctx = ctx
+	}
 	k := p.plan.Shards()
 	if ids == nil {
 		ids = make([]int, k)
@@ -390,6 +428,10 @@ func (p *evalPrep) evalShards(ctx context.Context, ids []int) ([]ShardPartial, e
 	// shards, not row ranges.
 	runPlan := shard.Fixed(len(ids), len(ids))
 	workers := runPlan.Workers(p.o.Shards)
+	sp.Set("plan", k)
+	sp.Set("shards", len(ids))
+	sp.Set("rows", total)
+	sp.Set("workers", workers)
 	locals := make([]*evaluator, workers)
 	parts := make([]ShardPartial, len(ids))
 	nBlocks := p.nBlocks

@@ -8,6 +8,7 @@ import (
 
 	"hyper/internal/causal"
 	"hyper/internal/hyperql"
+	"hyper/internal/obs"
 	"hyper/internal/relation"
 )
 
@@ -53,6 +54,10 @@ func scoreCandidates(ctx context.Context, db *relation.Database, model *causal.M
 			jobs = append(jobs, job{attr: attr, spec: spec})
 		}
 	}
+	ctx, sp := obs.Start(ctx, "score_candidates")
+	defer sp.End()
+	sp.Set("candidates", len(jobs))
+	sp.Set("attrs", len(attrs))
 	// The shard fan-out knob governs candidate-level parallelism too: a
 	// how-to is shard-parallel across candidates, each candidate a what-if
 	// over the shared cache. Results are independent of the pool width (the

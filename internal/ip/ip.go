@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"hyper/internal/lp"
+	"hyper/internal/obs"
 )
 
 // Model is a 0/1 integer program: maximize Obj·x subject to the linear
@@ -120,6 +121,9 @@ func (m *Model) Solve() (*Solution, error) {
 // tree.
 func (m *Model) SolveContext(ctx context.Context) (*Solution, error) {
 	n := len(m.names)
+	_, sp := obs.Start(ctx, "ip_solve")
+	sp.Set("vars", n)
+	defer sp.End()
 	if n == 0 {
 		return &Solution{Status: lp.Optimal}, nil
 	}
@@ -216,6 +220,7 @@ func (m *Model) SolveContext(ctx context.Context) (*Solution, error) {
 	if err := rec(fixed); err != nil {
 		return nil, err
 	}
+	sp.Set("nodes", nodes)
 	best.Nodes = nodes
 	if best.Status == lp.Infeasible {
 		return best, nil

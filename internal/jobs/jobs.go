@@ -23,6 +23,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hyper/internal/obs"
 )
 
 // State is a job's lifecycle state.
@@ -140,6 +142,7 @@ type Job struct {
 
 	// Guarded by the owning manager's mu.
 	state     State
+	traceID   string // set when the job starts, if the manager traces
 	started   time.Time
 	finished  time.Time
 	result    any
@@ -186,6 +189,9 @@ type Snapshot struct {
 	// ShardsDone/ShardsTotal track the engine's shard fan-out within the
 	// current evaluation (zero until a sharded stage reports).
 	ShardsDone, ShardsTotal int64
+	// TraceID names the job's execution trace ("" until it starts, or when
+	// the manager does not trace).
+	TraceID string
 
 	Result any
 	Err    error
@@ -231,6 +237,11 @@ type Config struct {
 	// Retention is how many terminal jobs are kept for polling before the
 	// oldest are forgotten (default 256).
 	Retention int
+	// Trace, when non-nil, receives one trace per executed job: a
+	// queue_wait span (submitted -> started) and a run span carrying the
+	// runner's own span tree. The trace id is surfaced in job snapshots so
+	// a polling client can fetch the tree from /v1/traces/{id}.
+	Trace *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -411,15 +422,35 @@ func (m *Manager) next() *Job {
 
 // run executes a job's runner and records its terminal state.
 func (m *Manager) run(j *Job) {
+	runCtx := j.ctx
+	var tr *obs.Trace
+	var rsp *obs.Span
+	if m.cfg.Trace != nil {
+		tr = obs.NewTrace("job:" + j.kind)
+		tr.Root().Set("job_id", j.id)
+		tr.Root().Set("session", j.session)
+		wait := tr.Root().ChildAt("queue_wait", j.submitted)
+		wait.EndAt(j.started)
+		runCtx, rsp = obs.Start(tr.Context(j.ctx), "run")
+		m.mu.Lock()
+		j.traceID = tr.ID
+		m.mu.Unlock()
+	}
 	res, err := func() (res any, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("jobs: runner panicked: %v", r)
 			}
 		}()
-		return j.runner(j.ctx, &j.progress)
+		return j.runner(runCtx, &j.progress)
 	}()
 	j.cancelRun()
+	if tr != nil {
+		rsp.Set("error", err != nil)
+		rsp.End()
+		tr.Finish()
+		m.cfg.Trace.Record(tr)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -574,6 +605,7 @@ func (m *Manager) snapshotLocked(j *Job) Snapshot {
 		Total:       total,
 		ShardsDone:  shardsDone,
 		ShardsTotal: shardsTotal,
+		TraceID:     j.traceID,
 		Result:      j.result,
 		Err:         j.err,
 	}

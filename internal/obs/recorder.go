@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// TraceJSON is a finished trace in wire form: identity plus the rendered
+// span tree. Recorders store this immutable form, so serving a trace is a
+// plain encode with no locking against live spans.
+type TraceJSON struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	DurMs float64   `json:"dur_ms"`
+	Spans int       `json:"spans"`
+	Root  *SpanJSON `json:"root,omitempty"`
+}
+
+// TraceSummary is the listing form (no span tree).
+type TraceSummary struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	DurMs float64   `json:"dur_ms"`
+	Spans int       `json:"spans"`
+}
+
+// Recorder ring-buffers the most recent finished traces of a process.
+// Capacity is fixed at construction, so memory stays constant under
+// sustained traffic; the oldest trace is evicted when the ring wraps.
+type Recorder struct {
+	mu       sync.Mutex
+	ring     []*TraceJSON
+	next     int
+	recorded uint64
+}
+
+// DefaultTraceCapacity is the per-process trace ring size.
+const DefaultTraceCapacity = 256
+
+// NewRecorder returns a Recorder holding up to capacity traces
+// (<= 0 uses DefaultTraceCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Recorder{ring: make([]*TraceJSON, 0, capacity)}
+}
+
+// Record renders t and publishes it into the ring. The trace must be
+// finished (no spans still being appended) — typically called right after
+// Trace.Finish.
+func (r *Recorder) Record(t *Trace) *TraceJSON {
+	if r == nil || t == nil {
+		return nil
+	}
+	root := t.root.JSON()
+	tj := &TraceJSON{
+		ID:    t.ID,
+		Name:  t.Name,
+		Start: t.root.start,
+		DurMs: root.DurMs,
+		Spans: countSpans(root),
+		Root:  root,
+	}
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, tj)
+	} else {
+		r.ring[r.next] = tj
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	r.recorded++
+	r.mu.Unlock()
+	return tj
+}
+
+func countSpans(sj *SpanJSON) int {
+	if sj == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range sj.Children {
+		n += countSpans(c)
+	}
+	return n
+}
+
+// List returns summaries of the buffered traces, newest first.
+func (r *Recorder) List() []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSummary, 0, len(r.ring))
+	// The ring is ordered oldest..newest starting at next (once wrapped);
+	// walk it backwards so the freshest trace leads.
+	for i := 0; i < len(r.ring); i++ {
+		idx := (r.next + len(r.ring) - 1 - i) % len(r.ring)
+		tj := r.ring[idx]
+		out = append(out, TraceSummary{ID: tj.ID, Name: tj.Name, Start: tj.Start, DurMs: tj.DurMs, Spans: tj.Spans})
+	}
+	return out
+}
+
+// Get returns the buffered trace with the given id.
+func (r *Recorder) Get(id string) (*TraceJSON, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, tj := range r.ring {
+		if tj.ID == id {
+			return tj, true
+		}
+	}
+	return nil, false
+}
+
+// Recorded returns the number of traces ever recorded (not just buffered).
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded
+}
+
+// ListHandler serves the trace listing as {"traces": [...]}.
+func (r *Recorder) ListHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSONResponse(w, http.StatusOK, map[string]any{"traces": r.List()})
+	})
+}
+
+// GetHandler serves one trace by the {id} path value.
+func (r *Recorder) GetHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("id")
+		tj, ok := r.Get(id)
+		if !ok {
+			writeJSONResponse(w, http.StatusNotFound, map[string]string{"error": "unknown trace " + id})
+			return
+		}
+		writeJSONResponse(w, http.StatusOK, tj)
+	})
+}

@@ -68,6 +68,9 @@ type JobInfo struct {
 
 	Progress JobProgress `json:"progress"`
 
+	// TraceID keys the job's execution trace in GET /v1/traces/{id}
+	// (present once the job has started, when the server traces jobs).
+	TraceID string `json:"trace_id,omitempty"`
 	// Error is set for failed/cancelled/expired jobs.
 	Error string `json:"error,omitempty"`
 	// Result is the query response (WhatIfResponse, HowToResponse, explain
@@ -89,7 +92,8 @@ func toJobInfo(s jobs.Snapshot) JobInfo {
 			Stage: s.Stage, Done: s.Done, Total: s.Total,
 			ShardsDone: s.ShardsDone, ShardsTotal: s.ShardsTotal,
 		},
-		Result: s.Result,
+		TraceID: s.TraceID,
+		Result:  s.Result,
 	}
 	if !s.Started.IsZero() {
 		t := s.Started

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"hyper"
+	"hyper/internal/obs"
+)
+
+// registerMetrics bridges the server's pre-existing gauges (sessions, jobs,
+// shard activity, dist coordinator, engine caches) into the metrics
+// registry as scrape-time functions — no double bookkeeping, the atomics
+// the /v1/stats endpoint reads are the same ones /metrics reads. Names
+// follow the stack's scheme (hyper_ prefix, counters end in _total),
+// enforced by Registry.Lint via cmd/metriclint.
+func (s *Server) registerMetrics() {
+	r := s.metrics
+	r.GaugeFunc("hyper_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("hyper_sessions", "Live sessions in the registry.",
+		func() float64 { s.mu.RLock(); defer s.mu.RUnlock(); return float64(len(s.sessions)) })
+	r.CounterFunc("hyper_session_queries_total", "Queries evaluated across all sessions (live sessions only).",
+		func() float64 {
+			var n int64
+			for _, e := range s.sortedEntries() {
+				n += e.queries.Load()
+			}
+			return float64(n)
+		})
+	r.CounterFunc("hyper_engine_cache_hits_total", "Engine artifact-cache hits summed over live sessions.",
+		func() float64 { return s.sumCaches(func(c hyper.CacheStats) float64 { return float64(c.Hits) }) })
+	r.CounterFunc("hyper_engine_cache_misses_total", "Engine artifact-cache misses summed over live sessions.",
+		func() float64 { return s.sumCaches(func(c hyper.CacheStats) float64 { return float64(c.Misses) }) })
+	r.CounterFunc("hyper_engine_cache_evictions_total", "Engine artifact-cache evictions summed over live sessions.",
+		func() float64 { return s.sumCaches(func(c hyper.CacheStats) float64 { return float64(c.Evictions) }) })
+	r.GaugeFunc("hyper_engine_cache_entries", "Engine artifact-cache entries summed over live sessions.",
+		func() float64 { return s.sumCaches(func(c hyper.CacheStats) float64 { return float64(c.Entries) }) })
+
+	r.GaugeFunc("hyper_jobs_queued", "Jobs waiting in the priority queue.",
+		func() float64 { return float64(s.jobs.Stats().Queued) })
+	r.GaugeFunc("hyper_jobs_running", "Jobs currently executing.",
+		func() float64 { return float64(s.jobs.Stats().Running) })
+	r.CounterFunc("hyper_jobs_completed_total", "Jobs that finished successfully.",
+		func() float64 { return float64(s.jobs.Stats().Completed) })
+	r.CounterFunc("hyper_jobs_failed_total", "Jobs that finished with an error.",
+		func() float64 { return float64(s.jobs.Stats().Failed) })
+	r.CounterFunc("hyper_jobs_cancelled_total", "Jobs cancelled by clients or session deletion.",
+		func() float64 { return float64(s.jobs.Stats().Cancelled) })
+	r.CounterFunc("hyper_jobs_expired_total", "Jobs that hit their deadline.",
+		func() float64 { return float64(s.jobs.Stats().Expired) })
+	r.CounterFunc("hyper_jobs_rejected_total", "Job submissions rejected by admission control.",
+		func() float64 { return float64(s.jobs.Stats().Rejected) })
+
+	r.CounterFunc("hyper_whatif_evals_total", "What-if evaluations recorded by the shard gauges.",
+		func() float64 { return float64(s.shards.evals.Load()) })
+	r.CounterFunc("hyper_whatif_sharded_evals_total", "What-if evaluations that ran a multi-shard plan.",
+		func() float64 { return float64(s.shards.shardedEvals.Load()) })
+	r.CounterFunc("hyper_whatif_shards_run_total", "Plan shards executed across all what-if evaluations.",
+		func() float64 { return float64(s.shards.shardsRun.Load()) })
+	r.GaugeFunc("hyper_whatif_max_plan_shards", "Largest shard plan seen.",
+		func() float64 { return float64(s.shards.maxPlan.Load()) })
+	r.GaugeFunc("hyper_whatif_max_workers", "Widest shard worker fan-out seen.",
+		func() float64 { return float64(s.shards.maxWorkers.Load()) })
+
+	r.CounterFunc("hyper_traces_recorded_total", "Request traces captured into the trace ring.",
+		func() float64 { return float64(s.traces.Recorded()) })
+}
+
+// sumCaches folds a CacheStats field over every live session.
+func (s *Server) sumCaches(f func(hyper.CacheStats) float64) float64 {
+	var sum float64
+	for _, e := range s.sortedEntries() {
+		sum += f(e.sess.Cache().Stats())
+	}
+	return sum
+}
+
+// Metrics returns the server's metric registry (scraped at GET /metrics;
+// cmd/metriclint instantiates a server to lint exactly this registry).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Traces returns the server's trace ring.
+func (s *Server) Traces() *obs.Recorder { return s.traces }
+
+// attachTrace inlines a rendered trace into a query response when the
+// client asked for it with ?trace=1. Only the typed query payloads carry a
+// trace field; anything else ignores the ask rather than failing it.
+func attachTrace(payload any, tj *obs.TraceJSON) {
+	switch p := payload.(type) {
+	case *WhatIfResponse:
+		p.Trace = tj
+	case *HowToResponse:
+		p.Trace = tj
+	case *ExplainResponse:
+		p.Trace = tj
+	case *BatchResponse:
+		p.Trace = tj
+	}
+}
+
+// slowQueryLine is the JSON shape of one slow-query log line.
+type slowQueryLine struct {
+	TS       time.Time `json:"ts"`
+	Endpoint string    `json:"endpoint"`
+	Ms       float64   `json:"ms"`
+	Status   int       `json:"status"`
+	TraceID  string    `json:"trace_id"`
+}
+
+// logSlowQuery emits one structured line for a traced request that crossed
+// the SlowQueryMs threshold. The trace id in the line keys directly into
+// GET /v1/traces/{id}, so a slow query found in the log is one lookup away
+// from its span tree.
+func (s *Server) logSlowQuery(endpoint, traceID string, elapsed time.Duration, status int) {
+	s.slow.Inc()
+	line, err := json.Marshal(slowQueryLine{
+		TS:       time.Now().UTC(),
+		Endpoint: endpoint,
+		Ms:       float64(elapsed) / float64(time.Millisecond),
+		Status:   status,
+		TraceID:  traceID,
+	})
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	s.cfg.SlowQueryLog.Write(append(line, '\n'))
+}
+
+// TraceListResponse is the GET /v1/traces payload (newest first).
+type TraceListResponse struct {
+	Traces []obs.TraceSummary `json:"traces"`
+}
+
+func (s *Server) handleListTraces(*http.Request) (any, error) {
+	return &TraceListResponse{Traces: s.traces.List()}, nil
+}
+
+func (s *Server) handleGetTrace(r *http.Request) (any, error) {
+	id := r.PathValue("id")
+	tj, ok := s.traces.Get(id)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "unknown trace %q (the ring keeps the most recent %d)", id, s.cfg.TraceCapacity)
+	}
+	return tj, nil
+}

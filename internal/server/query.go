@@ -10,6 +10,7 @@ import (
 
 	"hyper"
 	"hyper/internal/dist"
+	"hyper/internal/obs"
 )
 
 // QueryRequest targets one session with one HypeRQL query. The zero Method
@@ -60,6 +61,9 @@ type WhatIfResponse struct {
 	Placement     string  `json:"placement,omitempty"`
 	RemoteWorkers int     `json:"remote_workers,omitempty"`
 	TotalMs       float64 `json:"total_ms"`
+	// Trace is the request's rendered span tree, present only when the
+	// client asked for it with ?trace=1.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 func toWhatIfResponse(r *hyper.WhatIfResult) *WhatIfResponse {
@@ -103,6 +107,8 @@ type HowToResponse struct {
 	WhatIfEvals int           `json:"whatif_evals"`
 	IPNodes     int           `json:"ip_nodes"`
 	TotalMs     float64       `json:"total_ms"`
+	// Trace is the request's rendered span tree (?trace=1 only).
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 func toHowToResponse(r *hyper.HowToResult) *HowToResponse {
@@ -266,13 +272,20 @@ func (e *sessionEntry) howTo(ctx context.Context, req QueryRequest, progress hyp
 	return toHowToResponse(res), nil
 }
 
-func (e *sessionEntry) explain(query string) (map[string]string, error) {
+// ExplainResponse is the wire form of an explain result.
+type ExplainResponse struct {
+	Plan string `json:"plan"`
+	// Trace is the request's rendered span tree (?trace=1 only).
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
+}
+
+func (e *sessionEntry) explain(query string) (*ExplainResponse, error) {
 	e.queries.Add(1)
 	plan, err := e.sess.Explain(query)
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
-	return map[string]string{"plan": plan}, nil
+	return &ExplainResponse{Plan: plan}, nil
 }
 
 // queryError maps an evaluation failure: a cancelled/expired context
@@ -325,6 +338,8 @@ type BatchResponse struct {
 	Errors  int           `json:"errors"`
 	Workers int           `json:"workers"`
 	TotalMs float64       `json:"total_ms"`
+	// Trace is the request's rendered span tree (?trace=1 only).
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 func (s *Server) handleBatch(r *http.Request) (any, error) {
@@ -423,7 +438,7 @@ func (e *sessionEntry) runBatchQuery(ctx context.Context, i int, q BatchQuery) B
 		if err != nil {
 			out.Error = err.Error()
 		} else {
-			out.Plan = res["plan"]
+			out.Plan = res.Plan
 		}
 	default:
 		out.Error = fmt.Sprintf("unknown query kind %q (want whatif|howto|explain)", q.Kind)

@@ -41,7 +41,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -49,6 +51,7 @@ import (
 	"hyper"
 	"hyper/internal/dist"
 	"hyper/internal/jobs"
+	"hyper/internal/obs"
 )
 
 // Config tunes the server; the zero value is usable.
@@ -83,6 +86,14 @@ type Config struct {
 	// session data and its partials merge into query results, so set a
 	// secret whenever untrusted peers can reach the listeners.
 	DistSecret string
+	// TraceCapacity bounds the in-process trace ring served by /v1/traces
+	// (default obs.DefaultTraceCapacity).
+	TraceCapacity int
+	// SlowQueryMs, when > 0, logs one JSON line (endpoint, latency, status,
+	// trace id) to SlowQueryLog for every traced request at least that slow.
+	SlowQueryMs int
+	// SlowQueryLog receives slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
 }
@@ -118,6 +129,12 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention <= 0 {
 		c.JobRetention = 256
 	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = obs.DefaultTraceCapacity
+	}
+	if c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
+	}
 	return c
 }
 
@@ -133,6 +150,11 @@ type Server struct {
 	jobs *jobs.Manager
 	dist *dist.Coordinator
 
+	metrics *obs.Registry
+	traces  *obs.Recorder
+	slow    *obs.Counter // slow-query lines emitted
+	slowMu  sync.Mutex   // serializes SlowQueryLog writes
+
 	stats  statsRecorder
 	shards shardGauges
 }
@@ -145,15 +167,20 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		start:    time.Now(),
 		sessions: make(map[string]*sessionEntry),
-		jobs: jobs.NewManager(jobs.Config{
-			Workers:         cfg.JobWorkers,
-			QueueDepth:      cfg.JobQueueDepth,
-			PerSessionLimit: cfg.JobsPerSession,
-			Retention:       cfg.JobRetention,
-		}),
-		dist: dist.NewCoordinator(dist.CoordinatorConfig{TTL: cfg.DistTTL, Secret: cfg.DistSecret, Logf: cfg.Logf}),
+		metrics:  obs.NewRegistry(),
+		traces:   obs.NewRecorder(cfg.TraceCapacity),
 	}
-	s.stats.init()
+	s.jobs = jobs.NewManager(jobs.Config{
+		Workers:         cfg.JobWorkers,
+		QueueDepth:      cfg.JobQueueDepth,
+		PerSessionLimit: cfg.JobsPerSession,
+		Retention:       cfg.JobRetention,
+		Trace:           s.traces,
+	})
+	s.dist = dist.NewCoordinator(dist.CoordinatorConfig{TTL: cfg.DistTTL, Secret: cfg.DistSecret, Logf: cfg.Logf, Metrics: s.metrics})
+	s.stats.init(s.metrics)
+	s.slow = s.metrics.Counter("hyper_slow_queries_total", "Requests that exceeded the slow-query threshold.")
+	s.registerMetrics()
 	return s
 }
 
@@ -190,6 +217,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleGetJob))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs", s.handleCancelJob))
 	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.Handle("GET /v1/traces", s.instrument("traces", s.handleListTraces))
+	mux.Handle("GET /v1/traces/{id}", s.instrument("traces", s.handleGetTrace))
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	// Shard-transport registration surface: workers announce themselves and
 	// heartbeat here; the coordinator dials them back for shard work.
 	dh := s.dist.Handler()
@@ -218,25 +248,40 @@ func errcf(status int, code, format string, args ...any) error {
 	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
-// instrument wraps a handler with latency recording, error mapping and
-// request logging. Handlers return (payload, error); payloads are rendered
-// as JSON, errors as {"error": ...} with the apiError status (500 default,
-// 400 for body decode errors).
+// tracedEndpoints are the query-evaluation endpoints that get a span tree
+// per request: the trace rides the request context through the engine, the
+// rendered tree lands in the trace ring (GET /v1/traces), and ?trace=1
+// inlines it in the response ("EXPLAIN ANALYZE" for the HypeR stack).
+var tracedEndpoints = map[string]bool{"whatif": true, "howto": true, "explain": true, "batch": true}
+
+// instrument wraps a handler with latency recording, error mapping, request
+// tracing, and request logging. Handlers return (payload, error); payloads
+// are rendered as JSON, errors as {"error": ...} with the apiError status
+// (500 default, 400 for body decode errors). Traced endpoints always answer
+// with an X-Hyper-Trace-Id header; tracing is an execution-only layer, so
+// payloads are byte-identical to an untraced server's unless ?trace=1
+// explicitly asks for the inline tree.
 func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		var tr *obs.Trace
+		if tracedEndpoints[endpoint] {
+			tr = obs.NewTrace(endpoint)
+			r = r.WithContext(tr.Context(r.Context()))
+		}
 		payload, err := fn(r)
 		elapsed := time.Since(start)
 		status := http.StatusOK
+		var body any = payload
 		if err != nil {
-			body := map[string]string{"error": err.Error()}
+			errBody := map[string]string{"error": err.Error()}
 			var ae *apiError
 			switch {
 			case errors.As(err, &ae):
 				status = ae.status
 				if ae.code != "" {
-					body["code"] = ae.code
+					errBody["code"] = ae.code
 				}
 			case errors.Is(err, context.Canceled):
 				// A disconnected client cancelled its own evaluation; that
@@ -248,10 +293,21 @@ func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, erro
 			default:
 				status = http.StatusInternalServerError
 			}
-			writeJSON(w, status, body)
-		} else {
-			writeJSON(w, status, payload)
+			body = errBody
 		}
+		if tr != nil {
+			tr.Root().Set("status", status)
+			tr.Finish()
+			tj := s.traces.Record(tr)
+			w.Header().Set(obs.TraceIDHeader, tr.ID)
+			if err == nil && r.URL.Query().Get("trace") == "1" {
+				attachTrace(payload, tj)
+			}
+			if s.cfg.SlowQueryMs > 0 && elapsed >= time.Duration(s.cfg.SlowQueryMs)*time.Millisecond {
+				s.logSlowQuery(endpoint, tr.ID, elapsed, status)
+			}
+		}
+		writeJSON(w, status, body)
 		s.stats.record(endpoint, elapsed, err != nil)
 		if s.cfg.Logf != nil {
 			s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.Path, status, elapsed.Round(time.Microsecond))

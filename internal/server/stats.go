@@ -2,13 +2,12 @@ package server
 
 import (
 	"net/http"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"hyper/internal/dist"
 	"hyper/internal/jobs"
+	"hyper/internal/obs"
 )
 
 // shardGauges accumulates the server-wide shard activity of the what-if
@@ -60,66 +59,35 @@ func (g *shardGauges) snapshot() ShardStats {
 	}
 }
 
-// latencyWindow is how many recent request latencies each endpoint keeps for
-// quantile estimation; older samples fall out of the ring.
-const latencyWindow = 4096
-
-// endpointStats accumulates one endpoint's counters and a bounded latency
-// ring.
-type endpointStats struct {
-	count  int64
-	errors int64
-	ring   []time.Duration // capacity latencyWindow
-	next   int             // ring write position once full
-}
-
-func (e *endpointStats) record(d time.Duration, failed bool) {
-	e.count++
-	if failed {
-		e.errors++
-	}
-	if len(e.ring) < latencyWindow {
-		e.ring = append(e.ring, d)
-		return
-	}
-	e.ring[e.next] = d
-	e.next = (e.next + 1) % latencyWindow
-}
-
-// quantiles returns p50 and p95 of the retained window.
-func (e *endpointStats) quantiles() (p50, p95 time.Duration) {
-	if len(e.ring) == 0 {
-		return 0, 0
-	}
-	sorted := append([]time.Duration(nil), e.ring...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(q float64) time.Duration {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return at(0.50), at(0.95)
-}
-
-// statsRecorder guards all endpoints' stats.
+// statsRecorder is the per-endpoint request accounting, backed by the
+// metrics registry: a counter pair plus a fixed-bucket latency histogram
+// per endpoint. The histogram replaces the per-endpoint sample ring the
+// recorder used to keep — memory is now constant under sustained traffic,
+// recording is O(1) with no lock or sort, and /v1/stats quantiles become
+// bucket-interpolated estimates (bounded by the bucket resolution) instead
+// of exact order statistics over a sliding window.
 type statsRecorder struct {
-	mu  sync.Mutex
-	byE map[string]*endpointStats
+	reqs *obs.CounterVec
+	errs *obs.CounterVec
+	lat  *obs.HistogramVec
 }
 
-func (s *statsRecorder) init() { s.byE = make(map[string]*endpointStats) }
+func (s *statsRecorder) init(reg *obs.Registry) {
+	s.reqs = reg.CounterVec("hyper_requests_total", "HTTP requests served, by endpoint.", "endpoint")
+	s.errs = reg.CounterVec("hyper_request_errors_total", "HTTP requests that returned an error, by endpoint.", "endpoint")
+	s.lat = reg.HistogramVec("hyper_request_duration_ms", "HTTP request latency in milliseconds, by endpoint.", obs.LatencyBucketsMs, "endpoint")
+}
 
 func (s *statsRecorder) record(endpoint string, d time.Duration, failed bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.byE[endpoint]
-	if e == nil {
-		e = &endpointStats{}
-		s.byE[endpoint] = e
+	s.reqs.With(endpoint).Inc()
+	if failed {
+		s.errs.With(endpoint).Inc()
 	}
-	e.record(d, failed)
+	s.lat.With(endpoint).Observe(float64(d) / float64(time.Millisecond))
 }
 
-// EndpointStats is the wire form of one endpoint's counters.
+// EndpointStats is the wire form of one endpoint's counters. P50Ms/P95Ms
+// are histogram estimates (see statsRecorder).
 type EndpointStats struct {
 	Count  int64   `json:"count"`
 	Errors int64   `json:"errors"`
@@ -129,18 +97,19 @@ type EndpointStats struct {
 
 // snapshot renders every endpoint's stats.
 func (s *statsRecorder) snapshot() map[string]EndpointStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]EndpointStats, len(s.byE))
-	for name, e := range s.byE {
-		p50, p95 := e.quantiles()
-		out[name] = EndpointStats{
-			Count:  e.count,
-			Errors: e.errors,
-			P50Ms:  float64(p50) / float64(time.Millisecond),
-			P95Ms:  float64(p95) / float64(time.Millisecond),
+	out := make(map[string]EndpointStats)
+	s.lat.Each(func(values []string, h *obs.Histogram) {
+		out[values[0]] = EndpointStats{
+			Count: int64(h.Count()),
+			P50Ms: h.Quantile(0.50),
+			P95Ms: h.Quantile(0.95),
 		}
-	}
+	})
+	s.errs.Each(func(values []string, c *obs.Counter) {
+		e := out[values[0]]
+		e.Errors = int64(c.Value())
+		out[values[0]] = e
+	})
 	return out
 }
 
