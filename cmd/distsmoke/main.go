@@ -159,6 +159,10 @@ type whatIfResp struct {
 	stable
 	Placement     string `json:"placement"`
 	RemoteWorkers int    `json:"remote_workers"`
+	// Degraded/DegradedReason are execution diagnostics (never part of the
+	// byte-compared stable subset): the chaos suite asserts them.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason"`
 }
 
 // stableHowTo strips a how-to response of wall-clock fields.
@@ -307,21 +311,76 @@ func requireSeries(name string, series map[string]float64, want ...string) {
 	}
 }
 
+// golden is one named query against one session.
+type golden struct {
+	name, session, query string
+}
+
+var whatifGoldens = []golden{
+	{"german-count", "german", `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`},
+	{"german-for", "german", `USE German UPDATE(Savings) = 2 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`},
+	{"german-avg", "german", `USE German UPDATE(Housing) = 1 OUTPUT AVG(POST(Credit))`},
+	{"toy-avg", "toy", `USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
+		AVG(T2.Rating) AS Rtng
+		FROM Product AS T1, Review AS T2
+		WHERE T1.PID = T2.PID
+		GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
+		WHEN Brand = 'Asus'
+		UPDATE(Price) = 1.1 * PRE(Price)
+		OUTPUT AVG(POST(Rtng))
+		FOR PRE(Category) = 'Laptop'`},
+}
+
+var howtoGoldens = []golden{
+	{"german-howto", "german", `USE German HOWTOUPDATE Status LIMIT UPDATES <= 1 TOMAXIMIZE COUNT(Credit = 1)`},
+	{"toy-howto", "toy", `USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
+		AVG(T2.Rating) AS Rtng
+		FROM Product AS T1, Review AS T2
+		WHERE T1.PID = T2.PID
+		GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
+		HOWTOUPDATE Price LIMIT UPDATES <= 1 TOMAXIMIZE AVG(POST(Rtng))`},
+}
+
+// createSessions makes the toy and german sessions on a coordinator — the
+// toy catalog (multi-relation, forest estimator) and a german build at a
+// shard granularity that spreads the plan over both workers
+// (5000 rows / 256 -> 20 plan shards).
+func createSessions(cbase string) {
+	for _, s := range []any{
+		map[string]any{"name": "toy", "dataset": "toy", "options": map[string]any{"seed": 7}},
+		map[string]any{"name": "german", "dataset": "german", "options": map[string]any{"seed": 7, "shard_rows": 256}},
+	} {
+		if status, payload := post(cbase, "/v1/sessions", s); status != http.StatusOK {
+			fatalf("creating session: %d %s", status, payload)
+		}
+	}
+}
+
 func main() {
 	hyperd := flag.String("hyperd", "hyperd", "path to the hyperd binary")
+	chaos := flag.Bool("chaos", false, "run the fault-injection chaos suite (injected faults, a mid-query worker kill, a coordinator restart) instead of the plain smoke")
 	flag.Parse()
+	if *chaos {
+		runChaos(*hyperd)
+		return
+	}
+	runSmoke(*hyperd)
+}
 
+// runSmoke is the plain happy-path gate: every placement of every golden is
+// byte-identical to local, traces stitch end to end, metrics reconcile.
+func runSmoke(hyperd string) {
 	cport, w1port, w2port := freePort(), freePort(), freePort()
 	cbase := fmt.Sprintf("http://127.0.0.1:%d", cport)
 
-	coord := spawn("coordinator", *hyperd,
+	coord := spawn("coordinator", hyperd,
 		"-addr", fmt.Sprintf("127.0.0.1:%d", cport),
 		"-dist-ttl", "5s", "-quiet")
 	defer coord.stop()
 	waitHealthy(cbase, 30*time.Second)
 
 	for i, port := range []int{w1port, w2port} {
-		w := spawn(fmt.Sprintf("worker%d", i+1), *hyperd,
+		w := spawn(fmt.Sprintf("worker%d", i+1), hyperd,
 			"-worker",
 			"-coordinator", cbase,
 			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
@@ -331,34 +390,8 @@ func main() {
 	}
 	waitWorkers(cbase, 2, 30*time.Second)
 
-	// Sessions: the toy catalog (multi-relation, forest estimator) and a
-	// german build at a shard granularity that spreads the plan over both
-	// workers (5000 rows / 256 -> 20 plan shards).
-	for _, s := range []any{
-		map[string]any{"name": "toy", "dataset": "toy", "options": map[string]any{"seed": 7}},
-		map[string]any{"name": "german", "dataset": "german", "options": map[string]any{"seed": 7, "shard_rows": 256}},
-	} {
-		if status, payload := post(cbase, "/v1/sessions", s); status != http.StatusOK {
-			fatalf("creating session: %d %s", status, payload)
-		}
-	}
+	createSessions(cbase)
 
-	whatifGoldens := []struct {
-		name, session, query string
-	}{
-		{"german-count", "german", `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`},
-		{"german-for", "german", `USE German UPDATE(Savings) = 2 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`},
-		{"german-avg", "german", `USE German UPDATE(Housing) = 1 OUTPUT AVG(POST(Credit))`},
-		{"toy-avg", "toy", `USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
-			AVG(T2.Rating) AS Rtng
-			FROM Product AS T1, Review AS T2
-			WHERE T1.PID = T2.PID
-			GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
-			WHEN Brand = 'Asus'
-			UPDATE(Price) = 1.1 * PRE(Price)
-			OUTPUT AVG(POST(Rtng))
-			FOR PRE(Category) = 'Laptop'`},
-	}
 	for _, g := range whatifGoldens {
 		run := func(placement string) ([]byte, whatIfResp) {
 			var r whatIfResp
@@ -390,17 +423,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "distsmoke: %-14s ok (local == workers == fit): %s\n", g.name, localBytes)
 	}
 
-	howtoGoldens := []struct {
-		name, session, query string
-	}{
-		{"german-howto", "german", `USE German HOWTOUPDATE Status LIMIT UPDATES <= 1 TOMAXIMIZE COUNT(Credit = 1)`},
-		{"toy-howto", "toy", `USE (SELECT T1.PID, T1.Category, T1.Price, T1.Brand,
-			AVG(T2.Rating) AS Rtng
-			FROM Product AS T1, Review AS T2
-			WHERE T1.PID = T2.PID
-			GROUP BY T1.PID, T1.Category, T1.Price, T1.Brand)
-			HOWTOUPDATE Price LIMIT UPDATES <= 1 TOMAXIMIZE AVG(POST(Rtng))`},
-	}
 	for _, g := range howtoGoldens {
 		run := func(placement string) []byte {
 			status, payload := post(cbase, "/v1/howto", map[string]any{
@@ -485,4 +507,289 @@ func main() {
 	fmt.Fprintf(os.Stderr, "distsmoke: metrics ok: workers served %v shards, coordinator ledger matches\n", workerShards)
 
 	fmt.Println("distsmoke: PASS — distributed evaluation is bit-identical to single-node on toy and german")
+}
+
+// distStats fetches the coordinator's /v1/stats dist block.
+type distStats struct {
+	WorkersAlive       int    `json:"workers_alive"`
+	WorkersRegistered  int    `json:"workers_registered"`
+	WorkersQuarantined int    `json:"workers_quarantined"`
+	WorkersLost        uint64 `json:"workers_lost"`
+	Requeues           uint64 `json:"requeues"`
+	FramesShipped      uint64 `json:"frames_shipped"`
+	LocalFallbacks     uint64 `json:"local_fallbacks"`
+	Retries            uint64 `json:"retries"`
+	RestoredWorkers    uint64 `json:"restored_workers"`
+	PersistErrors      uint64 `json:"persist_errors"`
+	FaultsInjected     uint64 `json:"faults_injected"`
+}
+
+func getDistStats(cbase string) distStats {
+	var out struct {
+		Dist distStats `json:"dist"`
+	}
+	resp, err := http.Get(cbase + "/v1/stats")
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+	return out.Dist
+}
+
+// sigkill hard-kills a process (no drain, no deregistration) — the chaos
+// suite's stand-in for a coordinator crash.
+func (p *proc) sigkill() {
+	_ = p.cmd.Process.Kill()
+	_ = p.cmd.Wait()
+}
+
+// stopClean SIGTERMs a process and requires a zero exit status — the
+// graceful-drain contract.
+func (p *proc) stopClean() {
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatalf("%s did not exit cleanly on SIGTERM: %v", p.name, err)
+		}
+	case <-time.After(30 * time.Second):
+		_ = p.cmd.Process.Kill()
+		fatalf("%s did not exit within 30s of SIGTERM", p.name)
+	}
+}
+
+// runChaos is the resilience gate: deterministic injected faults (a frame
+// ship error, dial delays, a worker killed mid-eval), a circuit-breaker
+// quarantine, and a coordinator crash + state-file restart — while every
+// answer stays byte-identical to the local baseline and every response
+// reports its degradation honestly.
+func runChaos(hyperd string) {
+	stateDir, err := os.MkdirTemp("", "distsmoke-chaos-")
+	if err != nil {
+		fatalf("temp dir: %v", err)
+	}
+	defer os.RemoveAll(stateDir)
+	statePath := stateDir + "/dist-state.json"
+
+	cport, w1port, w2port := freePort(), freePort(), freePort()
+	cbase := fmt.Sprintf("http://127.0.0.1:%d", cport)
+	coordArgs := []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", cport),
+		"-dist-ttl", "30s",
+		"-dist-breaker-failures", "2",
+		"-dist-breaker-cooldown", "120s",
+		"-dist-state", statePath,
+		"-quiet",
+	}
+
+	// Life 1 of the coordinator injects a frame-ship error (retried in
+	// place) and dial delays (absorbed); worker 2 kills itself on its second
+	// eval (after=1), mid-request.
+	coord := spawn("coordinator", hyperd, append(coordArgs,
+		"-fault", "frame_ship:error:count=1,worker_dial:delay:ms=20:count=8")...)
+	defer func() { coord.stop() }()
+	waitHealthy(cbase, 30*time.Second)
+
+	w1 := spawn("worker1", hyperd,
+		"-worker", "-coordinator", cbase,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", w1port),
+		"-worker-id", "chaos-w1",
+		"-heartbeat", "500ms", "-drain-timeout", "10s", "-quiet")
+	defer w1.stop()
+	w2 := spawn("worker2", hyperd,
+		"-worker", "-coordinator", cbase,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", w2port),
+		"-worker-id", "chaos-w2",
+		"-heartbeat", "500ms", "-quiet",
+		"-fault", "eval:kill:after=1")
+	defer w2.stop()
+	waitWorkers(cbase, 2, 30*time.Second)
+
+	createSessions(cbase)
+
+	// Local baselines for every golden, before any distributed run touches a
+	// worker (worker 2's kill budget must not be spent early).
+	whatifBase := map[string][]byte{}
+	for _, g := range whatifGoldens {
+		var r whatIfResp
+		status, payload := post(cbase, "/v1/whatif", map[string]any{
+			"session": g.session, "query": g.query, "placement": "local",
+		})
+		if status != http.StatusOK {
+			fatalf("%s baseline: status %d: %s", g.name, status, payload)
+		}
+		whatifBase[g.name] = stableBytes(payload, &r.stable)
+	}
+	howtoBase := map[string][]byte{}
+	for _, g := range howtoGoldens {
+		status, payload := post(cbase, "/v1/howto", map[string]any{
+			"session": g.session, "query": g.query, "placement": "local",
+		})
+		if status != http.StatusOK {
+			fatalf("%s baseline: status %d: %s", g.name, status, payload)
+		}
+		var s stableHowTo
+		howtoBase[g.name] = stableBytes(payload, &s)
+	}
+
+	count := whatifGoldens[0] // german-count drives the failure choreography
+	countEval := func(step string) whatIfResp {
+		var r whatIfResp
+		status, payload := post(cbase, "/v1/whatif", map[string]any{
+			"session": count.session, "query": count.query, "placement": "workers",
+		})
+		if status != http.StatusOK {
+			fatalf("%s: status %d: %s", step, status, payload)
+		}
+		if err := json.Unmarshal(payload, &r); err != nil {
+			fatalf("%s: %v", step, err)
+		}
+		if got := stableBytes(payload, &r.stable); !bytes.Equal(got, whatifBase[count.name]) {
+			fatalf("%s diverges from local baseline:\n  chaos: %s\n  local: %s", step, got, whatifBase[count.name])
+		}
+		return r
+	}
+
+	// Query 1: the injected frame-ship error and dial delays are absorbed by
+	// the retry policy — full fleet, not degraded.
+	r := countEval("chaos query 1 (absorbed faults)")
+	if r.Degraded {
+		fatalf("query 1 reported degraded (%s); retried faults alone must not degrade", r.DegradedReason)
+	}
+	if r.RemoteWorkers != 2 {
+		fatalf("query 1 used %d workers, want 2", r.RemoteWorkers)
+	}
+	if st := getDistStats(cbase); st.Retries == 0 {
+		fatalf("query 1 stats report no retries despite the injected ship failure: %+v", st)
+	}
+	fmt.Fprintf(os.Stderr, "distsmoke: chaos query 1 ok — injected faults absorbed, not degraded\n")
+
+	// Query 2: worker 2's kill rule fires mid-eval (os.Exit inside the
+	// handler). Shards requeue onto worker 1; the answer is unchanged and the
+	// response says degraded=worker_lost.
+	r = countEval("chaos query 2 (worker killed mid-eval)")
+	if !r.Degraded || r.DegradedReason != "worker_lost" {
+		fatalf("query 2 degraded=%v reason=%q, want true/worker_lost", r.Degraded, r.DegradedReason)
+	}
+	if st := getDistStats(cbase); st.WorkersQuarantined != 0 || st.Requeues == 0 {
+		fatalf("query 2 stats: %+v (want 0 quarantined with K=2, >0 requeues)", st)
+	}
+	fmt.Fprintf(os.Stderr, "distsmoke: chaos query 2 ok — worker death requeued, degraded=worker_lost\n")
+
+	// Query 3: the second consecutive failure (dial refused — the process is
+	// gone) trips the breaker: worker 2 is quarantined.
+	r = countEval("chaos query 3 (second failure quarantines)")
+	if !r.Degraded || r.DegradedReason != "worker_lost" {
+		fatalf("query 3 degraded=%v reason=%q, want true/worker_lost", r.Degraded, r.DegradedReason)
+	}
+	if st := getDistStats(cbase); st.WorkersQuarantined != 1 || st.WorkersLost != 1 {
+		fatalf("query 3 stats: %+v (want 1 quarantined, 1 lost)", st)
+	}
+
+	// Query 4: the quarantined worker is skipped without a dial.
+	r = countEval("chaos query 4 (quarantine skip)")
+	if !r.Degraded || r.DegradedReason != "quarantine" {
+		fatalf("query 4 degraded=%v reason=%q, want true/quarantine", r.Degraded, r.DegradedReason)
+	}
+	fmt.Fprintf(os.Stderr, "distsmoke: chaos queries 3-4 ok — breaker opened, quarantine skips the dead worker\n")
+
+	// The resilience metrics must tell the same story.
+	cs := scrapeMetrics("coordinator", cbase)
+	requireSeries("coordinator", cs,
+		"hyper_dist_retries_total",
+		"hyper_dist_breaker_state",
+		"hyper_dist_workers_restored_total",
+		"hyper_server_panics_total",
+	)
+	if cs["hyper_dist_breaker_state"] != 1 {
+		fatalf("hyper_dist_breaker_state = %v, want 1 open circuit", cs["hyper_dist_breaker_state"])
+	}
+	if cs["hyper_dist_retries_total"] < 1 {
+		fatalf("hyper_dist_retries_total = %v, want >= 1", cs["hyper_dist_retries_total"])
+	}
+	faults := 0.0
+	for series, v := range cs {
+		if strings.HasPrefix(series, "hyper_fault_injected_total{") {
+			faults += v
+		}
+	}
+	if faults < 2 {
+		fatalf("coordinator hyper_fault_injected_total sums to %v, want >= 2 (one ship error + dial delays)", faults)
+	}
+
+	// Crash the coordinator (SIGKILL: no drain, no goodbye) and restart it on
+	// the same port from the same state file, fault-free this time. It must
+	// re-adopt the fleet: both workers registered without a Register call,
+	// the quarantine still standing.
+	fmt.Fprintf(os.Stderr, "distsmoke: SIGKILLing the coordinator and restarting from %s\n", statePath)
+	coord.sigkill()
+	coord = spawn("coordinator-2", hyperd, coordArgs...)
+	waitHealthy(cbase, 30*time.Second)
+	st := getDistStats(cbase)
+	if st.RestoredWorkers != 2 || st.WorkersRegistered != 2 {
+		fatalf("restarted coordinator stats: %+v (want 2 restored, 2 registered)", st)
+	}
+	if st.WorkersQuarantined != 1 || st.WorkersAlive != 1 {
+		fatalf("restarted coordinator stats: %+v (quarantine must survive the restart)", st)
+	}
+
+	// Sessions are in-memory; recreate them. The frames they rebuild are
+	// content-addressed, so the restored shipped-frame ledger must prevent
+	// any re-ship to worker 1.
+	createSessions(cbase)
+	r = countEval("post-restart query (re-adopted fleet)")
+	if !r.Degraded || r.DegradedReason != "quarantine" {
+		fatalf("post-restart degraded=%v reason=%q, want true/quarantine", r.Degraded, r.DegradedReason)
+	}
+	if st := getDistStats(cbase); st.FramesShipped != 0 {
+		fatalf("restarted coordinator re-shipped %d frames; the persisted ledger should have prevented all", st.FramesShipped)
+	}
+	fmt.Fprintf(os.Stderr, "distsmoke: restart ok — fleet re-adopted from state, quarantine intact, zero frames re-shipped\n")
+
+	// Every golden must still match its pre-crash local baseline, distributed
+	// over the surviving worker ("workers" for what-if, "fit" for how-to).
+	for _, g := range whatifGoldens {
+		var r whatIfResp
+		status, payload := post(cbase, "/v1/whatif", map[string]any{
+			"session": g.session, "query": g.query, "placement": "workers",
+		})
+		if status != http.StatusOK {
+			fatalf("%s (post-restart): status %d: %s", g.name, status, payload)
+		}
+		if err := json.Unmarshal(payload, &r); err != nil {
+			fatalf("%s (post-restart): %v", g.name, err)
+		}
+		if got := stableBytes(payload, &r.stable); !bytes.Equal(got, whatifBase[g.name]) {
+			fatalf("%s (post-restart) diverges from pre-crash local baseline:\n  got:   %s\n  local: %s", g.name, got, whatifBase[g.name])
+		}
+		if !r.Degraded || r.DegradedReason != "quarantine" {
+			fatalf("%s (post-restart) degraded=%v reason=%q, want true/quarantine", g.name, r.Degraded, r.DegradedReason)
+		}
+		fmt.Fprintf(os.Stderr, "distsmoke: %-14s ok post-restart (degraded=quarantine, bytes == local)\n", g.name)
+	}
+	for _, g := range howtoGoldens {
+		status, payload := post(cbase, "/v1/howto", map[string]any{
+			"session": g.session, "query": g.query, "placement": "fit",
+		})
+		if status != http.StatusOK {
+			fatalf("%s (post-restart): status %d: %s", g.name, status, payload)
+		}
+		var s stableHowTo
+		if got := stableBytes(payload, &s); !bytes.Equal(got, howtoBase[g.name]) {
+			fatalf("%s (post-restart) diverges from pre-crash local baseline:\n  got:   %s\n  local: %s", g.name, got, howtoBase[g.name])
+		}
+		fmt.Fprintf(os.Stderr, "distsmoke: %-14s ok post-restart (fit bytes == local)\n", g.name)
+	}
+
+	// The surviving worker drains and exits cleanly on SIGTERM.
+	w1.stopClean()
+	fmt.Fprintf(os.Stderr, "distsmoke: worker1 drained and exited cleanly on SIGTERM\n")
+
+	fmt.Println("distsmoke: CHAOS PASS — faults injected, worker killed, coordinator restarted; every answer bit-identical, every degradation reported")
 }

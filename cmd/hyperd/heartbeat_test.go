@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNextBeatDelay(t *testing.T) {
+	const base = 5 * time.Second
+	cases := []struct {
+		name   string
+		fails  int
+		jitter float64
+		want   time.Duration
+	}{
+		{"healthy-low-jitter", 0, 0, 4 * time.Second},
+		{"healthy-high-jitter", 0, 0.999, time.Duration(float64(base) * (0.8 + 0.4*0.999))},
+		{"one-failure-doubles", 1, 0.5, 10 * time.Second},
+		{"two-failures-quadruple", 2, 0.5, 20 * time.Second},
+		{"backoff-capped-at-8x", 9, 0.5, 30 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := nextBeatDelay(base, tc.fails, tc.jitter)
+			// Tolerate float rounding in the jitter scale.
+			if diff := got - tc.want; diff < -time.Millisecond || diff > time.Millisecond {
+				t.Fatalf("nextBeatDelay(%v, %d, %v) = %v, want ~%v", base, tc.fails, tc.jitter, got, tc.want)
+			}
+		})
+	}
+
+	// Jitter must spread, never collapse the delay to zero.
+	if d := nextBeatDelay(0, 0, 0); d < time.Millisecond {
+		t.Fatalf("zero base collapsed to %v", d)
+	}
+	// Monotone in failures until the cap.
+	prev := time.Duration(0)
+	for fails := 0; fails <= 3; fails++ {
+		d := nextBeatDelay(base, fails, 0.5)
+		if d < prev {
+			t.Fatalf("delay shrank at fails=%d: %v < %v", fails, d, prev)
+		}
+		prev = d
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -55,6 +56,7 @@ import (
 
 	"hyper/internal/dataset"
 	"hyper/internal/dist"
+	"hyper/internal/fault"
 	"hyper/internal/server"
 )
 
@@ -74,6 +76,12 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	distTTL := flag.Duration("dist-ttl", 15*time.Second, "coordinator: worker lease (a worker missing heartbeats this long gets no shards)")
 	distSecret := flag.String("dist-secret", "", "shared secret for the dist surface (registration + worker compute endpoints); set on coordinator and workers alike when untrusted peers can reach the listeners")
+	distState := flag.String("dist-state", "", "coordinator: persist worker registry/quarantine/assignment state to this JSON file (atomic rename) and re-adopt the fleet on restart")
+	distRPCTimeout := flag.Duration("dist-rpc-timeout", 0, "coordinator: per-RPC timeout for worker calls (0 = 2m default)")
+	distBreakerFailures := flag.Int("dist-breaker-failures", 0, "coordinator: consecutive worker failures before quarantine (0 = default 3)")
+	distBreakerCooldown := flag.Duration("dist-breaker-cooldown", 0, "coordinator: quarantine cooldown before a worker is probed again (0 = default 30s)")
+	faultSpec := flag.String("fault", "", "deterministic fault injection spec, e.g. \"eval:kill:after=1,frame_ship:error:count=1\" (testing only; see internal/fault)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 	workerMode := flag.Bool("worker", false, "run as a shard worker instead of a serving daemon (requires -coordinator)")
 	coordinator := flag.String("coordinator", "", "worker mode: coordinator base URL to register with (e.g. http://host:8080)")
 	advertise := flag.String("advertise", "", "worker mode: base URL the coordinator dials back (default derived from -addr on 127.0.0.1)")
@@ -88,27 +96,39 @@ func main() {
 	if *pprofAddr != "" {
 		servePprof(logger, *pprofAddr)
 	}
+	inj, err := fault.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		logger.Fatalf("-fault: %v", err)
+	}
+	if inj != nil {
+		logger.Printf("fault injection armed: %s", inj)
+	}
 	if *workerMode {
 		if *coordinator == "" {
 			logger.Fatal("-worker requires -coordinator")
 		}
-		if err := runWorker(logger, *addr, *coordinator, *advertise, *workerID, *distSecret, *heartbeat, *workerFrames, *quiet); err != nil {
+		if err := runWorker(logger, *addr, *coordinator, *advertise, *workerID, *distSecret, *heartbeat, *drainTimeout, *workerFrames, *quiet, inj); err != nil {
 			logger.Fatalf("worker: %v", err)
 		}
 		return
 	}
 
 	cfg := server.Config{
-		CacheEntries:   *cacheEntries,
-		BatchWorkers:   *workers,
-		MaxSessions:    *maxSessions,
-		JobWorkers:     *jobWorkers,
-		JobQueueDepth:  *jobQueue,
-		JobsPerSession: *jobsPerSession,
-		JobRetention:   *jobRetention,
-		DistTTL:        *distTTL,
-		DistSecret:     *distSecret,
-		SlowQueryMs:    *slowQueryMs,
+		CacheEntries:        *cacheEntries,
+		BatchWorkers:        *workers,
+		MaxSessions:         *maxSessions,
+		JobWorkers:          *jobWorkers,
+		JobQueueDepth:       *jobQueue,
+		JobsPerSession:      *jobsPerSession,
+		JobRetention:        *jobRetention,
+		DistTTL:             *distTTL,
+		DistSecret:          *distSecret,
+		DistStatePath:       *distState,
+		DistRPCTimeout:      *distRPCTimeout,
+		DistBreakerFailures: *distBreakerFailures,
+		DistBreakerCooldown: *distBreakerCooldown,
+		Fault:               inj,
+		SlowQueryMs:         *slowQueryMs,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -163,10 +183,13 @@ func main() {
 }
 
 // runWorker serves the dist compute API and keeps a registration alive with
-// the coordinator: register (with retry), heartbeat every interval,
-// re-register when the coordinator forgets us (restart), deregister on
-// shutdown so the coordinator requeues proactively.
-func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secret string, hb time.Duration, maxFrames int, quiet bool) error {
+// the coordinator: register (with retry), heartbeat every interval (backing
+// off with jitter on transient coordinator errors), re-register when the
+// coordinator forgets us (restart). On SIGTERM it drains in-flight shard
+// RPCs (bounded by drainTimeout, heartbeats still flowing so the lease
+// survives the drain) before deregistering, so the coordinator requeues
+// proactively instead of timing out a lease mid-RPC.
+func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secret string, hb, drainTimeout time.Duration, maxFrames int, quiet bool, inj *fault.Injector) error {
 	if hb <= 0 {
 		hb = 5 * time.Second
 	}
@@ -195,7 +218,7 @@ func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secre
 			advertiseURL, coordinatorURL)
 	}
 
-	wcfg := dist.WorkerConfig{MaxFrames: maxFrames, Secret: secret}
+	wcfg := dist.WorkerConfig{MaxFrames: maxFrames, Secret: secret, Fault: inj}
 	if !quiet {
 		wcfg.Logf = logger.Printf
 	}
@@ -251,6 +274,9 @@ func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secre
 		return nil
 	}
 	beat := func() (int, error) {
+		if err := inj.Hit(fault.PointHeartbeat); err != nil {
+			return 0, err
+		}
 		return coordPost("/dist/v1/workers/"+id+"/beat", "")
 	}
 
@@ -275,26 +301,40 @@ func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secre
 			registered = true
 			logger.Printf("registered with coordinator %s", coordinatorURL)
 		}
-		tick := time.NewTicker(hb)
-		defer tick.Stop()
+		// Transient coordinator errors back the heartbeat off exponentially
+		// (with jitter, so a restarted coordinator is not hit by every worker
+		// in lockstep) instead of hammering a struggling peer at full rate.
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		fails := 0
+		timer := time.NewTimer(hb)
+		defer timer.Stop()
 		for {
 			select {
-			case <-tick.C:
+			case <-timer.C:
 				status, err := beat()
 				switch {
 				case err != nil:
-					logger.Printf("heartbeat: %v", err)
+					fails++
+					logger.Printf("heartbeat: %v (backing off to %s)", err, nextBeatDelay(hb, fails, 0.5).Round(time.Millisecond))
 				case status == http.StatusNotFound:
 					// Coordinator restarted (or dropped us after a failure):
 					// re-register so shards flow again.
+					fails = 0
 					if err := register(); err != nil {
 						logger.Printf("re-registering: %v", err)
 					} else {
 						logger.Printf("re-registered with coordinator")
 					}
+				case status >= 500:
+					fails++
+					logger.Printf("heartbeat: status %d (backing off to %s)", status, nextBeatDelay(hb, fails, 0.5).Round(time.Millisecond))
 				case status != http.StatusOK:
+					fails = 0
 					logger.Printf("heartbeat: status %d", status)
+				default:
+					fails = 0
 				}
+				timer.Reset(nextBeatDelay(hb, fails, rng.Float64()))
 			case <-stopBeats:
 				return
 			}
@@ -305,7 +345,16 @@ func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secre
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		logger.Printf("received %s, deregistering", sig)
+		// Drain before deregistering: in-flight shard RPCs finish normally
+		// (heartbeats keep the lease alive meanwhile), so the coordinator
+		// never sees a connection die mid-response for a clean shutdown.
+		logger.Printf("received %s, draining %d in-flight requests (up to %s)", sig, w.InFlight(), drainTimeout)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+		if err := w.Drain(drainCtx); err != nil {
+			logger.Printf("drain: still %d in flight after %s: %v", w.InFlight(), drainTimeout, err)
+		}
+		cancelDrain()
+		logger.Printf("drained, deregistering")
 		close(stopBeats)
 		<-beatsDone
 		if req, err := http.NewRequest(http.MethodDelete, coordinatorURL+"/dist/v1/workers/"+id, nil); err == nil {
@@ -330,6 +379,28 @@ func runWorker(logger *log.Logger, addr, coordinatorURL, advertiseURL, id, secre
 		}
 		return nil
 	}
+}
+
+// nextBeatDelay is the interval until the next heartbeat: the configured
+// base after a success, doubling per consecutive transient failure (capped
+// at 8x base or 30s, whichever is smaller — the lease should outlive a
+// short coordinator blip, and backing off further would forfeit it for no
+// gain). jitter in [0,1) spreads the delay over ±20% so a fleet of workers
+// doesn't probe a recovering coordinator in lockstep. Pure for testing.
+func nextBeatDelay(base time.Duration, fails int, jitter float64) time.Duration {
+	d := base
+	for i := 0; i < fails && i < 3; i++ {
+		d *= 2
+	}
+	if max := 30 * time.Second; d > max {
+		d = max
+	}
+	// Scale into [0.8, 1.2).
+	d = time.Duration(float64(d) * (0.8 + 0.4*jitter))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // servePprof exposes the net/http/pprof profiling endpoints on their own

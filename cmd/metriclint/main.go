@@ -43,6 +43,12 @@ var (
 		"hyper_dist_workers_alive",
 		"hyper_dist_remote_shards_total",
 		"hyper_dist_requeue_events_total",
+		"hyper_dist_retries_total",
+		"hyper_dist_breaker_state",
+		"hyper_dist_workers_restored_total",
+		"hyper_dist_persist_errors_total",
+		"hyper_fault_injected_total",
+		"hyper_server_panics_total",
 	}
 	workerCore = []string{
 		"hyper_worker_evals_total",
@@ -51,6 +57,8 @@ var (
 		"hyper_worker_frame_bytes_received_total",
 		"hyper_worker_frames",
 		"hyper_worker_traces_recorded_total",
+		"hyper_worker_inflight",
+		"hyper_fault_injected_total",
 	}
 )
 

@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the circuit position of one worker's breaker.
+type breakerState string
+
+const (
+	// breakerClosed: healthy, assignable.
+	breakerClosed breakerState = "closed"
+	// breakerOpen: quarantined — K consecutive failures put the worker in
+	// cooldown; shard assignment skips it.
+	breakerOpen breakerState = "open"
+	// breakerHalfOpen: cooldown elapsed — the worker is assignable again as
+	// a probe; the next success closes the breaker, the next failure
+	// re-opens it (restarting the cooldown).
+	breakerHalfOpen breakerState = "half_open"
+)
+
+// breaker is the per-worker circuit breaker behind quarantine. The old
+// policy dropped a worker from the registry on any dispatch failure,
+// forcing a deregister/re-register churn cycle (and forgetting its shipped
+// frames) even for a single transient fault. The breaker keeps the worker
+// registered and its frame bookkeeping intact, merely excluding it from
+// assignment while open; heartbeats arriving after the cooldown rehabilitate
+// it without any re-registration traffic.
+type breaker struct {
+	limit    int              // consecutive failures that open the circuit
+	cooldown time.Duration    // quarantine length
+	now      func() time.Time // test hook
+
+	mu       sync.Mutex
+	fails    int // consecutive failures seen
+	open     bool
+	openedAt time.Time
+}
+
+func newBreaker(limit int, cooldown time.Duration) *breaker {
+	return &breaker{limit: limit, cooldown: cooldown, now: time.Now}
+}
+
+// onFailure records one dispatch failure and reports whether this failure
+// opened (or re-opened) the circuit — the caller's cue to log and persist
+// the quarantine. A failure in half-open re-arms the full cooldown.
+func (b *breaker) onFailure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.open {
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			// Failed its half-open probe: quarantine again from now.
+			b.openedAt = b.now()
+			return true
+		}
+		return false
+	}
+	if b.fails >= b.limit {
+		b.open = true
+		b.openedAt = b.now()
+		return true
+	}
+	return false
+}
+
+// onSuccess closes the circuit and clears the failure streak (any
+// successful RPC, or a post-cooldown heartbeat, rehabilitates the worker).
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.fails = 0
+	b.open = false
+	b.mu.Unlock()
+}
+
+// allow reports whether the worker may be assigned work: always while
+// closed, never while open within the cooldown, and again once the cooldown
+// elapses (the half-open probe).
+func (b *breaker) allow() bool {
+	return b.state() != breakerOpen
+}
+
+// state returns the current circuit position.
+func (b *breaker) state() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return breakerClosed
+	}
+	if b.now().Sub(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen
+	}
+	return breakerOpen
+}
+
+// snapshot reads the raw circuit fields (for stats and persistence).
+func (b *breaker) snapshot() (fails int, open bool, openedAt time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails, b.open, b.openedAt
+}
+
+// restore rehydrates a persisted circuit (coordinator restart).
+func (b *breaker) restore(fails int, open bool, openedAt time.Time) {
+	b.mu.Lock()
+	b.fails = fails
+	b.open = open
+	b.openedAt = openedAt
+	b.mu.Unlock()
+}

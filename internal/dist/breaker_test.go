@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's notion of now.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testBreaker(k int, cd time.Duration) (*breaker, *fakeClock) {
+	clk := newFakeClock()
+	b := newBreaker(k, cd)
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerStateMachine walks the quarantine circuit through its
+// transitions: closed -> open on K consecutive failures, open -> half_open
+// after the cooldown, half_open -> closed on success, half_open -> open
+// (cooldown re-armed) on a failed probe.
+func TestBreakerStateMachine(t *testing.T) {
+	const cd = 30 * time.Second
+
+	type step struct {
+		act    string // "fail", "ok", "wait"
+		wait   time.Duration
+		opened bool // expected return of onFailure (for "fail")
+		state  breakerState
+		allow  bool
+	}
+	cases := []struct {
+		name  string
+		limit int
+		steps []step
+	}{
+		{
+			name:  "opens-at-limit",
+			limit: 3,
+			steps: []step{
+				{act: "fail", state: breakerClosed, allow: true},
+				{act: "fail", state: breakerClosed, allow: true},
+				{act: "fail", opened: true, state: breakerOpen, allow: false},
+			},
+		},
+		{
+			name:  "success-resets-streak",
+			limit: 2,
+			steps: []step{
+				{act: "fail", state: breakerClosed, allow: true},
+				{act: "ok", state: breakerClosed, allow: true},
+				{act: "fail", state: breakerClosed, allow: true},
+				{act: "fail", opened: true, state: breakerOpen, allow: false},
+			},
+		},
+		{
+			name:  "cooldown-half-opens-then-success-closes",
+			limit: 1,
+			steps: []step{
+				{act: "fail", opened: true, state: breakerOpen, allow: false},
+				{act: "wait", wait: cd - time.Second, state: breakerOpen, allow: false},
+				{act: "wait", wait: time.Second, state: breakerHalfOpen, allow: true},
+				{act: "ok", state: breakerClosed, allow: true},
+			},
+		},
+		{
+			name:  "failed-probe-rearms-cooldown",
+			limit: 1,
+			steps: []step{
+				{act: "fail", opened: true, state: breakerOpen, allow: false},
+				{act: "wait", wait: cd, state: breakerHalfOpen, allow: true},
+				{act: "fail", opened: true, state: breakerOpen, allow: false},
+				{act: "wait", wait: cd / 2, state: breakerOpen, allow: false},
+				{act: "wait", wait: cd / 2, state: breakerHalfOpen, allow: true},
+			},
+		},
+		{
+			name:  "failure-while-open-does-not-reopen",
+			limit: 1,
+			steps: []step{
+				{act: "fail", opened: true, state: breakerOpen, allow: false},
+				// A straggler failure (in-flight RPC finishing late) must not
+				// restart the cooldown.
+				{act: "fail", opened: false, state: breakerOpen, allow: false},
+				{act: "wait", wait: cd, state: breakerHalfOpen, allow: true},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, clk := testBreaker(tc.limit, cd)
+			for i, s := range tc.steps {
+				switch s.act {
+				case "fail":
+					if opened := b.onFailure(); opened != s.opened {
+						t.Fatalf("step %d: onFailure opened=%v, want %v", i, opened, s.opened)
+					}
+				case "ok":
+					b.onSuccess()
+				case "wait":
+					clk.advance(s.wait)
+				}
+				if got := b.state(); got != s.state {
+					t.Fatalf("step %d (%s): state %s, want %s", i, s.act, got, s.state)
+				}
+				if got := b.allow(); got != s.allow {
+					t.Fatalf("step %d (%s): allow %v, want %v", i, s.act, got, s.allow)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerRestore round-trips the persisted circuit fields, including an
+// open circuit whose cooldown continues across the restore.
+func TestBreakerRestore(t *testing.T) {
+	const cd = time.Minute
+	b, clk := testBreaker(2, cd)
+	b.onFailure()
+	b.onFailure() // opens
+	fails, open, openedAt := b.snapshot()
+	if fails != 2 || !open {
+		t.Fatalf("snapshot = (%d, %v, %v)", fails, open, openedAt)
+	}
+
+	b2, clk2 := testBreaker(2, cd)
+	clk2.t = clk.t
+	b2.restore(fails, open, openedAt)
+	if got := b2.state(); got != breakerOpen {
+		t.Fatalf("restored state %s, want open", got)
+	}
+	clk2.advance(cd)
+	if got := b2.state(); got != breakerHalfOpen {
+		t.Fatalf("restored breaker after cooldown: %s, want half_open", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -16,10 +17,12 @@ import (
 
 	"hyper/internal/causal"
 	"hyper/internal/engine"
+	"hyper/internal/fault"
 	"hyper/internal/hyperql"
 	"hyper/internal/ml"
 	"hyper/internal/obs"
 	"hyper/internal/relation"
+	"hyper/internal/stats"
 )
 
 // ErrNoWorkers is returned when a distributed operation is requested and no
@@ -50,6 +53,27 @@ type CoordinatorConfig struct {
 	// Metrics, when non-nil, receives the coordinator's hyper_dist_* metric
 	// families at construction time (the same atomics /v1/stats reads).
 	Metrics *obs.Registry
+	// Retry is the unified failure policy for every worker RPC (frame
+	// ships included); the zero value takes the RetryPolicy defaults.
+	Retry RetryPolicy
+	// BreakerFailures is K: consecutive dispatch failures that quarantine a
+	// worker. Default 3.
+	BreakerFailures int
+	// BreakerCooldown is how long a quarantined worker is skipped before
+	// its half-open probe. Default 30s.
+	BreakerCooldown time.Duration
+	// StatePath, when non-empty, persists the coordinator state (worker
+	// registry, shipped frames, quarantine, in-flight assignments) to this
+	// JSON file so a restarted coordinator re-adopts its fleet.
+	StatePath string
+	// Fault, when non-nil, is the armed fault injector consulted at the
+	// coordinator-side injection points (worker_dial, frame_ship, persist).
+	// Nil — the production default — costs one pointer check per point.
+	Fault *fault.Injector
+	// JitterSeed seeds the retry-backoff jitter stream (0 picks a fixed
+	// default; any value keeps results deterministic — jitter shapes only
+	// sleep durations).
+	JitterSeed int64
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -58,6 +82,16 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.Client == nil {
 		c.Client = http.DefaultClient
+	}
+	c.Retry = c.Retry.withDefaults()
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
 	}
 	return c
 }
@@ -70,30 +104,48 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 type Coordinator struct {
 	cfg CoordinatorConfig
 
-	mu      sync.Mutex
-	workers map[string]*remoteWorker
+	mu        sync.Mutex
+	workers   map[string]*remoteWorker
+	assigns   map[uint64]persistedAssignment // in-flight shard batches, by seq
+	assignSeq uint64
 
 	// Gauges (surfaced through /v1/stats).
 	registered     atomic.Uint64 // registrations accepted (incl. re-registrations)
-	lost           atomic.Uint64 // workers dropped after a dispatch failure
+	lost           atomic.Uint64 // workers quarantined after dispatch failures
 	requeues       atomic.Uint64 // shard batches requeued after a worker loss
 	framesShipped  atomic.Uint64
 	remoteEvals    atomic.Uint64 // distributed what-if evaluations completed
 	remoteShards   atomic.Uint64 // plan shards evaluated on remote workers
 	remoteFits     atomic.Uint64 // remote shard-mergeable fits completed
 	localFallbacks atomic.Uint64 // times pending shards fell back to local
+	retries        atomic.Uint64 // RPC retries under the unified policy
+	restored       atomic.Uint64 // workers re-adopted from the state file
+	persistErrors  atomic.Uint64 // failed (best-effort) state saves
 
-	// requeueEvents labels each worker drop with who failed and why
-	// (reason: lease_expired | dial_fail | frame_missing); nil without a
-	// metrics registry (every obs vec/counter method no-ops on nil).
+	// jitter is the seeded backoff-jitter stream (guarded: retries from
+	// concurrent dispatch goroutines draw from one sequence).
+	jitterMu sync.Mutex
+	jitter   *stats.RNG
+
+	// saveMu serializes state-file writes (each is a temp-write + rename).
+	saveMu sync.Mutex
+
+	// requeueEvents labels each worker failure that requeued shards with
+	// who failed and why (reason: lease_expired | dial_fail |
+	// frame_missing); nil without a metrics registry (every obs vec/counter
+	// method no-ops on nil). faultInjected counts injector firings by point
+	// and mode.
 	requeueEvents *obs.CounterVec
+	faultInjected *obs.CounterVec
 }
 
 // remoteWorker is one registered worker. shipped tracks the frames this
-// worker has confirmed, so steady-state dispatch skips the 404 round-trip.
+// worker has confirmed, so steady-state dispatch skips the 404 round-trip;
+// breaker is the worker's quarantine circuit.
 type remoteWorker struct {
-	id  string
-	url string
+	id      string
+	url     string
+	breaker *breaker
 
 	mu       sync.Mutex
 	lastBeat time.Time
@@ -134,9 +186,21 @@ func (w *remoteWorker) frameCount() int {
 	return len(w.shipped)
 }
 
-// NewCoordinator returns a coordinator with an empty worker registry.
+// NewCoordinator returns a coordinator, re-adopting a previously persisted
+// fleet when the configured state file exists.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	c := &Coordinator{cfg: cfg.withDefaults(), workers: make(map[string]*remoteWorker)}
+	c.jitter = stats.NewRNG(c.cfg.JitterSeed)
+	if c.cfg.StatePath != "" {
+		if err := c.loadState(); err != nil {
+			// Never discard operator state silently: move the unreadable
+			// file aside for inspection and start fresh.
+			c.logf("dist: cannot load coordinator state: %v", err)
+			if rerr := os.Rename(c.cfg.StatePath, c.cfg.StatePath+".corrupt"); rerr == nil {
+				c.logf("dist: moved unreadable state file to %s.corrupt", c.cfg.StatePath)
+			}
+		}
+	}
 	if r := c.cfg.Metrics; r != nil {
 		r.GaugeFunc("hyper_dist_workers_alive", "Registered workers within their heartbeat lease.",
 			func() float64 { return float64(c.WorkersAlive()) })
@@ -144,8 +208,16 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 			func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(len(c.workers)) })
 		r.CounterFunc("hyper_dist_registrations_total", "Worker registrations accepted (including re-registrations).",
 			func() float64 { return float64(c.registered.Load()) })
-		r.CounterFunc("hyper_dist_workers_lost_total", "Workers dropped after a dispatch failure.",
+		r.CounterFunc("hyper_dist_workers_lost_total", "Workers quarantined after dispatch failures.",
 			func() float64 { return float64(c.lost.Load()) })
+		r.CounterFunc("hyper_dist_retries_total", "Worker RPC retries under the unified retry policy.",
+			func() float64 { return float64(c.retries.Load()) })
+		r.GaugeFunc("hyper_dist_breaker_state", "Workers currently quarantined (circuit open, cooldown not yet elapsed).",
+			func() float64 { return float64(c.quarantinedCount()) })
+		r.CounterFunc("hyper_dist_workers_restored_total", "Workers re-adopted from the persisted state file at startup.",
+			func() float64 { return float64(c.restored.Load()) })
+		r.CounterFunc("hyper_dist_persist_errors_total", "Best-effort coordinator state saves that failed.",
+			func() float64 { return float64(c.persistErrors.Load()) })
 		r.CounterFunc("hyper_dist_requeues_total", "Shard batches requeued after a worker loss.",
 			func() float64 { return float64(c.requeues.Load()) })
 		r.CounterFunc("hyper_dist_frames_shipped_total", "Frame snapshots shipped to workers.",
@@ -159,9 +231,34 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		r.CounterFunc("hyper_dist_local_fallbacks_total", "Times pending shards fell back to local evaluation.",
 			func() float64 { return float64(c.localFallbacks.Load()) })
 		c.requeueEvents = r.CounterVec("hyper_dist_requeue_events_total",
-			"Worker drops that requeued shards, by worker and failure reason.", "worker", "reason")
+			"Worker failures that requeued shards, by worker and failure reason.", "worker", "reason")
+		c.faultInjected = r.CounterVec("hyper_fault_injected_total",
+			"Faults fired by the deterministic injector, by point and mode.", "point", "mode")
 	}
+	// The injector observer increments the vec; with no injector armed the
+	// family still exists (at zero) so the metric schema is role-stable.
+	c.cfg.Fault.SetOnFire(func(p fault.Point, m fault.Mode) {
+		c.faultInjected.With(string(p), string(m)).Inc()
+	})
 	return c
+}
+
+// newWorkerBreaker builds a breaker with the coordinator's K/cooldown.
+func (c *Coordinator) newWorkerBreaker() *breaker {
+	return newBreaker(c.cfg.BreakerFailures, c.cfg.BreakerCooldown)
+}
+
+// quarantinedCount reports workers whose circuit is open within cooldown.
+func (c *Coordinator) quarantinedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, w := range c.workers {
+		if w.breaker.state() == breakerOpen {
+			n++
+		}
+	}
+	return n
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -199,12 +296,20 @@ func (c *Coordinator) Handler() http.Handler {
 		w, ok := c.workers[id]
 		c.mu.Unlock()
 		if !ok {
-			// Unknown (dropped or pre-restart) worker: it must re-register,
-			// which also re-announces its URL.
+			// Unknown (deregistered or never-seen) worker: it must
+			// re-register, which also re-announces its URL.
 			writeError(rw, http.StatusNotFound, "", "unknown worker %q", id)
 			return
 		}
 		w.beat()
+		if w.breaker.state() == breakerHalfOpen {
+			// The cooldown has elapsed and the worker is demonstrably
+			// alive: close the circuit rather than waiting for the next
+			// query to probe it.
+			w.breaker.onSuccess()
+			c.logf("dist: worker %s rehabilitated after quarantine cooldown", id)
+			c.saveState()
+		}
 		writeJSON(rw, http.StatusOK, map[string]any{"ok": true})
 	})
 	mux.HandleFunc("DELETE "+pathWorkers+"/{id}", func(rw http.ResponseWriter, r *http.Request) {
@@ -221,6 +326,7 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		c.logf("dist: worker %s deregistered", id)
+		c.saveState()
 		writeJSON(rw, http.StatusOK, map[string]any{"ok": true})
 	})
 	mux.HandleFunc("GET "+pathWorkers, func(rw http.ResponseWriter, r *http.Request) {
@@ -229,28 +335,32 @@ func (c *Coordinator) Handler() http.Handler {
 	return mux
 }
 
-// Register adds (or refreshes) a worker and starts its lease.
+// Register adds (or refreshes) a worker and starts its lease. A
+// re-registration at the same URL keeps the existing entry — shipped-frame
+// bookkeeping and breaker history survive a worker's heartbeat blips.
 func (c *Coordinator) Register(id, url string) {
 	c.mu.Lock()
 	w, ok := c.workers[id]
 	if !ok || w.url != url {
-		w = &remoteWorker{id: id, url: url}
+		w = &remoteWorker{id: id, url: url, breaker: c.newWorkerBreaker()}
 		c.workers[id] = w
 	}
 	c.mu.Unlock()
 	w.beat()
 	c.registered.Add(1)
 	c.logf("dist: worker %s registered at %s", id, url)
+	c.saveState()
 }
 
-// alive snapshots the workers within their lease, sorted by id so shard
-// assignment is deterministic given a membership set.
+// alive snapshots the assignable workers — within their heartbeat lease and
+// not quarantined — sorted by id so shard assignment is deterministic given
+// a membership set.
 func (c *Coordinator) alive() []*remoteWorker {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []*remoteWorker
 	for _, w := range c.workers {
-		if w.aliveAt(c.cfg.TTL) {
+		if w.aliveAt(c.cfg.TTL) && w.breaker.allow() {
 			out = append(out, w)
 		}
 	}
@@ -258,7 +368,38 @@ func (c *Coordinator) alive() []*remoteWorker {
 	return out
 }
 
-// WorkersAlive returns the number of workers within their lease.
+// eligible is alive minus the workers this operation has already given up
+// on. Skipping a quarantined worker is a degradation event for the run: the
+// query is executing below the full registered fleet.
+func (c *Coordinator) eligible(run *queryRun) []*remoteWorker {
+	c.mu.Lock()
+	quarantined := false
+	var out []*remoteWorker
+	for _, w := range c.workers {
+		if !w.aliveAt(c.cfg.TTL) {
+			continue
+		}
+		if run.isBad(w.id) {
+			// Already failed this operation: its exclusion was noted as
+			// worker_lost when it failed, not as a quarantine skip.
+			continue
+		}
+		if !w.breaker.allow() {
+			quarantined = true
+			continue
+		}
+		out = append(out, w)
+	}
+	c.mu.Unlock()
+	if quarantined {
+		run.note(degradeQuarantine)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// WorkersAlive returns the number of assignable workers (leased, not
+// quarantined).
 func (c *Coordinator) WorkersAlive() int { return len(c.alive()) }
 
 // WorkerInfos snapshots the registry for listings and stats.
@@ -272,31 +413,40 @@ func (c *Coordinator) WorkerInfos() []WorkerInfo {
 	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
 	out := make([]WorkerInfo, len(ws))
 	for i, w := range ws {
+		fails, _, _ := w.breaker.snapshot()
 		w.mu.Lock()
 		out[i] = WorkerInfo{
 			ID: w.id, URL: w.url,
-			Alive:      time.Since(w.lastBeat) <= c.cfg.TTL,
-			LastBeatMs: float64(time.Since(w.lastBeat)) / float64(time.Millisecond),
-			Frames:     len(w.shipped),
+			Alive:       time.Since(w.lastBeat) <= c.cfg.TTL,
+			LastBeatMs:  float64(time.Since(w.lastBeat)) / float64(time.Millisecond),
+			Frames:      len(w.shipped),
+			Quarantined: w.breaker.state() == breakerOpen,
+			Fails:       fails,
 		}
 		w.mu.Unlock()
 	}
 	return out
 }
 
-// drop removes a worker after a dispatch failure; its shards are requeued by
-// the caller. A live worker process will heartbeat into a 404 and
-// re-register.
-func (c *Coordinator) drop(w *remoteWorker, err error) {
+// workerFailed records a dispatch failure after the retry policy gave up on
+// a worker: the worker is excluded from the rest of this operation (its
+// shards requeue onto the survivors — a degradation event), the failure
+// counts against its breaker, and crossing K consecutive failures
+// quarantines it for the cooldown. The worker stays registered either way:
+// its frames and lease survive, and a post-cooldown heartbeat or successful
+// probe rehabilitates it — no drop/re-register churn.
+func (c *Coordinator) workerFailed(run *queryRun, w *remoteWorker, err error) {
 	reason := requeueReason(w, err, c.cfg.TTL)
-	c.mu.Lock()
-	if cur, ok := c.workers[w.id]; ok && cur == w {
-		delete(c.workers, w.id)
-	}
-	c.mu.Unlock()
-	c.lost.Add(1)
+	run.markBad(w.id)
+	run.note(degradeWorkerLost)
 	c.requeueEvents.With(w.id, reason).Inc()
-	c.logf("dist: dropping worker %s (%s): %v", w.id, reason, err)
+	if w.breaker.onFailure() {
+		c.lost.Add(1)
+		c.logf("dist: quarantining worker %s for %v (%s): %v", w.id, c.cfg.BreakerCooldown, reason, err)
+		c.saveState()
+		return
+	}
+	c.logf("dist: worker %s failed (%s), excluded for this query: %v", w.id, reason, err)
 }
 
 // requeueReason classifies why a worker's shards are being requeued:
@@ -323,16 +473,21 @@ func (e frameThrashError) Error() string { return e.err.Error() }
 
 // Stats is the coordinator gauge snapshot (wire form for /v1/stats).
 type Stats struct {
-	WorkersAlive      int    `json:"workers_alive"`
-	WorkersRegistered int    `json:"workers_registered"`
-	Registrations     uint64 `json:"registrations"`
-	WorkersLost       uint64 `json:"workers_lost"`
-	Requeues          uint64 `json:"requeues"`
-	FramesShipped     uint64 `json:"frames_shipped"`
-	RemoteEvals       uint64 `json:"remote_evals"`
-	RemoteShards      uint64 `json:"remote_shards"`
-	RemoteFits        uint64 `json:"remote_fits"`
-	LocalFallbacks    uint64 `json:"local_fallbacks"`
+	WorkersAlive       int    `json:"workers_alive"`
+	WorkersRegistered  int    `json:"workers_registered"`
+	WorkersQuarantined int    `json:"workers_quarantined"`
+	Registrations      uint64 `json:"registrations"`
+	WorkersLost        uint64 `json:"workers_lost"`
+	Requeues           uint64 `json:"requeues"`
+	FramesShipped      uint64 `json:"frames_shipped"`
+	RemoteEvals        uint64 `json:"remote_evals"`
+	RemoteShards       uint64 `json:"remote_shards"`
+	RemoteFits         uint64 `json:"remote_fits"`
+	LocalFallbacks     uint64 `json:"local_fallbacks"`
+	Retries            uint64 `json:"retries"`
+	RestoredWorkers    uint64 `json:"restored_workers"`
+	PersistErrors      uint64 `json:"persist_errors,omitempty"`
+	FaultsInjected     uint64 `json:"faults_injected,omitempty"`
 }
 
 // Stats snapshots the coordinator gauges.
@@ -341,16 +496,21 @@ func (c *Coordinator) Stats() Stats {
 	registered := len(c.workers)
 	c.mu.Unlock()
 	return Stats{
-		WorkersAlive:      c.WorkersAlive(),
-		WorkersRegistered: registered,
-		Registrations:     c.registered.Load(),
-		WorkersLost:       c.lost.Load(),
-		Requeues:          c.requeues.Load(),
-		FramesShipped:     c.framesShipped.Load(),
-		RemoteEvals:       c.remoteEvals.Load(),
-		RemoteShards:      c.remoteShards.Load(),
-		RemoteFits:        c.remoteFits.Load(),
-		LocalFallbacks:    c.localFallbacks.Load(),
+		WorkersAlive:       c.WorkersAlive(),
+		WorkersRegistered:  registered,
+		WorkersQuarantined: c.quarantinedCount(),
+		Registrations:      c.registered.Load(),
+		WorkersLost:        c.lost.Load(),
+		Requeues:           c.requeues.Load(),
+		FramesShipped:      c.framesShipped.Load(),
+		RemoteEvals:        c.remoteEvals.Load(),
+		RemoteShards:       c.remoteShards.Load(),
+		RemoteFits:         c.remoteFits.Load(),
+		LocalFallbacks:     c.localFallbacks.Load(),
+		Retries:            c.retries.Load(),
+		RestoredWorkers:    c.restored.Load(),
+		PersistErrors:      c.persistErrors.Load(),
+		FaultsInjected:     c.cfg.Fault.Fired(),
 	}
 }
 
@@ -361,11 +521,13 @@ type terminalError struct{ err error }
 
 func (e terminalError) Error() string { return e.err.Error() }
 
-// postWorker POSTs a compute request to a worker, shipping the frame and
-// retrying once on a frame_missing miss. A 4xx response other than the
-// frame miss is terminal; transport failures and 5xx are retryable (the
-// caller drops the worker and requeues).
-func (c *Coordinator) postWorker(ctx context.Context, w *remoteWorker, frame *Frame, path string, req, dst any) error {
+// postWorker POSTs a compute request to a worker, shipping the frame first
+// and running every RPC under the run's unified retry policy (per-attempt
+// timeouts, backoff with seeded jitter, the operation's retry budget). A
+// 4xx response other than the frame_missing miss is terminal; transport
+// failures and 5xx are retryable — the policy retries in place, and only
+// once it gives up does the caller exclude the worker and requeue.
+func (c *Coordinator) postWorker(ctx context.Context, run *queryRun, w *remoteWorker, frame *Frame, path string, req, dst any) error {
 	frameID, _, err := frame.Payload()
 	if err != nil {
 		return terminalError{err}
@@ -373,42 +535,58 @@ func (c *Coordinator) postWorker(ctx context.Context, w *remoteWorker, frame *Fr
 	// Best effort: the authoritative signal is the worker's own
 	// frame_missing answer below (a restarted worker forgets frames the
 	// coordinator shipped to its previous life).
-	if err := c.ensureFrame(ctx, w, frame); err != nil {
+	if err := c.retry(ctx, run, func(actx context.Context) error {
+		return c.ensureFrame(actx, w, frame)
+	}); err != nil {
 		return err
 	}
-	for attempt := 0; ; attempt++ {
-		status, body, err := c.roundTrip(ctx, w, http.MethodPost, path, req)
+	for miss := 0; ; miss++ {
+		var frameMissing bool
+		err := c.retry(ctx, run, func(actx context.Context) error {
+			frameMissing = false
+			status, body, err := c.roundTrip(actx, w, http.MethodPost, path, req)
+			if err != nil {
+				return err
+			}
+			switch {
+			case status == http.StatusOK:
+				if err := json.Unmarshal(body, dst); err != nil {
+					return fmt.Errorf("dist: decoding %s response from %s: %w", path, w.id, err)
+				}
+				return nil
+			case status == http.StatusNotFound && errCode(body) == codeFrameMissing:
+				// Not a failed attempt: the outer loop re-ships the frame.
+				frameMissing = true
+				return nil
+			case status >= 400 && status < 500:
+				return terminalError{fmt.Errorf("dist: worker %s: %s", w.id, errMessage(body, status))}
+			default:
+				return fmt.Errorf("dist: worker %s: %s", w.id, errMessage(body, status))
+			}
+		})
 		if err != nil {
 			return err
 		}
-		switch {
-		case status == http.StatusOK:
-			if err := json.Unmarshal(body, dst); err != nil {
-				return fmt.Errorf("dist: decoding %s response from %s: %w", path, w.id, err)
-			}
+		if !frameMissing {
 			return nil
-		case status == http.StatusNotFound && errCode(body) == codeFrameMissing:
-			if attempt >= 2 {
-				// The worker keeps losing the frame between ship and use
-				// (LRU thrash across many hot sessions). That is a capacity
-				// problem, not a query problem: report it retryable so the
-				// caller requeues elsewhere or falls back locally instead of
-				// failing the user's request.
-				return frameThrashError{fmt.Errorf("dist: worker %s evicted frame %.12s twice mid-request (frame-store thrash; raise -worker-frames)", w.id, frameID)}
-			}
-			// The worker lost the frame (restart, LRU eviction): forget our
-			// shipped mark and re-ship through the single-flight.
-			w.mu.Lock()
-			delete(w.shipped, frameID)
-			w.mu.Unlock()
-			if err := c.ensureFrame(ctx, w, frame); err != nil {
-				return err
-			}
-			continue
-		case status >= 400 && status < 500:
-			return terminalError{fmt.Errorf("dist: worker %s: %s", w.id, errMessage(body, status))}
-		default:
-			return fmt.Errorf("dist: worker %s: %s", w.id, errMessage(body, status))
+		}
+		if miss >= 2 {
+			// The worker keeps losing the frame between ship and use (LRU
+			// thrash across many hot sessions). That is a capacity problem,
+			// not a query problem: report it retryable so the caller
+			// requeues elsewhere or falls back locally instead of failing
+			// the user's request.
+			return frameThrashError{fmt.Errorf("dist: worker %s evicted frame %.12s twice mid-request (frame-store thrash; raise -worker-frames)", w.id, frameID)}
+		}
+		// The worker lost the frame (restart, LRU eviction): forget our
+		// shipped mark and re-ship through the single-flight.
+		w.mu.Lock()
+		delete(w.shipped, frameID)
+		w.mu.Unlock()
+		if err := c.retry(ctx, run, func(actx context.Context) error {
+			return c.ensureFrame(actx, w, frame)
+		}); err != nil {
+			return err
 		}
 	}
 }
@@ -469,6 +647,9 @@ func errMessage(body []byte, status int) string {
 }
 
 func (c *Coordinator) roundTrip(ctx context.Context, w *remoteWorker, method, path string, payload any) (int, []byte, error) {
+	if err := c.faultHit(fault.PointWorkerDial); err != nil {
+		return 0, nil, err
+	}
 	var body io.Reader
 	if payload != nil {
 		raw, err := json.Marshal(payload)
@@ -507,6 +688,9 @@ func (c *Coordinator) shipFrame(ctx context.Context, w *remoteWorker, frame *Fra
 	if err != nil {
 		return terminalError{err}
 	}
+	if err := c.faultHit(fault.PointFrameShip); err != nil {
+		return err
+	}
 	_, ssp := obs.Start(ctx, "ship_frame")
 	defer ssp.End()
 	ssp.Set("worker", w.id)
@@ -529,6 +713,7 @@ func (c *Coordinator) shipFrame(ctx context.Context, w *remoteWorker, frame *Fra
 	w.markFrame(id)
 	c.framesShipped.Add(1)
 	c.logf("dist: shipped frame %.12s to worker %s (%d bytes)", id, w.id, len(body))
+	c.saveState()
 	return nil
 }
 
@@ -587,6 +772,7 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 	ctx, dsp := obs.Start(ctx, "dist_eval")
 	defer dsp.End()
 	dsp.Set("plan", planShards)
+	run := newQueryRun(c.cfg.Retry)
 	pending := make([]int, planShards)
 	for i := range pending {
 		pending[i] = i
@@ -629,11 +815,13 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ws := c.alive()
+		ws := c.eligible(run)
 		if len(ws) == 0 {
-			// Local fallback: the coordinator process evaluates whatever is
-			// left. Same plan, same partials, same merge.
+			// Local fallback — the ladder's last rung: the coordinator
+			// process evaluates whatever is left. Same plan, same partials,
+			// same merge.
 			c.localFallbacks.Add(1)
+			run.note(degradeLocalFallback)
 			lopts := spec.Options
 			lopts.Progress = nil
 			lopts.RemoteFit = nil
@@ -665,13 +853,15 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 				wctx, wsp := obs.Start(ctx, "worker_eval")
 				wsp.Set("worker", w.id)
 				wsp.Set("shards", len(chunk))
+				assignID := c.beginAssignment(w.id, pathEval, chunk)
 				var resp EvalResponse
-				err := c.postWorker(wctx, w, spec.Frame, pathEval, EvalRequest{
+				err := c.postWorker(wctx, run, w, spec.Frame, pathEval, EvalRequest{
 					Frame:   mustFrameID(spec.Frame),
 					Query:   spec.Query,
 					Options: WireOptionsFrom(spec.Options),
 					Shards:  chunk,
 				}, &resp)
+				c.endAssignment(assignID)
 				wsp.Set("error", err != nil)
 				if err == nil {
 					wsp.Graft(resp.Spans)
@@ -687,10 +877,11 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 						}
 						return
 					}
-					c.drop(w, err)
+					c.workerFailed(run, w, err)
 					failed = append(failed, chunk...)
 					return
 				}
+				w.breaker.onSuccess()
 				absorb(w.id, &resp.PartialResult, len(chunk))
 				usedRemote[w.id] = true
 			}(ws[i], chunk)
@@ -719,8 +910,12 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 	}
 	res.Total = time.Since(start)
 	res.EvalTime = res.Total
+	res.Degraded, res.DegradedReason = run.degraded()
 	dsp.Set("workers", len(usedRemote))
 	dsp.Set("local_shards", localDone)
+	if res.Degraded {
+		dsp.Set("degraded", res.DegradedReason)
+	}
 	c.remoteEvals.Add(1)
 	c.remoteShards.Add(uint64(planShards - localDone))
 	return res, nil
@@ -739,7 +934,7 @@ func mustFrameID(f *Frame) string {
 // per-request diagnostics create one fitter per request and read
 // WorkersUsed afterwards.
 func (c *Coordinator) Fitter(frame *Frame) *SessionFitter {
-	return &SessionFitter{c: c, frame: frame}
+	return &SessionFitter{c: c, frame: frame, run: newQueryRun(c.cfg.Retry)}
 }
 
 // SessionFitter implements engine.RemoteFitter over the coordinator's
@@ -747,6 +942,7 @@ func (c *Coordinator) Fitter(frame *Frame) *SessionFitter {
 type SessionFitter struct {
 	c     *Coordinator
 	frame *Frame
+	run   *queryRun // the request's resilience scope (budget, bad set, ladder)
 
 	mu   sync.Mutex
 	used map[string]bool // worker ids that contributed at least one part
@@ -758,6 +954,12 @@ func (f *SessionFitter) WorkersUsed() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return len(f.used)
+}
+
+// Degraded reports whether the fits routed through this fitter fell below
+// the full healthy fleet, and why (the same ladder codes as evaluation).
+func (f *SessionFitter) Degraded() (bool, string) {
+	return f.run.degraded()
 }
 
 func (f *SessionFitter) markUsed(id string) {
@@ -813,8 +1015,11 @@ func (f *SessionFitter) fit(ctx context.Context, query string, o engine.Options,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ws := c.alive()
+		ws := c.eligible(f.run)
 		if len(ws) == 0 {
+			// The engine reacts to ErrNoWorkers by fitting locally — the
+			// fit path's last ladder rung.
+			f.run.note(degradeLocalFallback)
 			return nil, ErrNoWorkers
 		}
 		chunks := splitContiguous(pending, len(ws))
@@ -832,8 +1037,10 @@ func (f *SessionFitter) fit(ctx context.Context, query string, o engine.Options,
 				wsp.Set("worker", w.id)
 				wsp.Set("shards", len(chunk))
 				defer wsp.End()
+				assignID := c.beginAssignment(w.id, pathFit, chunk)
+				defer c.endAssignment(assignID)
 				var resp FitResponse
-				err := c.postWorker(wctx, w, f.frame, pathFit, FitRequest{
+				err := c.postWorker(wctx, f.run, w, f.frame, pathFit, FitRequest{
 					Frame:    mustFrameID(f.frame),
 					Query:    query,
 					Options:  wireOpts,
@@ -857,10 +1064,11 @@ func (f *SessionFitter) fit(ctx context.Context, query string, o engine.Options,
 						}
 						return
 					}
-					c.drop(w, err)
+					c.workerFailed(f.run, w, err)
 					failed = append(failed, chunk...)
 					return
 				}
+				w.breaker.onSuccess()
 				if resp.FitPlan != fitShards ||
 					(cells && len(resp.Parts) != len(chunk)) ||
 					(support && len(resp.Support) != len(chunk)) {

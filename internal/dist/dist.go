@@ -158,11 +158,13 @@ type RegisterRequest struct {
 // WorkerInfo describes one registered worker (GET /dist/v1/workers and the
 // /v1/stats dist gauges).
 type WorkerInfo struct {
-	ID         string  `json:"id"`
-	URL        string  `json:"url"`
-	Alive      bool    `json:"alive"`
-	LastBeatMs float64 `json:"last_beat_ms"`
-	Frames     int     `json:"frames"` // frames confirmed shipped to this worker
+	ID          string  `json:"id"`
+	URL         string  `json:"url"`
+	Alive       bool    `json:"alive"`
+	LastBeatMs  float64 `json:"last_beat_ms"`
+	Frames      int     `json:"frames"`                // frames confirmed shipped to this worker
+	Quarantined bool    `json:"quarantined,omitempty"` // circuit open, in cooldown
+	Fails       int     `json:"fails,omitempty"`       // consecutive dispatch failures
 }
 
 // errorBody is the JSON error envelope shared by both ends of the protocol.

@@ -71,9 +71,16 @@ func newTestWorker(t *testing.T) *testWorker {
 
 func newTestCoordinator(t *testing.T, workers ...*testWorker) (*Coordinator, *http.Client) {
 	t.Helper()
+	return newTestCoordinatorCfg(t, CoordinatorConfig{}, workers...)
+}
+
+func newTestCoordinatorCfg(t *testing.T, cfg CoordinatorConfig, workers ...*testWorker) (*Coordinator, *http.Client) {
+	t.Helper()
 	client := &http.Client{}
 	t.Cleanup(client.CloseIdleConnections)
-	c := NewCoordinator(CoordinatorConfig{TTL: time.Minute, Client: client})
+	cfg.TTL = time.Minute
+	cfg.Client = client
+	c := NewCoordinator(cfg)
 	for i, tw := range workers {
 		c.Register("w"+strconv.Itoa(i+1), tw.ts.URL)
 	}
@@ -183,8 +190,10 @@ func TestDistributedEvalParity(t *testing.T) {
 }
 
 // TestWorkerLossRequeue kills one worker mid-evaluation and asserts the
-// coordinator requeues its shards onto the survivor, the result stays
-// bit-identical, and no goroutines leak. (CI runs this under -race.)
+// coordinator requeues its shards onto the survivor, quarantines the dead
+// worker (it stays registered, excluded from assignment), reports the
+// degradation, keeps the result bit-identical, and leaks no goroutines.
+// (CI runs this under -race.)
 func TestWorkerLossRequeue(t *testing.T) {
 	opts := engine.Options{Seed: 7, ShardRows: 128} // 1000 rows -> 8 plan shards
 	src := `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`
@@ -200,7 +209,12 @@ func TestWorkerLossRequeue(t *testing.T) {
 
 	before := runtime.NumGoroutine()
 	w1, w2 := newTestWorker(t), newTestWorker(t)
-	c, client := newTestCoordinator(t, w1, w2)
+	// One failure quarantines, one attempt per RPC: the dead worker is hit
+	// exactly once and every later round skips it.
+	c, client := newTestCoordinatorCfg(t, CoordinatorConfig{
+		BreakerFailures: 1,
+		Retry:           RetryPolicy{MaxAttempts: 1},
+	}, w1, w2)
 	w2.killEval.Store(true) // w2 dies on its first eval dispatch
 
 	db, model := distDataset(t, "german")
@@ -216,19 +230,23 @@ func TestWorkerLossRequeue(t *testing.T) {
 	if res.RemoteWorkers != 1 {
 		t.Fatalf("RemoteWorkers %d, want 1 (the survivor)", res.RemoteWorkers)
 	}
-	st := c.Stats()
-	if st.WorkersLost != 1 || st.Requeues != 1 {
-		t.Fatalf("stats after loss: %+v (want 1 lost, 1 requeue)", st)
+	if !res.Degraded || res.DegradedReason != "worker_lost" {
+		t.Fatalf("degraded=%v reason=%q, want true/worker_lost", res.Degraded, res.DegradedReason)
 	}
-	if st.WorkersAlive != 1 {
-		t.Fatalf("workers alive %d, want 1", st.WorkersAlive)
+	st := c.Stats()
+	if st.WorkersLost != 1 || st.Requeues != 1 || st.WorkersQuarantined != 1 {
+		t.Fatalf("stats after loss: %+v (want 1 lost, 1 requeue, 1 quarantined)", st)
+	}
+	if st.WorkersAlive != 1 || st.WorkersRegistered != 2 {
+		t.Fatalf("alive=%d registered=%d, want 1 assignable of 2 registered (quarantine, not drop)", st.WorkersAlive, st.WorkersRegistered)
 	}
 	if w2.evals.Load() != 1 || w1.evals.Load() < 2 {
 		t.Fatalf("eval counts: w1=%d w2=%d (w2 must have died on its only dispatch)", w1.evals.Load(), w2.evals.Load())
 	}
 
 	// All workers gone mid-stream: the coordinator falls back to local
-	// evaluation and still produces the identical result.
+	// evaluation and still produces the identical result, reporting the
+	// full degradation ladder.
 	w1.killEval.Store(true)
 	res2, err := c.EvaluateWhatIf(context.Background(), EvalSpec{
 		DB: db, Model: model, Frame: NewFrame(db, model), Query: src, Options: opts,
@@ -241,6 +259,9 @@ func TestWorkerLossRequeue(t *testing.T) {
 	}
 	if c.Stats().LocalFallbacks != 1 {
 		t.Fatalf("local fallbacks %d, want 1", c.Stats().LocalFallbacks)
+	}
+	if !res2.Degraded || res2.DegradedReason != "worker_lost,quarantine,local_fallback" {
+		t.Fatalf("degraded=%v reason=%q, want the full ladder", res2.Degraded, res2.DegradedReason)
 	}
 
 	w1.ts.Close()

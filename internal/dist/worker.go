@@ -9,11 +9,14 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"sync"
+	"sync/atomic"
 
 	"hyper/internal/causal"
 	"hyper/internal/engine"
+	"hyper/internal/fault"
 	"hyper/internal/hyperql"
 	"hyper/internal/obs"
 	"hyper/internal/relation"
@@ -33,6 +36,10 @@ type WorkerConfig struct {
 	Secret string
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
+	// Fault, when non-nil, is the armed fault injector consulted at the
+	// worker-side injection points (eval, fit). Nil — the production
+	// default — costs one pointer check per request.
+	Fault *fault.Injector
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -60,6 +67,10 @@ type Worker struct {
 	mu     sync.Mutex
 	frames map[string]*workerFrame
 	order  []string // LRU: least recently used first
+
+	// inflight counts eval/fit requests currently executing, so a draining
+	// worker (SIGTERM) can finish them before deregistering.
+	inflight atomic.Int64
 
 	// Observability: a per-worker metric registry (served at GET /metrics on
 	// the worker's own mux) and a trace ring holding the span trees of
@@ -98,7 +109,51 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		func() float64 { w.mu.Lock(); defer w.mu.Unlock(); return float64(len(w.frames)) })
 	w.metrics.CounterFunc("hyper_worker_traces_recorded_total", "Coordinator-traced requests captured into the trace ring.",
 		func() float64 { return float64(w.traces.Recorded()) })
+	w.metrics.GaugeFunc("hyper_worker_inflight", "Eval/fit requests currently executing.",
+		func() float64 { return float64(w.inflight.Load()) })
+	faultInjected := w.metrics.CounterVec("hyper_fault_injected_total",
+		"Faults fired by the deterministic injector, by point and mode.", "point", "mode")
+	w.cfg.Fault.SetOnFire(func(p fault.Point, m fault.Mode) {
+		faultInjected.With(string(p), string(m)).Inc()
+	})
 	return w
+}
+
+// InFlight reports the eval/fit requests currently executing.
+func (w *Worker) InFlight() int { return int(w.inflight.Load()) }
+
+// Drain blocks until no eval/fit request is in flight or ctx expires —
+// the graceful-shutdown half of the requeue contract: a SIGTERM'd worker
+// finishes the shards it was assigned instead of forcing the coordinator
+// through a retry/requeue round-trip.
+func (w *Worker) Drain(ctx context.Context) error {
+	for {
+		if w.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("dist worker: drain timed out with %d requests in flight: %w", w.inflight.Load(), ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// injectFault consults the worker's injector at a request point. ModeError
+// answers an injected 500 (the coordinator's retry policy sees a retryable
+// status); ModeDrop — and a kill a test survived — aborts the connection
+// without a response, what a crashed worker looks like on the wire. A real
+// ModeKill exits the process inside Decide and never returns.
+func (w *Worker) injectFault(rw http.ResponseWriter, p fault.Point) (proceed bool) {
+	switch d := w.cfg.Fault.Decide(p); d.Mode {
+	case fault.ModeError:
+		writeError(rw, http.StatusInternalServerError, "", "%v", d.Err)
+		return false
+	case fault.ModeDrop, fault.ModeKill:
+		panic(http.ErrAbortHandler)
+	default:
+		return true
+	}
 }
 
 // Metrics returns the worker's metric registry (served at GET /metrics).
@@ -256,6 +311,11 @@ func (w *Worker) evalFrame(rw http.ResponseWriter, id string) (*workerFrame, boo
 }
 
 func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+	if !w.injectFault(rw, fault.PointEval) {
+		return
+	}
 	var req EvalRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(rw, http.StatusBadRequest, "", "decoding eval request: %v", err)
@@ -285,6 +345,11 @@ func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (w *Worker) handleFit(rw http.ResponseWriter, r *http.Request) {
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+	if !w.injectFault(rw, fault.PointFit) {
+		return
+	}
 	var req FitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(rw, http.StatusBadRequest, "", "decoding fit request: %v", err)

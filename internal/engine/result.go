@@ -56,6 +56,15 @@ type Result struct {
 	// RemoteWorkers is the number of distinct remote workers that
 	// contributed shards or fits (0 for a purely local run).
 	RemoteWorkers int
+	// Degraded reports that a distributed execution fell below the full
+	// healthy worker fleet: a worker failed mid-query, quarantined workers
+	// were skipped, or shards fell back to coordinator-local evaluation.
+	// The value is unaffected — degradation moves work, never results.
+	Degraded bool
+	// DegradedReason is the comma-joined ladder of degradation codes
+	// ("worker_lost", "quarantine", "local_fallback"); empty when Degraded
+	// is false.
+	DegradedReason string
 
 	// Timing breakdown.
 	ViewTime  time.Duration

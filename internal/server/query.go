@@ -58,9 +58,14 @@ type WhatIfResponse struct {
 	ShardedFit   bool `json:"sharded_fit,omitempty"`
 	// Placement/RemoteWorkers report where the evaluation ran (omitted for
 	// a plain local run; execution-only, never part of the result value).
-	Placement     string  `json:"placement,omitempty"`
-	RemoteWorkers int     `json:"remote_workers,omitempty"`
-	TotalMs       float64 `json:"total_ms"`
+	Placement     string `json:"placement,omitempty"`
+	RemoteWorkers int    `json:"remote_workers,omitempty"`
+	// Degraded reports that the evaluation completed on less than the full
+	// worker fleet (reasons: worker_lost, quarantine, local_fallback).
+	// Degradation moves work, never results — the value is still exact.
+	Degraded       bool    `json:"degraded,omitempty"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	TotalMs        float64 `json:"total_ms"`
 	// Trace is the request's rendered span tree, present only when the
 	// client asked for it with ?trace=1.
 	Trace *obs.TraceJSON `json:"trace,omitempty"`
@@ -68,24 +73,26 @@ type WhatIfResponse struct {
 
 func toWhatIfResponse(r *hyper.WhatIfResult) *WhatIfResponse {
 	return &WhatIfResponse{
-		Value:         r.Value,
-		Sum:           r.Sum,
-		Count:         r.Count,
-		Mode:          r.Mode.String(),
-		Estimator:     r.EstimatorUsed,
-		Backdoor:      r.Backdoor,
-		Blocks:        r.Blocks,
-		Disjuncts:     r.Disjuncts,
-		ViewRows:      r.ViewRows,
-		UpdatedRows:   r.UpdatedRows,
-		SampledRows:   r.SampledRows,
-		TrainedModels: r.TrainedModels,
-		ShardPlan:     r.ShardPlan,
-		ShardWorkers:  r.ShardWorkers,
-		ShardedFit:    r.ShardedFit,
-		Placement:     r.Placement,
-		RemoteWorkers: r.RemoteWorkers,
-		TotalMs:       float64(r.Total) / float64(time.Millisecond),
+		Value:          r.Value,
+		Sum:            r.Sum,
+		Count:          r.Count,
+		Mode:           r.Mode.String(),
+		Estimator:      r.EstimatorUsed,
+		Backdoor:       r.Backdoor,
+		Blocks:         r.Blocks,
+		Disjuncts:      r.Disjuncts,
+		ViewRows:       r.ViewRows,
+		UpdatedRows:    r.UpdatedRows,
+		SampledRows:    r.SampledRows,
+		TrainedModels:  r.TrainedModels,
+		ShardPlan:      r.ShardPlan,
+		ShardWorkers:   r.ShardWorkers,
+		ShardedFit:     r.ShardedFit,
+		Placement:      r.Placement,
+		RemoteWorkers:  r.RemoteWorkers,
+		Degraded:       r.Degraded,
+		DegradedReason: r.DegradedReason,
+		TotalMs:        float64(r.Total) / float64(time.Millisecond),
 	}
 }
 
@@ -106,7 +113,11 @@ type HowToResponse struct {
 	Candidates  int           `json:"candidates"`
 	WhatIfEvals int           `json:"whatif_evals"`
 	IPNodes     int           `json:"ip_nodes"`
-	TotalMs     float64       `json:"total_ms"`
+	// Degraded reports that remote fits ran on less than the full worker
+	// fleet (placement "fit" only); the choices are still exact.
+	Degraded       bool    `json:"degraded,omitempty"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	TotalMs        float64 `json:"total_ms"`
 	// Trace is the request's rendered span tree (?trace=1 only).
 	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
@@ -230,6 +241,7 @@ func (e *sessionEntry) whatIf(ctx context.Context, query string, shards int, pla
 		if res != nil {
 			res.Placement = "fit"
 			res.RemoteWorkers = fitter.WorkersUsed()
+			res.Degraded, res.DegradedReason = fitter.Degraded()
 		}
 	default:
 		res, err = e.sessionFor(shards).WhatIfContext(ctx, query, progress)
@@ -250,10 +262,11 @@ func (e *sessionEntry) howTo(ctx context.Context, req QueryRequest, progress hyp
 		return nil, err
 	}
 	sess := e.sessionFor(req.Shards)
+	var fitter *dist.SessionFitter
 	if pl == "fit" {
 		// Every candidate what-if of the how-to shares the session's frame,
 		// so its shard-mergeable fits distribute over the same transport.
-		sess, _ = e.fitSession(req.Shards)
+		sess, fitter = e.fitSession(req.Shards)
 	}
 	var res *hyper.HowToResult
 	switch req.Method {
@@ -269,7 +282,11 @@ func (e *sessionEntry) howTo(ctx context.Context, req QueryRequest, progress hyp
 	if err != nil {
 		return nil, queryError(ctx, err)
 	}
-	return toHowToResponse(res), nil
+	out := toHowToResponse(res)
+	if fitter != nil {
+		out.Degraded, out.DegradedReason = fitter.Degraded()
+	}
+	return out, nil
 }
 
 // ExplainResponse is the wire form of an explain result.

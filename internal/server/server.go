@@ -50,6 +50,7 @@ import (
 
 	"hyper"
 	"hyper/internal/dist"
+	"hyper/internal/fault"
 	"hyper/internal/jobs"
 	"hyper/internal/obs"
 )
@@ -86,6 +87,21 @@ type Config struct {
 	// session data and its partials merge into query results, so set a
 	// secret whenever untrusted peers can reach the listeners.
 	DistSecret string
+	// DistStatePath, when non-empty, persists the coordinator's worker
+	// registry (quarantine state and shipped frames included) to this JSON
+	// file so a restarted daemon re-adopts its fleet.
+	DistStatePath string
+	// DistRPCTimeout bounds each coordinator->worker RPC attempt (default
+	// 2m via dist.RetryPolicy).
+	DistRPCTimeout time.Duration
+	// DistBreakerFailures is K: consecutive dispatch failures that
+	// quarantine a worker (default 3).
+	DistBreakerFailures int
+	// DistBreakerCooldown is a quarantined worker's cooldown (default 30s).
+	DistBreakerCooldown time.Duration
+	// Fault, when non-nil, arms the deterministic fault injector at the
+	// coordinator's injection points (chaos testing; nil in production).
+	Fault *fault.Injector
 	// TraceCapacity bounds the in-process trace ring served by /v1/traces
 	// (default obs.DefaultTraceCapacity).
 	TraceCapacity int
@@ -153,6 +169,7 @@ type Server struct {
 	metrics *obs.Registry
 	traces  *obs.Recorder
 	slow    *obs.Counter // slow-query lines emitted
+	panics  *obs.Counter // handler panics recovered into JSON 500s
 	slowMu  sync.Mutex   // serializes SlowQueryLog writes
 
 	stats  statsRecorder
@@ -177,9 +194,20 @@ func New(cfg Config) *Server {
 		Retention:       cfg.JobRetention,
 		Trace:           s.traces,
 	})
-	s.dist = dist.NewCoordinator(dist.CoordinatorConfig{TTL: cfg.DistTTL, Secret: cfg.DistSecret, Logf: cfg.Logf, Metrics: s.metrics})
+	s.dist = dist.NewCoordinator(dist.CoordinatorConfig{
+		TTL:             cfg.DistTTL,
+		Secret:          cfg.DistSecret,
+		Logf:            cfg.Logf,
+		Metrics:         s.metrics,
+		Retry:           dist.RetryPolicy{RPCTimeout: cfg.DistRPCTimeout},
+		BreakerFailures: cfg.DistBreakerFailures,
+		BreakerCooldown: cfg.DistBreakerCooldown,
+		StatePath:       cfg.DistStatePath,
+		Fault:           cfg.Fault,
+	})
 	s.stats.init(s.metrics)
 	s.slow = s.metrics.Counter("hyper_slow_queries_total", "Requests that exceeded the slow-query threshold.")
+	s.panics = s.metrics.Counter("hyper_server_panics_total", "Handler panics recovered into JSON 500 responses.")
 	s.registerMetrics()
 	return s
 }
@@ -254,14 +282,44 @@ func errcf(status int, code, format string, args ...any) error {
 // inlines it in the response ("EXPLAIN ANALYZE" for the HypeR stack).
 var tracedEndpoints = map[string]bool{"whatif": true, "howto": true, "explain": true, "batch": true}
 
-// instrument wraps a handler with latency recording, error mapping, request
-// tracing, and request logging. Handlers return (payload, error); payloads
-// are rendered as JSON, errors as {"error": ...} with the apiError status
-// (500 default, 400 for body decode errors). Traced endpoints always answer
-// with an X-Hyper-Trace-Id header; tracing is an execution-only layer, so
-// payloads are byte-identical to an untraced server's unless ?trace=1
-// explicitly asks for the inline tree.
+// instrument wraps a handler with panic recovery, latency recording, error
+// mapping, request tracing, and request logging. Handlers return (payload,
+// error); payloads are rendered as JSON, errors as {"error": ...} with the
+// apiError status (500 default, 400 for body decode errors). A handler
+// panic becomes a JSON 500 (counted in hyper_server_panics_total, stack
+// logged, trace annotated) instead of tearing down the connection — the
+// response is written centrally after fn returns, so nothing has touched
+// the ResponseWriter yet when the recovery fires. Traced endpoints always
+// answer with an X-Hyper-Trace-Id header; tracing is an execution-only
+// layer, so payloads are byte-identical to an untraced server's unless
+// ?trace=1 explicitly asks for the inline tree.
 func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, error)) http.Handler {
+	call := func(r *http.Request) (payload any, err error) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				// The sentinel for deliberately severed connections must keep
+				// propagating to net/http.
+				panic(p)
+			}
+			s.panics.Add(1)
+			if sp := obs.SpanFromContext(r.Context()); sp != nil {
+				sp.Set("panic", fmt.Sprint(p))
+			}
+			stack := make([]byte, 16<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("panic in /v1/%s handler: %v\n%s", endpoint, p, stack)
+			} else {
+				fmt.Fprintf(os.Stderr, "hyperd: panic in /v1/%s handler: %v\n%s\n", endpoint, p, stack)
+			}
+			payload, err = nil, errcf(http.StatusInternalServerError, "panic", "internal server error")
+		}()
+		return fn(r)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -270,7 +328,7 @@ func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, erro
 			tr = obs.NewTrace(endpoint)
 			r = r.WithContext(tr.Context(r.Context()))
 		}
-		payload, err := fn(r)
+		payload, err := call(r)
 		elapsed := time.Since(start)
 		status := http.StatusOK
 		var body any = payload
