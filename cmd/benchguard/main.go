@@ -25,6 +25,9 @@
 //     baseline or hardware comparability needed; must stay under 2%, with
 //     a 0.25ms absolute grace so sub-millisecond noise on tiny workloads
 //     cannot fail the build)
+//   - metering_overhead_pct (per-query cost-meter cost of the same cold
+//     what-if, measured and gated exactly like the tracing overhead: the
+//     resource accounting must stay effectively free)
 //
 // Usage:
 //
@@ -50,6 +53,8 @@ type metrics struct {
 	FreqPredictAllocsPerOp int64   `json:"freq_predict_allocs_per_op"`
 	ColdWhatIfTracedMs     float64 `json:"cold_whatif_traced_ms"`
 	TracingOverheadPct     float64 `json:"tracing_overhead_pct"`
+	ColdWhatIfMeteredMs    float64 `json:"cold_whatif_metered_ms"`
+	MeteringOverheadPct    float64 `json:"metering_overhead_pct"`
 }
 
 // env renders the execution environment of one run for the verdict. Older
@@ -148,28 +153,32 @@ func main() {
 	check("freq_predict_allocs_per_op", float64(base.FreqPredictAllocsPerOp), float64(cur.FreqPredictAllocsPerOp),
 		math.Ceil(float64(base.FreqPredictAllocsPerOp)*(1+*tolerance))+allocGrace, true)
 
-	// Tracing overhead is a within-run paired measurement (hyperbench
-	// interleaves traced and untraced reps on this machine), so it gates
-	// against the fixed 2% budget regardless of the baseline's hardware.
-	// The absolute grace keeps sub-millisecond jitter on small workloads
-	// from tripping a percentage gate.
-	const maxTracingOverheadPct = 2.0
-	const tracingGraceMs = 0.25
-	if cur.ColdWhatIfTracedMs > 0 {
-		// Recover the paired untraced time from the ratio: cold_whatif_ms is
-		// a median over different reps and would make the delta incoherent.
-		pairedUntracedMs := cur.ColdWhatIfTracedMs / (1 + cur.TracingOverheadPct/100)
-		deltaMs := cur.ColdWhatIfTracedMs - pairedUntracedMs
+	// Tracing and metering overheads are within-run paired measurements
+	// (hyperbench interleaves instrumented and bare reps on this machine),
+	// so they gate against the fixed 2% budget regardless of the baseline's
+	// hardware. The absolute grace keeps sub-millisecond jitter on small
+	// workloads from tripping a percentage gate.
+	const maxInstrumentationPct = 2.0
+	const instrumentationGraceMs = 0.25
+	pairedGate := func(name string, instrumentedMs, overheadPct float64) {
+		if instrumentedMs <= 0 {
+			fmt.Printf("%-28s not measured (regenerate with current hyperbench)\n", name)
+			return
+		}
+		// Recover the paired bare time from the ratio: cold_whatif_ms is a
+		// median over different reps and would make the delta incoherent.
+		pairedBareMs := instrumentedMs / (1 + overheadPct/100)
+		deltaMs := instrumentedMs - pairedBareMs
 		status := "ok"
-		if cur.TracingOverheadPct > maxTracingOverheadPct && deltaMs > tracingGraceMs {
+		if overheadPct > maxInstrumentationPct && deltaMs > instrumentationGraceMs {
 			status = "REGRESSION"
 			failed = true
 		}
 		fmt.Printf("%-28s current %+.3f%% (%+.3fms)    limit %.6g%%       %s\n",
-			"tracing_overhead_pct", cur.TracingOverheadPct, deltaMs, maxTracingOverheadPct, status)
-	} else {
-		fmt.Printf("%-28s not measured (regenerate with current hyperbench)\n", "tracing_overhead_pct")
+			name, overheadPct, deltaMs, maxInstrumentationPct, status)
 	}
+	pairedGate("tracing_overhead_pct", cur.ColdWhatIfTracedMs, cur.TracingOverheadPct)
+	pairedGate("metering_overhead_pct", cur.ColdWhatIfMeteredMs, cur.MeteringOverheadPct)
 
 	if failed {
 		fmt.Println("benchguard: FAIL — a tracked metric regressed beyond tolerance")

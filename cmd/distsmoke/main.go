@@ -311,6 +311,93 @@ func requireSeries(name string, series map[string]float64, want ...string) {
 	}
 }
 
+// requireHealthGauges asserts the runtime health series every process must
+// expose: live goroutine and heap gauges with sane values, and the build
+// info series (its go_version label varies, so it is matched by prefix).
+func requireHealthGauges(name string, series map[string]float64) {
+	requireSeries(name, series, "hyper_go_goroutines", "hyper_go_heap_bytes")
+	if series["hyper_go_goroutines"] < 1 || series["hyper_go_heap_bytes"] < 1 {
+		fatalf("%s health gauges are implausible: goroutines=%v heap=%v",
+			name, series["hyper_go_goroutines"], series["hyper_go_heap_bytes"])
+	}
+	for s, v := range series {
+		if strings.HasPrefix(s, `hyper_build_info{go_version="`) && v == 1 {
+			return
+		}
+	}
+	fatalf("%s /metrics is missing hyper_build_info with a go_version label", name)
+}
+
+// checkUsageReconciliation scrapes /v1/usage and asserts the cross-process
+// cost ledgers: every shape that shipped shards to workers without a retry
+// must report coordinator-side dispatch totals (remote_shards,
+// dist_bytes_shipped) exactly equal to the summed worker-reported totals
+// (worker_shards_run, worker_bytes_received).
+func checkUsageReconciliation(cbase string) {
+	// Decoded as wire JSON, not the Go types, so the tool also guards the
+	// /v1/usage contract.
+	var usage struct {
+		Shapes []struct {
+			Kind        string `json:"kind"`
+			Fingerprint string `json:"fingerprint"`
+			Count       uint64 `json:"count"`
+			Cost        struct {
+				TuplesEvaluated  uint64 `json:"tuples_evaluated"`
+				RemoteShards     uint64 `json:"remote_shards"`
+				WorkerShardsRun  uint64 `json:"worker_shards_run"`
+				DistBytesShipped uint64 `json:"dist_bytes_shipped"`
+				WorkerBytes      uint64 `json:"worker_bytes_received"`
+				Retries          uint64 `json:"retries"`
+				Workers          uint64 `json:"workers"`
+			} `json:"cost"`
+		} `json:"shapes"`
+	}
+	resp, err := http.Get(cbase + "/v1/usage")
+	if err != nil {
+		fatalf("usage: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&usage)
+	resp.Body.Close()
+	if err != nil {
+		fatalf("usage: %v", err)
+	}
+	if len(usage.Shapes) == 0 {
+		fatalf("/v1/usage is empty after the golden runs")
+	}
+	distRows := 0
+	for _, row := range usage.Shapes {
+		c := row.Cost
+		if row.Fingerprint == "" {
+			fatalf("usage row for kind %q has no fingerprint", row.Kind)
+		}
+		if c.RemoteShards == 0 {
+			continue
+		}
+		distRows++
+		if c.Retries > 0 {
+			fmt.Fprintf(os.Stderr, "distsmoke: usage %s/%s had %d retries — reconciliation waived\n",
+				row.Kind, row.Fingerprint, c.Retries)
+			continue
+		}
+		if c.WorkerShardsRun != c.RemoteShards {
+			fatalf("usage %s/%s: coordinator dispatched %d shards, workers reported %d",
+				row.Kind, row.Fingerprint, c.RemoteShards, c.WorkerShardsRun)
+		}
+		if c.WorkerBytes != c.DistBytesShipped {
+			fatalf("usage %s/%s: coordinator shipped %d request bytes, workers received %d",
+				row.Kind, row.Fingerprint, c.DistBytesShipped, c.WorkerBytes)
+		}
+		if c.Workers == 0 {
+			// Remote shards imply at least one folded worker response.
+			fatalf("usage %s/%s: remote shards with no folded workers: %+v", row.Kind, row.Fingerprint, c)
+		}
+	}
+	if distRows == 0 {
+		fatalf("no usage row shipped shards remotely; the distributed path left no per-query ledger")
+	}
+	fmt.Fprintf(os.Stderr, "distsmoke: usage ok: %d distributed shapes, per-query ledgers reconcile exactly\n", distRows)
+}
+
 // golden is one named query against one session.
 type golden struct {
 	name, session, query string
@@ -477,11 +564,14 @@ func runSmoke(hyperd string) {
 	requireSeries("coordinator", coordSeries,
 		`hyper_requests_total{endpoint="whatif"}`,
 		`hyper_request_duration_ms_count{endpoint="whatif"}`,
+		`hyper_query_cost_wall_ms_count{endpoint="whatif"}`,
+		`hyper_query_cost_tuples_count{endpoint="whatif"}`,
 		"hyper_dist_remote_shards_total",
 		"hyper_dist_workers_alive",
 		"hyper_uptime_seconds",
 		"hyper_traces_recorded_total",
 	)
+	requireHealthGauges("coordinator", coordSeries)
 	workerShards := 0.0
 	for i, port := range []int{w1port, w2port} {
 		name := fmt.Sprintf("worker%d", i+1)
@@ -492,6 +582,7 @@ func runSmoke(hyperd string) {
 			"hyper_worker_fits_total",
 			"hyper_worker_frames",
 		)
+		requireHealthGauges(name, ws)
 		if ws["hyper_worker_evals_total"] == 0 {
 			fatalf("%s served no evals according to its own counters", name)
 		}
@@ -505,6 +596,10 @@ func runSmoke(hyperd string) {
 		fmt.Fprintf(os.Stderr, "distsmoke: %v requeues — skipping exact shard reconciliation\n", requeues)
 	}
 	fmt.Fprintf(os.Stderr, "distsmoke: metrics ok: workers served %v shards, coordinator ledger matches\n", workerShards)
+
+	// The per-query ledgers must reconcile too: /v1/usage rows that shipped
+	// shards across processes carry both sides of the byte and shard counts.
+	checkUsageReconciliation(cbase)
 
 	fmt.Println("distsmoke: PASS — distributed evaluation is bit-identical to single-node on toy and german")
 }

@@ -49,6 +49,12 @@ type engineBenchResult struct {
 	// span instrumentation, gated <2% by cmd/benchguard.
 	ColdWhatIfTracedMs float64 `json:"cold_whatif_traced_ms"`
 	TracingOverheadPct float64 `json:"tracing_overhead_pct"`
+	// ColdWhatIfMeteredMs is the same cold query with a cost meter riding the
+	// context (every charge point live); MeteringOverheadPct is the relative
+	// cost of the per-query accounting, gated <2% by cmd/benchguard alongside
+	// the tracing gate.
+	ColdWhatIfMeteredMs float64 `json:"cold_whatif_metered_ms"`
+	MeteringOverheadPct float64 `json:"metering_overhead_pct"`
 	// HowToMs is a four-attribute how-to (candidate scoring dominates);
 	// HowToSerialMs is the same query at GOMAXPROCS=1, so the ratio shows
 	// how candidate scoring scales with cores.
@@ -193,6 +199,35 @@ func runEngine(scale float64, seed int64, shards int, out string) error {
 	res.ColdWhatIfTracedMs = tracedMs
 	res.TracingOverheadPct = (tracedMs - untracedMs) / untracedMs * 100
 
+	// Metering overhead: the same A/B protocol with a cost meter instead of a
+	// trace. The meter is execution-only like spans, so the metered result
+	// must stay bit-identical — and its counters must match the authoritative
+	// result fields, otherwise the overhead number is measuring a broken meter.
+	meteredMs, unmeteredMs, err := interleavedMs(tracingOverheadReps, func() error {
+		meter := obs.NewMeter()
+		r, err := engine.EvaluateContext(obs.ContextWithMeter(context.Background(), meter),
+			g.DB, g.Model, qCold, engine.Options{Seed: seed, Shards: shards})
+		if err != nil {
+			return err
+		}
+		if r.Value != last.Value {
+			return fmt.Errorf("metered evaluation diverged: %v != %v", r.Value, last.Value)
+		}
+		if mj := meter.JSON(); mj.TuplesEvaluated != uint64(r.ViewRows) || mj.ShardsRun != uint64(r.ShardPlan) {
+			return fmt.Errorf("meter miscounted: tuples=%d shards=%d vs rows=%d plan=%d",
+				mj.TuplesEvaluated, mj.ShardsRun, r.ViewRows, r.ShardPlan)
+		}
+		return nil
+	}, func() error {
+		_, err := engine.Evaluate(g.DB, g.Model, qCold, engine.Options{Seed: seed, Shards: shards})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	res.ColdWhatIfMeteredMs = meteredMs
+	res.MeteringOverheadPct = (meteredMs - unmeteredMs) / unmeteredMs * 100
+
 	res.ColdWhatIfForMs, err = medianMs(engineBenchReps, func() error {
 		_, err := engine.Evaluate(g.DB, g.Model, qFor, engine.Options{Seed: seed, Shards: shards})
 		return err
@@ -307,6 +342,8 @@ func runEngine(scale float64, seed int64, shards int, out string) error {
 		res.HowToMs, res.HowToSerialMs, res.HowToCandidates)
 	fmt.Printf("tracing: cold traced=%.2fms untraced=%.2fms overhead=%+.2f%%\n",
 		res.ColdWhatIfTracedMs, untracedMs, res.TracingOverheadPct)
+	fmt.Printf("metering: cold metered=%.2fms unmetered=%.2fms overhead=%+.2f%%\n",
+		res.ColdWhatIfMeteredMs, unmeteredMs, res.MeteringOverheadPct)
 	fmt.Printf("freq fit %d ns/op %d allocs/op  predict %d ns/op %d allocs/op\n",
 		res.FreqFitNsPerOp, res.FreqFitAllocsPerOp, res.FreqPredictNsPerOp, res.FreqPredictAllocsPerOp)
 	for _, p := range res.ShardSweep {

@@ -89,6 +89,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "worker mode: heartbeat interval (keep well under the coordinator's -dist-ttl)")
 	workerFrames := flag.Int("worker-frames", 8, "worker mode: session frames kept (LRU eviction past this)")
 	slowQueryMs := flag.Int("slow-query-ms", 0, "log a JSON line (with trace id) for query requests at least this slow (0 = off)")
+	usageEntries := flag.Int("usage-entries", 256, "query shapes tracked in the /v1/usage table (least-used evicted past this)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off; keep it off or firewalled in production)")
 	flag.Parse()
 
@@ -129,6 +130,7 @@ func main() {
 		DistBreakerCooldown: *distBreakerCooldown,
 		Fault:               inj,
 		SlowQueryMs:         *slowQueryMs,
+		UsageEntries:        *usageEntries,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

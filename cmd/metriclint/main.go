@@ -49,6 +49,12 @@ var (
 		"hyper_dist_persist_errors_total",
 		"hyper_fault_injected_total",
 		"hyper_server_panics_total",
+		"hyper_query_cost_wall_ms",
+		"hyper_query_cost_tuples",
+		"hyper_query_cost_shards",
+		"hyper_go_goroutines",
+		"hyper_go_heap_bytes",
+		"hyper_build_info",
 	}
 	workerCore = []string{
 		"hyper_worker_evals_total",
@@ -59,6 +65,9 @@ var (
 		"hyper_worker_traces_recorded_total",
 		"hyper_worker_inflight",
 		"hyper_fault_injected_total",
+		"hyper_go_goroutines",
+		"hyper_go_heap_bytes",
+		"hyper_build_info",
 	}
 )
 

@@ -553,6 +553,12 @@ func (c *Coordinator) postWorker(ctx context.Context, run *queryRun, w *remoteWo
 				if err := json.Unmarshal(body, dst); err != nil {
 					return fmt.Errorf("dist: decoding %s response from %s: %w", path, w.id, err)
 				}
+				// Charge the bytes of the one request the worker accepted —
+				// the exact Content-Length the worker metered on its side, so
+				// a retry-free query reconciles shipped == received.
+				if raw, merr := json.Marshal(req); merr == nil {
+					obs.MeterFromContext(ctx).AddDistBytesShipped(len(raw))
+				}
 				return nil
 			case status == http.StatusNotFound && errCode(body) == codeFrameMissing:
 				// Not a failed attempt: the outer loop re-ships the frame.
@@ -711,6 +717,7 @@ func (c *Coordinator) shipFrame(ctx context.Context, w *remoteWorker, frame *Fra
 		return fmt.Errorf("dist: shipping frame to %s: %s", w.id, errMessage(raw, resp.StatusCode))
 	}
 	w.markFrame(id)
+	obs.MeterFromContext(ctx).AddFrameBytes(len(body))
 	c.framesShipped.Add(1)
 	c.logf("dist: shipped frame %.12s to worker %s (%d bytes)", id, w.id, len(body))
 	c.saveState()
@@ -882,6 +889,12 @@ func (c *Coordinator) EvaluateWhatIf(ctx context.Context, spec EvalSpec) (*engin
 					return
 				}
 				w.breaker.onSuccess()
+				// Fold the worker's cost vector into the query meter (the
+				// worker_* ledger) and charge the coordinator-side dispatch
+				// ledger; the two sides must agree when retries == 0.
+				meter := obs.MeterFromContext(ctx)
+				meter.Fold(resp.Meter)
+				meter.AddRemoteShards(len(chunk))
 				absorb(w.id, &resp.PartialResult, len(chunk))
 				usedRemote[w.id] = true
 			}(ws[i], chunk)
@@ -1069,6 +1082,7 @@ func (f *SessionFitter) fit(ctx context.Context, query string, o engine.Options,
 					return
 				}
 				w.breaker.onSuccess()
+				obs.MeterFromContext(ctx).Fold(resp.Meter)
 				if resp.FitPlan != fitShards ||
 					(cells && len(resp.Parts) != len(chunk)) ||
 					(support && len(resp.Support) != len(chunk)) {

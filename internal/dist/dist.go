@@ -120,6 +120,11 @@ type EvalRequest struct {
 type EvalResponse struct {
 	engine.PartialResult
 	Spans *obs.SpanJSON `json:"spans,omitempty"`
+	// Meter is the worker-side cost vector of this request (shards run,
+	// tuples evaluated, fits, bytes received). The coordinator folds it into
+	// the query's meter — the worker_* ledger the reconciliation invariant
+	// checks against the coordinator's own shipped/dispatched totals.
+	Meter *obs.MeterJSON `json:"meter,omitempty"`
 }
 
 // FitRequest asks a worker for the per-shard partial indexes of a
@@ -146,6 +151,8 @@ type FitResponse struct {
 	Parts   []*ml.FreqWire    `json:"parts,omitempty"`
 	Support []*ml.SupportWire `json:"support,omitempty"`
 	Spans   *obs.SpanJSON     `json:"spans,omitempty"`
+	// Meter mirrors EvalResponse.Meter for fit requests.
+	Meter *obs.MeterJSON `json:"meter,omitempty"`
 }
 
 // RegisterRequest announces a worker to the coordinator. URL is the base

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hyper/internal/fault"
+	"hyper/internal/obs"
 	"hyper/internal/stats"
 )
 
@@ -190,6 +191,9 @@ func (c *Coordinator) retry(ctx context.Context, run *queryRun, fn func(context.
 			return err
 		}
 		c.retries.Add(1)
+		// A retried RPC breaks the exact shipped==received accounting for
+		// this query; charging the meter waives its reconciliation invariant.
+		obs.MeterFromContext(ctx).AddRetries(1)
 		wait := c.jitteredBackoff(pol, attempt)
 		c.logf("dist: retrying after %v (attempt %d/%d): %v", wait, attempt, pol.MaxAttempts, err)
 		select {

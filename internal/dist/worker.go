@@ -111,6 +111,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		func() float64 { return float64(w.traces.Recorded()) })
 	w.metrics.GaugeFunc("hyper_worker_inflight", "Eval/fit requests currently executing.",
 		func() float64 { return float64(w.inflight.Load()) })
+	obs.RegisterRuntimeMetrics(w.metrics)
 	faultInjected := w.metrics.CounterVec("hyper_fault_injected_total",
 		"Faults fired by the deterministic injector, by point and mode.", "point", "mode")
 	w.cfg.Fault.SetOnFire(func(p fault.Point, m fault.Mode) {
@@ -333,6 +334,11 @@ func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
 	opts := req.Options.EngineOptions()
 	opts.Cache = f.cache
 	ctx, finish := w.traceRequest(r, "eval")
+	// A fresh per-request meter: the engine charges it through the context,
+	// and the coordinator folds the returned vector into the query's meter.
+	meter := obs.NewMeter()
+	meter.AddDistBytesReceived(int(r.ContentLength))
+	ctx = obs.ContextWithMeter(ctx, meter)
 	res, err := engine.EvaluatePartialContext(ctx, f.db, f.model, q, opts, req.Shards)
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, "", "%v", err)
@@ -341,7 +347,7 @@ func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
 	w.evals.Inc()
 	w.evalShards.Add(len(req.Shards))
 	w.logf("dist worker: eval frame=%.12s shards=%v plan=%d", req.Frame, req.Shards, res.Meta.Plan)
-	writeJSON(rw, http.StatusOK, EvalResponse{PartialResult: *res, Spans: finish()})
+	writeJSON(rw, http.StatusOK, EvalResponse{PartialResult: *res, Spans: finish(), Meter: meter.JSON()})
 }
 
 func (w *Worker) handleFit(rw http.ResponseWriter, r *http.Request) {
@@ -372,6 +378,9 @@ func (w *Worker) handleFit(rw http.ResponseWriter, r *http.Request) {
 	opts := req.Options.EngineOptions()
 	opts.Cache = f.cache
 	ctx, finish := w.traceRequest(r, "fit")
+	meter := obs.NewMeter()
+	meter.AddDistBytesReceived(int(r.ContentLength))
+	ctx = obs.ContextWithMeter(ctx, meter)
 	part, err := engine.FitEventPartialContext(ctx, f.db, f.model, q, opts, mask, req.Weighted, req.Cells, req.Support, req.Shards)
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, "", "%v", err)
@@ -379,5 +388,5 @@ func (w *Worker) handleFit(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.fits.Inc()
 	w.logf("dist worker: fit frame=%.12s mask=%s shards=%v", req.Frame, req.Mask, req.Shards)
-	writeJSON(rw, http.StatusOK, FitResponse{FitPlan: part.FitPlan, Parts: part.Parts, Support: part.Support, Spans: finish()})
+	writeJSON(rw, http.StatusOK, FitResponse{FitPlan: part.FitPlan, Parts: part.Parts, Support: part.Support, Spans: finish(), Meter: meter.JSON()})
 }

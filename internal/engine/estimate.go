@@ -239,6 +239,9 @@ func (s *estimatorSet) model(key string, ex fitExec, label func(viewRow int) (fl
 			m = ml.FitBoostedFrame(s.frame, s.trainRows, y, p)
 		}
 	}
+	// Charged only from the single-flight training path (like the fit span),
+	// so the meter's fits_trained equals trainedModels() at any fan-out.
+	obs.MeterFromContext(ex.ctx).AddFitTrained()
 	s.mu.Lock()
 	s.cache[key] = m
 	s.mu.Unlock()

@@ -56,9 +56,11 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 	// sums — and the final aggregate, accumulated in block order — are
 	// reproducible to the bit.
 	_, fsp := obs.Start(ctx, "fold")
+	tf := time.Now()
 	foldPartials(p.res, parts, p.nBlocks, p.agg)
 	fsp.Set("blocks", p.nBlocks)
 	fsp.End()
+	obs.MeterFromContext(ctx).AddStage("fold", time.Since(tf))
 	p.res.EvalTime = time.Since(te)
 	p.res.TrainedModels = p.ev.est.trainedModels()
 	p.res.Total = time.Since(p.start)
@@ -138,6 +140,10 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 	}
 	start := time.Now()
 	res := &Result{Mode: o.Mode}
+	// The meter rides the context like the span: absent, every charge is a
+	// nil check; present, it accumulates the query's cost vector without
+	// touching cache identity or results.
+	meter := obs.MeterFromContext(ctx)
 
 	// Step 1: relevant view (USE), memoized across candidate queries when a
 	// cache is provided.
@@ -148,6 +154,7 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 		return nil, err
 	}
 	res.ViewTime = time.Since(tv)
+	meter.AddStage("view", res.ViewTime)
 	res.ViewRows = v.rel.Len()
 	vsp.Set("rows", res.ViewRows)
 	vsp.Set("cache_hit", viewHit)
@@ -189,6 +196,7 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 		blockOf = make([]int, v.rel.Len())
 	}
 	res.BlockTime = time.Since(tb)
+	meter.AddStage("blocks", res.BlockTime)
 	bsp.Set("blocks", res.Blocks)
 	bsp.Set("cache_hit", blocksHit)
 	bsp.End()
@@ -310,6 +318,10 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 		key := estKey(viewKey, whenKey, forKey, featCols, eo)
 		if cached, ok := eo.Cache.getEst(key); ok {
 			estHit = true
+			// Set-level hits are the fan-out-independent "served from cache"
+			// signal; per-model hits inside the tuple loop are worker-local
+			// memo traffic and deliberately not charged.
+			meter.AddFitCached()
 			return cached
 		}
 		estHit = false
@@ -318,6 +330,7 @@ func prepareEvaluation(ctx context.Context, db *relation.Database, model *causal
 		return e
 	}
 	endTrainSpan := func(est *estimatorSet) {
+		meter.AddStage("train", res.TrainTime)
 		tsp.Set("estimator", est.kind)
 		tsp.Set("sampled_rows", len(est.trainRows))
 		tsp.Set("cache_hit", estHit)
@@ -432,6 +445,14 @@ func (p *evalPrep) evalShards(ctx context.Context, ids []int) ([]ShardPartial, e
 	sp.Set("shards", len(ids))
 	sp.Set("rows", total)
 	sp.Set("workers", workers)
+	// Charge the meter with fan-out-independent totals: the plan, the shards
+	// actually executed here, and the rows they cover. The golden tests pin
+	// these against Result.ShardPlan/ViewRows at any worker count.
+	meter := obs.MeterFromContext(ctx)
+	meter.SetPlanShards(k)
+	meter.AddShards(len(ids))
+	meter.AddTuples(total)
+	evStart := time.Now()
 	locals := make([]*evaluator, workers)
 	parts := make([]ShardPartial, len(ids))
 	nBlocks := p.nBlocks
@@ -506,6 +527,7 @@ func (p *evalPrep) evalShards(ctx context.Context, ids []int) ([]ShardPartial, e
 	if err != nil {
 		return nil, err
 	}
+	meter.AddStage("eval", time.Since(evStart))
 	return parts, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"hyper/internal/engine"
 	"hyper/internal/hyperql"
 	"hyper/internal/ip"
+	"hyper/internal/obs"
 	"hyper/internal/relation"
 )
 
@@ -168,6 +169,9 @@ func EvaluateContext(ctx context.Context, db *relation.Database, model *causal.M
 		byAttr[s.attr] = append(byAttr[s.attr], len(vars)-1)
 	}
 	res.Candidates = len(vars)
+	meter := obs.MeterFromContext(ctx)
+	meter.AddCandidates(res.Candidates)
+	meter.AddWhatIfEvals(res.WhatIfEvals)
 
 	// Build and solve the IP: maximize Σ delta·δ (negated for TOMINIMIZE)
 	// subject to SOS-1 per attribute and the optional update budget.

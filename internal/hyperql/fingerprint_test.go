@@ -1,0 +1,104 @@
+package hyperql
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+// TestShapeStripsLiterals pins the normalization contract: two queries that
+// differ only in constants share a Shape (and therefore a Fingerprint),
+// and no literal survives into the rendered shape.
+func TestShapeStripsLiterals(t *testing.T) {
+	a := mustParse(t, `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`)
+	b := mustParse(t, `USE German UPDATE(Status) = 4 OUTPUT COUNT(Credit = 0)`)
+	if Shape(a) != Shape(b) {
+		t.Errorf("shapes differ:\n  %s\n  %s", Shape(a), Shape(b))
+	}
+	if Fingerprint("sig", a) != Fingerprint("sig", b) {
+		t.Error("fingerprints differ for literal-only variation")
+	}
+	if s := Shape(a); strings.ContainsAny(s, "0123456789") {
+		t.Errorf("shape leaks literals: %s", s)
+	}
+	if !strings.Contains(Shape(a), "?") {
+		t.Errorf("shape has no placeholders: %s", Shape(a))
+	}
+}
+
+// TestShapeIsStructural pins that structural differences — an extra clause,
+// a different attribute, a different IN-list arity — change the shape.
+func TestShapeIsStructural(t *testing.T) {
+	base := `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`
+	variants := []string{
+		`USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`,
+		`USE German UPDATE(Savings) = 3 OUTPUT COUNT(Credit = 1)`,
+		`USE German WHEN Age IN (1, 2) UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`,
+		`USE German WHEN Age IN (1, 2, 3) UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`,
+		`USE German UPDATE(Status) = 3 OUTPUT AVG(POST(Credit))`,
+	}
+	q0 := mustParse(t, base)
+	seen := map[string]string{Shape(q0): base}
+	for _, v := range variants {
+		s := Shape(mustParse(t, v))
+		if prev, dup := seen[s]; dup {
+			t.Errorf("shape collision between %q and %q: %s", prev, v, s)
+		}
+		seen[s] = v
+	}
+	// IN-list arity is structural, but the values inside are not.
+	x := mustParse(t, `USE German WHEN Age IN (1, 2) UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`)
+	y := mustParse(t, `USE German WHEN Age IN (7, 9) UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`)
+	if Shape(x) != Shape(y) {
+		t.Error("IN-list values should not be structural")
+	}
+}
+
+// TestFingerprintSchemaAndKind pins the other two fingerprint components:
+// the schema signature passed as extra, and the query kind (a what-if and a
+// how-to can never share a fingerprint, whatever their text).
+func TestFingerprintSchemaAndKind(t *testing.T) {
+	wi := mustParse(t, `USE T UPDATE(A) = 3 OUTPUT COUNT(Y = 1)`)
+	ht := mustParse(t, `USE T HOWTOUPDATE A LIMIT POST(A) >= 3 AND POST(A) <= 9 TOMINIMIZE SUM(POST(Y))`)
+
+	if Fingerprint("schema1", wi) == Fingerprint("schema2", wi) {
+		t.Error("schema signature should change the fingerprint")
+	}
+	if Fingerprint("s", wi) == Fingerprint("s", ht) {
+		t.Error("what-if and how-to should never collide")
+	}
+
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for _, q := range []Query{wi, ht} {
+		if fp := Fingerprint("s", q); !hex16.MatchString(fp) {
+			t.Errorf("fingerprint %q is not 16 hex digits", fp)
+		}
+	}
+
+	// How-to shapes normalize their limits too.
+	if s := Shape(ht); strings.ContainsAny(s, "39") {
+		t.Errorf("how-to shape leaks limit literals: %s", s)
+	}
+}
+
+// TestFingerprintDeterministic pins that fingerprints are stable across
+// repeated parses of the same text (the property the usage table and a
+// future plan cache rely on).
+func TestFingerprintDeterministic(t *testing.T) {
+	const src = `USE German WHEN Age IN (1, 2) UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1) FOR PRE(Age) = 2`
+	fp := Fingerprint("sig", mustParse(t, src))
+	for i := 0; i < 3; i++ {
+		if got := Fingerprint("sig", mustParse(t, src)); got != fp {
+			t.Fatalf("fingerprint changed across parses: %s vs %s", got, fp)
+		}
+	}
+}

@@ -221,6 +221,7 @@ func (m *Model) SolveContext(ctx context.Context) (*Solution, error) {
 		return nil, err
 	}
 	sp.Set("nodes", nodes)
+	obs.MeterFromContext(ctx).AddIPNodes(nodes)
 	best.Nodes = nodes
 	if best.Status == lp.Infeasible {
 		return best, nil

@@ -242,6 +242,12 @@ type Config struct {
 	// runner's own span tree. The trace id is surfaced in job snapshots so
 	// a polling client can fetch the tree from /v1/traces/{id}.
 	Trace *obs.Recorder
+	// Usage, when non-nil, receives the cost meter of every executed job
+	// after its runner returns. The meter rides the runner's context, so
+	// engine/how-to/IP charges accumulate exactly as they do for
+	// synchronous queries; the serving layer folds the vector into its
+	// usage table under the job's query shape.
+	Usage func(kind string, m *obs.Meter, elapsed time.Duration, err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -436,6 +442,11 @@ func (m *Manager) run(j *Job) {
 		j.traceID = tr.ID
 		m.mu.Unlock()
 	}
+	var meter *obs.Meter
+	if m.cfg.Usage != nil {
+		meter = obs.NewMeter()
+		runCtx = obs.ContextWithMeter(runCtx, meter)
+	}
 	res, err := func() (res any, err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -450,6 +461,9 @@ func (m *Manager) run(j *Job) {
 		rsp.End()
 		tr.Finish()
 		m.cfg.Trace.Record(tr)
+	}
+	if meter != nil {
+		m.cfg.Usage(j.kind, meter, time.Since(j.started), err)
 	}
 
 	m.mu.Lock()

@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter accumulates the per-query cost vector: wall time per pipeline stage,
+// tuples evaluated, shards run, estimator fits split by cache hit versus
+// actual training, IP solver nodes, how-to candidate volume, bytes moved by
+// the distribution layer, and retries. It follows the same contract as Span:
+// it rides the context (ContextWithMeter / MeterFromContext), never cache
+// identity, every method is nil-safe so instrumentation points cost one
+// pointer check when metering is off, and a metered evaluation returns
+// bit-identical results to an unmetered one (enforced <2% overhead by
+// cmd/benchguard, like tracing).
+//
+// In dist mode each worker runs its request under a fresh Meter and returns
+// it in the eval/fit response; the coordinator Folds the child meters into
+// the query's vector, mirroring the span Graft. The fold keeps worker-
+// reported totals in separate worker_* fields rather than summing them into
+// the coordinator's own counters, which is what makes the reconciliation
+// invariant checkable: when Retries == 0, the coordinator-side dispatch
+// ledger (remote_shards, dist_bytes_shipped) must equal the summed worker-
+// reported ledger (worker_shards_run, worker_bytes_received) exactly.
+type Meter struct {
+	mu        sync.Mutex
+	session   string
+	kind      string
+	shape     string // normalized shape fingerprint (hyperql.Fingerprint)
+	shapeText string // normalized shape text (hyperql.Shape), for display
+	stages    map[string]time.Duration
+
+	tuples      atomic.Uint64
+	shards      atomic.Uint64
+	planShards  atomic.Uint64
+	fitsTrained atomic.Uint64
+	fitsCached  atomic.Uint64
+	ipNodes     atomic.Uint64
+	candidates  atomic.Uint64
+	whatifEvals atomic.Uint64
+
+	frameBytes        atomic.Uint64 // frame snapshot bytes shipped to workers
+	distBytesShipped  atomic.Uint64 // eval/fit request bytes posted to workers
+	distBytesReceived atomic.Uint64 // eval/fit request bytes a worker received
+	remoteShards      atomic.Uint64 // shards dispatched remotely (coordinator ledger)
+	retries           atomic.Uint64
+
+	// Folded worker-reported totals (see Fold).
+	workers         atomic.Uint64
+	workerShards    atomic.Uint64
+	workerTuples    atomic.Uint64
+	workerFits      atomic.Uint64
+	workerFitsCache atomic.Uint64
+	workerBytes     atomic.Uint64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{} }
+
+type meterKey struct{}
+
+// ContextWithMeter returns a context carrying m as the current query meter.
+func ContextWithMeter(ctx context.Context, m *Meter) context.Context {
+	return context.WithValue(ctx, meterKey{}, m)
+}
+
+// MeterFromContext returns the current meter, or nil when ctx is unmetered.
+func MeterFromContext(ctx context.Context) *Meter {
+	m, _ := ctx.Value(meterKey{}).(*Meter)
+	return m
+}
+
+// SetShape stamps the query identity the serving layer aggregates under:
+// session name, query kind ("whatif", "howto", ...), the normalized shape
+// fingerprint (see hyperql.Fingerprint), and the normalized shape text
+// (hyperql.Shape) surfaced as the usage table's display example.
+func (m *Meter) SetShape(session, kind, shape, text string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.session, m.kind, m.shape, m.shapeText = session, kind, shape, text
+	m.mu.Unlock()
+}
+
+// Shape returns the stamped query identity ("" fields when unstamped).
+func (m *Meter) Shape() (session, kind, shape, text string) {
+	if m == nil {
+		return "", "", "", ""
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.session, m.kind, m.shape, m.shapeText
+}
+
+// AddStage accumulates wall time under a stage label ("view", "train",
+// "eval", ...). Stages sum across calls, so a how-to's many candidate
+// what-ifs charge one combined eval figure.
+func (m *Meter) AddStage(name string, d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.stages == nil {
+		m.stages = make(map[string]time.Duration, 8)
+	}
+	m.stages[name] += d
+	m.mu.Unlock()
+}
+
+func add(c *atomic.Uint64, n int) {
+	if n > 0 {
+		c.Add(uint64(n))
+	}
+}
+
+// AddTuples charges n evaluated tuples.
+func (m *Meter) AddTuples(n int) {
+	if m != nil {
+		add(&m.tuples, n)
+	}
+}
+
+// AddShards charges n executed plan shards.
+func (m *Meter) AddShards(n int) {
+	if m != nil {
+		add(&m.shards, n)
+	}
+}
+
+// SetPlanShards records the canonical plan size (kept as a max across
+// calls: a how-to evaluates many candidate what-ifs over the same plan).
+func (m *Meter) SetPlanShards(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	for {
+		old := m.planShards.Load()
+		if uint64(n) <= old || m.planShards.CompareAndSwap(old, uint64(n)) {
+			return
+		}
+	}
+}
+
+// AddFitTrained charges one single-flight estimator training.
+func (m *Meter) AddFitTrained() {
+	if m != nil {
+		m.fitsTrained.Add(1)
+	}
+}
+
+// AddFitCached charges one estimator cache hit.
+func (m *Meter) AddFitCached() {
+	if m != nil {
+		m.fitsCached.Add(1)
+	}
+}
+
+// AddIPNodes charges n branch-and-bound nodes.
+func (m *Meter) AddIPNodes(n int) {
+	if m != nil {
+		add(&m.ipNodes, n)
+	}
+}
+
+// AddCandidates charges n how-to candidates enumerated.
+func (m *Meter) AddCandidates(n int) {
+	if m != nil {
+		add(&m.candidates, n)
+	}
+}
+
+// AddWhatIfEvals charges n candidate what-if evaluations.
+func (m *Meter) AddWhatIfEvals(n int) {
+	if m != nil {
+		add(&m.whatifEvals, n)
+	}
+}
+
+// AddFrameBytes charges n frame snapshot bytes shipped to a worker.
+func (m *Meter) AddFrameBytes(n int) {
+	if m != nil {
+		add(&m.frameBytes, n)
+	}
+}
+
+// AddDistBytesShipped charges n request body bytes posted to a worker.
+func (m *Meter) AddDistBytesShipped(n int) {
+	if m != nil {
+		add(&m.distBytesShipped, n)
+	}
+}
+
+// AddDistBytesReceived charges n request body bytes received from a
+// coordinator (the worker-side mirror of AddDistBytesShipped).
+func (m *Meter) AddDistBytesReceived(n int) {
+	if m != nil {
+		add(&m.distBytesReceived, n)
+	}
+}
+
+// AddRemoteShards charges n shards dispatched to (and answered by) a remote
+// worker — the coordinator-side ledger of the reconciliation invariant.
+func (m *Meter) AddRemoteShards(n int) {
+	if m != nil {
+		add(&m.remoteShards, n)
+	}
+}
+
+// AddRetries charges n RPC retries.
+func (m *Meter) AddRetries(n int) {
+	if m != nil {
+		add(&m.retries, n)
+	}
+}
+
+// Fold merges a worker-reported meter into this query's vector, mirroring
+// Span.Graft. The child's own-execution counters accumulate into worker_*
+// fields (kept separate from the coordinator's ledger so the two sides stay
+// comparable); child stage times fold in under a "worker_" prefix.
+func (m *Meter) Fold(mj *MeterJSON) {
+	if m == nil || mj == nil {
+		return
+	}
+	m.workers.Add(1)
+	add(&m.workerShards, int(mj.ShardsRun))
+	add(&m.workerTuples, int(mj.TuplesEvaluated))
+	add(&m.workerFits, int(mj.FitsTrained))
+	add(&m.workerFitsCache, int(mj.FitsCached))
+	add(&m.workerBytes, int(mj.DistBytesReceived))
+	for name, ms := range mj.StagesMs {
+		m.AddStage("worker_"+name, time.Duration(ms*float64(time.Millisecond)))
+	}
+}
+
+// MeterJSON is the wire and aggregation form of a cost vector: what dist
+// workers return in eval/fit responses, what the slow-query log and the
+// usage table carry, and what /v1/usage serves. Zero fields are omitted so
+// a local-only query renders compactly.
+type MeterJSON struct {
+	StagesMs          map[string]float64 `json:"stages_ms,omitempty"`
+	TuplesEvaluated   uint64             `json:"tuples_evaluated,omitempty"`
+	ShardsRun         uint64             `json:"shards_run,omitempty"`
+	PlanShards        uint64             `json:"plan_shards,omitempty"`
+	FitsTrained       uint64             `json:"fits_trained,omitempty"`
+	FitsCached        uint64             `json:"fits_cached,omitempty"`
+	IPNodes           uint64             `json:"ip_nodes,omitempty"`
+	HowToCandidates   uint64             `json:"howto_candidates,omitempty"`
+	WhatIfEvals       uint64             `json:"whatif_evals,omitempty"`
+	FrameBytesShipped uint64             `json:"frame_bytes_shipped,omitempty"`
+	DistBytesShipped  uint64             `json:"dist_bytes_shipped,omitempty"`
+	DistBytesReceived uint64             `json:"dist_bytes_received,omitempty"`
+	RemoteShards      uint64             `json:"remote_shards,omitempty"`
+	Retries           uint64             `json:"retries,omitempty"`
+	Workers           uint64             `json:"workers,omitempty"`
+	WorkerShardsRun   uint64             `json:"worker_shards_run,omitempty"`
+	WorkerTuples      uint64             `json:"worker_tuples,omitempty"`
+	WorkerFitsTrained uint64             `json:"worker_fits_trained,omitempty"`
+	WorkerFitsCached  uint64             `json:"worker_fits_cached,omitempty"`
+	WorkerBytes       uint64             `json:"worker_bytes_received,omitempty"`
+}
+
+// JSON snapshots the meter. Safe to call while charges continue, but the
+// snapshot is only a consistent total once the query has finished.
+func (m *Meter) JSON() *MeterJSON {
+	if m == nil {
+		return nil
+	}
+	mj := &MeterJSON{
+		TuplesEvaluated:   m.tuples.Load(),
+		ShardsRun:         m.shards.Load(),
+		PlanShards:        m.planShards.Load(),
+		FitsTrained:       m.fitsTrained.Load(),
+		FitsCached:        m.fitsCached.Load(),
+		IPNodes:           m.ipNodes.Load(),
+		HowToCandidates:   m.candidates.Load(),
+		WhatIfEvals:       m.whatifEvals.Load(),
+		FrameBytesShipped: m.frameBytes.Load(),
+		DistBytesShipped:  m.distBytesShipped.Load(),
+		DistBytesReceived: m.distBytesReceived.Load(),
+		RemoteShards:      m.remoteShards.Load(),
+		Retries:           m.retries.Load(),
+		Workers:           m.workers.Load(),
+		WorkerShardsRun:   m.workerShards.Load(),
+		WorkerTuples:      m.workerTuples.Load(),
+		WorkerFitsTrained: m.workerFits.Load(),
+		WorkerFitsCached:  m.workerFitsCache.Load(),
+		WorkerBytes:       m.workerBytes.Load(),
+	}
+	m.mu.Lock()
+	if len(m.stages) > 0 {
+		mj.StagesMs = make(map[string]float64, len(m.stages))
+		for k, d := range m.stages {
+			mj.StagesMs[k] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	m.mu.Unlock()
+	return mj
+}
+
+// Add accumulates another cost vector into this one (usage-table
+// aggregation). PlanShards keeps the max, everything else sums.
+func (j *MeterJSON) Add(o *MeterJSON) {
+	if j == nil || o == nil {
+		return
+	}
+	if len(o.StagesMs) > 0 && j.StagesMs == nil {
+		j.StagesMs = make(map[string]float64, len(o.StagesMs))
+	}
+	for k, ms := range o.StagesMs {
+		j.StagesMs[k] += ms
+	}
+	j.TuplesEvaluated += o.TuplesEvaluated
+	j.ShardsRun += o.ShardsRun
+	if o.PlanShards > j.PlanShards {
+		j.PlanShards = o.PlanShards
+	}
+	j.FitsTrained += o.FitsTrained
+	j.FitsCached += o.FitsCached
+	j.IPNodes += o.IPNodes
+	j.HowToCandidates += o.HowToCandidates
+	j.WhatIfEvals += o.WhatIfEvals
+	j.FrameBytesShipped += o.FrameBytesShipped
+	j.DistBytesShipped += o.DistBytesShipped
+	j.DistBytesReceived += o.DistBytesReceived
+	j.RemoteShards += o.RemoteShards
+	j.Retries += o.Retries
+	j.Workers += o.Workers
+	j.WorkerShardsRun += o.WorkerShardsRun
+	j.WorkerTuples += o.WorkerTuples
+	j.WorkerFitsTrained += o.WorkerFitsTrained
+	j.WorkerFitsCached += o.WorkerFitsCached
+	j.WorkerBytes += o.WorkerBytes
+}
+
+// Reconciled reports whether the cross-process ledgers agree: vacuously true
+// when nothing ran remotely or retries make double-counting legitimate,
+// otherwise the coordinator-side dispatch totals must equal the summed
+// worker-reported ones exactly.
+func (j *MeterJSON) Reconciled() bool {
+	if j == nil {
+		return true
+	}
+	if j.Retries > 0 {
+		return true
+	}
+	return j.RemoteShards == j.WorkerShardsRun && j.DistBytesShipped == j.WorkerBytes
+}

@@ -32,6 +32,7 @@ type family struct {
 	gaugeFn   func() float64
 	hist      *Histogram
 	vec       *CounterVec
+	gaugeVec  *GaugeVec
 	histVec   *HistogramVec
 }
 
@@ -154,6 +155,53 @@ func (v *CounterVec) Each(fn func(values []string, c *Counter)) {
 	v.mu.RUnlock()
 }
 
+// GaugeVec is a family of settable gauges keyed by label values — the shape
+// behind constant info series like hyper_build_info{go_version="..."} 1.
+type GaugeVec struct {
+	labels []string
+	mu     sync.RWMutex
+	series map[string]float64
+}
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{labels: labels, series: make(map[string]float64)}
+	r.register(&family{name: name, help: help, typ: "gauge", labels: labels, gaugeVec: v})
+	return v
+}
+
+// Set sets the gauge for the given label values (len must match the
+// registered label names), creating the series on first use.
+func (v *GaugeVec) Set(val float64, values ...string) {
+	if v == nil {
+		return
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: gauge vec wants %d label values, got %d", len(v.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.Lock()
+	v.series[key] = val
+	v.mu.Unlock()
+}
+
+// Each calls fn for every live series in sorted key order.
+func (v *GaugeVec) Each(fn func(values []string, val float64)) {
+	if v == nil {
+		return
+	}
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.series))
+	for k := range v.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(strings.Split(k, labelSep), v.series[k])
+	}
+	v.mu.RUnlock()
+}
+
 // Histogram is a fixed-bucket histogram: cumulative-style exposition with
 // le upper bounds plus an implicit +Inf bucket, constant memory regardless
 // of traffic. Observations and scrapes are lock-free.
@@ -167,6 +215,10 @@ type Histogram struct {
 // LatencyBucketsMs is the default bucket layout for request/stage latencies
 // in milliseconds: roughly exponential from sub-millisecond to ten seconds.
 var LatencyBucketsMs = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// CountBuckets is the default layout for volume-shaped observations (tuples
+// evaluated, shards run, fits): decade steps from 1 to 10M.
+var CountBuckets = []float64{1, 10, 100, 1000, 10000, 100000, 1e6, 1e7}
 
 func newHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
@@ -335,6 +387,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		case f.vec != nil:
 			f.vec.Each(func(values []string, c *Counter) {
 				fmt.Fprintf(&b, "%s{%s} %s\n", f.name, labelPairs(f.labels, values), formatValue(float64(c.Value())))
+			})
+		case f.gaugeVec != nil:
+			f.gaugeVec.Each(func(values []string, val float64) {
+				fmt.Fprintf(&b, "%s{%s} %s\n", f.name, labelPairs(f.labels, values), formatValue(val))
 			})
 		case f.histVec != nil:
 			f.histVec.Each(func(values []string, h *Histogram) {

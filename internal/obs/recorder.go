@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -90,6 +93,42 @@ func countSpans(sj *SpanJSON) int {
 
 // List returns summaries of the buffered traces, newest first.
 func (r *Recorder) List() []TraceSummary {
+	return r.ListFiltered(TraceFilter{})
+}
+
+// TraceFilter narrows a trace listing: Kind matches the trace name exactly
+// ("" matches all), MinMs drops traces faster than the threshold, and Limit
+// caps the number returned (0 = all). Newest traces always win the cap.
+type TraceFilter struct {
+	Kind  string
+	MinMs float64
+	Limit int
+}
+
+// ParseTraceFilter reads the ?kind= / ?min_ms= / ?limit= query parameters,
+// returning an error (suitable for a 400) on malformed or negative values.
+func ParseTraceFilter(q url.Values) (TraceFilter, error) {
+	f := TraceFilter{Kind: q.Get("kind")}
+	if raw := q.Get("min_ms"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v < 0 {
+			return f, fmt.Errorf("invalid min_ms %q: want a non-negative number", raw)
+		}
+		f.MinMs = v
+	}
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			return f, fmt.Errorf("invalid limit %q: want a non-negative integer", raw)
+		}
+		f.Limit = v
+	}
+	return f, nil
+}
+
+// ListFiltered returns summaries of the buffered traces matching f, newest
+// first.
+func (r *Recorder) ListFiltered(f TraceFilter) []TraceSummary {
 	if r == nil {
 		return nil
 	}
@@ -99,8 +138,17 @@ func (r *Recorder) List() []TraceSummary {
 	// The ring is ordered oldest..newest starting at next (once wrapped);
 	// walk it backwards so the freshest trace leads.
 	for i := 0; i < len(r.ring); i++ {
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
 		idx := (r.next + len(r.ring) - 1 - i) % len(r.ring)
 		tj := r.ring[idx]
+		if f.Kind != "" && tj.Name != f.Kind {
+			continue
+		}
+		if f.MinMs > 0 && tj.DurMs < f.MinMs {
+			continue
+		}
 		out = append(out, TraceSummary{ID: tj.ID, Name: tj.Name, Start: tj.Start, DurMs: tj.DurMs, Spans: tj.Spans})
 	}
 	return out
@@ -131,10 +179,16 @@ func (r *Recorder) Recorded() uint64 {
 	return r.recorded
 }
 
-// ListHandler serves the trace listing as {"traces": [...]}.
+// ListHandler serves the trace listing as {"traces": [...]}, honoring the
+// ?kind= / ?min_ms= / ?limit= filters (400 on malformed values).
 func (r *Recorder) ListHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		writeJSONResponse(w, http.StatusOK, map[string]any{"traces": r.List()})
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		f, err := ParseTraceFilter(req.URL.Query())
+		if err != nil {
+			writeJSONResponse(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSONResponse(w, http.StatusOK, map[string]any{"traces": r.ListFiltered(f)})
 	})
 }
 

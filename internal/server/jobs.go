@@ -141,10 +141,12 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 		}
 		if kind == "whatif" {
 			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
+				stampShape(ctx, e, "whatif", req.Query)
 				return e.whatIf(ctx, req.Query, req.Shards, req.Placement, p.Report)
 			}
 		} else {
 			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
+				stampShape(ctx, e, "explain", req.Query)
 				return e.explain(req.Query)
 			}
 		}
@@ -159,6 +161,7 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 		}
 		qr := QueryRequest{Query: req.Query, Method: req.Method, Target: req.Target, Shards: req.Shards, Placement: req.Placement}
 		run = func(ctx context.Context, p *jobs.Progress) (any, error) {
+			stampShape(ctx, e, "howto", req.Query)
 			return e.howTo(ctx, qr, p.Report)
 		}
 	case "batch":
@@ -178,6 +181,7 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 			}
 		}
 		run = func(ctx context.Context, p *jobs.Progress) (any, error) {
+			stampBatchShape(ctx, e, queries)
 			return e.runBatch(ctx, queries, workers, p.Report), nil
 		}
 	default:

@@ -66,6 +66,17 @@ func (s *Server) registerMetrics() {
 
 	r.CounterFunc("hyper_traces_recorded_total", "Request traces captured into the trace ring.",
 		func() float64 { return float64(s.traces.Recorded()) })
+
+	obs.RegisterRuntimeMetrics(r)
+	s.costWall = r.HistogramVec("hyper_query_cost_wall_ms",
+		"Per-query wall time in milliseconds, by endpoint (jobs as job:<kind>).",
+		obs.LatencyBucketsMs, "endpoint")
+	s.costTuples = r.HistogramVec("hyper_query_cost_tuples",
+		"Per-query tuples evaluated, by endpoint (jobs as job:<kind>).",
+		obs.CountBuckets, "endpoint")
+	s.costShards = r.HistogramVec("hyper_query_cost_shards",
+		"Per-query plan shards executed, by endpoint (jobs as job:<kind>).",
+		obs.CountBuckets, "endpoint")
 }
 
 // sumCaches folds a CacheStats field over every live session.
@@ -107,21 +118,33 @@ type slowQueryLine struct {
 	Ms       float64   `json:"ms"`
 	Status   int       `json:"status"`
 	TraceID  string    `json:"trace_id"`
+	// Session/Kind/Shape identify the query shape (present when the handler
+	// stamped one); Cost is the request's full cost vector.
+	Session string         `json:"session,omitempty"`
+	Kind    string         `json:"kind,omitempty"`
+	Shape   string         `json:"shape,omitempty"`
+	Cost    *obs.MeterJSON `json:"cost,omitempty"`
 }
 
 // logSlowQuery emits one structured line for a traced request that crossed
 // the SlowQueryMs threshold. The trace id in the line keys directly into
 // GET /v1/traces/{id}, so a slow query found in the log is one lookup away
-// from its span tree.
-func (s *Server) logSlowQuery(endpoint, traceID string, elapsed time.Duration, status int) {
+// from its span tree; the shape fingerprint keys into /v1/usage, and the
+// inline cost vector says where the time went without any lookup at all.
+func (s *Server) logSlowQuery(endpoint, traceID string, elapsed time.Duration, status int, meter *obs.Meter) {
 	s.slow.Inc()
-	line, err := json.Marshal(slowQueryLine{
+	sl := slowQueryLine{
 		TS:       time.Now().UTC(),
 		Endpoint: endpoint,
 		Ms:       float64(elapsed) / float64(time.Millisecond),
 		Status:   status,
 		TraceID:  traceID,
-	})
+	}
+	if meter != nil {
+		sl.Session, sl.Kind, sl.Shape, _ = meter.Shape()
+		sl.Cost = meter.JSON()
+	}
+	line, err := json.Marshal(sl)
 	if err != nil {
 		return
 	}
@@ -135,8 +158,14 @@ type TraceListResponse struct {
 	Traces []obs.TraceSummary `json:"traces"`
 }
 
-func (s *Server) handleListTraces(*http.Request) (any, error) {
-	return &TraceListResponse{Traces: s.traces.List()}, nil
+// handleListTraces serves the trace ring, filtered by the optional ?kind=,
+// ?min_ms= and ?limit= query parameters; malformed values are a 400.
+func (s *Server) handleListTraces(r *http.Request) (any, error) {
+	f, err := obs.ParseTraceFilter(r.URL.Query())
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	return &TraceListResponse{Traces: s.traces.ListFiltered(f)}, nil
 }
 
 func (s *Server) handleGetTrace(r *http.Request) (any, error) {

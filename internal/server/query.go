@@ -146,6 +146,7 @@ func (s *Server) handleWhatIf(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	stampShape(r.Context(), e, "whatif", req.Query)
 	return e.whatIf(r.Context(), req.Query, req.Shards, req.Placement, nil)
 }
 
@@ -158,6 +159,7 @@ func (s *Server) handleHowTo(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	stampShape(r.Context(), e, "howto", req.Query)
 	return e.howTo(r.Context(), req, nil)
 }
 
@@ -170,6 +172,7 @@ func (s *Server) handleExplain(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	stampShape(r.Context(), e, "explain", req.Query)
 	return e.explain(req.Query)
 }
 
@@ -371,6 +374,7 @@ func (s *Server) handleBatch(r *http.Request) (any, error) {
 	if len(req.Queries) == 0 {
 		return nil, errf(http.StatusBadRequest, "batch has no queries")
 	}
+	stampBatchShape(r.Context(), e, req.Queries)
 	return e.runBatch(r.Context(), req.Queries, s.batchWorkers(req.Workers), nil), nil
 }
 

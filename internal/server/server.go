@@ -21,6 +21,8 @@
 //	GET    /v1/jobs/{id}         poll one job (state, progress, result)
 //	DELETE /v1/jobs/{id}         cancel a job (queued or mid-solve)
 //	GET    /v1/stats             cache/job gauges and per-endpoint latency quantiles
+//	GET    /v1/usage             per-query-shape usage analytics (count, errors, summed cost vector)
+//	GET    /v1/usage/{session}   usage analytics filtered to one session's shapes
 //
 // Sessions are independent: each owns a bounded LRU engine cache
 // (engine.NewCacheBounded), so repeat queries with shared USE/WHEN/FOR
@@ -105,6 +107,9 @@ type Config struct {
 	// TraceCapacity bounds the in-process trace ring served by /v1/traces
 	// (default obs.DefaultTraceCapacity).
 	TraceCapacity int
+	// UsageEntries bounds the query-shape usage table served by /v1/usage;
+	// when full, a new shape evicts the least-used row (default 256).
+	UsageEntries int
 	// SlowQueryMs, when > 0, logs one JSON line (endpoint, latency, status,
 	// trace id) to SlowQueryLog for every traced request at least that slow.
 	SlowQueryMs int
@@ -148,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceCapacity <= 0 {
 		c.TraceCapacity = obs.DefaultTraceCapacity
 	}
+	if c.UsageEntries <= 0 {
+		c.UsageEntries = 256
+	}
 	if c.SlowQueryLog == nil {
 		c.SlowQueryLog = os.Stderr
 	}
@@ -168,9 +176,15 @@ type Server struct {
 
 	metrics *obs.Registry
 	traces  *obs.Recorder
+	usage   *usageTable
 	slow    *obs.Counter // slow-query lines emitted
 	panics  *obs.Counter // handler panics recovered into JSON 500s
 	slowMu  sync.Mutex   // serializes SlowQueryLog writes
+
+	// Per-query cost histograms, observed by recordUsage per endpoint.
+	costWall   *obs.HistogramVec
+	costTuples *obs.HistogramVec
+	costShards *obs.HistogramVec
 
 	stats  statsRecorder
 	shards shardGauges
@@ -186,6 +200,7 @@ func New(cfg Config) *Server {
 		sessions: make(map[string]*sessionEntry),
 		metrics:  obs.NewRegistry(),
 		traces:   obs.NewRecorder(cfg.TraceCapacity),
+		usage:    newUsageTable(cfg.UsageEntries),
 	}
 	s.jobs = jobs.NewManager(jobs.Config{
 		Workers:         cfg.JobWorkers,
@@ -193,6 +208,11 @@ func New(cfg Config) *Server {
 		PerSessionLimit: cfg.JobsPerSession,
 		Retention:       cfg.JobRetention,
 		Trace:           s.traces,
+		// Finished jobs land in the same usage table and cost histograms as
+		// synchronous requests, under a job:<kind> endpoint label.
+		Usage: func(kind string, m *obs.Meter, elapsed time.Duration, err error) {
+			s.recordUsage("job:"+kind, m, elapsed, err != nil)
+		},
 	})
 	s.dist = dist.NewCoordinator(dist.CoordinatorConfig{
 		TTL:             cfg.DistTTL,
@@ -245,6 +265,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleGetJob))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs", s.handleCancelJob))
 	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.Handle("GET /v1/usage", s.instrument("usage", s.handleUsage))
+	mux.Handle("GET /v1/usage/{session}", s.instrument("usage", s.handleUsageSession))
 	mux.Handle("GET /v1/traces", s.instrument("traces", s.handleListTraces))
 	mux.Handle("GET /v1/traces/{id}", s.instrument("traces", s.handleGetTrace))
 	mux.Handle("GET /metrics", s.metrics.Handler())
@@ -324,9 +346,16 @@ func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, erro
 		start := time.Now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		var tr *obs.Trace
+		var meter *obs.Meter
 		if tracedEndpoints[endpoint] {
 			tr = obs.NewTrace(endpoint)
-			r = r.WithContext(tr.Context(r.Context()))
+			// The meter rides the same context as the trace: an execution-only
+			// cost ledger, charged by the engine/howto/ip/dist layers and
+			// finalized into the usage table below. Like tracing it can never
+			// change a result.
+			meter = obs.NewMeter()
+			ctx := obs.ContextWithMeter(tr.Context(r.Context()), meter)
+			r = r.WithContext(ctx)
 		}
 		payload, err := call(r)
 		elapsed := time.Since(start)
@@ -362,9 +391,10 @@ func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, erro
 				attachTrace(payload, tj)
 			}
 			if s.cfg.SlowQueryMs > 0 && elapsed >= time.Duration(s.cfg.SlowQueryMs)*time.Millisecond {
-				s.logSlowQuery(endpoint, tr.ID, elapsed, status)
+				s.logSlowQuery(endpoint, tr.ID, elapsed, status, meter)
 			}
 		}
+		s.recordUsage(endpoint, meter, elapsed, err != nil)
 		writeJSON(w, status, body)
 		s.stats.record(endpoint, elapsed, err != nil)
 		if s.cfg.Logf != nil {

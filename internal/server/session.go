@@ -17,14 +17,15 @@ import (
 // use, so entries are shared across request goroutines without extra
 // locking; only the query counter is touched per request.
 type sessionEntry struct {
-	name    string
-	dataset string // registry name, or "csv"
-	sess    *hyper.Session
-	created time.Time
-	queries atomic.Int64
-	shards  *shardGauges      // server-wide gauges, recorded per what-if
-	dist    *dist.Coordinator // shard transport (placement knob)
-	frame   *dist.Frame       // content-addressed snapshot shipped to workers
+	name      string
+	dataset   string // registry name, or "csv"
+	schemaSig string // relation-name signature, the schema half of shape fingerprints
+	sess      *hyper.Session
+	created   time.Time
+	queries   atomic.Int64
+	shards    *shardGauges      // server-wide gauges, recorded per what-if
+	dist      *dist.Coordinator // shard transport (placement knob)
+	frame     *dist.Frame       // content-addressed snapshot shipped to workers
 }
 
 // SessionOptions is the wire form of hyper.Options.
@@ -234,7 +235,8 @@ func (s *Server) handleCreateSession(r *http.Request) (any, error) {
 
 	e := &sessionEntry{
 		name: req.Name, dataset: from, sess: sess, created: time.Now(),
-		shards: &s.shards, dist: s.dist, frame: dist.NewFrame(db, model),
+		schemaSig: strings.Join(db.Names(), ","),
+		shards:    &s.shards, dist: s.dist, frame: dist.NewFrame(db, model),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
