@@ -28,6 +28,12 @@
 //   - metering_overhead_pct (per-query cost-meter cost of the same cold
 //     what-if, measured and gated exactly like the tracing overhead: the
 //     resource accounting must stay effectively free)
+//   - cold_whatif_planned_ms (the cold query through the cost-based planner
+//     with fresh caches; gated like cold_whatif_ms — same tolerance, same
+//     hardware-comparability rule)
+//   - plan_cache_speedup (warm repeat over shared plan + artifact caches vs
+//     the planned cold path, a within-run pair like the overhead gates, so
+//     it gates unconditionally: must stay >= 1.5x)
 //
 // Usage:
 //
@@ -55,6 +61,9 @@ type metrics struct {
 	TracingOverheadPct     float64 `json:"tracing_overhead_pct"`
 	ColdWhatIfMeteredMs    float64 `json:"cold_whatif_metered_ms"`
 	MeteringOverheadPct    float64 `json:"metering_overhead_pct"`
+	ColdWhatIfPlannedMs    float64 `json:"cold_whatif_planned_ms"`
+	WarmPlanCacheMs        float64 `json:"warm_plan_cache_ms"`
+	PlanCacheSpeedup       float64 `json:"plan_cache_speedup"`
 }
 
 // env renders the execution environment of one run for the verdict. Older
@@ -148,6 +157,16 @@ func main() {
 	}
 	check("cold_whatif_ms", base.ColdWhatIfMs, cur.ColdWhatIfMs,
 		base.ColdWhatIfMs*(1+*tolerance), comparableHW)
+	// The planned cold path gates exactly like the unplanned one (same 25%
+	// policy, same hardware-comparability rule); a zero baseline means the
+	// committed JSON predates the planner and the comparison waits for a
+	// regeneration.
+	if base.ColdWhatIfPlannedMs > 0 && cur.ColdWhatIfPlannedMs > 0 {
+		check("cold_whatif_planned_ms", base.ColdWhatIfPlannedMs, cur.ColdWhatIfPlannedMs,
+			base.ColdWhatIfPlannedMs*(1+*tolerance), comparableHW)
+	} else {
+		fmt.Printf("%-28s not measured (regenerate baseline and current with current hyperbench)\n", "cold_whatif_planned_ms")
+	}
 	check("freq_fit_allocs_per_op", float64(base.FreqFitAllocsPerOp), float64(cur.FreqFitAllocsPerOp),
 		math.Ceil(float64(base.FreqFitAllocsPerOp)*(1+*tolerance))+allocGrace, true)
 	check("freq_predict_allocs_per_op", float64(base.FreqPredictAllocsPerOp), float64(cur.FreqPredictAllocsPerOp),
@@ -179,6 +198,24 @@ func main() {
 	}
 	pairedGate("tracing_overhead_pct", cur.ColdWhatIfTracedMs, cur.TracingOverheadPct)
 	pairedGate("metering_overhead_pct", cur.ColdWhatIfMeteredMs, cur.MeteringOverheadPct)
+
+	// The plan-cache speedup is a within-run cold/warm pair like the
+	// instrumentation overheads, so it gates unconditionally: a warm repeat
+	// of a structurally identical query must be at least minPlanSpeedup
+	// faster than the planned cold path. Zero means the run predates the
+	// planner fields.
+	const minPlanSpeedup = 1.5
+	if cur.WarmPlanCacheMs <= 0 || cur.PlanCacheSpeedup <= 0 {
+		fmt.Printf("%-28s not measured (regenerate with current hyperbench)\n", "plan_cache_speedup")
+	} else {
+		status := "ok"
+		if cur.PlanCacheSpeedup < minPlanSpeedup {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s current %.2fx (cold %.3gms / warm %.3gms)  floor %.2gx  %s\n",
+			"plan_cache_speedup", cur.PlanCacheSpeedup, cur.ColdWhatIfPlannedMs, cur.WarmPlanCacheMs, minPlanSpeedup, status)
+	}
 
 	if failed {
 		fmt.Println("benchguard: FAIL — a tracked metric regressed beyond tolerance")

@@ -570,8 +570,18 @@ func runSmoke(hyperd string) {
 		"hyper_dist_workers_alive",
 		"hyper_uptime_seconds",
 		"hyper_traces_recorded_total",
+		"hyper_plan_cache_hits_total",
+		"hyper_plan_cache_misses_total",
+		"hyper_plan_cache_evictions_total",
+		"hyper_plan_compile_ms_count",
 	)
 	requireHealthGauges("coordinator", coordSeries)
+	// Every coordinator session carries a plan cache, so the queries above
+	// must have planned: at least one compile (first shape is a miss).
+	if coordSeries["hyper_plan_cache_misses_total"] < 1 || coordSeries["hyper_plan_compile_ms_count"] < 1 {
+		fatalf("planner never ran: plan cache misses=%v compiles=%v",
+			coordSeries["hyper_plan_cache_misses_total"], coordSeries["hyper_plan_compile_ms_count"])
+	}
 	workerShards := 0.0
 	for i, port := range []int{w1port, w2port} {
 		name := fmt.Sprintf("worker%d", i+1)

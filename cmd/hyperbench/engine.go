@@ -17,6 +17,7 @@ import (
 	"hyper/internal/hyperql"
 	"hyper/internal/ml"
 	"hyper/internal/obs"
+	"hyper/internal/plan"
 )
 
 // engineBenchResult is the machine-readable engine benchmark, written to
@@ -55,6 +56,17 @@ type engineBenchResult struct {
 	// the tracing gate.
 	ColdWhatIfMeteredMs float64 `json:"cold_whatif_metered_ms"`
 	MeteringOverheadPct float64 `json:"metering_overhead_pct"`
+	// ColdWhatIfPlannedMs is the cold query through the cost-based planner
+	// with fresh caches every rep (stats collection + plan compile + pushdown
+	// all paid), interleaved with the unplanned path; gated like
+	// cold_whatif_ms by cmd/benchguard. WarmPlanCacheMs is the same query
+	// repeated over shared engine + plan caches (plan-cache hit, view and
+	// estimators memoized); PlanCacheSpeedup = planned-cold / warm, gated
+	// >= 1.5x within-run. Planned, warm, and unplanned results are
+	// bit-identical — checked at shards=1 and 4, not assumed.
+	ColdWhatIfPlannedMs float64 `json:"cold_whatif_planned_ms"`
+	WarmPlanCacheMs     float64 `json:"warm_plan_cache_ms"`
+	PlanCacheSpeedup    float64 `json:"plan_cache_speedup"`
 	// HowToMs is a four-attribute how-to (candidate scoring dominates);
 	// HowToSerialMs is the same query at GOMAXPROCS=1, so the ratio shows
 	// how candidate scoring scales with cores.
@@ -236,6 +248,75 @@ func runEngine(scale float64, seed int64, shards int, out string) error {
 		return err
 	}
 
+	// Planner cold/warm pair. Cold: fresh engine + plan caches every rep, so
+	// each one pays stats collection, plan compilation, and the pushdown scan
+	// — interleaved with the unplanned path so drift hits both sides.
+	// Planning is execution-only, so the planned value must stay
+	// bit-identical to the unplanned one.
+	plannedMs, unplannedMs, err := interleavedMs(engineBenchReps, func() error {
+		r, err := engine.Evaluate(g.DB, g.Model, qCold, engine.Options{
+			Seed: seed, Shards: shards, Cache: engine.NewCache(), Plans: plan.NewCache(0),
+		})
+		if err != nil {
+			return err
+		}
+		if r.PlanCacheHit {
+			return fmt.Errorf("cold planned rep hit the plan cache (caches leaked across reps)")
+		}
+		if r.Value != last.Value || r.Sum != last.Sum || r.Count != last.Count {
+			return fmt.Errorf("planned evaluation diverged: %v != %v", r.Value, last.Value)
+		}
+		return nil
+	}, func() error {
+		_, err := engine.Evaluate(g.DB, g.Model, qCold, engine.Options{Seed: seed, Shards: shards})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	res.ColdWhatIfPlannedMs = plannedMs
+
+	// Warm: one shared cache pair, one untimed compile-and-train rep, then
+	// timed repeats that must be served from the plan cache (hit counter and
+	// result identity both checked, at the headline fan-out and at 1 and 4).
+	warmOpts := engine.Options{Seed: seed, Shards: shards, Cache: engine.NewCache(), Plans: plan.NewCache(0)}
+	if _, err := engine.Evaluate(g.DB, g.Model, qCold, warmOpts); err != nil {
+		return err
+	}
+	res.WarmPlanCacheMs, err = medianMs(engineBenchReps, func() error {
+		r, err := engine.Evaluate(g.DB, g.Model, qCold, warmOpts)
+		if err != nil {
+			return err
+		}
+		if !r.PlanCacheHit {
+			return fmt.Errorf("warm repeat missed the plan cache")
+		}
+		if r.Value != last.Value || r.Sum != last.Sum || r.Count != last.Count {
+			return fmt.Errorf("warm planned evaluation diverged: %v != %v", r.Value, last.Value)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if st := warmOpts.Plans.Stats(); st.Hits == 0 {
+		return fmt.Errorf("plan cache recorded no hits across warm reps: %+v", st)
+	}
+	for _, sw := range []int{1, 4} {
+		o := warmOpts
+		o.Shards = sw
+		r, err := engine.Evaluate(g.DB, g.Model, qCold, o)
+		if err != nil {
+			return err
+		}
+		if r.Value != last.Value || r.Sum != last.Sum || r.Count != last.Count {
+			return fmt.Errorf("warm planned evaluation at shards=%d diverged: %v != %v", sw, r.Value, last.Value)
+		}
+	}
+	if res.WarmPlanCacheMs > 0 {
+		res.PlanCacheSpeedup = res.ColdWhatIfPlannedMs / res.WarmPlanCacheMs
+	}
+
 	qHow, err := hyperql.ParseHowTo(`
 		USE German
 		HOWTOUPDATE Status, Savings, Housing, CreditAmount
@@ -344,6 +425,8 @@ func runEngine(scale float64, seed int64, shards int, out string) error {
 		res.ColdWhatIfTracedMs, untracedMs, res.TracingOverheadPct)
 	fmt.Printf("metering: cold metered=%.2fms unmetered=%.2fms overhead=%+.2f%%\n",
 		res.ColdWhatIfMeteredMs, unmeteredMs, res.MeteringOverheadPct)
+	fmt.Printf("planner: cold planned=%.2fms unplanned=%.2fms warm=%.3fms speedup=%.1fx\n",
+		res.ColdWhatIfPlannedMs, unplannedMs, res.WarmPlanCacheMs, res.PlanCacheSpeedup)
 	fmt.Printf("freq fit %d ns/op %d allocs/op  predict %d ns/op %d allocs/op\n",
 		res.FreqFitNsPerOp, res.FreqFitAllocsPerOp, res.FreqPredictNsPerOp, res.FreqPredictAllocsPerOp)
 	for _, p := range res.ShardSweep {

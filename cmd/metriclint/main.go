@@ -35,6 +35,10 @@ var (
 		"hyper_traces_recorded_total",
 		"hyper_engine_cache_hits_total",
 		"hyper_engine_cache_misses_total",
+		"hyper_plan_cache_hits_total",
+		"hyper_plan_cache_misses_total",
+		"hyper_plan_cache_evictions_total",
+		"hyper_plan_compile_ms",
 		"hyper_jobs_queued",
 		"hyper_jobs_running",
 		"hyper_jobs_completed_total",

@@ -37,6 +37,7 @@ import (
 	"hyper/internal/engine"
 	"hyper/internal/howto"
 	"hyper/internal/hyperql"
+	"hyper/internal/plan"
 	"hyper/internal/relation"
 )
 
@@ -172,6 +173,7 @@ type Session struct {
 	db    *Database
 	model *CausalModel
 	cache *engine.Cache
+	plans *plan.Cache
 
 	mu   sync.RWMutex
 	opts Options
@@ -185,12 +187,36 @@ type Cache = engine.Cache
 // CacheStats reports cache hit/miss/eviction counters.
 type CacheStats = engine.CacheStats
 
+// PlanCache is the bounded, fingerprint-keyed compiled-plan cache: repeat
+// query shapes skip planning, WHEN predicates push down into columnar
+// scans, and results stay bit-identical to unplanned evaluation. See
+// internal/plan for the contract.
+type PlanCache = plan.Cache
+
+// PlanCacheStats reports plan-cache hit/miss/eviction/compile counters.
+type PlanCacheStats = plan.Stats
+
 // NewCache returns an unbounded query-artifact cache.
 func NewCache() *Cache { return engine.NewCache() }
 
 // NewCacheBounded returns a cache evicting least-recently-used artifacts
 // past max entries (max <= 0 means unbounded).
 func NewCacheBounded(max int) *Cache { return engine.NewCacheBounded(max) }
+
+// NewPlanCache returns a compiled-plan cache evicting least-recently-used
+// artifacts past max entries (max <= 0 means unbounded).
+func NewPlanCache(max int) *PlanCache { return plan.NewCache(max) }
+
+// PlanFingerprint returns the 16-hex shape fingerprint that keys src's
+// compiled plan for sessions over db (plan-cache identity is this
+// fingerprint computed over the schema signature).
+func PlanFingerprint(db *Database, src string) (string, error) {
+	q, err := hyperql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return plan.Fingerprint(db, q), nil
+}
 
 // NewSession creates a session. model may be nil, in which case queries run
 // in no-background mode (all attributes are treated as potential
@@ -217,13 +243,23 @@ func NewSessionWithCache(db *Database, model *CausalModel, cache *Cache) *Sessio
 // NewSession).
 func (s *Session) Cache() *Cache { return s.cache }
 
+// SetPlanCache attaches a compiled-plan cache shared by the session's
+// queries (and by sessions later derived with With). Like the artifact
+// cache it must only serve queries against this session's database; drop it
+// with the session. A nil argument detaches planning.
+func (s *Session) SetPlanCache(p *PlanCache) { s.plans = p }
+
+// PlanCache returns the session's compiled-plan cache (nil when planning is
+// not enabled).
+func (s *Session) PlanCache() *PlanCache { return s.plans }
+
 // With returns a derived session sharing this session's database, causal
-// model and cache, with its own options. It is how a server applies
+// model and caches, with its own options. It is how a server applies
 // per-request overrides (a shard fan-out, a different seed) without touching
 // the shared session's state: the derived session is as concurrency-safe as
 // the original, and artifacts still flow through the one shared cache.
 func (s *Session) With(o Options) *Session {
-	d := &Session{db: s.db, model: s.model, cache: s.cache}
+	d := &Session{db: s.db, model: s.model, cache: s.cache, plans: s.plans}
 	d.opts = o
 	return d
 }
@@ -261,10 +297,10 @@ func (s *Session) Validate() error {
 // (not the live session state) flows through the whole evaluation, so a
 // concurrent SetOptions cannot tear a running query.
 func (s *Session) engineOpts() engine.Options {
-	return engineOptsFrom(s.Options(), s.cache)
+	return engineOptsFrom(s.Options(), s.cache, s.plans)
 }
 
-func engineOptsFrom(o Options, cache *engine.Cache) engine.Options {
+func engineOptsFrom(o Options, cache *engine.Cache, plans *plan.Cache) engine.Options {
 	return engine.Options{
 		Mode:       o.Mode,
 		SampleSize: o.SampleSize,
@@ -273,6 +309,7 @@ func engineOptsFrom(o Options, cache *engine.Cache) engine.Options {
 		ShardRows:  o.ShardRows,
 		RemoteFit:  o.RemoteFit,
 		Cache:      cache,
+		Plans:      plans,
 	}
 }
 
@@ -290,7 +327,7 @@ func (s *Session) EngineOptions() engine.Options {
 func (s *Session) howtoOpts() howto.Options {
 	o := s.Options()
 	return howto.Options{
-		Engine:  engineOptsFrom(o, s.cache),
+		Engine:  engineOptsFrom(o, s.cache, s.plans),
 		Buckets: o.Buckets,
 	}
 }
@@ -420,6 +457,12 @@ func (s *Session) Explain(src string) (string, error) {
 	fmt.Fprintf(&b, "  FOR disjuncts: %d\n", res.Disjuncts)
 	fmt.Fprintf(&b, "  backdoor set:  %v\n", res.Backdoor)
 	fmt.Fprintf(&b, "  estimator:     %s over %d training rows\n", res.EstimatorUsed, res.SampledRows)
+	if res.PlanText != "" {
+		fmt.Fprintf(&b, "  compiled plan (cache %s):\n", map[bool]string{true: "hit", false: "miss"}[res.PlanCacheHit])
+		for _, line := range strings.Split(strings.TrimRight(res.PlanText, "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
 	return b.String(), nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"context"
 
 	"hyper/internal/ml"
+	"hyper/internal/plan"
 	"hyper/internal/shard"
 )
 
@@ -141,6 +142,15 @@ type Options struct {
 	// cache must only be shared across queries on the same database and
 	// causal model.
 	Cache *Cache
+	// Plans, when non-nil, caches compiled query plans — WHEN pushdown
+	// programs, cost-based conjunct order, per-view column stats — keyed by
+	// shape fingerprint + schema signature, so structurally identical
+	// queries skip planning. Purely an execution knob excluded from
+	// estimator cache identity: planned and unplanned evaluation are
+	// bit-identical (the plan validates itself error-free or falls back to
+	// the row loop). Like Cache it must only be shared across queries on
+	// the same database.
+	Plans *plan.Cache
 	// Progress, when non-nil, receives tuple-evaluation progress updates
 	// (stage "tuples"). It does not participate in cache identity: progress
 	// reporting never changes a result.

@@ -66,9 +66,24 @@ type Result struct {
 	// is false.
 	DegradedReason string
 
+	// PlanFingerprint is the 16-hex shape fingerprint of the compiled plan
+	// (empty when no plan cache was configured). Like Placement it is pure
+	// diagnostics: planning can never change a result.
+	PlanFingerprint string
+	// PlanCacheHit reports whether the compiled plan was served from the
+	// plan cache (planning was skipped entirely).
+	PlanCacheHit bool
+	// PlanPushed is the number of WHEN conjuncts executed as columnar scans
+	// over interned codes (0 when unplanned or when the plan fell back).
+	PlanPushed int
+	// PlanText is the deterministic, literal-free EXPLAIN rendering of the
+	// compiled plan (empty when unplanned).
+	PlanText string
+
 	// Timing breakdown.
 	ViewTime  time.Duration
 	BlockTime time.Duration
+	PlanTime  time.Duration
 	TrainTime time.Duration
 	EvalTime  time.Duration
 	Total     time.Duration

@@ -1,0 +1,53 @@
+package hyperql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives arbitrary input through the parser and checks the
+// canonicalization contract on everything that parses: String() must be a
+// fixpoint (re-parsing the canonical form reproduces it exactly), and the
+// shape fingerprint — the plan-cache key — must be stable across the
+// round-trip. CI runs this as a 30s smoke in the fuzz job; locally:
+//
+//	go test -fuzz=FuzzParse -fuzztime=30s ./internal/hyperql
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)",
+		"USE German WHEN Age = 2 UPDATE(Status) = 1 + PRE(Status) OUTPUT AVG(POST(Credit)) FOR PRE(Sex) = 0",
+		"USE German WHEN Age IN (0, 2) AND Savings > 1 UPDATE(Savings) = 2 OUTPUT SUM(POST(Credit))",
+		"USE German WHEN NOT (Housing = 1) UPDATE(Housing) = 0 OUTPUT COUNT(Credit = 1) FOR POST(Credit) = 1 OR PRE(Age) = 0",
+		`USE (SELECT T1.PID, T1.Price, AVG(T2.Rating) AS Rtng
+		      FROM Product AS T1, Review AS T2 WHERE T1.PID = T2.PID
+		      GROUP BY T1.PID, T1.Price)
+		 WHEN Brand = 'Asus' UPDATE(Price) = 1.1 * PRE(Price) OUTPUT AVG(POST(Rtng)) FOR PRE(Category) = 'Laptop'`,
+		"USE German HOWTOUPDATE Status, Savings LIMIT UPDATES <= 1 TOMAXIMIZE COUNT(Credit = 1)",
+		"USE German WHEN Age != 3 HOWTOUPDATE Housing TOMAXIMIZE AVG(POST(Credit))",
+		"USE German UPDATE(CreditAmount) = -2.5 OUTPUT COUNT(Credit = 1) FOR PRE(Age) IN (0, 1, 2)",
+		"", "USE", "USE German", "WHEN OUTPUT", "USE German UPDATE() = OUTPUT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; not crashing is the property
+		}
+		canonical := q.String()
+		q2, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse:\n input %q\n canonical %q\n err %v", src, canonical, err)
+		}
+		if again := q2.String(); again != canonical {
+			t.Fatalf("String() is not a fixpoint:\n input %q\n first %q\n second %q", src, canonical, again)
+		}
+		if fp, fp2 := Fingerprint("fuzz", q), Fingerprint("fuzz", q2); fp != fp2 {
+			t.Fatalf("fingerprint unstable across round-trip: %s vs %s for %q", fp, fp2, canonical)
+		}
+		if len(strings.TrimSpace(canonical)) == 0 {
+			t.Fatalf("parsed query %q canonicalizes to whitespace", src)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package ml
+
+import (
+	"math"
+
+	"hyper/internal/relation"
+)
+
+// ColumnStats summarizes one relation column for the planner's cost model:
+// the distinct-value count drives selectivity estimates for equality and IN
+// predicates, the numeric range drives range-predicate interpolation, and
+// the remaining flags are the exactness guards a columnar filter needs to
+// stay bit-identical to row-at-a-time evaluation (NaN compares "equal" to
+// every number under relation.Value.Compare, and integer/float identity via
+// canonical keys only holds below 1e15).
+type ColumnStats struct {
+	// Name is the column name.
+	Name string `json:"name"`
+	// Rows is the relation size the stats were collected over.
+	Rows int `json:"rows"`
+	// Card is the number of distinct non-null values.
+	Card int `json:"card"`
+	// NullFrac is the fraction of rows whose value is NULL.
+	NullFrac float64 `json:"null_frac"`
+	// Numeric reports that every non-null value is an int or a float.
+	Numeric bool `json:"numeric"`
+	// HasNaN reports that some value is a floating-point NaN.
+	HasNaN bool `json:"has_nan,omitempty"`
+	// MaxAbs is the largest absolute numeric value seen (0 when none).
+	MaxAbs float64 `json:"max_abs,omitempty"`
+	// Min and Max bound the numeric values (valid when Numeric and at least
+	// one non-null value exists).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// CollectStats scans rel once and summarizes every column. This is the same
+// single pass a Frame encode performs; the planner memoizes the result per
+// view, so stats are collected once per materialized view, not per query.
+func CollectStats(rel *relation.Relation) []ColumnStats {
+	cols := rel.Schema().Columns()
+	out := make([]ColumnStats, len(cols))
+	n := rel.Len()
+	for c := range cols {
+		st := ColumnStats{
+			Name: cols[c].Name, Rows: n, Numeric: true,
+			Min: math.Inf(1), Max: math.Inf(-1),
+		}
+		distinct := make(map[string]struct{})
+		nulls := 0
+		for i := 0; i < n; i++ {
+			v := rel.Row(i)[c]
+			if v.IsNull() {
+				nulls++
+				continue
+			}
+			distinct[v.Key()] = struct{}{}
+			switch v.Kind() {
+			case relation.KindInt, relation.KindFloat:
+				f := v.AsFloat()
+				if math.IsNaN(f) {
+					st.HasNaN = true
+					continue
+				}
+				if a := math.Abs(f); a > st.MaxAbs {
+					st.MaxAbs = a
+				}
+				if f < st.Min {
+					st.Min = f
+				}
+				if f > st.Max {
+					st.Max = f
+				}
+			default:
+				st.Numeric = false
+			}
+		}
+		st.Card = len(distinct)
+		if n > 0 {
+			st.NullFrac = float64(nulls) / float64(n)
+		}
+		if st.Min > st.Max { // no numeric values seen
+			st.Min, st.Max = 0, 0
+		}
+		out[c] = st
+	}
+	return out
+}
+
+// Cards returns the per-column distinct-value counts of the frame's interned
+// code space (forcing interning if it has not happened yet). The planner and
+// the frequency estimator agree on cardinality through this one encoding.
+func (f *Frame) Cards() []int {
+	f.Intern()
+	out := make([]int, len(f.card))
+	for i, c := range f.card {
+		out[i] = int(c)
+	}
+	return out
+}

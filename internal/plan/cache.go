@@ -1,0 +1,315 @@
+package plan
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hyper/internal/hyperql"
+	"hyper/internal/ml"
+	"hyper/internal/relation"
+)
+
+// Cache is the bounded fingerprint-keyed plan cache: compiled what-if plans
+// keyed by shape fingerprint over the schema signature, plus the supporting
+// per-view artifacts they execute against (column stats, interned columns,
+// howto attribute ranks). One LRU list orders every artifact kind together;
+// the bound caps total artifacts, so a long-lived session cannot grow the
+// planner's memory without limit.
+//
+// Cache identity is fingerprint + schema signature: hyperql.Fingerprint
+// hashes the signature into the key's domain, so a structurally identical
+// query against a re-uploaded database with a different schema can never be
+// served a stale pushdown program. Hits, misses, and evictions count plan
+// lookups only (supporting artifacts are internal); Compiles counts plan
+// compilations.
+//
+// All methods are safe for concurrent use. Like engine.Cache, a Cache must
+// only be shared across queries against the same database.
+type Cache struct {
+	mu        sync.Mutex
+	entries   map[string]*entry
+	head      *entry // most recently used
+	tail      *entry // least recently used
+	max       int    // maximum entries; 0 = unbounded
+	onCompile func(ms float64)
+
+	hits, misses, evictions, compiles uint64
+}
+
+type entry struct {
+	key        string
+	val        any
+	prev, next *entry
+}
+
+// Artifact key prefixes.
+const (
+	kindPlan  = "p\x00"
+	kindStats = "s\x00"
+	kindCols  = "c\x00"
+	kindRank  = "r\x00"
+)
+
+// NewCache returns an empty plan cache holding at most max artifacts;
+// max <= 0 means unbounded.
+func NewCache(max int) *Cache {
+	if max < 0 {
+		max = 0
+	}
+	return &Cache{entries: make(map[string]*entry), max: max}
+}
+
+// SetCompileObserver installs a callback invoked with each plan compilation
+// latency in milliseconds (the serving layer feeds its histogram through
+// it). Pass nil to remove. Observers must be safe for concurrent use.
+func (c *Cache) SetCompileObserver(fn func(ms float64)) {
+	c.mu.Lock()
+	c.onCompile = fn
+	c.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of plan-cache counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Compiles counts plan compilations (misses that built a plan).
+	Compiles uint64 `json:"compiles"`
+	Entries  int    `json:"entries"`
+	// MaxEntries is the configured bound (0 = unbounded).
+	MaxEntries int `json:"max_entries"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Compiles:   c.compiles,
+		Entries:    len(c.entries),
+		MaxEntries: c.max,
+	}
+}
+
+// Len returns the current number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// get looks a key up, promoting it; counted lookups maintain the hit/miss
+// counters (plan lookups), uncounted ones (supporting artifacts) do not.
+func (c *Cache) get(key string, counted bool) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		if counted {
+			c.misses++
+		}
+		return nil, false
+	}
+	if counted {
+		c.hits++
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+func (c *Cache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	e := &entry{key: key, val: val}
+	c.entries[key] = e
+	c.pushFront(e)
+	for c.max > 0 && len(c.entries) > c.max {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+		if strings.HasPrefix(lru.key, kindPlan) {
+			c.evictions++
+		}
+	}
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// Signature canonically describes a database schema: every relation in
+// database order with its column names and kinds. It is the second half of
+// plan-cache identity (the first being the query shape fingerprint).
+func Signature(db *relation.Database) string {
+	var b strings.Builder
+	for _, name := range db.Names() {
+		rel := db.Relation(name)
+		b.WriteString(name)
+		b.WriteByte('(')
+		for i, col := range rel.Schema().Columns() {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(col.Name)
+			b.WriteByte(':')
+			b.WriteString(col.Kind.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Fingerprint returns the 16-hex shape fingerprint keying q's plan in a
+// cache over db — hyperql.Fingerprint with the schema signature folded into
+// the hash domain.
+func Fingerprint(db *relation.Database, q hyperql.Query) string {
+	return hyperql.Fingerprint("plan\x00"+Signature(db), q)
+}
+
+// WhatIf returns the compiled plan for q against the resolved relevant view
+// rel (compiling and caching on miss) and whether it was a cache hit.
+// viewKey is the engine's view cache key; the plan's supporting artifacts
+// (stats, interned columns) are stored under it.
+func (c *Cache) WhatIf(db *relation.Database, viewKey string, q *hyperql.WhatIf, rel *relation.Relation) (*WhatIfPlan, bool) {
+	sig := Signature(db)
+	fp := hyperql.Fingerprint("plan\x00"+sig, q)
+	if v, ok := c.get(kindPlan+fp, true); ok {
+		return v.(*WhatIfPlan), true
+	}
+	start := time.Now()
+	p := compileWhatIf(q, fp, rel, c.viewStats(sig, viewKey, rel))
+	p.colsKey = kindCols + sig + "\x00" + viewKey
+	c.put(kindPlan+fp, p)
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+	c.mu.Lock()
+	c.compiles++
+	obs := c.onCompile
+	c.mu.Unlock()
+	if obs != nil {
+		obs(ms)
+	}
+	return p, false
+}
+
+// Apply executes p's WHEN program over rel into inS (len rel.Len()),
+// re-binding literals from q. It reports the number of conjuncts run as
+// columnar scans and whether the program applied; ok=false (a defensive
+// bind mismatch) leaves inS unspecified and the caller must fall back to
+// the row-at-a-time loop.
+func (c *Cache) Apply(p *WhatIfPlan, q *hyperql.WhatIf, rel *relation.Relation, inS []bool) (pushed int, ok bool) {
+	if p == nil || p.Fallback || len(inS) != rel.Len() {
+		return 0, false
+	}
+	vc := c.columns(p.colsKey)
+	pushed, err := p.apply(q.When, rel, vc, inS)
+	if err != nil {
+		return 0, false
+	}
+	return pushed, true
+}
+
+// viewStats memoizes the one-pass per-column stats of a view.
+func (c *Cache) viewStats(sig, viewKey string, rel *relation.Relation) []ml.ColumnStats {
+	key := kindStats + sig + "\x00" + viewKey
+	if v, ok := c.get(key, false); ok {
+		return v.([]ml.ColumnStats)
+	}
+	st := ml.CollectStats(rel)
+	c.put(key, st)
+	return st
+}
+
+// columns returns the interned-column store for a view, creating it on
+// first use.
+func (c *Cache) columns(key string) *viewColumns {
+	if v, ok := c.get(key, false); ok {
+		return v.(*viewColumns)
+	}
+	vc := &viewColumns{}
+	c.put(key, vc)
+	return vc
+}
+
+// AttrRank orders HOWTOUPDATE attributes for candidate scoring by ascending
+// base-relation cardinality (most selective attribute first — its frequency
+// estimators are cheapest and its candidates prune fastest), original order
+// breaking ties. It returns nil — meaning "keep the query order" — when the
+// USE clause is a sub-select (no base relation to collect stats from) or an
+// attribute is missing. The rank is memoized per (schema, relation).
+func (c *Cache) AttrRank(db *relation.Database, use *hyperql.UseClause, attrs []string) map[string]int {
+	if use == nil || use.Table == "" {
+		return nil
+	}
+	rel := db.Relation(use.Table)
+	if rel == nil {
+		return nil
+	}
+	sig := Signature(db)
+	key := kindRank + sig + "\x00" + use.Table
+	var stats []ml.ColumnStats
+	if v, ok := c.get(key, false); ok {
+		stats = v.([]ml.ColumnStats)
+	} else {
+		stats = ml.CollectStats(rel)
+		c.put(key, stats)
+	}
+	card := make(map[string]int, len(stats))
+	for _, st := range stats {
+		card[st.Name] = st.Card
+	}
+	order := make([]string, len(attrs))
+	copy(order, attrs)
+	for _, a := range attrs {
+		if _, ok := card[a]; !ok {
+			return nil
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return card[order[i]] < card[order[j]]
+	})
+	rank := make(map[string]int, len(order))
+	for i, a := range order {
+		rank[a] = i
+	}
+	return rank
+}

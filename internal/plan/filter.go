@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+	"hyper/internal/sqlmini"
+)
+
+// viewColumns memoizes the interned columnar projection of one view: per
+// column, a uint32 code per row (interned by canonical value key), the
+// float64 value for range scans, and a null mask. Columns are built lazily
+// on first use by a pushed conjunct and shared by every plan against the
+// view, so the encode cost is paid once per (view, column).
+type viewColumns struct {
+	mu   sync.Mutex
+	cols map[int]*internedColumn
+}
+
+type internedColumn struct {
+	codes  []uint32
+	byKey  map[string]uint32
+	floats []float64
+	nulls  []bool
+}
+
+func (vc *viewColumns) column(rel *relation.Relation, ci int) *internedColumn {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.cols == nil {
+		vc.cols = make(map[int]*internedColumn)
+	}
+	if c := vc.cols[ci]; c != nil {
+		return c
+	}
+	n := rel.Len()
+	c := &internedColumn{
+		codes:  make([]uint32, n),
+		byKey:  make(map[string]uint32),
+		floats: make([]float64, n),
+		nulls:  make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		v := rel.Row(i)[ci]
+		key := v.Key()
+		code, ok := c.byKey[key]
+		if !ok {
+			code = uint32(len(c.byKey))
+			c.byKey[key] = code
+		}
+		c.codes[i] = code
+		c.floats[i] = v.AsFloat()
+		c.nulls[i] = v.IsNull()
+	}
+	vc.cols[ci] = c
+	return c
+}
+
+var errBind = fmt.Errorf("plan: bound query does not match compiled shape")
+
+// apply executes the compiled WHEN program over rel, writing the update-set
+// mask into inS (len rel.Len()), re-binding literal values from when's AST
+// at each conjunct's recorded position. It returns the number of conjuncts
+// that actually ran as columnar scans.
+func (p *WhatIfPlan) apply(when hyperql.Expr, rel *relation.Relation, vc *viewColumns, inS []bool) (int, error) {
+	for i := range inS {
+		inS[i] = true
+	}
+	if when == nil {
+		return 0, nil
+	}
+	conjs := SplitAnd(when)
+	if len(conjs) != len(p.Conjuncts) {
+		return 0, errBind
+	}
+	pushed := 0
+	for _, c := range p.Conjuncts {
+		node := conjs[c.Pos]
+		if c.Op != OpResidual && p.applyPushed(c, node, rel, vc, inS) {
+			pushed++
+			continue
+		}
+		// Residual (or guard-demoted) conjunct: evaluate its own AST on the
+		// rows still in the set. Compile-time validation proved the tree
+		// error-free, so the error return is a defensive impossibility.
+		env := sqlmini.RowEnv{Rel: rel}
+		for i := range inS {
+			if !inS[i] {
+				continue
+			}
+			env.Row = rel.Row(i)
+			ok, err := sqlmini.EvalBool(node, env)
+			if err != nil {
+				return pushed, err
+			}
+			inS[i] = ok
+		}
+	}
+	return pushed, nil
+}
+
+// litGuard reports whether interned-code identity against this column is
+// exact for literal v: numeric literals must be finite, below the
+// key-exactness threshold, and the column NaN-free (NaN compares equal to
+// every number under Value.Compare, but its canonical key is distinct).
+// Non-numeric literals are always exact — cross-kind comparisons never
+// report equality and never collide on keys.
+func litGuard(v relation.Value, colNaN bool) bool {
+	if !v.Kind().Numeric() {
+		return true
+	}
+	f := v.AsFloat()
+	return !math.IsNaN(f) && math.Abs(f) < maxExactAbs && !colNaN
+}
+
+// applyPushed runs one columnar conjunct, narrowing inS. It returns false
+// when the node's shape mismatches the compiled conjunct or a bound literal
+// violates an exactness guard; the caller then evaluates the conjunct's AST
+// residually, which is always exact.
+func (p *WhatIfPlan) applyPushed(c Conjunct, node hyperql.Expr, rel *relation.Relation, vc *viewColumns, inS []bool) bool {
+	switch c.Op {
+	case OpIn:
+		in, ok := node.(*hyperql.InList)
+		if !ok || in.Neg != c.Neg {
+			return false
+		}
+		col := vc.column(rel, c.colIdx)
+		set := make(map[uint32]bool, len(in.Vals))
+		for _, ve := range in.Vals {
+			lit, ok := ve.(*hyperql.Literal)
+			if !ok {
+				return false
+			}
+			if !litGuard(lit.Val, c.colNaN) {
+				return false
+			}
+			// Values absent from the column's code space can never match.
+			if code, present := col.byKey[lit.Val.Key()]; present {
+				set[code] = true
+			}
+		}
+		// NULL rows carry NULL's own code, so a NULL literal in the list
+		// matches them and any other literal does not — exactly Value.Equal.
+		for i := range inS {
+			if inS[i] {
+				inS[i] = set[col.codes[i]] != c.Neg
+			}
+		}
+		return true
+	default:
+		b, ok := node.(*hyperql.Binary)
+		if !ok {
+			return false
+		}
+		litSide := b.R
+		if c.Flip {
+			litSide = b.L
+		}
+		lit, ok := litSide.(*hyperql.Literal)
+		if !ok {
+			return false
+		}
+		v := lit.Val
+		if v.IsNull() {
+			// Any comparison against NULL is false for every row.
+			for i := range inS {
+				inS[i] = false
+			}
+			return true
+		}
+		if !litGuard(v, c.colNaN) {
+			return false
+		}
+		col := vc.column(rel, c.colIdx)
+		switch c.Op {
+		case OpEq:
+			code, present := col.byKey[v.Key()]
+			for i := range inS {
+				if inS[i] {
+					inS[i] = present && col.codes[i] == code
+				}
+			}
+		case OpNe:
+			code, present := col.byKey[v.Key()]
+			for i := range inS {
+				if inS[i] {
+					inS[i] = !col.nulls[i] && !(present && col.codes[i] == code)
+				}
+			}
+		default: // OpLt, OpLe, OpGt, OpGe
+			if !v.Kind().Numeric() {
+				// Cross-kind ordering follows kind ranks, not magnitudes;
+				// leave it to the exact residual path.
+				return false
+			}
+			f := v.AsFloat()
+			for i := range inS {
+				if !inS[i] {
+					continue
+				}
+				if col.nulls[i] {
+					inS[i] = false
+					continue
+				}
+				x := col.floats[i]
+				switch c.Op {
+				case OpLt:
+					inS[i] = x < f
+				case OpLe:
+					inS[i] = x <= f
+				case OpGt:
+					inS[i] = x > f
+				default:
+					inS[i] = x >= f
+				}
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,423 @@
+// Package plan is the cost-based planning layer between the hyperql AST and
+// the engine. It compiles the WHEN clause of a what-if query into a
+// pushdown program — a cost-ordered sequence of conjunct filters where
+// equality and IN predicates scan interned per-column codes and range
+// predicates scan numeric columns directly — and caches the compiled,
+// literal-free plan in a bounded LRU keyed by the query's shape fingerprint
+// plus the database schema signature. Literals are re-bound from the live
+// query on every execution, so a cached plan never pins constants.
+//
+// The planner's contract is bit-identity: a planned evaluation must produce
+// exactly the update set a row-at-a-time sqlmini.EvalBool loop would. Two
+// mechanisms enforce it. First, a plan only reorders or pushes conjuncts
+// when the whole WHEN tree is provably error-free (every column resolves,
+// only evaluable node types appear); otherwise the plan marks itself as a
+// fallback and the engine keeps the original loop, preserving error
+// behaviour exactly. Second, every pushed predicate carries exactness
+// guards: interned-code equality matches relation.Value.Compare only when
+// neither side is NaN and numeric magnitudes stay below 1e15 (where
+// canonical keys merge ints with whole floats), and range scans require an
+// all-numeric column. A conjunct whose bound literal violates a guard
+// demotes to residual evaluation of its own AST — same rows, same answer.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hyper/internal/hyperql"
+	"hyper/internal/ml"
+	"hyper/internal/relation"
+)
+
+// maxExactAbs bounds the numeric magnitude for which relation.Value.Key
+// equality coincides with Value.Compare equality (Key formats whole floats
+// below 1e15 as ints) and for which float64 ordering of int64 values is
+// exact. At or above it, equality and range conjuncts stay residual.
+const maxExactAbs = 1e15
+
+// Op classifies one WHEN conjunct of a pushdown program.
+type Op uint8
+
+// Conjunct operators. OpResidual evaluates the conjunct's own AST on the
+// rows surviving earlier filters; the rest are columnar scans.
+const (
+	OpResidual Op = iota
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpIn
+)
+
+// String names the operator for EXPLAIN output.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "eq"
+	case OpNe:
+		return "ne"
+	case OpLt:
+		return "lt"
+	case OpLe:
+		return "le"
+	case OpGt:
+		return "gt"
+	case OpGe:
+		return "ge"
+	case OpIn:
+		return "in"
+	default:
+		return "residual"
+	}
+}
+
+// Conjunct is one literal-free compiled WHEN conjunct. Pos indexes the
+// conjunct in the flattened AND of the WHEN clause; execution re-reads the
+// literal values from the live query's AST at that position.
+type Conjunct struct {
+	// Pos is the conjunct's position in AST (splitAnd) order.
+	Pos int
+	// Op is the compiled operator.
+	Op Op
+	// Col is the filtered column (empty for residual conjuncts).
+	Col string
+	// Flip records that the literal sat on the left of the comparison; Op is
+	// already mirrored, Flip only tells binding which side to read.
+	Flip bool
+	// Neg marks a NOT IN list.
+	Neg bool
+	// Sel is the estimated selectivity in [0,1] (lower = more selective).
+	Sel float64
+
+	colIdx int  // schema index of Col in the view
+	colNaN bool // column contains NaN: numeric-literal equality is unsafe
+	shape  string
+}
+
+// WhatIfPlan is the compiled, literal-free plan of one what-if query shape
+// against one view. Plans are immutable after compilation and safe to share
+// across concurrent executions.
+type WhatIfPlan struct {
+	// Fingerprint is the 16-hex shape fingerprint keying the plan.
+	Fingerprint string
+	// Conjuncts lists the WHEN conjuncts in execution order: most selective
+	// first, original position breaking ties, residual conjuncts by their
+	// estimated half-selectivity like any other.
+	Conjuncts []Conjunct
+	// Fallback marks a WHEN clause that could not be proven error-free (an
+	// unresolvable column, an unsupported node); the engine must keep the
+	// row-at-a-time loop so error behaviour is preserved exactly.
+	Fallback bool
+	// FallbackReason says why (empty unless Fallback).
+	FallbackReason string
+	// ViewRows is the view size the plan's stats were collected over.
+	ViewRows int
+
+	colsKey string // interned-column store key (set by the cache)
+	explain string
+}
+
+// Pushed counts the conjuncts compiled to columnar scans (execution may
+// demote individual conjuncts whose bound literal violates a guard).
+func (p *WhatIfPlan) Pushed() int {
+	n := 0
+	for _, c := range p.Conjuncts {
+		if c.Op != OpResidual {
+			n++
+		}
+	}
+	return n
+}
+
+// Explain renders the deterministic, literal-free plan description used by
+// EXPLAIN and the plan-stability goldens. It contains no timings and no
+// literal values, so the same shape against the same data always renders
+// identically.
+func (p *WhatIfPlan) Explain() string { return p.explain }
+
+// SplitAnd flattens a conjunction into its conjuncts in left-to-right
+// order, matching sqlmini's short-circuit evaluation order.
+func SplitAnd(e hyperql.Expr) []hyperql.Expr {
+	if b, ok := e.(*hyperql.Binary); ok && b.Op == "AND" {
+		return append(SplitAnd(b.L), SplitAnd(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []hyperql.Expr{e}
+}
+
+// validate proves e error-free under sqlmini.EvalBool with a RowEnv over
+// rel: every node type is evaluable and every column reference resolves.
+// Evaluation errors are structural (row-independent), so a validated tree
+// can be evaluated in any order, on any subset of rows, without changing
+// whether — or with what — the original left-to-right row loop would fail.
+func validate(e hyperql.Expr, rel *relation.Relation) error {
+	switch x := e.(type) {
+	case *hyperql.Literal:
+		return nil
+	case *hyperql.ColRef:
+		if x.Table != "" && x.Table != rel.Name() {
+			return fmt.Errorf("unknown table %q", x.Table)
+		}
+		if !rel.Schema().Has(x.Name) {
+			return fmt.Errorf("unknown column %q", x.Name)
+		}
+		return nil
+	case *hyperql.Unary:
+		if x.Op != "NOT" && x.Op != "-" {
+			return fmt.Errorf("unary operator %q", x.Op)
+		}
+		return validate(x.X, rel)
+	case *hyperql.Binary:
+		switch x.Op {
+		case "AND", "OR", "=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/":
+		default:
+			return fmt.Errorf("operator %q", x.Op)
+		}
+		if err := validate(x.L, rel); err != nil {
+			return err
+		}
+		return validate(x.R, rel)
+	case *hyperql.InList:
+		if err := validate(x.X, rel); err != nil {
+			return err
+		}
+		for _, v := range x.Vals {
+			if err := validate(v, rel); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *hyperql.L1Dist:
+		if !rel.Schema().Has(x.Attr) {
+			return fmt.Errorf("unknown column %q", x.Attr)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+// compileWhatIf builds the pushdown program of q's WHEN clause against the
+// resolved view rel using per-column stats for the cost model.
+func compileWhatIf(q *hyperql.WhatIf, fp string, rel *relation.Relation, stats []ml.ColumnStats) *WhatIfPlan {
+	p := &WhatIfPlan{Fingerprint: fp, ViewRows: rel.Len()}
+	if q.When == nil {
+		p.explain = renderExplain(p, q)
+		return p
+	}
+	if err := validate(q.When, rel); err != nil {
+		p.Fallback = true
+		p.FallbackReason = err.Error()
+		p.explain = renderExplain(p, q)
+		return p
+	}
+	byName := make(map[string]ml.ColumnStats, len(stats))
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	conjs := SplitAnd(q.When)
+	p.Conjuncts = make([]Conjunct, len(conjs))
+	for i, e := range conjs {
+		p.Conjuncts[i] = classify(e, i, rel, byName)
+	}
+	// Cost-based ordering: most selective first, stable on original
+	// position. Residual conjuncts take part like any other — validation
+	// already proved order cannot change the computed set.
+	sort.SliceStable(p.Conjuncts, func(a, b int) bool {
+		return p.Conjuncts[a].Sel < p.Conjuncts[b].Sel
+	})
+	p.explain = renderExplain(p, q)
+	return p
+}
+
+// classify compiles one conjunct: a comparison or IN between a bare column
+// reference and literals becomes a columnar filter, anything else stays
+// residual. Guards that depend only on column stats apply here; guards that
+// depend on the literal value apply at bind time.
+func classify(e hyperql.Expr, pos int, rel *relation.Relation, stats map[string]ml.ColumnStats) Conjunct {
+	c := Conjunct{Pos: pos, Op: OpResidual, Sel: 0.5, shape: maskLiterals(e)}
+	switch x := e.(type) {
+	case *hyperql.Binary:
+		var col *hyperql.ColRef
+		var flip bool
+		if cr, ok := x.L.(*hyperql.ColRef); ok {
+			if _, lit := x.R.(*hyperql.Literal); lit {
+				col = cr
+			}
+		}
+		if col == nil {
+			if cr, ok := x.R.(*hyperql.ColRef); ok {
+				if _, lit := x.L.(*hyperql.Literal); lit {
+					col, flip = cr, true
+				}
+			}
+		}
+		if col == nil {
+			return c
+		}
+		st, ok := stats[col.Name]
+		if !ok {
+			return c
+		}
+		op, isRange := compileOp(x.Op, flip)
+		if op == OpResidual {
+			return c
+		}
+		if isRange && (!st.Numeric || st.HasNaN || st.MaxAbs >= maxExactAbs) {
+			// Ordering a column with non-numeric values through float keys
+			// diverges from Value.Compare's kind ranking; keep the exact path.
+			return c
+		}
+		c.Op, c.Col, c.Flip = op, col.Name, flip
+		c.colIdx = rel.Schema().MustIndex(col.Name)
+		c.colNaN = st.HasNaN
+		c.Sel = selectivity(op, st, 1)
+	case *hyperql.InList:
+		col, ok := x.X.(*hyperql.ColRef)
+		if !ok {
+			return c
+		}
+		for _, v := range x.Vals {
+			if _, lit := v.(*hyperql.Literal); !lit {
+				return c
+			}
+		}
+		st, ok := stats[col.Name]
+		if !ok {
+			return c
+		}
+		c.Op, c.Col, c.Neg = OpIn, col.Name, x.Neg
+		c.colIdx = rel.Schema().MustIndex(col.Name)
+		c.colNaN = st.HasNaN
+		c.Sel = selectivity(OpIn, st, len(x.Vals))
+		if x.Neg {
+			c.Sel = 1 - c.Sel
+		}
+	}
+	return c
+}
+
+// compileOp maps a comparison operator (mirrored when the literal was on
+// the left) to a pushdown op; isRange marks order comparisons, which need
+// the numeric-column guard.
+func compileOp(op string, flip bool) (Op, bool) {
+	if flip {
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	switch op {
+	case "=":
+		return OpEq, false
+	case "!=":
+		return OpNe, false
+	case "<":
+		return OpLt, true
+	case "<=":
+		return OpLe, true
+	case ">":
+		return OpGt, true
+	case ">=":
+		return OpGe, true
+	default:
+		return OpResidual, false
+	}
+}
+
+// selectivity estimates the fraction of rows a conjunct keeps, from column
+// stats alone (plans are shape-keyed, so literal values are unavailable):
+// equality keeps ~1/card of the non-null rows, IN scales by list arity,
+// ranges use the classic one-third heuristic.
+func selectivity(op Op, st ml.ColumnStats, arity int) float64 {
+	card := float64(st.Card)
+	if card < 1 {
+		card = 1
+	}
+	nonNull := 1 - st.NullFrac
+	switch op {
+	case OpEq:
+		return nonNull / card
+	case OpNe:
+		return nonNull * (1 - 1/card)
+	case OpIn:
+		s := float64(arity) / card
+		if s > 1 {
+			s = 1
+		}
+		return nonNull * s
+	case OpLt, OpLe, OpGt, OpGe:
+		return nonNull / 3
+	default:
+		return 0.5
+	}
+}
+
+// maskLiterals renders an expression with every literal replaced by '?',
+// so EXPLAIN output of a shape-keyed plan never leaks the constants of
+// whichever query happened to compile it.
+func maskLiterals(e hyperql.Expr) string {
+	switch x := e.(type) {
+	case *hyperql.Literal:
+		return "?"
+	case *hyperql.Binary:
+		return fmt.Sprintf("(%s %s %s)", maskLiterals(x.L), x.Op, maskLiterals(x.R))
+	case *hyperql.Unary:
+		if x.Op == "NOT" {
+			return fmt.Sprintf("(NOT %s)", maskLiterals(x.X))
+		}
+		return fmt.Sprintf("(%s%s)", x.Op, maskLiterals(x.X))
+	case *hyperql.InList:
+		parts := make([]string, len(x.Vals))
+		for i, v := range x.Vals {
+			parts[i] = maskLiterals(v)
+		}
+		op := "IN"
+		if x.Neg {
+			op = "NOT IN"
+		}
+		return fmt.Sprintf("(%s %s (%s))", maskLiterals(x.X), op, strings.Join(parts, ", "))
+	case nil:
+		return ""
+	default:
+		return x.String()
+	}
+}
+
+// renderExplain builds the deterministic EXPLAIN text at compile time.
+func renderExplain(p *WhatIfPlan, q *hyperql.WhatIf) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s\n", p.Fingerprint)
+	fmt.Fprintf(&b, "  view: %s (%d rows)\n", q.Use.String(), p.ViewRows)
+	if p.Fallback {
+		fmt.Fprintf(&b, "  when: fallback to row loop (%s)\n", p.FallbackReason)
+		return b.String()
+	}
+	if len(p.Conjuncts) == 0 {
+		b.WriteString("  when: none (S = view)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  when: %d conjuncts, %d pushed\n", len(p.Conjuncts), p.Pushed())
+	for i, c := range p.Conjuncts {
+		fmt.Fprintf(&b, "    %d. %s [%s sel=%s]\n", i+1, c.shape, c.Op, trimFloat(c.Sel))
+	}
+	return b.String()
+}
+
+// trimFloat formats a selectivity with stable, shortest-form precision.
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%.4g", math.Round(f*1e4)/1e4)
+}

@@ -1,0 +1,394 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+	"hyper/internal/sqlmini"
+)
+
+// testDB builds a small database whose one relation exercises every planner
+// guard: a clean string column, clean numerics, a NULL-bearing column, a
+// NaN-bearing column, magnitudes past the key-exactness threshold, and a
+// mixed-kind column that must never be range-scanned.
+func testDB(t testing.TB) (*relation.Database, *relation.Relation) {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "ID", Key: true},
+		relation.Column{Name: "Cat"},
+		relation.Column{Name: "Price", Mutable: true},
+		relation.Column{Name: "Qty", Mutable: true},
+		relation.Column{Name: "Wild", Mutable: true},
+		relation.Column{Name: "Big", Mutable: true},
+		relation.Column{Name: "Mix", Mutable: true},
+	)
+	rel := relation.NewRelation("Items", schema)
+	type row struct {
+		cat  string
+		pr   float64
+		qty  relation.Value
+		wild float64
+		big  float64
+		mix  relation.Value
+	}
+	rows := []row{
+		{"a", 10, relation.Int(1), 1, 1e16, relation.Int(1)},
+		{"b", 20, relation.Int(2), math.NaN(), 2e16, relation.String("x")},
+		{"a", 30, relation.Null, 2, 1e16, relation.Int(2)},
+		{"c", 40, relation.Int(3), 3, 3e16, relation.String("y")},
+		{"a", 50, relation.Int(1), 4, 1e16, relation.Int(3)},
+		{"b", 60, relation.Int(2), 5, 2e16, relation.String("z")},
+		{"a", 70, relation.Int(1), 6, 1e16, relation.Int(1)},
+		{"d", 80, relation.Int(4), 7, 4e16, relation.String("x")},
+	}
+	for i, r := range rows {
+		rel.MustInsert(relation.Int(int64(i+1)), relation.String(r.cat),
+			relation.Float(r.pr), r.qty, relation.Float(r.wild),
+			relation.Float(r.big), r.mix)
+	}
+	db := relation.NewDatabase()
+	db.MustAdd(rel)
+	return db, rel
+}
+
+// parseWhen wraps a WHEN clause in a minimal what-if and parses it.
+func parseWhen(t testing.TB, when string) *hyperql.WhatIf {
+	t.Helper()
+	src := "USE Items "
+	if when != "" {
+		src += "WHEN " + when + " "
+	}
+	src += "UPDATE(Price) = 1 OUTPUT COUNT(Price = 1)"
+	q, err := hyperql.ParseWhatIf(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+// rowLoopMask computes the reference update-set mask the way the engine's
+// unplanned path does: sqlmini.EvalBool per row over the whole WHEN tree.
+func rowLoopMask(t testing.TB, when hyperql.Expr, rel *relation.Relation) []bool {
+	t.Helper()
+	mask := make([]bool, rel.Len())
+	env := sqlmini.RowEnv{Rel: rel}
+	for i := range mask {
+		if when == nil {
+			mask[i] = true
+			continue
+		}
+		env.Row = rel.Row(i)
+		ok, err := sqlmini.EvalBool(when, env)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		mask[i] = ok
+	}
+	return mask
+}
+
+func TestCompileClassification(t *testing.T) {
+	db, rel := testDB(t)
+	c := NewCache(0)
+	q := parseWhen(t, "Cat = 'a' AND Price > 25 AND Qty IN (1, 2) AND Mix < 3 AND ID + 1 = 2 AND Wild >= 1")
+	p, hit := c.WhatIf(db, "v", q, rel)
+	if hit {
+		t.Fatal("first compile reported a cache hit")
+	}
+	if p.Fallback {
+		t.Fatalf("unexpected fallback: %s", p.FallbackReason)
+	}
+	byPos := make(map[int]Conjunct)
+	for _, cj := range p.Conjuncts {
+		byPos[cj.Pos] = cj
+	}
+	want := map[int]Op{
+		0: OpEq,       // Cat = 'a'
+		1: OpGt,       // Price > 25
+		2: OpIn,       // Qty IN (1, 2)
+		3: OpResidual, // Mix < 3: mixed-kind column, ordering must stay exact
+		4: OpResidual, // ID + 1 = 2: arithmetic left side
+		5: OpResidual, // Wild >= 1: NaN in column breaks float ordering
+	}
+	for pos, op := range want {
+		if got := byPos[pos].Op; got != op {
+			t.Errorf("conjunct %d: op = %s, want %s", pos, got, op)
+		}
+	}
+	if got, wantN := p.Pushed(), 3; got != wantN {
+		t.Errorf("Pushed() = %d, want %d", got, wantN)
+	}
+}
+
+func TestCostOrderingAndExplainDeterminism(t *testing.T) {
+	db, rel := testDB(t)
+	// Written range-first: equality on Cat (sel 1/4) must still run before
+	// the range on Price (sel 1/3).
+	q := parseWhen(t, "Price > 5 AND Cat = 'a'")
+	p, _ := NewCache(0).WhatIf(db, "v", q, rel)
+	if p.Conjuncts[0].Col != "Cat" || p.Conjuncts[1].Col != "Price" {
+		t.Fatalf("cost order = [%s %s], want [Cat Price]\n%s",
+			p.Conjuncts[0].Col, p.Conjuncts[1].Col, p.Explain())
+	}
+	p2, _ := NewCache(0).WhatIf(db, "v", q, rel)
+	if p.Explain() != p2.Explain() {
+		t.Fatalf("explain not deterministic:\n%s\nvs\n%s", p.Explain(), p2.Explain())
+	}
+	if strings.Contains(p.Explain(), "'a'") || strings.Contains(p.Explain(), " 5") {
+		t.Fatalf("explain leaks literals:\n%s", p.Explain())
+	}
+}
+
+func TestFallbackOnUnresolvableWhen(t *testing.T) {
+	db, rel := testDB(t)
+	c := NewCache(0)
+	q := parseWhen(t, "Nope = 1 AND Cat = 'a'")
+	p, _ := c.WhatIf(db, "v", q, rel)
+	if !p.Fallback {
+		t.Fatal("WHEN over an unknown column did not fall back")
+	}
+	if !strings.Contains(p.FallbackReason, "Nope") {
+		t.Errorf("fallback reason %q does not name the column", p.FallbackReason)
+	}
+	inS := make([]bool, rel.Len())
+	if _, ok := c.Apply(p, q, rel, inS); ok {
+		t.Fatal("Apply accepted a fallback plan")
+	}
+}
+
+// TestApplyMatchesRowLoop is the bit-identity property at the mask level:
+// for every WHEN shape (pushed, residual, guard-demoted, absent values,
+// NULLs, NaN columns, oversized magnitudes), Apply must produce exactly the
+// row-at-a-time EvalBool mask.
+func TestApplyMatchesRowLoop(t *testing.T) {
+	db, rel := testDB(t)
+	cases := []struct {
+		when      string
+		minPushed int
+	}{
+		{"", 0},
+		{"Cat = 'a'", 1},
+		{"Cat = 'zz'", 1}, // absent value: pushed scan, empty set
+		{"Cat != 'a'", 1},
+		{"Qty = 1", 1},  // NULL row must stay excluded
+		{"Qty != 1", 1}, // ...for != too (NULL != 1 is not true)
+		{"Price <= 40", 1},
+		{"55 < Price", 1}, // flipped literal side
+		{"Cat IN ('a', 'd')", 1},
+		{"Cat NOT IN ('a')", 1},
+		{"Qty IN (1, 3)", 1},
+		{"Wild > 2", 0},                // NaN column: compile-time demotion
+		{"Big = 20000000000000000", 0}, // literal >= 1e15: bind-time demotion
+		{"Mix < 3", 0},                 // mixed kinds: ordering stays residual
+		{"NOT (Cat = 'a')", 0},         // unary NOT is residual
+		{"ID + 1 = 3", 0},              // arithmetic is residual
+		{"Cat = 'a' AND Price > 25 AND Qty IN (1, 2)", 3},
+		{"Price > 25 AND Wild > 2 AND Cat != 'b'", 2},
+		{"Cat IN ('a', 'b') AND ID + 1 = 3 AND Qty != 2", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.when, func(t *testing.T) {
+			c := NewCache(0)
+			q := parseWhen(t, tc.when)
+			p, _ := c.WhatIf(db, "v", q, rel)
+			if p.Fallback {
+				t.Fatalf("unexpected fallback: %s", p.FallbackReason)
+			}
+			inS := make([]bool, rel.Len())
+			pushed, ok := c.Apply(p, q, rel, inS)
+			if !ok {
+				t.Fatal("Apply rejected a non-fallback plan")
+			}
+			if pushed < tc.minPushed {
+				t.Errorf("pushed = %d, want >= %d", pushed, tc.minPushed)
+			}
+			want := rowLoopMask(t, q.When, rel)
+			for i := range want {
+				if inS[i] != want[i] {
+					t.Fatalf("row %d: planned=%v rowloop=%v\nmask   %v\nwant   %v\n%s",
+						i, inS[i], want[i], inS, want, p.Explain())
+				}
+			}
+		})
+	}
+}
+
+func TestCacheHitReusesPlanAndRebindsLiterals(t *testing.T) {
+	db, rel := testDB(t)
+	c := NewCache(0)
+	q1 := parseWhen(t, "Cat = 'a'")
+	q2 := parseWhen(t, "Cat = 'b'") // same shape, different literal
+	p1, hit := c.WhatIf(db, "v", q1, rel)
+	if hit {
+		t.Fatal("cold compile reported a hit")
+	}
+	p2, hit := c.WhatIf(db, "v", q2, rel)
+	if !hit {
+		t.Fatal("structurally identical query missed the cache")
+	}
+	if p1 != p2 {
+		t.Fatal("hit returned a different plan object")
+	}
+	for q, wantCat := range map[*hyperql.WhatIf]string{q1: "a", q2: "b"} {
+		inS := make([]bool, rel.Len())
+		if _, ok := c.Apply(p2, q, rel, inS); !ok {
+			t.Fatal("Apply failed")
+		}
+		want := rowLoopMask(t, q.When, rel)
+		for i := range want {
+			if inS[i] != want[i] {
+				t.Fatalf("literal %q not re-bound: row %d planned=%v rowloop=%v", wantCat, i, inS[i], want[i])
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Compiles != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 compile", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	db, rel := testDB(t)
+	c := NewCache(3) // room for the shared stats artifact + two plans
+	shapes := []string{"Cat = 'a'", "Price > 5", "Qty IN (1)"}
+	qs := make([]*hyperql.WhatIf, len(shapes))
+	for i, s := range shapes {
+		qs[i] = parseWhen(t, s)
+		if _, hit := c.WhatIf(db, "v", qs[i], rel); hit {
+			t.Fatalf("compile %d reported a hit", i)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 {
+		t.Errorf("entries = %d, want the configured bound 3", st.Entries)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (the LRU plan)", st.Evictions)
+	}
+	if _, hit := c.WhatIf(db, "v", qs[2], rel); !hit {
+		t.Error("most recent plan was evicted")
+	}
+	if _, hit := c.WhatIf(db, "v", qs[0], rel); hit {
+		t.Error("evicted LRU plan still reported a hit")
+	}
+	if st := c.Stats(); st.Evictions != 2 {
+		t.Errorf("evictions after recompile = %d, want 2", st.Evictions)
+	}
+}
+
+// TestSchemaSignatureInvalidation pins the cache-identity contract: the same
+// query text against a schema with one changed column must key to a
+// different fingerprint, so a re-uploaded database can never be served a
+// stale pushdown program.
+func TestSchemaSignatureInvalidation(t *testing.T) {
+	db, rel := testDB(t)
+	schema2 := relation.MustSchema(
+		relation.Column{Name: "ID", Key: true},
+		relation.Column{Name: "Cat", Kind: relation.KindString}, // declared kind changes the signature
+	)
+	rel2 := relation.NewRelation("Items", schema2)
+	rel2.MustInsert(relation.Int(1), relation.String("a"))
+	db2 := relation.NewDatabase()
+	db2.MustAdd(rel2)
+
+	if Signature(db) == Signature(db2) {
+		t.Fatal("different schemas produced the same signature")
+	}
+	q := parseWhen(t, "Cat = 'a'")
+	if Fingerprint(db, q) == Fingerprint(db2, q) {
+		t.Fatal("same query text fingerprints identically across schemas")
+	}
+	c := NewCache(0)
+	if _, hit := c.WhatIf(db, "v", q, rel); hit {
+		t.Fatal("cold compile hit")
+	}
+	if _, hit := c.WhatIf(db, "v", q, rel); !hit {
+		t.Fatal("repeat against the same schema missed")
+	}
+	if _, hit := c.WhatIf(db2, "v2", q, rel2); hit {
+		t.Fatal("changed schema was served the cached plan")
+	}
+}
+
+func TestAttrRank(t *testing.T) {
+	db, _ := testDB(t)
+	c := NewCache(0)
+	use := &hyperql.UseClause{Table: "Items"}
+	// Cards: Cat=4, Qty=4 (NULL excluded), Price=8. Ascending cardinality,
+	// original order breaking the Cat/Qty tie.
+	rank := c.AttrRank(db, use, []string{"Price", "Cat", "Qty"})
+	if rank == nil {
+		t.Fatal("AttrRank returned nil for a base relation")
+	}
+	if rank["Cat"] != 0 || rank["Qty"] != 1 || rank["Price"] != 2 {
+		t.Errorf("rank = %v, want Cat=0 Qty=1 Price=2", rank)
+	}
+	if r := c.AttrRank(db, &hyperql.UseClause{}, []string{"Cat"}); r != nil {
+		t.Errorf("sub-select USE ranked to %v, want nil (keep query order)", r)
+	}
+	if r := c.AttrRank(db, use, []string{"Cat", "Nope"}); r != nil {
+		t.Errorf("missing attribute ranked to %v, want nil", r)
+	}
+}
+
+// TestConcurrentPlanners hammers one shared cache from many goroutines —
+// compiles, hits, evictions, and Apply all interleave — and checks every
+// produced mask against the row loop. Run under -race in CI's test job.
+func TestConcurrentPlanners(t *testing.T) {
+	db, rel := testDB(t)
+	c := NewCache(4) // small bound so eviction races with lookup
+	shapes := []string{
+		"Cat = 'a'",
+		"Price > 25 AND Cat != 'b'",
+		"Qty IN (1, 2)",
+		"Wild > 2 AND Cat = 'a'",
+		"Cat NOT IN ('b') AND ID + 1 = 3",
+		"Price <= 40",
+	}
+	qs := make([]*hyperql.WhatIf, len(shapes))
+	wants := make([][]bool, len(shapes))
+	for i, s := range shapes {
+		qs[i] = parseWhen(t, s)
+		wants[i] = rowLoopMask(t, qs[i].When, rel)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				i := (g + it) % len(qs)
+				p, _ := c.WhatIf(db, "v", qs[i], rel)
+				inS := make([]bool, rel.Len())
+				if _, ok := c.Apply(p, qs[i], rel, inS); !ok {
+					errs <- fmt.Errorf("goroutine %d iter %d: Apply failed", g, it)
+					return
+				}
+				for r := range inS {
+					if inS[r] != wants[i][r] {
+						errs <- fmt.Errorf("goroutine %d iter %d shape %q row %d: mask diverged", g, it, shapes[i], r)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := c.Stats()
+	if st.Entries > 4 {
+		t.Errorf("entries = %d, exceeds bound 4", st.Entries)
+	}
+	if st.Compiles == 0 || st.Hits == 0 {
+		t.Errorf("stats = %+v, want both compiles and hits under contention", st)
+	}
+}

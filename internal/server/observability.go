@@ -37,6 +37,22 @@ func (s *Server) registerMetrics() {
 		func() float64 { return s.sumCaches(func(c hyper.CacheStats) float64 { return float64(c.Evictions) }) })
 	r.GaugeFunc("hyper_engine_cache_entries", "Engine artifact-cache entries summed over live sessions.",
 		func() float64 { return s.sumCaches(func(c hyper.CacheStats) float64 { return float64(c.Entries) }) })
+	r.CounterFunc("hyper_plan_cache_hits_total", "Compiled-plan cache hits summed over live sessions.",
+		func() float64 {
+			return s.sumPlanCaches(func(c hyper.PlanCacheStats) float64 { return float64(c.Hits) })
+		})
+	r.CounterFunc("hyper_plan_cache_misses_total", "Compiled-plan cache misses summed over live sessions.",
+		func() float64 {
+			return s.sumPlanCaches(func(c hyper.PlanCacheStats) float64 { return float64(c.Misses) })
+		})
+	r.CounterFunc("hyper_plan_cache_evictions_total", "Compiled plans evicted by the LRU bound, summed over live sessions.",
+		func() float64 {
+			return s.sumPlanCaches(func(c hyper.PlanCacheStats) float64 { return float64(c.Evictions) })
+		})
+	r.GaugeFunc("hyper_plan_cache_entries", "Plan-cache artifacts (plans, stats, interned columns) summed over live sessions.",
+		func() float64 {
+			return s.sumPlanCaches(func(c hyper.PlanCacheStats) float64 { return float64(c.Entries) })
+		})
 
 	r.GaugeFunc("hyper_jobs_queued", "Jobs waiting in the priority queue.",
 		func() float64 { return float64(s.jobs.Stats().Queued) })
@@ -77,6 +93,9 @@ func (s *Server) registerMetrics() {
 	s.costShards = r.HistogramVec("hyper_query_cost_shards",
 		"Per-query plan shards executed, by endpoint (jobs as job:<kind>).",
 		obs.CountBuckets, "endpoint")
+	s.planCompile = r.Histogram("hyper_plan_compile_ms",
+		"Plan compilation latency in milliseconds (cache misses only; hits skip compilation).",
+		obs.LatencyBucketsMs)
 }
 
 // sumCaches folds a CacheStats field over every live session.
@@ -84,6 +103,17 @@ func (s *Server) sumCaches(f func(hyper.CacheStats) float64) float64 {
 	var sum float64
 	for _, e := range s.sortedEntries() {
 		sum += f(e.sess.Cache().Stats())
+	}
+	return sum
+}
+
+// sumPlanCaches folds a PlanCacheStats field over every live session.
+func (s *Server) sumPlanCaches(f func(hyper.PlanCacheStats) float64) float64 {
+	var sum float64
+	for _, e := range s.sortedEntries() {
+		if pc := e.sess.PlanCache(); pc != nil {
+			sum += f(pc.Stats())
+		}
 	}
 	return sum
 }

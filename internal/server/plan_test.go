@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"regexp"
+	"testing"
+)
+
+const germanPlanned = `USE German WHEN Age = 2 UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`
+
+// TestServerPlanCacheStatsAndSessionDelete exercises the plan cache through
+// the HTTP surface: a repeated what-if must hit the session's plan cache,
+// /v1/stats must expose the counters, and deleting the session must drop its
+// cached plans — a recreated session compiles from scratch.
+func TestServerPlanCacheStatsAndSessionDelete(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	createSession(t, ts, "g")
+
+	for i := 0; i < 2; i++ {
+		var res WhatIfResponse
+		if code := do(t, "POST", ts.URL+"/v1/whatif", QueryRequest{Session: "g", Query: germanPlanned}, &res); code != http.StatusOK {
+			t.Fatalf("whatif %d: status %d", i, code)
+		}
+	}
+	var stats StatsResponse
+	do(t, "GET", ts.URL+"/v1/stats", nil, &stats)
+	if stats.Plan.Misses < 1 || stats.Plan.Compiles < 1 {
+		t.Fatalf("plan stats after cold query = %+v, want a miss and a compile", stats.Plan)
+	}
+	if stats.Plan.Hits < 1 {
+		t.Fatalf("plan stats after repeat = %+v, want a cache hit", stats.Plan)
+	}
+	if stats.Plan.Entries == 0 {
+		t.Fatalf("plan stats = %+v, want live cache entries", stats.Plan)
+	}
+	if len(stats.Sessions) != 1 || stats.Sessions[0].Plan.Hits < 1 {
+		t.Fatalf("session plan stats = %+v, want per-session hit counters", stats.Sessions)
+	}
+
+	// Deleting the session must drop its compiled plans with it.
+	if code := do(t, "DELETE", ts.URL+"/v1/sessions/g", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete session: status %d", code)
+	}
+	do(t, "GET", ts.URL+"/v1/stats", nil, &stats)
+	if stats.Plan.Entries != 0 || stats.Plan.Hits != 0 {
+		t.Fatalf("plan stats after delete = %+v, want empty", stats.Plan)
+	}
+
+	// A recreated session starts cold: same query text, fresh compile, no
+	// stale reuse from the deleted session.
+	createSession(t, ts, "g")
+	var res WhatIfResponse
+	do(t, "POST", ts.URL+"/v1/whatif", QueryRequest{Session: "g", Query: germanPlanned}, &res)
+	do(t, "GET", ts.URL+"/v1/stats", nil, &stats)
+	if stats.Plan.Hits != 0 || stats.Plan.Misses < 1 {
+		t.Fatalf("plan stats after recreate = %+v, want a fresh miss and no hits", stats.Plan)
+	}
+}
+
+// TestServerPlanCacheEntriesOverride checks the per-session bound override on
+// session creation.
+func TestServerPlanCacheEntriesOverride(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	bound := 2
+	var info SessionInfo
+	code := do(t, "POST", ts.URL+"/v1/sessions", CreateSessionRequest{
+		Name:             "tiny",
+		Dataset:          "german",
+		Scale:            0.3,
+		Options:          &SessionOptions{Mode: "full", Seed: 7},
+		PlanCacheEntries: &bound,
+	}, &info)
+	if code != http.StatusOK {
+		t.Fatalf("create session: status %d", code)
+	}
+	if info.Plan.MaxEntries != bound {
+		t.Fatalf("plan cache bound = %d, want %d", info.Plan.MaxEntries, bound)
+	}
+}
+
+var planFingerprintRe = regexp.MustCompile(`plan ([0-9a-f]{16})`)
+
+// TestServerPlanSchemaChangeInvalidation pins the cache-identity contract at
+// the HTTP surface: the same query text against a re-uploaded table with a
+// different schema must plan under a different fingerprint (the signature is
+// folded into the cache key), never reuse the old pushdown program.
+func TestServerPlanSchemaChangeInvalidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	makeCSV := func(extra bool) string {
+		header := "Status,Savings,Credit"
+		if extra {
+			header += ",Region"
+		}
+		csv := header + "\n"
+		for i := 0; i < 60; i++ {
+			row := fmt.Sprintf("%d,%d,%d", i%4, i%3, (i+i/4)%2)
+			if extra {
+				row += fmt.Sprintf(",%d", i%5)
+			}
+			csv += row + "\n"
+		}
+		return csv
+	}
+	create := func(extra bool) {
+		t.Helper()
+		var info SessionInfo
+		code := do(t, "POST", ts.URL+"/v1/sessions", CreateSessionRequest{
+			Name: "mine",
+			CSV: &CSVDatabase{
+				Tables: []CSVTable{{Name: "Loans", Data: makeCSV(extra)}},
+				Model: &CSVModel{Edges: [][2]string{
+					{"Loans.Status", "Loans.Credit"},
+					{"Loans.Savings", "Loans.Credit"},
+				}},
+			},
+		}, &info)
+		if code != http.StatusOK {
+			t.Fatalf("csv session (extra=%v): status %d (%+v)", extra, code, info)
+		}
+	}
+	explainFP := func() string {
+		t.Helper()
+		var res ExplainResponse
+		code := do(t, "POST", ts.URL+"/v1/explain", QueryRequest{
+			Session: "mine",
+			Query:   `USE Loans WHEN Savings = 1 UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`,
+		}, &res)
+		if code != http.StatusOK {
+			t.Fatalf("explain: status %d", code)
+		}
+		m := planFingerprintRe.FindStringSubmatch(res.Plan)
+		if m == nil {
+			t.Fatalf("explain output has no plan fingerprint:\n%s", res.Plan)
+		}
+		return m[1]
+	}
+
+	create(false)
+	fp1 := explainFP()
+	if code := do(t, "DELETE", ts.URL+"/v1/sessions/mine", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete session: status %d", code)
+	}
+	create(true)
+	fp2 := explainFP()
+	if fp1 == fp2 {
+		t.Fatalf("same fingerprint %s across a schema change: a stale plan could be served", fp1)
+	}
+}

@@ -62,6 +62,11 @@ type Config struct {
 	// CacheEntries bounds each session's engine cache (artifacts, not
 	// bytes). Default 512; <0 means unbounded.
 	CacheEntries int
+	// PlanCacheEntries bounds each session's compiled-plan cache (plans plus
+	// their supporting per-view artifacts). Default 256; <0 means unbounded;
+	// a session's plan cache is dropped with the session, so a schema can
+	// never outlive its plans.
+	PlanCacheEntries int
 	// BatchWorkers is the worker-pool size for /v1/batch (and the cap on a
 	// request's own workers field). Default GOMAXPROCS.
 	BatchWorkers int
@@ -126,6 +131,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries < 0 {
 		c.CacheEntries = 0 // unbounded
 	}
+	if c.PlanCacheEntries == 0 {
+		c.PlanCacheEntries = 256
+	}
+	if c.PlanCacheEntries < 0 {
+		c.PlanCacheEntries = 0 // unbounded
+	}
 	if c.BatchWorkers <= 0 {
 		c.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -185,6 +196,10 @@ type Server struct {
 	costWall   *obs.HistogramVec
 	costTuples *obs.HistogramVec
 	costShards *obs.HistogramVec
+
+	// planCompile observes each plan compilation's latency (every session's
+	// plan cache feeds it through its compile observer).
+	planCompile *obs.Histogram
 
 	stats  statsRecorder
 	shards shardGauges

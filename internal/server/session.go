@@ -108,6 +108,9 @@ type CreateSessionRequest struct {
 	// CacheEntries overrides the server's per-session cache bound
 	// (<0 = unbounded).
 	CacheEntries *int `json:"cache_entries,omitempty"`
+	// PlanCacheEntries overrides the server's per-session compiled-plan
+	// cache bound (<0 = unbounded).
+	PlanCacheEntries *int `json:"plan_cache_entries,omitempty"`
 }
 
 // SessionInfo describes a live session.
@@ -119,11 +122,13 @@ type SessionInfo struct {
 	Queries   int64            `json:"queries"`
 	CreatedAt time.Time        `json:"created_at"`
 	Cache     hyper.CacheStats `json:"cache"`
+	// Plan is the session's compiled-plan cache counters.
+	Plan hyper.PlanCacheStats `json:"plan"`
 }
 
 func (e *sessionEntry) info() SessionInfo {
 	db := e.sess.DB()
-	return SessionInfo{
+	info := SessionInfo{
 		Name:      e.name,
 		Dataset:   e.dataset,
 		Relations: db.Names(),
@@ -132,6 +137,10 @@ func (e *sessionEntry) info() SessionInfo {
 		CreatedAt: e.created,
 		Cache:     e.sess.Cache().Stats(),
 	}
+	if pc := e.sess.PlanCache(); pc != nil {
+		info.Plan = pc.Stats()
+	}
+	return info
 }
 
 // DatasetInfo describes one registry builder.
@@ -230,8 +239,22 @@ func (s *Server) handleCreateSession(r *http.Request) (any, error) {
 			cacheEntries = 0
 		}
 	}
+	planEntries := s.cfg.PlanCacheEntries
+	if req.PlanCacheEntries != nil {
+		planEntries = *req.PlanCacheEntries
+		if planEntries < 0 {
+			planEntries = 0
+		}
+	}
 	sess := hyper.NewSessionWithCache(db, model, hyper.NewCacheBounded(cacheEntries))
 	sess.SetOptions(opts)
+	// Each session owns its plan cache (cache identity is query fingerprint +
+	// schema signature, and the signature is only unique within a session's
+	// database); deleting the session drops every cached plan with it. All
+	// sessions share one compile-latency histogram.
+	pc := hyper.NewPlanCache(planEntries)
+	pc.SetCompileObserver(s.planCompile.Observe)
+	sess.SetPlanCache(pc)
 
 	e := &sessionEntry{
 		name: req.Name, dataset: from, sess: sess, created: time.Now(),

@@ -125,6 +125,22 @@ type StatsResponse struct {
 	Jobs      jobs.Stats               `json:"jobs"`
 	Shards    ShardStats               `json:"shards"`
 	Dist      DistStats                `json:"dist"`
+	Plan      PlanStats                `json:"plan"`
+}
+
+// PlanStats is the query-planning section of /v1/stats: plan-cache counters
+// summed over live sessions (per-session breakdowns are in each SessionInfo)
+// plus compile-latency quantiles from the shared histogram.
+type PlanStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Compiles  uint64 `json:"compiles"`
+	Entries   int    `json:"entries"`
+	// CompileP50Ms/CompileP95Ms are bucket-interpolated estimates over all
+	// compilations since the server started.
+	CompileP50Ms float64 `json:"compile_p50_ms"`
+	CompileP95Ms float64 `json:"compile_p95_ms"`
 }
 
 // DistStats is the shard-transport section of /v1/stats: the coordinator
@@ -146,6 +162,14 @@ func (s *Server) handleStats(*http.Request) (any, error) {
 	}
 	for i, e := range entries {
 		resp.Sessions[i] = e.info()
+		p := resp.Sessions[i].Plan
+		resp.Plan.Hits += p.Hits
+		resp.Plan.Misses += p.Misses
+		resp.Plan.Evictions += p.Evictions
+		resp.Plan.Compiles += p.Compiles
+		resp.Plan.Entries += p.Entries
 	}
+	resp.Plan.CompileP50Ms = s.planCompile.Quantile(0.50)
+	resp.Plan.CompileP95Ms = s.planCompile.Quantile(0.95)
 	return resp, nil
 }

@@ -17,11 +17,12 @@ import (
 
 // whatIfSkeleton is the stage skeleton a traced local what-if must render
 // to (children sorted lexicographically at every level): prepare resolves
-// the view, decomposes blocks, and builds the estimator set; eval_shards
-// runs the tuple loop (training one fit per cold model, single-flight, so
-// the fit count equals the trained-model count at ANY fan-out); fold
-// reduces in plan order.
-var whatIfSkeleton = regexp.MustCompile(`^whatif\(eval_shards\(fit(,fit)*\),fold,prepare\(blocks,train,view\)\)$`)
+// the view, compiles or fetches the query plan (server sessions always
+// carry a plan cache), decomposes blocks, and builds the estimator set;
+// eval_shards runs the tuple loop (training one fit per cold model,
+// single-flight, so the fit count equals the trained-model count at ANY
+// fan-out); fold reduces in plan order.
+var whatIfSkeleton = regexp.MustCompile(`^whatif\(eval_shards\(fit(,fit)*\),fold,prepare\(blocks,plan,train,view\)\)$`)
 
 // tracedWhatIf posts one what-if with ?trace=1 and returns the response.
 func tracedWhatIf(t *testing.T, base string, req QueryRequest) *WhatIfResponse {
