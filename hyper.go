@@ -51,6 +51,8 @@ type (
 	Schema = relation.Schema
 	// Relation is a named table.
 	Relation = relation.Relation
+	// Tuple is one row of a relation.
+	Tuple = relation.Tuple
 	// Database is a collection of relations with foreign keys.
 	Database = relation.Database
 	// ForeignKey links a child column to a parent column.
@@ -262,6 +264,32 @@ func (s *Session) With(o Options) *Session {
 	d := &Session{db: s.db, model: s.model, cache: s.cache, plans: s.plans}
 	d.opts = o
 	return d
+}
+
+// Version returns the MVCC snapshot version of the session's database: 0
+// for an unversioned (bare NewDatabase) instance, otherwise the version set
+// at creation plus one per Append.
+func (s *Session) Version() int64 { return s.db.Version() }
+
+// Append returns a new immutable session whose database extends this one's
+// by the given rows (relation name -> tuples), with the snapshot version
+// bumped by one. The receiver is untouched — queries running against it (or
+// any earlier version) are never perturbed — and the derived session shares
+// the receiver's causal model, caches, and options, so artifacts fitted for
+// earlier snapshots keep serving queries pinned to them while the new
+// version's cache identity is distinct from the first query on.
+//
+// Appended tuples are validated under the same rules as building the
+// relation row by row (arity, kind coercion, primary-key uniqueness); any
+// failure leaves every published version untouched and returns the error.
+func (s *Session) Append(rows map[string][]Tuple) (*Session, error) {
+	db, err := s.db.Extend(rows)
+	if err != nil {
+		return nil, err
+	}
+	d := &Session{db: db, model: s.model, cache: s.cache, plans: s.plans}
+	d.opts = s.Options()
+	return d, nil
 }
 
 // SetOptions replaces the session's evaluation options. Queries already in

@@ -606,6 +606,16 @@ func (c *Coordinator) ensureFrame(ctx context.Context, w *remoteWorker, frame *F
 	if err != nil {
 		return terminalError{err}
 	}
+	// A delta frame is only applicable on a worker that holds its parent:
+	// ensure the chain bottom-up before shipping the delta, so an append on
+	// top of an already-shipped base moves only the new rows. (A worker that
+	// evicted the base between the two PUTs answers frame_missing, handled
+	// below in shipFrame.)
+	if p := frame.Parent(); p != nil {
+		if err := c.ensureFrame(ctx, w, p); err != nil {
+			return err
+		}
+	}
 	for {
 		w.mu.Lock()
 		if w.shipped[id] {
@@ -713,6 +723,18 @@ func (c *Coordinator) shipFrame(ctx context.Context, w *remoteWorker, frame *Fra
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusNotFound && errCode(raw) == codeFrameMissing && frame.Parent() != nil {
+		// The worker evicted (or never durably held) the delta's base
+		// between the chain ship and this PUT. Forget the parent's shipped
+		// mark so the next ensureFrame re-ships the chain; report the miss
+		// retryable so the caller's retry policy drives that re-ship.
+		if pid, _, perr := frame.Parent().Payload(); perr == nil {
+			w.mu.Lock()
+			delete(w.shipped, pid)
+			w.mu.Unlock()
+		}
+		return fmt.Errorf("dist: shipping delta frame to %s: %s", w.id, errMessage(raw, resp.StatusCode))
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("dist: shipping frame to %s: %s", w.id, errMessage(raw, resp.StatusCode))
 	}

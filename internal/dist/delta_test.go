@@ -1,0 +1,244 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hyper/internal/dataset"
+	"hyper/internal/engine"
+	"hyper/internal/hyperql"
+	"hyper/internal/relation"
+)
+
+func deltaBase(t *testing.T) (*relation.Database, map[string][]relation.Tuple) {
+	t.Helper()
+	rel, err := relation.ReadCSVKeyed("T",
+		strings.NewReader("ID,V,Tag\n1,1.5,a\n2,2.25,b\n3,0.125,c\n"), []string{"ID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := relation.NewDatabase()
+	db.MustAdd(rel)
+	db.SetVersion(1)
+	appends := map[string][]relation.Tuple{"T": {
+		{relation.Int(4), relation.Float(4.75), relation.String("d")},
+		{relation.Int(5), relation.Null, relation.String("e")},
+	}}
+	return db, appends
+}
+
+// TestFrameDeltaRoundTrip pins the delta wire contract: the body names the
+// parent frame, carries only the appended rows, and rebuilding
+// parent-snapshot + delta yields a database snapshot byte-identical to
+// encoding the post-append database directly.
+func TestFrameDeltaRoundTrip(t *testing.T) {
+	db, appends := deltaBase(t)
+	base := NewFrame(db, nil)
+	baseID, baseBody, err := base.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := db.Extend(appends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := NewFrameDelta(base, db2, nil, appends)
+	deltaID, deltaBody, err := delta.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltaID == baseID {
+		t.Fatal("delta frame must have its own content address")
+	}
+	d, decoded, err := DecodeDelta(deltaBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Base != baseID || d.Version != 2 {
+		t.Fatalf("delta header = {%s v%d}, want {%s v2}", d.Base, d.Version, baseID)
+	}
+	if !reflect.DeepEqual(decoded, appends) {
+		t.Fatalf("decoded appends diverge:\n got %v\nwant %v", decoded, appends)
+	}
+
+	// Worker-side reconstruction: base snapshot + delta == full snapshot.
+	var snap Snapshot
+	if err := json.Unmarshal(baseBody, &snap); err != nil {
+		t.Fatal(err)
+	}
+	baseDB, _, err := snap.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := baseDB.Extend(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(EncodeSnapshot(db2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(EncodeSnapshot(rebuilt, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rebuilt snapshot diverges from direct encoding:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestFrameDeltaAddressChainsParent pins content addressing across the
+// version chain: identical appends over identical bases share one id;
+// change either the base or the appended rows and the id changes.
+func TestFrameDeltaAddressChainsParent(t *testing.T) {
+	db, appends := deltaBase(t)
+	db2, err := db.Extend(appends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewFrame(db, nil)
+	id1, err := NewFrameDelta(base, db2, nil, appends).ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := NewFrameDelta(NewFrame(db, nil), db2, nil, appends).ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatal("same base and appends must share one content address")
+	}
+	// Different base (one extra row before the append): different address
+	// even though the delta rows are identical.
+	otherDB, _ := deltaBase(t)
+	mid, err := otherDB.Extend(map[string][]relation.Tuple{"T": {
+		{relation.Int(99), relation.Float(9), relation.String("z")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid2, err := mid.Extend(appends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id3, err := NewFrameDelta(NewFrame(mid, nil), mid2, nil, appends).ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 {
+		t.Fatal("different base must yield a different delta address")
+	}
+}
+
+// TestDistributedDeltaEval ships a base frame, appends rows, and asserts the
+// appended version evaluates remotely bit-identically to a local evaluation
+// over the same data — while the wire carries only the delta (one extra PUT
+// per worker, not a re-ship of the full snapshot).
+func TestDistributedDeltaEval(t *testing.T) {
+	const src = `USE German UPDATE(Status) = 3 OUTPUT COUNT(Credit = 1)`
+	opts := engine.Options{Seed: 7, ShardRows: 256}
+
+	big := dataset.GermanSyn(1200, 7)
+	bigRel := big.DB.Relation("German")
+	base := dataset.GermanSyn(1000, 7)
+	db := base.DB
+	db.SetVersion(1)
+	model := base.Model
+
+	var appended []relation.Tuple
+	for i := 1000; i < 1200; i++ {
+		appended = append(appended, bigRel.Row(i))
+	}
+	appends := map[string][]relation.Tuple{"German": appended}
+	db2, err := db.Extend(appends)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := []*testWorker{newTestWorker(t), newTestWorker(t)}
+	c, _ := newTestCoordinator(t, workers...)
+	baseFrame := NewFrame(db, model)
+	deltaFrame := NewFrameDelta(baseFrame, db2, model, appends)
+
+	q, err := hyperql.ParseWhatIf(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		db    *relation.Database
+		frame *Frame
+	}{
+		{db, baseFrame},
+		{db2, deltaFrame},
+	} {
+		want, err := engine.EvaluateContext(context.Background(), tc.db.Clone(), model, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.EvaluateWhatIf(context.Background(), EvalSpec{
+			DB: tc.db, Model: model, Frame: tc.frame, Query: src, Options: opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g17(got.Value) != g17(want.Value) || g17(got.Sum) != g17(want.Sum) || g17(got.Count) != g17(want.Count) {
+			t.Fatalf("v%d: distributed %s/%s/%s != local %s/%s/%s", tc.db.Version(),
+				g17(got.Value), g17(got.Sum), g17(got.Count), g17(want.Value), g17(want.Sum), g17(want.Count))
+		}
+	}
+	for i, tw := range workers {
+		if got := tw.puts.Load(); got != 2 {
+			t.Fatalf("worker %d received %d frame ships, want 2 (base once, delta once)", i+1, got)
+		}
+	}
+}
+
+// TestDistributedDeltaColdWorker evaluates a delta frame against a worker
+// that never saw the base: the coordinator must ship the parent chain
+// bottom-up, and the result must still match the local evaluation.
+func TestDistributedDeltaColdWorker(t *testing.T) {
+	const src = `USE German UPDATE(Housing) = 1 OUTPUT AVG(POST(Credit))`
+	opts := engine.Options{Seed: 7, ShardRows: 512}
+
+	big := dataset.GermanSyn(1100, 7)
+	base := dataset.GermanSyn(1000, 7)
+	db := base.DB
+	db.SetVersion(1)
+	var appended []relation.Tuple
+	for i := 1000; i < 1100; i++ {
+		appended = append(appended, big.DB.Relation("German").Row(i))
+	}
+	appends := map[string][]relation.Tuple{"German": appended}
+	db2, err := db.Extend(appends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaFrame := NewFrameDelta(NewFrame(db, base.Model), db2, base.Model, appends)
+
+	tw := newTestWorker(t)
+	c, _ := newTestCoordinator(t, tw)
+	q, err := hyperql.ParseWhatIf(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.EvaluateContext(context.Background(), db2.Clone(), base.Model, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.EvaluateWhatIf(context.Background(), EvalSpec{
+		DB: db2, Model: base.Model, Frame: deltaFrame, Query: src, Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g17(got.Value) != g17(want.Value) {
+		t.Fatalf("cold-worker delta eval %s != local %s", g17(got.Value), g17(want.Value))
+	}
+	if got := tw.puts.Load(); got != 2 {
+		t.Fatalf("cold worker received %d ships, want 2 (base then delta)", got)
+	}
+}

@@ -40,6 +40,10 @@ type RelationSnapshot struct {
 
 // Snapshot is a serialized database + causal model.
 type Snapshot struct {
+	// Version is the MVCC snapshot version of the serialized database (0
+	// for unversioned instances, omitted on the wire — pre-MVCC frame
+	// bodies and their content addresses are unchanged).
+	Version     int64                 `json:"version,omitempty"`
 	Relations   []RelationSnapshot    `json:"relations"`
 	ForeignKeys []relation.ForeignKey `json:"foreign_keys,omitempty"`
 	// Model graph: nodes in insertion order, edges sorted (edge-set
@@ -103,7 +107,7 @@ func decodeValue(s string) (relation.Value, error) {
 
 // EncodeSnapshot serializes a database and (optional) causal model.
 func EncodeSnapshot(db *relation.Database, model *causal.Model) *Snapshot {
-	s := &Snapshot{ForeignKeys: db.ForeignKeys()}
+	s := &Snapshot{Version: db.Version(), ForeignKeys: db.ForeignKeys()}
 	for _, name := range db.Names() {
 		rel := db.Relation(name)
 		rs := RelationSnapshot{Name: name}
@@ -135,6 +139,7 @@ func EncodeSnapshot(db *relation.Database, model *causal.Model) *Snapshot {
 // Build reconstructs the database and model from a snapshot.
 func (s *Snapshot) Build() (*relation.Database, *causal.Model, error) {
 	db := relation.NewDatabase()
+	db.SetVersion(s.Version)
 	for _, rs := range s.Relations {
 		cols := make([]relation.Column, len(rs.Columns))
 		for i, c := range rs.Columns {
@@ -187,14 +192,38 @@ func (s *Snapshot) Build() (*relation.Database, *causal.Model, error) {
 	return db, m, nil
 }
 
+// RelationDelta is the wire form of one relation's appended rows (tagged
+// scalars, same encoding as RelationSnapshot rows).
+type RelationDelta struct {
+	Name string     `json:"name"`
+	Rows [][]string `json:"rows"`
+}
+
+// Delta is the wire form of an incremental frame: the parent frame it
+// extends, the MVCC version the extension publishes, and the appended rows
+// per relation. Only new segments cross the wire — a session that appended
+// 100 rows to a million-row base ships 100 rows, not a fresh snapshot. The
+// delta body is content-addressed like a full snapshot, and because it
+// names its parent's id, the address covers the whole version chain: two
+// deltas agree iff their bases and their appended rows agree.
+type Delta struct {
+	Base    string          `json:"base"`
+	Version int64           `json:"version"`
+	Delta   []RelationDelta `json:"delta"`
+}
+
 // Frame is a lazily materialized, content-addressed snapshot of a session's
 // data, shared by every distributed evaluation against that session. The
 // encoding runs once; the id is the sha256 of the canonical JSON body, so
 // identical data has one identity everywhere and changed data can never hit
-// a stale worker copy.
+// a stale worker copy. A frame built with NewFrameDelta encodes only the
+// appended rows and names its parent frame, which the shipping path ensures
+// is resident on the worker first.
 type Frame struct {
-	db    *relation.Database
-	model *causal.Model
+	db       *relation.Database
+	model    *causal.Model
+	parent   *Frame
+	appended map[string][]relation.Tuple
 
 	once sync.Once
 	id   string
@@ -208,10 +237,28 @@ func NewFrame(db *relation.Database, model *causal.Model) *Frame {
 	return &Frame{db: db, model: model}
 }
 
+// NewFrameDelta wraps an appended session version as an incremental frame:
+// db is the full post-append database (what workers must end up holding),
+// parent is the frame of the version the append extended, and appended
+// holds exactly the new tuples per relation. The wire body is the delta
+// alone; workers that miss the parent are shipped the chain first.
+func NewFrameDelta(parent *Frame, db *relation.Database, model *causal.Model, appended map[string][]relation.Tuple) *Frame {
+	return &Frame{db: db, model: model, parent: parent, appended: appended}
+}
+
+// Parent returns the frame this delta extends (nil for full snapshots).
+func (f *Frame) Parent() *Frame { return f.parent }
+
 // Payload returns the frame id and canonical JSON body.
 func (f *Frame) Payload() (string, []byte, error) {
 	f.once.Do(func() {
-		raw, err := json.Marshal(EncodeSnapshot(f.db, f.model))
+		var raw []byte
+		var err error
+		if f.parent != nil {
+			raw, err = f.encodeDelta()
+		} else {
+			raw, err = json.Marshal(EncodeSnapshot(f.db, f.model))
+		}
 		if err != nil {
 			f.err = err
 			return
@@ -223,8 +270,65 @@ func (f *Frame) Payload() (string, []byte, error) {
 	return f.id, f.body, f.err
 }
 
+// encodeDelta renders the delta body: relations in database order (the
+// deterministic order every encoding in this package uses), empty appends
+// skipped.
+func (f *Frame) encodeDelta() ([]byte, error) {
+	base, _, err := f.parent.Payload()
+	if err != nil {
+		return nil, err
+	}
+	d := Delta{Base: base, Version: f.db.Version()}
+	for _, name := range f.db.Names() {
+		tuples := f.appended[name]
+		if len(tuples) == 0 {
+			continue
+		}
+		rd := RelationDelta{Name: name, Rows: make([][]string, len(tuples))}
+		for i, t := range tuples {
+			enc := make([]string, len(t))
+			for j, v := range t {
+				enc[j] = encodeValue(v)
+			}
+			rd.Rows[i] = enc
+		}
+		d.Delta = append(d.Delta, rd)
+	}
+	return json.Marshal(d)
+}
+
 // ID returns the content-addressed frame id.
 func (f *Frame) ID() (string, error) {
 	id, _, err := f.Payload()
 	return id, err
+}
+
+// DecodeDelta parses a delta body into the appended-tuple map keyed by
+// relation name. Tuples are decoded with full value fidelity; schema
+// validation happens when the caller extends the base database.
+func DecodeDelta(body []byte) (*Delta, map[string][]relation.Tuple, error) {
+	var d Delta
+	if err := json.Unmarshal(body, &d); err != nil {
+		return nil, nil, fmt.Errorf("dist: decoding frame delta: %w", err)
+	}
+	if d.Base == "" {
+		return nil, nil, fmt.Errorf("dist: frame delta has no base")
+	}
+	appends := make(map[string][]relation.Tuple, len(d.Delta))
+	for _, rd := range d.Delta {
+		tuples := make([]relation.Tuple, len(rd.Rows))
+		for i, enc := range rd.Rows {
+			t := make(relation.Tuple, len(enc))
+			for j, s := range enc {
+				v, err := decodeValue(s)
+				if err != nil {
+					return nil, nil, fmt.Errorf("dist: delta relation %q row %d: %w", rd.Name, i, err)
+				}
+				t[j] = v
+			}
+			tuples[i] = t
+		}
+		appends[rd.Name] = tuples
+	}
+	return &d, appends, nil
 }

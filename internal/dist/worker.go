@@ -284,6 +284,15 @@ func (w *Worker) handlePutFrame(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, "", "frame body hashes to %.12s, not %.12s", got, id)
 		return
 	}
+	// Delta sniff: incremental frames carry a "base" field naming their
+	// parent; full snapshots never do.
+	var probe struct {
+		Base string `json:"base"`
+	}
+	if json.Unmarshal(body, &probe) == nil && probe.Base != "" {
+		w.putDeltaFrame(rw, id, body)
+		return
+	}
 	var snap Snapshot
 	if err := json.Unmarshal(body, &snap); err != nil {
 		writeError(rw, http.StatusBadRequest, "", "decoding frame: %v", err)
@@ -297,6 +306,44 @@ func (w *Worker) handlePutFrame(rw http.ResponseWriter, r *http.Request) {
 	w.store(id, &workerFrame{db: db, model: model, cache: engine.NewCacheBounded(w.cfg.CacheEntries)})
 	w.frameBytes.Add(len(body))
 	w.logf("dist worker: stored frame %.12s (%d rows)", id, db.TotalRows())
+	writeJSON(rw, http.StatusOK, map[string]any{"ok": true})
+}
+
+// putDeltaFrame applies an incremental frame: the appended rows extend the
+// resident base frame's database into a new MVCC version under a fresh
+// content address. The base's relations are frozen prefixes (Extend shares
+// them), so queries running against the base frame are never perturbed.
+func (w *Worker) putDeltaFrame(rw http.ResponseWriter, id string, body []byte) {
+	d, appends, err := DecodeDelta(body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "", "decoding frame delta: %v", err)
+		return
+	}
+	base, ok := w.frame(d.Base)
+	if !ok {
+		// The coordinator ships version chains bottom-up, so a missing base
+		// means it was evicted in between; frame_missing makes the
+		// coordinator re-ship the chain and retry.
+		writeError(rw, http.StatusNotFound, codeFrameMissing, "delta base frame %.12s not on this worker", d.Base)
+		return
+	}
+	db, err := base.db.Extend(appends)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "", "applying frame delta: %v", err)
+		return
+	}
+	if db.Version() != d.Version {
+		writeError(rw, http.StatusBadRequest, "", "frame delta publishes version %d, but base %.12s extends to version %d",
+			d.Version, d.Base, db.Version())
+		return
+	}
+	rows := 0
+	for _, tuples := range appends {
+		rows += len(tuples)
+	}
+	w.store(id, &workerFrame{db: db, model: base.model, cache: engine.NewCacheBounded(w.cfg.CacheEntries)})
+	w.frameBytes.Add(len(body))
+	w.logf("dist worker: stored delta frame %.12s (v%d, +%d rows on %.12s)", id, d.Version, rows, d.Base)
 	writeJSON(rw, http.StatusOK, map[string]any{"ok": true})
 }
 

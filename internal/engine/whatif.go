@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -91,6 +92,15 @@ func resolveView(db *relation.Database, q *hyperql.WhatIf, o Options) (v *view, 
 		updateAttrs = append(updateAttrs, u.Attr)
 	}
 	viewKey = q.Use.String() + "\x00" + q.Updates[0].Attr
+	// MVCC: a versioned database folds its snapshot version into the view
+	// key, which transitively versions every artifact keyed off it — the
+	// view itself, block decompositions, estimator sets, and the plan
+	// cache's supporting stats — so a query pinned to snapshot v keeps
+	// hitting v's artifacts after appends while the new head never reads
+	// stale ones. Version 0 (bare-library databases) keeps historical keys.
+	if ver := db.Version(); ver > 0 {
+		viewKey = "@v" + strconv.FormatInt(ver, 10) + "\x00" + viewKey
+	}
 	if o.Cache != nil {
 		if cached, ok := o.Cache.getView(viewKey); ok {
 			v, hit = cached, true

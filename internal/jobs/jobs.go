@@ -134,8 +134,12 @@ type Job struct {
 	kind     string
 	priority int
 	deadline time.Time // zero = none
-	runner   Runner
-	progress Progress
+	// dataVersion is the MVCC snapshot version the job was pinned to at
+	// submission (0 when the session is unversioned); the runner closure
+	// carries the actual pinned handle, this field only surfaces it.
+	dataVersion int64
+	runner      Runner
+	progress    Progress
 
 	seq       uint64
 	submitted time.Time
@@ -178,7 +182,10 @@ type Snapshot struct {
 	Kind     string
 	Priority int
 	Deadline time.Time // zero = none
-	State    State
+	// DataVersion is the MVCC snapshot version pinned at submission
+	// (0 = unversioned session).
+	DataVersion int64
+	State       State
 
 	Submitted time.Time
 	Started   time.Time // zero until running
@@ -337,6 +344,10 @@ type SubmitOptions struct {
 	// Deadline, when non-zero, expires the job (queued or running) at that
 	// time; the running context carries it.
 	Deadline time.Time
+	// DataVersion records the MVCC snapshot version the submitter resolved
+	// and pinned for the job's runner (0 for unversioned sessions). Appends
+	// after submission never change what a queued job computes over.
+	DataVersion int64
 }
 
 // Submit enqueues a job. It fails fast with ErrQueueFull, ErrSessionLimit,
@@ -358,16 +369,17 @@ func (m *Manager) Submit(opts SubmitOptions, run Runner) (*Job, error) {
 	}
 	m.seq++
 	j := &Job{
-		id:        fmt.Sprintf("j%d", m.seq),
-		session:   opts.Session,
-		kind:      opts.Kind,
-		priority:  opts.Priority,
-		deadline:  opts.Deadline,
-		runner:    run,
-		seq:       m.seq,
-		submitted: time.Now(),
-		state:     StateQueued,
-		done:      make(chan struct{}),
+		id:          fmt.Sprintf("j%d", m.seq),
+		session:     opts.Session,
+		kind:        opts.Kind,
+		priority:    opts.Priority,
+		deadline:    opts.Deadline,
+		dataVersion: opts.DataVersion,
+		runner:      run,
+		seq:         m.seq,
+		submitted:   time.Now(),
+		state:       StateQueued,
+		done:        make(chan struct{}),
 	}
 	m.byID[j.id] = j
 	m.perSess[j.session]++
@@ -610,6 +622,7 @@ func (m *Manager) snapshotLocked(j *Job) Snapshot {
 		Kind:        j.kind,
 		Priority:    j.priority,
 		Deadline:    j.deadline,
+		DataVersion: j.dataVersion,
 		State:       j.state,
 		Submitted:   j.submitted,
 		Started:     j.started,

@@ -42,6 +42,12 @@ type Meter struct {
 	candidates  atomic.Uint64
 	whatifEvals atomic.Uint64
 
+	// MVCC append accounting: strided digest shards fitted over new rows
+	// vs. sealed shards reused untouched. The reuse counter is the
+	// observable half of the "appends never refit" contract.
+	appendShardsFit    atomic.Uint64
+	appendShardsReused atomic.Uint64
+
 	frameBytes        atomic.Uint64 // frame snapshot bytes shipped to workers
 	distBytesShipped  atomic.Uint64 // eval/fit request bytes posted to workers
 	distBytesReceived atomic.Uint64 // eval/fit request bytes a worker received
@@ -159,6 +165,16 @@ func (m *Meter) AddFitCached() {
 	}
 }
 
+// AddAppendShards charges a session append's digest work split: fitted
+// counts shards that scanned new rows, reused counts sealed shards left
+// untouched.
+func (m *Meter) AddAppendShards(fitted, reused int) {
+	if m != nil {
+		add(&m.appendShardsFit, fitted)
+		add(&m.appendShardsReused, reused)
+	}
+}
+
 // AddIPNodes charges n branch-and-bound nodes.
 func (m *Meter) AddIPNodes(n int) {
 	if m != nil {
@@ -247,6 +263,8 @@ type MeterJSON struct {
 	PlanShards        uint64             `json:"plan_shards,omitempty"`
 	FitsTrained       uint64             `json:"fits_trained,omitempty"`
 	FitsCached        uint64             `json:"fits_cached,omitempty"`
+	AppendShardsFit   uint64             `json:"append_shards_fitted,omitempty"`
+	AppendShardsReuse uint64             `json:"append_shards_reused,omitempty"`
 	IPNodes           uint64             `json:"ip_nodes,omitempty"`
 	HowToCandidates   uint64             `json:"howto_candidates,omitempty"`
 	WhatIfEvals       uint64             `json:"whatif_evals,omitempty"`
@@ -275,6 +293,8 @@ func (m *Meter) JSON() *MeterJSON {
 		PlanShards:        m.planShards.Load(),
 		FitsTrained:       m.fitsTrained.Load(),
 		FitsCached:        m.fitsCached.Load(),
+		AppendShardsFit:   m.appendShardsFit.Load(),
+		AppendShardsReuse: m.appendShardsReused.Load(),
 		IPNodes:           m.ipNodes.Load(),
 		HowToCandidates:   m.candidates.Load(),
 		WhatIfEvals:       m.whatifEvals.Load(),
@@ -320,6 +340,8 @@ func (j *MeterJSON) Add(o *MeterJSON) {
 	}
 	j.FitsTrained += o.FitsTrained
 	j.FitsCached += o.FitsCached
+	j.AppendShardsFit += o.AppendShardsFit
+	j.AppendShardsReuse += o.AppendShardsReuse
 	j.IPNodes += o.IPNodes
 	j.HowToCandidates += o.HowToCandidates
 	j.WhatIfEvals += o.WhatIfEvals

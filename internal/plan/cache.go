@@ -2,6 +2,7 @@ package plan
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -177,6 +178,21 @@ func (c *Cache) moveToFront(e *entry) {
 	c.pushFront(e)
 }
 
+// dataKey is the cache-identity string of a database: the schema signature,
+// plus — for MVCC-versioned instances — the snapshot version. Version 0 (the
+// bare-library default) keeps the historical identity so plan goldens and
+// unversioned callers are untouched; any non-zero version makes every
+// fingerprint and supporting-artifact key version-specific, so a query
+// pinned "as of v" keeps hitting v's artifacts after appends while the new
+// head can never be served stale stats.
+func dataKey(db *relation.Database) string {
+	sig := Signature(db)
+	if v := db.Version(); v > 0 {
+		return sig + "\x00@v" + strconv.FormatInt(v, 10)
+	}
+	return sig
+}
+
 // Signature canonically describes a database schema: every relation in
 // database order with its column names and kinds. It is the second half of
 // plan-cache identity (the first being the query shape fingerprint).
@@ -200,10 +216,10 @@ func Signature(db *relation.Database) string {
 }
 
 // Fingerprint returns the 16-hex shape fingerprint keying q's plan in a
-// cache over db — hyperql.Fingerprint with the schema signature folded into
-// the hash domain.
+// cache over db — hyperql.Fingerprint with the schema signature (and, for
+// versioned databases, the snapshot version) folded into the hash domain.
 func Fingerprint(db *relation.Database, q hyperql.Query) string {
-	return hyperql.Fingerprint("plan\x00"+Signature(db), q)
+	return hyperql.Fingerprint("plan\x00"+dataKey(db), q)
 }
 
 // WhatIf returns the compiled plan for q against the resolved relevant view
@@ -211,7 +227,7 @@ func Fingerprint(db *relation.Database, q hyperql.Query) string {
 // viewKey is the engine's view cache key; the plan's supporting artifacts
 // (stats, interned columns) are stored under it.
 func (c *Cache) WhatIf(db *relation.Database, viewKey string, q *hyperql.WhatIf, rel *relation.Relation) (*WhatIfPlan, bool) {
-	sig := Signature(db)
+	sig := dataKey(db)
 	fp := hyperql.Fingerprint("plan\x00"+sig, q)
 	if v, ok := c.get(kindPlan+fp, true); ok {
 		return v.(*WhatIfPlan), true
@@ -284,8 +300,7 @@ func (c *Cache) AttrRank(db *relation.Database, use *hyperql.UseClause, attrs []
 	if rel == nil {
 		return nil
 	}
-	sig := Signature(db)
-	key := kindRank + sig + "\x00" + use.Table
+	key := kindRank + dataKey(db) + "\x00" + use.Table
 	var stats []ml.ColumnStats
 	if v, ok := c.get(key, false); ok {
 		stats = v.([]ml.ColumnStats)
@@ -312,4 +327,15 @@ func (c *Cache) AttrRank(db *relation.Database, use *hyperql.UseClause, attrs []
 		rank[a] = i
 	}
 	return rank
+}
+
+// SeedAttrRank pre-populates the memoized base-relation stats AttrRank reads,
+// under db's current (version-folded) identity. The MVCC append path calls it
+// with incrementally merged digest stats so that how-to planning against a
+// freshly published snapshot never rescans the base relation.
+func (c *Cache) SeedAttrRank(db *relation.Database, table string, stats []ml.ColumnStats) {
+	if db.Relation(table) == nil {
+		return
+	}
+	c.put(kindRank+dataKey(db)+"\x00"+table, stats)
 }

@@ -164,6 +164,50 @@ func ReadCSVKeyed(name string, rd io.Reader, keys []string) (*Relation, error) {
 	return r, nil
 }
 
+// ParseAppendRows parses CSV rows (header + data) destined to extend r,
+// returning tuples ready for Extend — r itself is not modified. The header
+// must name r's columns in schema order, with one exception: when r's first
+// column is a synthetic RowID key (ReadCSVKeyed with no declared keys) the
+// header omits it and RowIDs are assigned sequentially from r.Len()+offset
+// (offset covers rows already staged for the same extension). Values are
+// parsed with the same inference as ReadCSV; kind coercion and key
+// uniqueness are enforced by Extend.
+func (r *Relation) ParseAppendRows(rd io.Reader, offset int) ([]Tuple, error) {
+	header, records, err := readCSVRecords(r.name, rd)
+	if err != nil {
+		return nil, err
+	}
+	names := r.schema.Names()
+	want := names
+	synthetic := len(names) > 0 && names[0] == "RowID" && r.schema.Col(0).Key &&
+		len(header) == len(names)-1
+	if synthetic {
+		want = names[1:]
+	}
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("csv %s: append header arity %d != schema arity %d", r.name, len(header), len(want))
+	}
+	for i, h := range header {
+		if h != want[i] {
+			return nil, fmt.Errorf("csv %s: append header column %d is %q, schema has %q", r.name, i, h, want[i])
+		}
+	}
+	next := int64(r.Len() + offset)
+	tuples := make([]Tuple, 0, len(records))
+	for _, rec := range records {
+		t := make(Tuple, 0, len(names))
+		if synthetic {
+			t = append(t, Int(next))
+			next++
+		}
+		for _, s := range rec {
+			t = append(t, Parse(s))
+		}
+		tuples = append(tuples, t)
+	}
+	return tuples, nil
+}
+
 // LoadCSV reads a relation from the named file with an inferred schema.
 func LoadCSV(name, path string) (*Relation, error) {
 	f, err := os.Open(path)

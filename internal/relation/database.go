@@ -21,6 +21,11 @@ type Database struct {
 	rels  map[string]*Relation
 	order []string
 	fks   []ForeignKey
+	// version is the MVCC snapshot version of this instance. A freshly
+	// built database is version 0, which keeps the pre-MVCC cache identity
+	// (nothing is folded into plan fingerprints or view keys); serving
+	// layers opt in with SetVersion and every Extend bumps it by one.
+	version int64
 }
 
 // NewDatabase returns an empty database.
@@ -93,13 +98,52 @@ func (d *Database) FindRelationOf(attr string) (*Relation, error) {
 	return found, nil
 }
 
-// Clone deep-copies the database including foreign keys.
+// Version returns the database's snapshot version (0 until SetVersion or
+// Extend).
+func (d *Database) Version() int64 { return d.version }
+
+// SetVersion overrides the snapshot version. Serving layers call it once at
+// session creation so every published snapshot — including the first — has
+// a distinct non-zero identity that caches can fold into their keys.
+func (d *Database) SetVersion(v int64) { d.version = v }
+
+// Extend returns a new database with the given tuples appended to the named
+// relations and the version bumped by one. Untouched relations are shared by
+// pointer (they are frozen prefixes under append-only growth); extended
+// relations get a fresh row index while sharing tuple storage, so readers
+// holding the old version are never perturbed.
+func (d *Database) Extend(appends map[string][]Tuple) (*Database, error) {
+	out := &Database{
+		rels:    make(map[string]*Relation, len(d.rels)),
+		order:   append([]string(nil), d.order...),
+		fks:     append([]ForeignKey(nil), d.fks...),
+		version: d.version + 1,
+	}
+	for name, r := range d.rels {
+		out.rels[name] = r
+	}
+	for name, tuples := range appends {
+		r := d.rels[name]
+		if r == nil {
+			return nil, fmt.Errorf("database: cannot append to unknown relation %q", name)
+		}
+		ext, err := r.Extend(tuples)
+		if err != nil {
+			return nil, err
+		}
+		out.rels[name] = ext
+	}
+	return out, nil
+}
+
+// Clone deep-copies the database including foreign keys and version.
 func (d *Database) Clone() *Database {
 	out := NewDatabase()
 	for _, name := range d.order {
 		out.MustAdd(d.rels[name].Clone())
 	}
 	out.fks = append([]ForeignKey(nil), d.fks...)
+	out.version = d.version
 	return out
 }
 

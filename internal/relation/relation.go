@@ -97,6 +97,30 @@ func (r *Relation) MustInsert(vals ...Value) {
 	}
 }
 
+// Extend returns a new relation holding this relation's rows plus the given
+// tuples. The receiver is never mutated: the row slice and key index are
+// copied (tuple storage is shared), so readers holding the old relation see
+// a frozen prefix while the extension validates and appends under exactly
+// the Insert rules — arity, kind coercion, and primary-key uniqueness
+// against the full (old + new) row set.
+func (r *Relation) Extend(tuples []Tuple) (*Relation, error) {
+	out := &Relation{
+		name:   r.name,
+		schema: r.schema,
+		rows:   append(make([]Tuple, 0, len(r.rows)+len(tuples)), r.rows...),
+		keyset: make(map[string]int, len(r.keyset)+len(tuples)),
+	}
+	for k, v := range r.keyset {
+		out.keyset[k] = v
+	}
+	for _, t := range tuples {
+		if err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // LookupKey returns the row index of the tuple whose primary key matches the
 // key attributes of t, or -1.
 func (r *Relation) LookupKey(t Tuple) int {

@@ -96,16 +96,137 @@ func TestErrorStatusTable(t *testing.T) {
 				t.Fatalf("%s %s: status %d, want %d (body %s)", tc.method, tc.path, resp.StatusCode, tc.want, raw)
 			}
 			if tc.want >= 400 {
-				var body struct {
-					Error string `json:"error"`
+				if !looksLikeJSON(raw) {
+					t.Fatalf("error body %q is not JSON", raw)
 				}
+				var body ErrorResponse
 				if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
 					t.Errorf("error body %q is not structured JSON with an error field", raw)
+				}
+				if body.Code == "" {
+					t.Errorf("error body %q has no machine-readable code", raw)
 				}
 				if strings.Contains(string(raw), "goroutine") {
 					t.Errorf("error body leaks internals: %q", raw)
 				}
 			}
 		})
+	}
+}
+
+// TestErrorEnvelopeTable pins the full envelope — code and retryable, not
+// just status — across the resource-oriented surface, including the two
+// error pages net/http writes itself (unrouted path, wrong method), which
+// envelopeErrors must convert to the same JSON shape.
+func TestErrorEnvelopeTable(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	createSession(t, ts, "g")
+
+	cases := []struct {
+		name      string
+		method    string
+		path      string
+		body      string
+		want      int
+		code      string
+		retryable bool
+	}{
+		{"mux unrouted path", "GET", "/v2/nope", "", 404, "not_found", false},
+		{"mux wrong method", "DELETE", "/v1/whatif", "", 405, "method_not_allowed", false},
+		{"get unknown session", "GET", "/v1/sessions/nope", "", 404, "not_found", false},
+		{"scoped whatif unknown session", "POST", "/v1/sessions/nope/whatif", `{"query":"x"}`, 404, "not_found", false},
+		{"session mismatch", "POST", "/v1/sessions/g/whatif", `{"session":"other","query":"x"}`, 400, "session_mismatch", false},
+		{"unknown snapshot", "POST", "/v1/sessions/g/whatif", `{"query":"` + germanCount + `","snapshot":99}`, 404, "snapshot_not_found", false},
+		{"unknown delta_vs", "POST", "/v1/sessions/g/whatif", `{"query":"` + germanCount + `","delta_vs":99}`, 404, "snapshot_not_found", false},
+		{"delta_vs on explain", "POST", "/v1/sessions/g/explain", `{"query":"` + germanCount + `","delta_vs":1}`, 400, "bad_request", false},
+		{"append unknown session", "POST", "/v1/sessions/nope/rows", `{"tables":[{"name":"T","data":"A\n1\n"}]}`, 404, "not_found", false},
+		{"append no tables", "POST", "/v1/sessions/g/rows", `{}`, 400, "bad_request", false},
+		{"append unknown relation", "POST", "/v1/sessions/g/rows", `{"tables":[{"name":"Nope","data":"A\n1\n"}]}`, 400, "bad_request", false},
+		{"snapshots unknown session", "GET", "/v1/sessions/nope/snapshots", "", 404, "not_found", false},
+		{"duplicate session name", "POST", "/v1/sessions", `{"name":"g","dataset":"german"}`, 409, "conflict", false},
+		{"bad limit", "GET", "/v1/sessions?limit=abc", "", 400, "bad_request", false},
+		{"negative limit", "GET", "/v1/jobs?limit=-1", "", 400, "bad_request", false},
+		{"bad job cursor", "GET", "/v1/jobs?limit=2&after=bogus", "", 400, "bad_cursor", false},
+		{"bad usage cursor", "GET", "/v1/usage?limit=2&after=%21%21", "", 400, "bad_cursor", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rd io.Reader
+			if tc.body != "" {
+				rd = bytes.NewReader([]byte(tc.body))
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s: status %d, want %d (body %s)", tc.method, tc.path, resp.StatusCode, tc.want, raw)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			if !looksLikeJSON(raw) {
+				t.Fatalf("error body %q is not JSON", raw)
+			}
+			var body ErrorResponse
+			if err := json.Unmarshal(raw, &body); err != nil {
+				t.Fatalf("error body %q does not decode as the envelope: %v", raw, err)
+			}
+			if body.Error == "" || body.Code != tc.code || body.Retryable != tc.retryable {
+				t.Errorf("envelope = %+v, want code %q retryable %v", body, tc.code, tc.retryable)
+			}
+		})
+	}
+
+	// Admission pressure is the one retryable client error on this surface.
+	small := newTestServer(t, Config{MaxSessions: 1})
+	createSession(t, small, "only")
+	var envelope ErrorResponse
+	if code := do(t, "POST", small.URL+"/v1/sessions", CreateSessionRequest{Name: "more", Dataset: "german", Scale: 0.1}, &envelope); code != http.StatusTooManyRequests {
+		t.Fatalf("session over limit: status %d", code)
+	}
+	if envelope.Code != "session_limit" || !envelope.Retryable {
+		t.Fatalf("session-limit envelope = %+v, want retryable session_limit", envelope)
+	}
+}
+
+// TestDeprecatedAliases: the body-addressed query routes survive as thin
+// aliases of the session-scoped resources and say so in their headers.
+func TestDeprecatedAliases(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	createSession(t, ts, "g")
+	for _, kind := range []string{"whatif", "howto", "explain", "batch"} {
+		body := `{"session":"g","query":"x"}`
+		if kind == "batch" {
+			body = `{"session":"g","queries":[{"query":"x"}]}`
+		}
+		resp, err := http.Post(ts.URL+"/v1/"+kind, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Errorf("POST /v1/%s: no Deprecation header", kind)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/sessions/{name}/"+kind) {
+			t.Errorf("POST /v1/%s: Link = %q, want successor-version pointer", kind, link)
+		}
+		// The successor route must NOT be marked deprecated.
+		succ, err := http.Post(ts.URL+"/v1/sessions/g/"+kind, "application/json", strings.NewReader(`{"query":"x"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, succ.Body)
+		succ.Body.Close()
+		if succ.Header.Get("Deprecation") != "" {
+			t.Errorf("POST /v1/sessions/g/%s: unexpectedly deprecated", kind)
+		}
 	}
 }

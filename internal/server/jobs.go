@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -20,6 +22,13 @@ type JobRequest struct {
 	// Method/Target configure how-to jobs (see QueryRequest).
 	Method string  `json:"method,omitempty"`
 	Target float64 `json:"target,omitempty"`
+	// Snapshot pins the job to a published session version, resolved at
+	// submission time — appends that land while the job is queued or running
+	// can never change what it evaluates. 0 pins the head as of submission.
+	Snapshot int64 `json:"snapshot,omitempty"`
+	// DeltaVs reports the what-if delta against this version (whatif jobs
+	// only; see QueryRequest.DeltaVs).
+	DeltaVs int64 `json:"delta_vs,omitempty"`
 	// Queries and Workers configure batch jobs (see BatchRequest).
 	Queries []BatchQuery `json:"queries,omitempty"`
 	Workers int          `json:"workers,omitempty"`
@@ -53,11 +62,13 @@ type JobProgress struct {
 
 // JobInfo is the wire form of a job snapshot.
 type JobInfo struct {
-	ID       string `json:"id"`
-	Session  string `json:"session"`
-	Kind     string `json:"kind"`
-	State    string `json:"state"`
-	Priority int    `json:"priority,omitempty"`
+	ID      string `json:"id"`
+	Session string `json:"session"`
+	Kind    string `json:"kind"`
+	State   string `json:"state"`
+	// Snapshot is the session version the job pinned at submission.
+	Snapshot int64 `json:"snapshot,omitempty"`
+	Priority int   `json:"priority,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -84,6 +95,7 @@ func toJobInfo(s jobs.Snapshot) JobInfo {
 		Session:     s.Session,
 		Kind:        s.Kind,
 		State:       s.State.String(),
+		Snapshot:    s.DataVersion,
 		Priority:    s.Priority,
 		SubmittedAt: s.Submitted,
 		WaitMs:      float64(s.Wait()) / float64(time.Millisecond),
@@ -129,6 +141,22 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 	if kind == "" {
 		kind = "whatif"
 	}
+	// The job pins its data version now: sn is the immutable snapshot every
+	// runner closure below evaluates, no matter how long the job queues or
+	// how many appends land meanwhile.
+	sn, err := e.resolve(req.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	if req.DeltaVs != 0 {
+		if kind != "whatif" {
+			return nil, errf(http.StatusBadRequest, "delta_vs applies to what-if jobs only")
+		}
+		// Validate the comparison version at submission, like the pin.
+		if _, err := e.resolve(req.DeltaVs); err != nil {
+			return nil, err
+		}
+	}
 
 	// Reject malformed submissions now (HTTP 400) rather than queueing a
 	// job doomed to fail: the query must parse as the submitted kind, the
@@ -140,14 +168,20 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 			return nil, errf(http.StatusBadRequest, "%v", err)
 		}
 		if kind == "whatif" {
+			deltaVs := req.DeltaVs
+			qr := QueryRequest{Query: req.Query, DeltaVs: deltaVs, Shards: req.Shards, Placement: req.Placement}
 			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
 				stampShape(ctx, e, "whatif", req.Query)
-				return e.whatIf(ctx, req.Query, req.Shards, req.Placement, p.Report)
+				resp, err := e.whatIf(ctx, sn, req.Query, req.Shards, req.Placement, p.Report)
+				if err == nil && deltaVs != 0 {
+					resp.Delta, err = e.whatIfDelta(ctx, resp.Value, qr)
+				}
+				return resp, err
 			}
 		} else {
 			run = func(ctx context.Context, p *jobs.Progress) (any, error) {
 				stampShape(ctx, e, "explain", req.Query)
-				return e.explain(req.Query)
+				return e.explain(sn, req.Query)
 			}
 		}
 	case "howto":
@@ -162,22 +196,25 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 		qr := QueryRequest{Query: req.Query, Method: req.Method, Target: req.Target, Shards: req.Shards, Placement: req.Placement}
 		run = func(ctx context.Context, p *jobs.Progress) (any, error) {
 			stampShape(ctx, e, "howto", req.Query)
-			return e.howTo(ctx, qr, p.Report)
+			return e.howTo(ctx, sn, qr, p.Report)
 		}
 	case "batch":
 		if len(req.Queries) == 0 {
 			return nil, errf(http.StatusBadRequest, "batch job has no queries")
 		}
 		workers := s.batchWorkers(req.Workers)
-		queries := req.Queries
-		if req.Shards > 0 {
-			// The job-level shards knob is the default for every element;
-			// an element's own shards field still wins.
-			queries = append([]BatchQuery(nil), req.Queries...)
-			for i := range queries {
-				if queries[i].Shards == 0 {
-					queries[i].Shards = req.Shards
-				}
+		// Pin every element: job-level shards and snapshot are defaults, an
+		// element's own fields still win. Explicit element snapshots are
+		// validated now so a doomed batch is rejected at submission.
+		queries := append([]BatchQuery(nil), req.Queries...)
+		for i := range queries {
+			if queries[i].Shards == 0 {
+				queries[i].Shards = req.Shards
+			}
+			if queries[i].Snapshot == 0 {
+				queries[i].Snapshot = sn.version
+			} else if _, err := e.resolve(queries[i].Snapshot); err != nil {
+				return nil, err
 			}
 		}
 		run = func(ctx context.Context, p *jobs.Progress) (any, error) {
@@ -188,7 +225,7 @@ func (s *Server) handleSubmitJob(r *http.Request) (any, error) {
 		return nil, errf(http.StatusBadRequest, "unknown job kind %q (want %s)", req.Kind, jobKinds)
 	}
 
-	opts := jobs.SubmitOptions{Session: req.Session, Kind: kind, Priority: req.Priority}
+	opts := jobs.SubmitOptions{Session: req.Session, Kind: kind, Priority: req.Priority, DataVersion: sn.version}
 	if req.TimeoutMs > 0 {
 		opts.Deadline = time.Now().Add(time.Duration(req.TimeoutMs) * time.Millisecond)
 	}
@@ -233,9 +270,39 @@ func (s *Server) handleCancelJob(r *http.Request) (any, error) {
 	return toJobInfo(snap), nil
 }
 
+// JobListResponse is the GET /v1/jobs payload; Next is the cursor of the
+// following page when ?limit= truncated the listing (jobs paginate by
+// numeric id, the manager's stable submission order).
+type JobListResponse struct {
+	Jobs []JobInfo `json:"jobs"`
+	Next string    `json:"next,omitempty"`
+}
+
+// jobSeq extracts the numeric suffix of a job id ("j17" -> 17). Job ids
+// sort numerically, not lexicographically — "j10" comes after "j9".
+func jobSeq(id string) (int64, bool) {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	return n, err == nil
+}
+
 func (s *Server) handleListJobs(r *http.Request) (any, error) {
 	session := r.URL.Query().Get("session")
 	stateName := r.URL.Query().Get("state")
+	page, err := parsePage(r)
+	if err != nil {
+		return nil, err
+	}
+	var afterSeq int64 = -1
+	if page.after != "" {
+		n, ok := jobSeq(page.after)
+		if !ok {
+			return nil, errBadCursor("job cursor %q is not a job id", page.after)
+		}
+		afterSeq = n
+	}
 	var state jobs.State
 	filter := false
 	if stateName != "" {
@@ -246,13 +313,36 @@ func (s *Server) handleListJobs(r *http.Request) (any, error) {
 		state, filter = st, true
 	}
 	snaps := s.jobs.List(session, state, filter)
+	next := ""
+	if page.active() {
+		// Pagination runs in numeric-id order — the stable submission order
+		// a cursor can resume in. The unpaginated listing keeps the
+		// manager's native order.
+		sort.Slice(snaps, func(i, j int) bool {
+			a, _ := jobSeq(snaps[i].ID)
+			b, _ := jobSeq(snaps[j].ID)
+			return a < b
+		})
+		start := 0
+		for start < len(snaps) {
+			if n, ok := jobSeq(snaps[start].ID); ok && n > afterSeq {
+				break
+			}
+			start++
+		}
+		snaps = snaps[start:]
+		if page.limit > 0 && len(snaps) > page.limit {
+			snaps = snaps[:page.limit]
+			next = snaps[len(snaps)-1].ID
+		}
+	}
 	out := make([]JobInfo, len(snaps))
 	for i, sn := range snaps {
 		// Listings omit results: polling one job returns the payload.
 		sn.Result = nil
 		out[i] = toJobInfo(sn)
 	}
-	return map[string]any{"jobs": out}, nil
+	return &JobListResponse{Jobs: out, Next: next}, nil
 }
 
 func parseJobState(name string) (jobs.State, error) {

@@ -102,7 +102,9 @@ func (s *Server) registerMetrics() {
 func (s *Server) sumCaches(f func(hyper.CacheStats) float64) float64 {
 	var sum float64
 	for _, e := range s.sortedEntries() {
-		sum += f(e.sess.Cache().Stats())
+		// The engine cache is shared across a session's whole version chain,
+		// so any snapshot's handle reports the session's counters.
+		sum += f(e.head().sess.Cache().Stats())
 	}
 	return sum
 }
@@ -111,7 +113,7 @@ func (s *Server) sumCaches(f func(hyper.CacheStats) float64) float64 {
 func (s *Server) sumPlanCaches(f func(hyper.PlanCacheStats) float64) float64 {
 	var sum float64
 	for _, e := range s.sortedEntries() {
-		if pc := e.sess.PlanCache(); pc != nil {
+		if pc := e.head().sess.PlanCache(); pc != nil {
 			sum += f(pc.Stats())
 		}
 	}

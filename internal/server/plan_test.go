@@ -147,3 +147,67 @@ func TestServerPlanSchemaChangeInvalidation(t *testing.T) {
 		t.Fatalf("same fingerprint %s across a schema change: a stale plan could be served", fp1)
 	}
 }
+
+// TestServerPlanCacheAcrossAppend pins cache identity along the MVCC chain:
+// after an append, the same query as of the old version must still hit the
+// plan it compiled before the append (same fingerprint, no fresh compile),
+// while the head — new data, new version — must compile fresh under a
+// different fingerprint.
+func TestServerPlanCacheAcrossAppend(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	createLoansSession(t, ts.URL, "v", 600)
+
+	explainFP := func(snapshot int64) string {
+		t.Helper()
+		var res ExplainResponse
+		code := do(t, "POST", ts.URL+"/v1/sessions/v/explain", QueryRequest{
+			Query: loansQuery, Snapshot: snapshot,
+		}, &res)
+		if code != http.StatusOK {
+			t.Fatalf("explain@%d: status %d", snapshot, code)
+		}
+		m := planFingerprintRe.FindStringSubmatch(res.Plan)
+		if m == nil {
+			t.Fatalf("explain output has no plan fingerprint:\n%s", res.Plan)
+		}
+		return m[1]
+	}
+	planStats := func() struct{ Hits, Misses, Compiles uint64 } {
+		t.Helper()
+		var stats StatsResponse
+		if code := do(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+			t.Fatalf("stats: status %d", code)
+		}
+		return struct{ Hits, Misses, Compiles uint64 }{
+			stats.Plan.Hits, stats.Plan.Misses, stats.Plan.Compiles,
+		}
+	}
+
+	fpV1 := explainFP(0) // compiles at version 1
+	before := planStats()
+	appendLoans(t, ts.URL, "v", 600, 1100)
+
+	// As of version 1: identical fingerprint, served from cache — the append
+	// invalidated nothing behind the pinned snapshot.
+	if got := explainFP(1); got != fpV1 {
+		t.Fatalf("as-of-1 fingerprint %s != pre-append %s", got, fpV1)
+	}
+	afterPinned := planStats()
+	if afterPinned.Hits <= before.Hits {
+		t.Fatalf("as-of-1 explain missed the plan cache: %+v -> %+v", before, afterPinned)
+	}
+	if afterPinned.Compiles != before.Compiles {
+		t.Fatalf("as-of-1 explain recompiled: %+v -> %+v", before, afterPinned)
+	}
+
+	// Head (version 2): different data identity, fresh fingerprint, fresh
+	// compile.
+	fpHead := explainFP(0)
+	if fpHead == fpV1 {
+		t.Fatalf("head shares fingerprint %s with version 1: stale stats could be served", fpV1)
+	}
+	afterHead := planStats()
+	if afterHead.Compiles != afterPinned.Compiles+1 {
+		t.Fatalf("head explain compiles %d, want %d", afterHead.Compiles, afterPinned.Compiles+1)
+	}
+}

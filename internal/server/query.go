@@ -16,7 +16,10 @@ import (
 // QueryRequest targets one session with one HypeRQL query. The zero Method
 // runs the default engine for the query kind.
 type QueryRequest struct {
-	Session string `json:"session"`
+	// Session names the target session. On the resource-scoped routes
+	// (POST /v1/sessions/{name}/whatif etc.) the path wins; a non-empty body
+	// session that disagrees with the path is a 400.
+	Session string `json:"session,omitempty"`
 	Query   string `json:"query"`
 	// Method selects the how-to formulation: "" or "ip" (integer program),
 	// "brute" (exhaustive Opt-HowTo), "mincost" (minimize update cost
@@ -24,6 +27,14 @@ type QueryRequest struct {
 	Method string `json:"method,omitempty"`
 	// Target is the aggregate floor for method "mincost".
 	Target float64 `json:"target,omitempty"`
+	// Snapshot pins the evaluation to a published session version ("as of
+	// v"); 0 evaluates the head. A pinned query is byte-identical to the
+	// same query against a fresh session holding that version's rows.
+	Snapshot int64 `json:"snapshot,omitempty"`
+	// DeltaVs, for what-if queries only, additionally evaluates the query
+	// as of this version and reports the value difference in the response's
+	// delta field — "what changed between v and w for this hypothetical".
+	DeltaVs int64 `json:"delta_vs,omitempty"`
 	// Shards caps the worker fan-out of this request's evaluation
 	// (0 = the session's setting, itself defaulting to GOMAXPROCS). Purely
 	// an execution knob: results are bit-identical for every value.
@@ -35,6 +46,16 @@ type QueryRequest struct {
 	// locally but offload shard-mergeable estimator fits to the workers
 	// (what-if and how-to).
 	Placement string `json:"placement,omitempty"`
+}
+
+// WhatIfDelta compares one what-if evaluation across two snapshot versions.
+type WhatIfDelta struct {
+	// VsSnapshot is the comparison version (the request's delta_vs).
+	VsSnapshot int64 `json:"vs_snapshot"`
+	// VsValue is the query's value as of VsSnapshot.
+	VsValue float64 `json:"vs_value"`
+	// Delta is value(snapshot) - value(vs_snapshot).
+	Delta float64 `json:"delta"`
 }
 
 // WhatIfResponse is the wire form of a what-if result.
@@ -51,6 +72,10 @@ type WhatIfResponse struct {
 	UpdatedRows   int      `json:"updated_rows"`
 	SampledRows   int      `json:"sampled_rows"`
 	TrainedModels int      `json:"trained_models"`
+	// Snapshot is the session version this evaluation saw; Delta compares
+	// against another version when the request asked with delta_vs.
+	Snapshot int64        `json:"snapshot,omitempty"`
+	Delta    *WhatIfDelta `json:"delta,omitempty"`
 	// ShardPlan/ShardWorkers report the evaluation's shard fan-out;
 	// ShardedFit is true when the estimator was fitted per shard and merged.
 	ShardPlan    int  `json:"shard_plan"`
@@ -113,6 +138,8 @@ type HowToResponse struct {
 	Candidates  int           `json:"candidates"`
 	WhatIfEvals int           `json:"whatif_evals"`
 	IPNodes     int           `json:"ip_nodes"`
+	// Snapshot is the session version this evaluation saw.
+	Snapshot int64 `json:"snapshot,omitempty"`
 	// Degraded reports that remote fits ran on less than the full worker
 	// fleet (placement "fit" only); the choices are still exact.
 	Degraded       bool    `json:"degraded,omitempty"`
@@ -137,6 +164,24 @@ func toHowToResponse(r *hyper.HowToResult) *HowToResponse {
 	return out
 }
 
+// sessionScopedQuery decodes a QueryRequest addressed by path: the route's
+// {name} is authoritative, and a conflicting body session is rejected so a
+// copy-pasted legacy body can't silently target the wrong session.
+func (s *Server) sessionScopedQuery(r *http.Request) (*sessionEntry, QueryRequest, error) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, req, err
+	}
+	name := r.PathValue("name")
+	if req.Session != "" && req.Session != name {
+		return nil, req, errcf(http.StatusBadRequest, "session_mismatch",
+			"body targets session %q but the path targets %q", req.Session, name)
+	}
+	req.Session = name
+	e, err := s.session(name)
+	return e, req, err
+}
+
 func (s *Server) handleWhatIf(r *http.Request) (any, error) {
 	var req QueryRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -146,8 +191,57 @@ func (s *Server) handleWhatIf(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.runWhatIf(r, e, req)
+}
+
+func (s *Server) handleSessionWhatIf(r *http.Request) (any, error) {
+	e, req, err := s.sessionScopedQuery(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.runWhatIf(r, e, req)
+}
+
+func (s *Server) runWhatIf(r *http.Request, e *sessionEntry, req QueryRequest) (any, error) {
+	sn, err := e.resolve(req.Snapshot)
+	if err != nil {
+		return nil, err
+	}
 	stampShape(r.Context(), e, "whatif", req.Query)
-	return e.whatIf(r.Context(), req.Query, req.Shards, req.Placement, nil)
+	resp, err := e.whatIf(r.Context(), sn, req.Query, req.Shards, req.Placement, nil)
+	if err != nil {
+		return nil, err
+	}
+	if req.DeltaVs != 0 {
+		resp.Delta, err = e.whatIfDelta(r.Context(), resp.Value, req)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+// whatIfDelta evaluates the same what-if as of req.DeltaVs and folds the
+// comparison: both evaluations are pinned, so the delta is a pure function
+// of the two immutable versions.
+func (e *sessionEntry) whatIfDelta(ctx context.Context, value float64, req QueryRequest) (*WhatIfDelta, error) {
+	vs, err := e.resolve(req.DeltaVs)
+	if err != nil {
+		return nil, err
+	}
+	vsResp, err := e.whatIf(ctx, vs, req.Query, req.Shards, req.Placement, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &WhatIfDelta{VsSnapshot: vs.version, VsValue: vsResp.Value, Delta: value - vsResp.Value}, nil
+}
+
+// rejectDeltaVs guards the endpoints delta comparisons don't apply to.
+func rejectDeltaVs(req QueryRequest) error {
+	if req.DeltaVs != 0 {
+		return errf(http.StatusBadRequest, "delta_vs applies to what-if queries only")
+	}
+	return nil
 }
 
 func (s *Server) handleHowTo(r *http.Request) (any, error) {
@@ -159,8 +253,27 @@ func (s *Server) handleHowTo(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.runHowTo(r, e, req)
+}
+
+func (s *Server) handleSessionHowTo(r *http.Request) (any, error) {
+	e, req, err := s.sessionScopedQuery(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.runHowTo(r, e, req)
+}
+
+func (s *Server) runHowTo(r *http.Request, e *sessionEntry, req QueryRequest) (any, error) {
+	if err := rejectDeltaVs(req); err != nil {
+		return nil, err
+	}
+	sn, err := e.resolve(req.Snapshot)
+	if err != nil {
+		return nil, err
+	}
 	stampShape(r.Context(), e, "howto", req.Query)
-	return e.howTo(r.Context(), req, nil)
+	return e.howTo(r.Context(), sn, req, nil)
 }
 
 func (s *Server) handleExplain(r *http.Request) (any, error) {
@@ -172,28 +285,47 @@ func (s *Server) handleExplain(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	stampShape(r.Context(), e, "explain", req.Query)
-	return e.explain(req.Query)
+	return s.runExplain(r, e, req)
 }
 
-// sessionFor applies a per-request shard fan-out override: 0 keeps the
-// shared session; anything else derives a session (same database, model and
-// cache) whose options carry the override.
-func (e *sessionEntry) sessionFor(shards int) *hyper.Session {
-	if shards <= 0 {
-		return e.sess
+func (s *Server) handleSessionExplain(r *http.Request) (any, error) {
+	e, req, err := s.sessionScopedQuery(r)
+	if err != nil {
+		return nil, err
 	}
-	return e.sess.With(e.sess.Options().WithShards(shards))
+	return s.runExplain(r, e, req)
+}
+
+func (s *Server) runExplain(r *http.Request, e *sessionEntry, req QueryRequest) (any, error) {
+	if err := rejectDeltaVs(req); err != nil {
+		return nil, err
+	}
+	sn, err := e.resolve(req.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	stampShape(r.Context(), e, "explain", req.Query)
+	return e.explain(sn, req.Query)
+}
+
+// sessionFor applies a per-request shard fan-out override to a snapshot's
+// session: 0 keeps the shared session; anything else derives a session
+// (same database, model and cache) whose options carry the override.
+func (e *sessionEntry) sessionFor(sn *snapshotEntry, shards int) *hyper.Session {
+	if shards <= 0 {
+		return sn.sess
+	}
+	return sn.sess.With(sn.sess.Options().WithShards(shards))
 }
 
 // fitSession derives a session whose shard-mergeable estimator fits are
 // offloaded to the registered workers (placement "fit"). The fitter is
 // per-request so WorkersUsed reports this request's remote contribution —
 // 0 means every fit was cache-warm or fell back local.
-func (e *sessionEntry) fitSession(shards int) (*hyper.Session, *dist.SessionFitter) {
-	fitter := e.dist.Fitter(e.frame)
-	opts := e.sessionFor(shards).Options().WithRemoteFit(fitter)
-	return e.sess.With(opts), fitter
+func (e *sessionEntry) fitSession(sn *snapshotEntry, shards int) (*hyper.Session, *dist.SessionFitter) {
+	fitter := e.dist.Fitter(sn.frame)
+	opts := e.sessionFor(sn, shards).Options().WithRemoteFit(fitter)
+	return sn.sess.With(opts), fitter
 }
 
 // resolvePlacement validates the placement knob against the query kind and
@@ -220,11 +352,12 @@ func (e *sessionEntry) resolvePlacement(placement, kind string) (string, error) 
 	}
 }
 
-// whatIf evaluates one what-if query under ctx (cancelled requests and
-// cancelled jobs stop the engine mid-evaluation); shards > 0 overrides the
-// session's worker fan-out for this request; placement selects where the
-// evaluation runs (results are identical everywhere); progress may be nil.
-func (e *sessionEntry) whatIf(ctx context.Context, query string, shards int, placement string, progress hyper.Progress) (*WhatIfResponse, error) {
+// whatIf evaluates one what-if query against a pinned snapshot under ctx
+// (cancelled requests and cancelled jobs stop the engine mid-evaluation);
+// shards > 0 overrides the session's worker fan-out for this request;
+// placement selects where the evaluation runs (results are identical
+// everywhere); progress may be nil.
+func (e *sessionEntry) whatIf(ctx context.Context, sn *snapshotEntry, query string, shards int, placement string, progress hyper.Progress) (*WhatIfResponse, error) {
 	e.queries.Add(1)
 	pl, err := e.resolvePlacement(placement, "whatif")
 	if err != nil {
@@ -233,13 +366,13 @@ func (e *sessionEntry) whatIf(ctx context.Context, query string, shards int, pla
 	var res *hyper.WhatIfResult
 	switch pl {
 	case "workers":
-		sess := e.sessionFor(shards)
+		sess := e.sessionFor(sn, shards)
 		res, err = e.dist.EvaluateWhatIf(ctx, dist.EvalSpec{
-			DB: sess.DB(), Model: sess.Model(), Frame: e.frame,
+			DB: sess.DB(), Model: sess.Model(), Frame: sn.frame,
 			Query: query, Options: sess.EngineOptions(), Progress: progress,
 		})
 	case "fit":
-		sess, fitter := e.fitSession(shards)
+		sess, fitter := e.fitSession(sn, shards)
 		res, err = sess.WhatIfContext(ctx, query, progress)
 		if res != nil {
 			res.Placement = "fit"
@@ -247,7 +380,7 @@ func (e *sessionEntry) whatIf(ctx context.Context, query string, shards int, pla
 			res.Degraded, res.DegradedReason = fitter.Degraded()
 		}
 	default:
-		res, err = e.sessionFor(shards).WhatIfContext(ctx, query, progress)
+		res, err = e.sessionFor(sn, shards).WhatIfContext(ctx, query, progress)
 	}
 	if err != nil {
 		return nil, queryError(ctx, err)
@@ -255,21 +388,23 @@ func (e *sessionEntry) whatIf(ctx context.Context, query string, shards int, pla
 	if e.shards != nil {
 		e.shards.record(res.ShardPlan, res.ShardWorkers)
 	}
-	return toWhatIfResponse(res), nil
+	out := toWhatIfResponse(res)
+	out.Snapshot = sn.version
+	return out, nil
 }
 
-func (e *sessionEntry) howTo(ctx context.Context, req QueryRequest, progress hyper.Progress) (*HowToResponse, error) {
+func (e *sessionEntry) howTo(ctx context.Context, sn *snapshotEntry, req QueryRequest, progress hyper.Progress) (*HowToResponse, error) {
 	e.queries.Add(1)
 	pl, err := e.resolvePlacement(req.Placement, "howto")
 	if err != nil {
 		return nil, err
 	}
-	sess := e.sessionFor(req.Shards)
+	sess := e.sessionFor(sn, req.Shards)
 	var fitter *dist.SessionFitter
 	if pl == "fit" {
-		// Every candidate what-if of the how-to shares the session's frame,
+		// Every candidate what-if of the how-to shares the snapshot's frame,
 		// so its shard-mergeable fits distribute over the same transport.
-		sess, fitter = e.fitSession(req.Shards)
+		sess, fitter = e.fitSession(sn, req.Shards)
 	}
 	var res *hyper.HowToResult
 	switch req.Method {
@@ -286,6 +421,7 @@ func (e *sessionEntry) howTo(ctx context.Context, req QueryRequest, progress hyp
 		return nil, queryError(ctx, err)
 	}
 	out := toHowToResponse(res)
+	out.Snapshot = sn.version
 	if fitter != nil {
 		out.Degraded, out.DegradedReason = fitter.Degraded()
 	}
@@ -295,17 +431,20 @@ func (e *sessionEntry) howTo(ctx context.Context, req QueryRequest, progress hyp
 // ExplainResponse is the wire form of an explain result.
 type ExplainResponse struct {
 	Plan string `json:"plan"`
+	// Snapshot is the session version the plan was compiled against (the
+	// plan fingerprint is version-qualified).
+	Snapshot int64 `json:"snapshot,omitempty"`
 	// Trace is the request's rendered span tree (?trace=1 only).
 	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
-func (e *sessionEntry) explain(query string) (*ExplainResponse, error) {
+func (e *sessionEntry) explain(sn *snapshotEntry, query string) (*ExplainResponse, error) {
 	e.queries.Add(1)
-	plan, err := e.sess.Explain(query)
+	plan, err := sn.sess.Explain(query)
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
-	return &ExplainResponse{Plan: plan}, nil
+	return &ExplainResponse{Plan: plan, Snapshot: sn.version}, nil
 }
 
 // queryError maps an evaluation failure: a cancelled/expired context
@@ -326,6 +465,11 @@ type BatchQuery struct {
 	Query  string  `json:"query"`
 	Method string  `json:"method,omitempty"`
 	Target float64 `json:"target,omitempty"`
+	// Snapshot pins this element to a published session version (0 = head);
+	// DeltaVs additionally reports the what-if delta against that version
+	// (what-if elements only). See QueryRequest.
+	Snapshot int64 `json:"snapshot,omitempty"`
+	DeltaVs  int64 `json:"delta_vs,omitempty"`
 	// Shards overrides the evaluation fan-out for this element (see
 	// QueryRequest.Shards).
 	Shards int `json:"shards,omitempty"`
@@ -335,7 +479,9 @@ type BatchQuery struct {
 
 // BatchRequest fans N queries against one session across a worker pool.
 type BatchRequest struct {
-	Session string       `json:"session"`
+	// Session names the target session (resource-scoped batch routes take
+	// it from the path instead; a conflicting body session is a 400).
+	Session string       `json:"session,omitempty"`
 	Queries []BatchQuery `json:"queries"`
 	// Workers caps the pool for this request; 0 uses the server default,
 	// and the server's BatchWorkers config is always an upper bound.
@@ -371,6 +517,28 @@ func (s *Server) handleBatch(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.runBatchRequest(r, e, req)
+}
+
+func (s *Server) handleSessionBatch(r *http.Request) (any, error) {
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	name := r.PathValue("name")
+	if req.Session != "" && req.Session != name {
+		return nil, errcf(http.StatusBadRequest, "session_mismatch",
+			"body targets session %q but the path targets %q", req.Session, name)
+	}
+	req.Session = name
+	e, err := s.session(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.runBatchRequest(r, e, req)
+}
+
+func (s *Server) runBatchRequest(r *http.Request, e *sessionEntry, req BatchRequest) (any, error) {
 	if len(req.Queries) == 0 {
 		return nil, errf(http.StatusBadRequest, "batch has no queries")
 	}
@@ -435,27 +603,47 @@ func (e *sessionEntry) runBatch(ctx context.Context, queries []BatchQuery, worke
 }
 
 // runBatchQuery evaluates one batch element, converting failures into the
-// element's error field so one bad query cannot sink its siblings.
+// element's error field so one bad query cannot sink its siblings. Each
+// element resolves its own snapshot pin; an unknown version is an
+// element-local error.
 func (e *sessionEntry) runBatchQuery(ctx context.Context, i int, q BatchQuery) BatchResult {
 	start := time.Now()
 	out := BatchResult{Index: i}
+	sn, err := e.resolve(q.Snapshot)
+	if err != nil {
+		out.Error = err.Error()
+		out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+		return out
+	}
 	switch q.Kind {
 	case "", "whatif":
-		res, err := e.whatIf(ctx, q.Query, q.Shards, q.Placement, nil)
+		res, err := e.whatIf(ctx, sn, q.Query, q.Shards, q.Placement, nil)
+		if err == nil && q.DeltaVs != 0 {
+			res.Delta, err = e.whatIfDelta(ctx, res.Value,
+				QueryRequest{Query: q.Query, DeltaVs: q.DeltaVs, Shards: q.Shards, Placement: q.Placement})
+		}
 		if err != nil {
 			out.Error = err.Error()
 		} else {
 			out.WhatIf = res
 		}
 	case "howto":
-		res, err := e.howTo(ctx, QueryRequest{Query: q.Query, Method: q.Method, Target: q.Target, Shards: q.Shards, Placement: q.Placement}, nil)
+		if q.DeltaVs != 0 {
+			out.Error = "delta_vs applies to what-if queries only"
+			break
+		}
+		res, err := e.howTo(ctx, sn, QueryRequest{Query: q.Query, Method: q.Method, Target: q.Target, Shards: q.Shards, Placement: q.Placement}, nil)
 		if err != nil {
 			out.Error = err.Error()
 		} else {
 			out.HowTo = res
 		}
 	case "explain":
-		res, err := e.explain(q.Query)
+		if q.DeltaVs != 0 {
+			out.Error = "delta_vs applies to what-if queries only"
+			break
+		}
+		res, err := e.explain(sn, q.Query)
 		if err != nil {
 			out.Error = err.Error()
 		} else {

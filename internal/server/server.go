@@ -5,30 +5,48 @@
 // how-to, explain and batched queries concurrently. cmd/hyperd is the
 // daemon wrapping it.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON; sessions are the resource, queries and snapshots
+// are sub-resources of a session):
 //
-//	GET    /healthz              liveness probe
-//	GET    /v1/datasets          named dataset builders available for sessions
-//	GET    /v1/sessions          list live sessions
-//	POST   /v1/sessions          create a session from a dataset name or inline CSV
-//	DELETE /v1/sessions/{name}   drop a session (cancels its jobs)
-//	POST   /v1/whatif            evaluate one what-if query
-//	POST   /v1/howto             evaluate one how-to query (ip|brute|mincost methods)
-//	POST   /v1/explain           plan a what-if query without evaluating it
-//	POST   /v1/batch             evaluate N queries fanned out across a worker pool
-//	POST   /v1/jobs              submit an asynchronous query job (429 when the queue is full)
-//	GET    /v1/jobs              list jobs (?session=, ?state= filters)
-//	GET    /v1/jobs/{id}         poll one job (state, progress, result)
-//	DELETE /v1/jobs/{id}         cancel a job (queued or mid-solve)
-//	GET    /v1/stats             cache/job gauges and per-endpoint latency quantiles
-//	GET    /v1/usage             per-query-shape usage analytics (count, errors, summed cost vector)
-//	GET    /v1/usage/{session}   usage analytics filtered to one session's shapes
+//	GET    /healthz                           liveness probe
+//	GET    /v1/datasets                       named dataset builders available for sessions
+//	GET    /v1/sessions                       list live sessions (?limit=, ?after= pagination)
+//	POST   /v1/sessions                       create a session from a dataset name or inline CSV
+//	GET    /v1/sessions/{name}                describe one session (head version, caches)
+//	DELETE /v1/sessions/{name}                drop a session (cancels its jobs)
+//	POST   /v1/sessions/{name}/rows           append rows, publishing a new MVCC snapshot version
+//	GET    /v1/sessions/{name}/snapshots      list the session's published versions
+//	POST   /v1/sessions/{name}/whatif         evaluate one what-if query (snapshot/delta_vs pins)
+//	POST   /v1/sessions/{name}/howto          evaluate one how-to query (ip|brute|mincost methods)
+//	POST   /v1/sessions/{name}/explain        plan a query without evaluating it
+//	POST   /v1/sessions/{name}/batch          evaluate N queries fanned out across a worker pool
+//	POST   /v1/jobs                           submit an asynchronous query job (429 when the queue is full)
+//	GET    /v1/jobs                           list jobs (?session=, ?state=, ?limit=, ?after=)
+//	GET    /v1/jobs/{id}                      poll one job (state, progress, result)
+//	DELETE /v1/jobs/{id}                      cancel a job (queued or mid-solve)
+//	GET    /v1/stats                          cache/job gauges and per-endpoint latency quantiles
+//	GET    /v1/usage                          per-query-shape usage analytics (?limit=, ?after=)
+//	GET    /v1/usage/{session}                usage analytics filtered to one session's shapes
+//
+// The body-addressed query routes (POST /v1/whatif, /v1/howto, /v1/explain,
+// /v1/batch) survive as thin deprecated aliases of the session-scoped
+// routes; their responses carry a Deprecation header and a successor Link.
+//
+// Every error, on every /v1 route (including the mux's own 404/405), is the
+// same JSON envelope: {"error": ..., "code": ..., "retryable": ...}.
 //
 // Sessions are independent: each owns a bounded LRU engine cache
 // (engine.NewCacheBounded), so repeat queries with shared USE/WHEN/FOR
 // clauses skip view materialization and estimator training, and a
 // long-lived daemon's memory stays bounded. The underlying hyper.Session is
 // safe for concurrent use, so no per-session serialization is needed.
+//
+// Sessions are MVCC: POST /v1/sessions/{name}/rows appends rows (the only
+// mutation — no update or delete), publishing an immutable snapshot version
+// per append. Queries pin a version with the snapshot field (0 = head) and
+// hold it for their whole evaluation; querying snapshot v is byte-identical
+// to querying a fresh session holding v's rows. What-if requests can also
+// ask for a cross-version delta with delta_vs.
 //
 // Expensive queries should go through the job API (internal/jobs): a
 // submitted job is queued by priority, bounded by admission control and
@@ -261,20 +279,40 @@ func (s *Server) Drain(ctx context.Context) error {
 	return s.jobs.Drain(ctx)
 }
 
+// HealthResponse is the GET /healthz payload.
+type HealthResponse struct {
+	OK      bool    `json:"ok"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
 // Handler returns the routed HTTP handler for the API surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_s": time.Since(s.start).Seconds()})
+		writeJSON(w, http.StatusOK, HealthResponse{OK: true, UptimeS: time.Since(s.start).Seconds()})
 	})
 	mux.Handle("GET /v1/datasets", s.instrument("datasets", s.handleDatasets))
+
+	// Resource-oriented session surface: the session is the resource, its
+	// rows, snapshots and query evaluations are sub-resources.
 	mux.Handle("GET /v1/sessions", s.instrument("sessions", s.handleListSessions))
 	mux.Handle("POST /v1/sessions", s.instrument("sessions", s.handleCreateSession))
+	mux.Handle("GET /v1/sessions/{name}", s.instrument("sessions", s.handleGetSession))
 	mux.Handle("DELETE /v1/sessions/{name}", s.instrument("sessions", s.handleDeleteSession))
-	mux.Handle("POST /v1/whatif", s.instrument("whatif", s.handleWhatIf))
-	mux.Handle("POST /v1/howto", s.instrument("howto", s.handleHowTo))
-	mux.Handle("POST /v1/explain", s.instrument("explain", s.handleExplain))
-	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	mux.Handle("POST /v1/sessions/{name}/rows", s.instrument("append", s.handleAppendRows))
+	mux.Handle("GET /v1/sessions/{name}/snapshots", s.instrument("sessions", s.handleListSnapshots))
+	mux.Handle("POST /v1/sessions/{name}/whatif", s.instrument("whatif", s.handleSessionWhatIf))
+	mux.Handle("POST /v1/sessions/{name}/howto", s.instrument("howto", s.handleSessionHowTo))
+	mux.Handle("POST /v1/sessions/{name}/explain", s.instrument("explain", s.handleSessionExplain))
+	mux.Handle("POST /v1/sessions/{name}/batch", s.instrument("batch", s.handleSessionBatch))
+
+	// Legacy body-addressed query routes: thin deprecated aliases of the
+	// session-scoped successors above (same handlers, session from body).
+	mux.Handle("POST /v1/whatif", deprecatedAlias("/v1/sessions/{name}/whatif", s.instrument("whatif", s.handleWhatIf)))
+	mux.Handle("POST /v1/howto", deprecatedAlias("/v1/sessions/{name}/howto", s.instrument("howto", s.handleHowTo)))
+	mux.Handle("POST /v1/explain", deprecatedAlias("/v1/sessions/{name}/explain", s.instrument("explain", s.handleExplain)))
+	mux.Handle("POST /v1/batch", deprecatedAlias("/v1/sessions/{name}/batch", s.instrument("batch", s.handleBatch)))
+
 	mux.Handle("POST /v1/jobs", s.instrument("jobs", s.handleSubmitJob))
 	mux.Handle("GET /v1/jobs", s.instrument("jobs", s.handleListJobs))
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleGetJob))
@@ -290,7 +328,9 @@ func (s *Server) Handler() http.Handler {
 	dh := s.dist.Handler()
 	mux.Handle("/dist/v1/workers", dh)
 	mux.Handle("/dist/v1/workers/", dh)
-	return mux
+	// envelopeErrors folds the mux's own plain-text 404/405 pages into the
+	// JSON error envelope, so no route — known or not — answers shapeless.
+	return envelopeErrors(mux)
 }
 
 // apiError carries an HTTP status (and an optional machine-readable code)
@@ -317,7 +357,7 @@ func errcf(status int, code, format string, args ...any) error {
 // per request: the trace rides the request context through the engine, the
 // rendered tree lands in the trace ring (GET /v1/traces), and ?trace=1
 // inlines it in the response ("EXPLAIN ANALYZE" for the HypeR stack).
-var tracedEndpoints = map[string]bool{"whatif": true, "howto": true, "explain": true, "batch": true}
+var tracedEndpoints = map[string]bool{"whatif": true, "howto": true, "explain": true, "batch": true, "append": true}
 
 // instrument wraps a handler with panic recovery, latency recording, error
 // mapping, request tracing, and request logging. Handlers return (payload,
@@ -375,16 +415,13 @@ func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, erro
 		payload, err := call(r)
 		elapsed := time.Since(start)
 		status := http.StatusOK
-		var body any = payload
+		errCode := ""
 		if err != nil {
-			errBody := map[string]string{"error": err.Error()}
 			var ae *apiError
 			switch {
 			case errors.As(err, &ae):
 				status = ae.status
-				if ae.code != "" {
-					errBody["code"] = ae.code
-				}
+				errCode = ae.code
 			case errors.Is(err, context.Canceled):
 				// A disconnected client cancelled its own evaluation; that
 				// is not a server fault, so don't record a 5xx (499 is the
@@ -395,7 +432,6 @@ func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, erro
 			default:
 				status = http.StatusInternalServerError
 			}
-			body = errBody
 		}
 		if tr != nil {
 			tr.Root().Set("status", status)
@@ -410,7 +446,13 @@ func (s *Server) instrument(endpoint string, fn func(r *http.Request) (any, erro
 			}
 		}
 		s.recordUsage(endpoint, meter, elapsed, err != nil)
-		writeJSON(w, status, body)
+		// Every error, from any handler, renders through the one envelope
+		// writer; successes render their typed payloads.
+		if err != nil {
+			writeError(w, status, errCode, err.Error())
+		} else {
+			writeJSON(w, status, payload)
+		}
 		s.stats.record(endpoint, elapsed, err != nil)
 		if s.cfg.Logf != nil {
 			s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.Path, status, elapsed.Round(time.Microsecond))

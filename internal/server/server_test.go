@@ -133,13 +133,16 @@ func TestServerHowTo(t *testing.T) {
 func TestServerExplain(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	createSession(t, ts, "g")
-	var res map[string]string
+	var res ExplainResponse
 	code := do(t, "POST", ts.URL+"/v1/explain", QueryRequest{Session: "g", Query: germanCount}, &res)
 	if code != http.StatusOK {
 		t.Fatalf("explain: status %d", code)
 	}
-	if res["plan"] == "" {
+	if res.Plan == "" {
 		t.Error("empty plan")
+	}
+	if res.Snapshot != 1 {
+		t.Errorf("explain snapshot = %d, want 1 (creation version)", res.Snapshot)
 	}
 }
 
@@ -211,7 +214,7 @@ func TestServerSessionLifecycleAndErrors(t *testing.T) {
 	ts := newTestServer(t, Config{MaxSessions: 2})
 
 	// Query against a missing session.
-	var errResp map[string]string
+	var errResp ErrorResponse
 	if code := do(t, "POST", ts.URL+"/v1/whatif", QueryRequest{Session: "nope", Query: germanCount}, &errResp); code != http.StatusNotFound {
 		t.Errorf("missing session: status %d, want 404", code)
 	}

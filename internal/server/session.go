@@ -4,28 +4,85 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"hyper"
 	"hyper/internal/dataset"
 	"hyper/internal/dist"
+	"hyper/internal/ml"
+	"hyper/internal/relation"
+	"hyper/internal/shard"
 )
 
 // sessionEntry is one live session: a named database + causal model bound to
-// a bounded engine cache. The embedded hyper.Session is safe for concurrent
-// use, so entries are shared across request goroutines without extra
-// locking; only the query counter is touched per request.
+// a bounded engine cache, plus the session's MVCC version chain. Every data
+// state the session has ever been in is an immutable snapshotEntry; an
+// append publishes a new snapshot atomically, so a query that resolved its
+// snapshot keeps evaluating against exactly that data no matter how many
+// appends land meanwhile. The engine and plan caches are shared across the
+// chain — cache identity is version-qualified below the hyper layer, so
+// entries for different versions can never collide.
 type sessionEntry struct {
 	name      string
 	dataset   string // registry name, or "csv"
 	schemaSig string // relation-name signature, the schema half of shape fingerprints
-	sess      *hyper.Session
 	created   time.Time
 	queries   atomic.Int64
 	shards    *shardGauges      // server-wide gauges, recorded per what-if
 	dist      *dist.Coordinator // shard transport (placement knob)
-	frame     *dist.Frame       // content-addressed snapshot shipped to workers
+
+	// mu guards the version chain; snaps[i] is version i+1 and the last
+	// element is head. Snapshots are append-only and immutable once
+	// published.
+	mu    sync.RWMutex
+	snaps []*snapshotEntry
+
+	// appendMu serializes appends (parse, extend, digest advance, publish).
+	// digests hold the per-relation incremental column-stats state: strided
+	// shard digests sealed below the fitted watermark, so an append fits
+	// only the tail shards its new rows touch and never rescans history.
+	appendMu     sync.Mutex
+	digests      map[string]*ml.RelationDigest
+	digestTarget int // rows per digest shard (the session's shard granularity)
+}
+
+// snapshotEntry is one immutable version of a session's data: the derived
+// hyper.Session evaluating it and the content-addressed dist frame shipping
+// it. Version 1 is the session's creation state (a full-snapshot frame);
+// every append adds a version whose frame is a delta naming its parent.
+type snapshotEntry struct {
+	version  int64
+	sess     *hyper.Session
+	frame    *dist.Frame
+	rows     int // total rows across relations at this version
+	appended int // rows this version's append added (0 for version 1)
+	created  time.Time
+}
+
+// head returns the newest snapshot.
+func (e *sessionEntry) head() *snapshotEntry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.snaps[len(e.snaps)-1]
+}
+
+// resolve maps a wire snapshot version to its entry: 0 means head, any
+// published version pins that exact state, anything else is a 404 with code
+// snapshot_not_found. Versions are contiguous from 1, so resolution is
+// index math.
+func (e *sessionEntry) resolve(v int64) (*snapshotEntry, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if v == 0 {
+		return e.snaps[len(e.snaps)-1], nil
+	}
+	if v >= 1 && v <= int64(len(e.snaps)) {
+		return e.snaps[v-1], nil
+	}
+	return nil, errcf(http.StatusNotFound, "snapshot_not_found",
+		"session %q has no snapshot version %d (head is %d)", e.name, v, len(e.snaps))
 }
 
 // SessionOptions is the wire form of hyper.Options.
@@ -115,10 +172,14 @@ type CreateSessionRequest struct {
 
 // SessionInfo describes a live session.
 type SessionInfo struct {
-	Name      string           `json:"name"`
-	Dataset   string           `json:"dataset"`
-	Relations []string         `json:"relations"`
-	Rows      int              `json:"rows"`
+	Name      string   `json:"name"`
+	Dataset   string   `json:"dataset"`
+	Relations []string `json:"relations"`
+	Rows      int      `json:"rows"`
+	// Version is the head snapshot version; Snapshots counts the published
+	// versions (1 at creation, +1 per append).
+	Version   int64            `json:"version"`
+	Snapshots int              `json:"snapshots"`
 	Queries   int64            `json:"queries"`
 	CreatedAt time.Time        `json:"created_at"`
 	Cache     hyper.CacheStats `json:"cache"`
@@ -127,17 +188,23 @@ type SessionInfo struct {
 }
 
 func (e *sessionEntry) info() SessionInfo {
-	db := e.sess.DB()
+	e.mu.RLock()
+	head := e.snaps[len(e.snaps)-1]
+	count := len(e.snaps)
+	e.mu.RUnlock()
+	db := head.sess.DB()
 	info := SessionInfo{
 		Name:      e.name,
 		Dataset:   e.dataset,
 		Relations: db.Names(),
 		Rows:      db.TotalRows(),
+		Version:   head.version,
+		Snapshots: count,
 		Queries:   e.queries.Load(),
 		CreatedAt: e.created,
-		Cache:     e.sess.Cache().Stats(),
+		Cache:     head.sess.Cache().Stats(),
 	}
-	if pc := e.sess.PlanCache(); pc != nil {
+	if pc := head.sess.PlanCache(); pc != nil {
 		info.Plan = pc.Stats()
 	}
 	return info
@@ -149,21 +216,47 @@ type DatasetInfo struct {
 	Description string `json:"description"`
 }
 
+// DatasetsResponse is the GET /v1/datasets payload.
+type DatasetsResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
 func (s *Server) handleDatasets(*http.Request) (any, error) {
 	var out []DatasetInfo
 	for _, b := range dataset.Registry() {
 		out = append(out, DatasetInfo{Name: b.Name, Description: b.Description})
 	}
-	return map[string]any{"datasets": out}, nil
+	return &DatasetsResponse{Datasets: out}, nil
 }
 
-func (s *Server) handleListSessions(*http.Request) (any, error) {
+// SessionListResponse is the GET /v1/sessions payload; Next is the cursor of
+// the following page when ?limit= truncated the listing (sessions paginate
+// by name, the registry's stable sort key).
+type SessionListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+	Next     string        `json:"next,omitempty"`
+}
+
+func (s *Server) handleListSessions(r *http.Request) (any, error) {
+	page, err := parsePage(r)
+	if err != nil {
+		return nil, err
+	}
 	entries := s.sortedEntries()
+	entries, next := paginate(entries, func(e *sessionEntry) string { return e.name }, page)
 	out := make([]SessionInfo, len(entries))
 	for i, e := range entries {
 		out[i] = e.info()
 	}
-	return map[string]any{"sessions": out}, nil
+	return &SessionListResponse{Sessions: out, Next: next}, nil
+}
+
+func (s *Server) handleGetSession(r *http.Request) (any, error) {
+	e, err := s.session(r.PathValue("name"))
+	if err != nil {
+		return nil, err
+	}
+	return e.info(), nil
 }
 
 func (s *Server) handleCreateSession(r *http.Request) (any, error) {
@@ -246,6 +339,10 @@ func (s *Server) handleCreateSession(r *http.Request) (any, error) {
 			planEntries = 0
 		}
 	}
+	// Server sessions are versioned from birth: version 1 is the creation
+	// snapshot, and every append publishes the next. (Bare library databases
+	// stay version 0, the pre-MVCC cache identity.)
+	db.SetVersion(1)
 	sess := hyper.NewSessionWithCache(db, model, hyper.NewCacheBounded(cacheEntries))
 	sess.SetOptions(opts)
 	// Each session owns its plan cache (cache identity is query fingerprint +
@@ -256,11 +353,29 @@ func (s *Server) handleCreateSession(r *http.Request) (any, error) {
 	pc.SetCompileObserver(s.planCompile.Observe)
 	sess.SetPlanCache(pc)
 
-	e := &sessionEntry{
-		name: req.Name, dataset: from, sess: sess, created: time.Now(),
-		schemaSig: strings.Join(db.Names(), ","),
-		shards:    &s.shards, dist: s.dist, frame: dist.NewFrame(db, model),
+	target := opts.ShardRows
+	if target <= 0 {
+		target = shard.DefaultTargetRows
 	}
+	e := &sessionEntry{
+		name: req.Name, dataset: from, created: time.Now(),
+		schemaSig: strings.Join(db.Names(), ","),
+		shards:    &s.shards, dist: s.dist,
+		digests:      make(map[string]*ml.RelationDigest, len(db.Names())),
+		digestTarget: target,
+	}
+	// Digest the creation state now: the per-shard column stats computed
+	// here are the sealed prefix every future append extends, so append
+	// cost is proportional to the appended tail, never to history.
+	for _, name := range db.Names() {
+		d := ml.NewRelationDigest(target)
+		d.Advance(db.Relation(name))
+		e.digests[name] = d
+	}
+	e.snaps = []*snapshotEntry{{
+		version: db.Version(), sess: sess, frame: dist.NewFrame(db, model),
+		rows: db.TotalRows(), created: e.created,
+	}}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkAdmissibleLocked(req.Name); err != nil {
@@ -268,6 +383,158 @@ func (s *Server) handleCreateSession(r *http.Request) (any, error) {
 	}
 	s.sessions[req.Name] = e
 	return e.info(), nil
+}
+
+// AppendTable is one relation's appended rows, CSV-encoded. The header must
+// name the relation's columns in schema order; a relation created with a
+// synthetic RowID key omits it (RowIDs continue from the current row count).
+type AppendTable struct {
+	Name string `json:"name"`
+	Data string `json:"data"`
+}
+
+// AppendRequest appends rows to a live session, publishing a new snapshot
+// version. Appends are the only mutation the API has: no row is ever updated
+// or deleted in place, so every published version stays immutable.
+type AppendRequest struct {
+	Tables []AppendTable `json:"tables"`
+}
+
+// AppendResponse reports the published snapshot. ShardsFitted/ShardsReused
+// count the incremental stats work: fitted shards scanned appended rows,
+// reused shards were sealed by earlier versions and not rescanned.
+type AppendResponse struct {
+	Session      string `json:"session"`
+	Version      int64  `json:"version"`
+	Rows         int    `json:"rows"`
+	AppendedRows int    `json:"appended_rows"`
+	ShardsFitted int    `json:"shards_fitted"`
+	ShardsReused int    `json:"shards_reused"`
+}
+
+// handleAppendRows is POST /v1/sessions/{name}/rows: parse the appended CSV
+// rows against the live schema, extend the database copy-on-write (shared
+// tuple storage, bumped version), advance the per-relation stats digests
+// over only the new tail shards, pre-seed the version-qualified rank stats
+// so no query ever rescans history, and atomically publish the new head.
+// Running queries hold their resolved snapshotEntry and are unaffected.
+func (s *Server) handleAppendRows(r *http.Request) (any, error) {
+	e, err := s.session(r.PathValue("name"))
+	if err != nil {
+		return nil, err
+	}
+	var req AppendRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Tables) == 0 {
+		return nil, errf(http.StatusBadRequest, "append has no tables")
+	}
+
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	head := e.head()
+	db := head.sess.DB()
+	appends := make(map[string][]relation.Tuple, len(req.Tables))
+	total := 0
+	for _, t := range req.Tables {
+		rel := db.Relation(t.Name)
+		if rel == nil {
+			return nil, errf(http.StatusBadRequest, "session %q has no relation %q", e.name, t.Name)
+		}
+		prior := len(appends[t.Name])
+		tuples, err := rel.ParseAppendRows(strings.NewReader(t.Data), prior)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		appends[t.Name] = append(appends[t.Name], tuples...)
+		total += len(tuples)
+	}
+	if total == 0 {
+		return nil, errf(http.StatusBadRequest, "append has no rows")
+	}
+
+	sess, err := head.sess.Append(appends)
+	if err != nil {
+		// Extend validates arity, coercion and key uniqueness; failures are
+		// client data errors and nothing has been published.
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	newDB := sess.DB()
+
+	// Incremental stats: advance each relation's digest over the strided
+	// shard plan. Sealed shards are counted reused and never rescanned —
+	// the acceptance invariant the meter counters below make observable.
+	fitted, reused := 0, 0
+	for _, name := range newDB.Names() {
+		d := e.digests[name]
+		if d == nil {
+			d = ml.NewRelationDigest(e.digestTarget)
+			e.digests[name] = d
+		}
+		f, u := d.Advance(newDB.Relation(name))
+		fitted += f
+		reused += u
+		// Seed the new version's rank stats from the digest merge: the
+		// merged stats are bit-identical to a fresh CollectStats, so the
+		// planner's behavior is unchanged while the full-table rescan the
+		// version-qualified cache key would otherwise force is skipped.
+		if stats := d.Stats(); len(stats) > 0 {
+			if pc := sess.PlanCache(); pc != nil {
+				pc.SeedAttrRank(newDB, name, stats)
+			}
+		}
+	}
+	stampAppend(r.Context(), e, appends, fitted, reused)
+
+	sn := &snapshotEntry{
+		version: sess.Version(), sess: sess,
+		frame:    dist.NewFrameDelta(head.frame, newDB, sess.Model(), appends),
+		rows:     newDB.TotalRows(),
+		appended: total,
+		created:  time.Now(),
+	}
+	e.mu.Lock()
+	e.snaps = append(e.snaps, sn)
+	e.mu.Unlock()
+	return &AppendResponse{
+		Session: e.name, Version: sn.version, Rows: sn.rows,
+		AppendedRows: total, ShardsFitted: fitted, ShardsReused: reused,
+	}, nil
+}
+
+// SnapshotInfo describes one published session version.
+type SnapshotInfo struct {
+	Version      int64     `json:"version"`
+	Rows         int       `json:"rows"`
+	AppendedRows int       `json:"appended_rows,omitempty"`
+	CreatedAt    time.Time `json:"created_at"`
+}
+
+// SnapshotListResponse is the GET /v1/sessions/{name}/snapshots payload,
+// oldest version first; Head repeats the newest version for convenience.
+type SnapshotListResponse struct {
+	Session   string         `json:"session"`
+	Head      int64          `json:"head"`
+	Snapshots []SnapshotInfo `json:"snapshots"`
+}
+
+func (s *Server) handleListSnapshots(r *http.Request) (any, error) {
+	e, err := s.session(r.PathValue("name"))
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	snaps := make([]*snapshotEntry, len(e.snaps))
+	copy(snaps, e.snaps)
+	e.mu.RUnlock()
+	out := SnapshotListResponse{Session: e.name, Head: snaps[len(snaps)-1].version}
+	for _, sn := range snaps {
+		out.Snapshots = append(out.Snapshots, SnapshotInfo{
+			Version: sn.version, Rows: sn.rows, AppendedRows: sn.appended, CreatedAt: sn.created,
+		})
+	}
+	return &out, nil
 }
 
 // checkAdmissible verifies a new session name is free and the registry has
@@ -283,7 +550,7 @@ func (s *Server) checkAdmissibleLocked(name string) error {
 		return errf(http.StatusConflict, "session %q already exists", name)
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
-		return errf(http.StatusTooManyRequests, "session limit reached (%d)", s.cfg.MaxSessions)
+		return errcf(http.StatusTooManyRequests, "session_limit", "session limit reached (%d)", s.cfg.MaxSessions)
 	}
 	return nil
 }
@@ -300,6 +567,12 @@ func (s *Server) sortedEntries() []*sessionEntry {
 	return entries
 }
 
+// DeleteSessionResponse is the DELETE /v1/sessions/{name} payload.
+type DeleteSessionResponse struct {
+	Deleted       string `json:"deleted"`
+	JobsCancelled int    `json:"jobs_cancelled"`
+}
+
 func (s *Server) handleDeleteSession(r *http.Request) (any, error) {
 	name := r.PathValue("name")
 	s.mu.Lock()
@@ -312,7 +585,7 @@ func (s *Server) handleDeleteSession(r *http.Request) (any, error) {
 	// Jobs against a deleted session keep a reference to its entry but have
 	// no caller left; cancel them so they stop burning cores.
 	cancelled := s.jobs.CancelSession(name)
-	return map[string]any{"deleted": name, "jobs_cancelled": cancelled}, nil
+	return &DeleteSessionResponse{Deleted: name, JobsCancelled: cancelled}, nil
 }
 
 // buildCSVDatabase assembles a database and optional causal model from an

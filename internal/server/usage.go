@@ -2,16 +2,19 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"hyper/internal/hyperql"
 	"hyper/internal/obs"
+	"hyper/internal/relation"
 )
 
 // usageTable is the query-shape usage analytics store: every completed
@@ -135,17 +138,54 @@ func (t *usageTable) snapshot(session string) []UsageEntry {
 	return out
 }
 
-// UsageResponse is the GET /v1/usage payload.
+// UsageResponse is the GET /v1/usage payload. Unpaginated listings keep the
+// hottest-first order; when ?limit=/?after= are present the shapes come in
+// stable composite-key order (session, kind, fingerprint) with Next holding
+// the cursor of the following page.
 type UsageResponse struct {
 	Shapes []UsageEntry `json:"shapes"`
+	Next   string       `json:"next,omitempty"`
 }
 
-func (s *Server) handleUsage(*http.Request) (any, error) {
-	return &UsageResponse{Shapes: s.usage.snapshot("")}, nil
+func (s *Server) handleUsage(r *http.Request) (any, error) {
+	return s.usagePage(r, "")
 }
 
 func (s *Server) handleUsageSession(r *http.Request) (any, error) {
-	return &UsageResponse{Shapes: s.usage.snapshot(r.PathValue("session"))}, nil
+	return s.usagePage(r, r.PathValue("session"))
+}
+
+// usageKey is the usage table's stable pagination key; cursors are its
+// base64url encoding so the \x1f separators survive any transport.
+func usageKey(u UsageEntry) string {
+	return u.Session + "\x1f" + u.Kind + "\x1f" + u.Fingerprint
+}
+
+func (s *Server) usagePage(r *http.Request, session string) (any, error) {
+	page, err := parsePage(r)
+	if err != nil {
+		return nil, err
+	}
+	shapes := s.usage.snapshot(session)
+	if !page.active() {
+		return &UsageResponse{Shapes: shapes}, nil
+	}
+	if page.after != "" {
+		raw, err := base64.RawURLEncoding.DecodeString(page.after)
+		if err != nil {
+			return nil, errBadCursor("usage cursor %q is not base64url", page.after)
+		}
+		if strings.Count(string(raw), "\x1f") != 2 {
+			return nil, errBadCursor("usage cursor %q is not a (session, kind, fingerprint) key", page.after)
+		}
+		page.after = string(raw)
+	}
+	sort.Slice(shapes, func(i, j int) bool { return usageKey(shapes[i]) < usageKey(shapes[j]) })
+	shapes, next := paginate(shapes, usageKey, page)
+	if next != "" {
+		next = base64.RawURLEncoding.EncodeToString([]byte(next))
+	}
+	return &UsageResponse{Shapes: shapes, Next: next}, nil
 }
 
 // recordUsage finalizes one metered request: the cost histograms observe the
@@ -207,4 +247,29 @@ func stampBatchShape(ctx context.Context, e *sessionEntry, queries []BatchQuery)
 	}
 	meter.SetShape(e.name, "batch",
 		fmt.Sprintf("%016x", h.Sum64()), fmt.Sprintf("BATCH(%d)", len(queries)))
+}
+
+// stampAppend stamps an append's meter: the shape aggregates appends by
+// their touched-relation set, and the cost vector carries the incremental
+// stats counters (append_shards_fitted / append_shards_reused) that make
+// "appends never rescan history" an observable invariant in /v1/usage.
+func stampAppend(ctx context.Context, e *sessionEntry, appends map[string][]relation.Tuple, fitted, reused int) {
+	meter := obs.MeterFromContext(ctx)
+	if meter == nil {
+		return
+	}
+	meter.AddAppendShards(fitted, reused)
+	names := make([]string, 0, len(appends))
+	for name := range appends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	io.WriteString(h, e.schemaSig)
+	for _, n := range names {
+		io.WriteString(h, "\x00")
+		io.WriteString(h, n)
+	}
+	meter.SetShape(e.name, "append",
+		fmt.Sprintf("%016x", h.Sum64()), "APPEND("+strings.Join(names, ",")+")")
 }

@@ -75,6 +75,30 @@ func Fixed(n, k int) Plan {
 	return p
 }
 
+// Strided partitions n rows at fixed multiples of target (<= 0 uses
+// DefaultTargetRows): shard i covers [i*target, min((i+1)*target, n)), so
+// only the last shard can be partial. Unlike Rows, whose near-equal layout
+// re-balances every boundary when n grows, a strided plan is prefix-stable:
+// appending rows never moves an existing boundary, it only extends the final
+// partial shard and adds new shards after it. That is the property the
+// incremental (MVCC append) path needs — digests fitted over sealed shards
+// stay valid forever and only the tail is ever re-fitted.
+func Strided(n, target int) Plan {
+	if target <= 0 {
+		target = DefaultTargetRows
+	}
+	if n <= 0 {
+		return Plan{}
+	}
+	k := (n + target - 1) / target
+	p := Plan{n: n, bounds: make([]int, k+1)}
+	for i := 0; i < k; i++ {
+		p.bounds[i] = i * target
+	}
+	p.bounds[k] = n
+	return p
+}
+
 // Shards returns the number of shards in the plan.
 func (p Plan) Shards() int {
 	if p.bounds == nil {
